@@ -1,0 +1,309 @@
+//! The actor system: thread spawning, shutdown and statistics.
+
+use crate::context::{Actor, ActorContext, ActorId, Envelope, Shared};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a run.
+#[derive(Debug)]
+pub struct ActorRunReport<W> {
+    /// The shared world after every actor thread has exited.
+    pub world: W,
+    /// Whether an actor requested the stop (normal termination).
+    pub stopped: bool,
+    /// Whether the run ended because the deadline expired instead.
+    pub timed_out: bool,
+    /// Messages sent by actors.
+    pub messages_sent: u64,
+    /// Messages actually delivered to `on_message`.
+    pub messages_delivered: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// A system of actors sharing a world, one OS thread per actor.
+pub struct ActorSystem<M, W> {
+    actors: Vec<Box<dyn Actor<M, W>>>,
+    world: W,
+    poll_interval: Duration,
+}
+
+impl<M, W> ActorSystem<M, W>
+where
+    M: Send + 'static,
+    W: Send,
+{
+    /// Creates a system around the given world.
+    pub fn new(world: W) -> Self {
+        ActorSystem {
+            actors: Vec::new(),
+            world,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+
+    /// How often idle actor threads re-check the stop flag (default 1 ms).
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Registers an actor.  Identifiers are assigned in registration
+    /// order, starting at 0.
+    pub fn add_actor(&mut self, actor: impl Actor<M, W> + 'static) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Box::new(actor));
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Runs the system until an actor requests a stop or `deadline`
+    /// elapses, whichever comes first, then joins every thread and
+    /// returns the world together with run statistics.
+    pub fn run(self, deadline: Duration) -> ActorRunReport<W> {
+        let ActorSystem {
+            actors,
+            world,
+            poll_interval,
+        } = self;
+        let n = actors.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Shared {
+            world: Mutex::new(world),
+            mailboxes: senders,
+            stop: AtomicBool::new(false),
+            messages_sent: AtomicU64::new(0),
+            messages_delivered: AtomicU64::new(0),
+        };
+        let start = Instant::now();
+        let timed_out = Arc::new(AtomicBool::new(false));
+
+        crossbeam::scope(|scope| {
+            // Watchdog thread: enforce the deadline.
+            {
+                let shared_ref = &shared;
+                let timed_out = Arc::clone(&timed_out);
+                scope.spawn(move |_| {
+                    let step = Duration::from_millis(1);
+                    let mut waited = Duration::ZERO;
+                    while waited < deadline && !shared_ref.stop_requested() {
+                        std::thread::sleep(step);
+                        waited += step;
+                    }
+                    if !shared_ref.stop_requested() {
+                        timed_out.store(true, Ordering::SeqCst);
+                        shared_ref.request_stop();
+                    }
+                });
+            }
+            // One thread per actor.
+            for (idx, (mut actor, rx)) in actors.into_iter().zip(receivers).enumerate() {
+                let shared_ref = &shared;
+                scope.spawn(move |_| {
+                    let me = ActorId(idx);
+                    let mut ctx = ActorContext {
+                        shared: shared_ref,
+                        me,
+                    };
+                    actor.on_start(&mut ctx);
+                    loop {
+                        match rx.recv_timeout(poll_interval) {
+                            Ok(envelope) => {
+                                shared_ref
+                                    .messages_delivered
+                                    .fetch_add(1, Ordering::Relaxed);
+                                actor.on_message(envelope.from, envelope.payload, &mut ctx);
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if shared_ref.stop_requested() {
+                                    break;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                        // Drain promptly after a stop, but do not wait for
+                        // new messages.
+                        if shared_ref.stop_requested() && rx.is_empty() {
+                            break;
+                        }
+                    }
+                    actor.on_stop(&mut ctx);
+                });
+            }
+        })
+        .expect("actor threads must not panic");
+
+        let elapsed = start.elapsed();
+        let timed_out = timed_out.load(Ordering::SeqCst);
+        ActorRunReport {
+            stopped: shared.stop.load(Ordering::SeqCst) && !timed_out,
+            timed_out,
+            messages_sent: shared.messages_sent.load(Ordering::Relaxed),
+            messages_delivered: shared.messages_delivered.load(Ordering::Relaxed),
+            elapsed,
+            world: shared.world.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Token ring: each actor forwards the token to the next; after
+    /// `rounds` laps the initiator stops the system.
+    struct RingActor {
+        next: ActorId,
+        laps_left: u32,
+        initiator: bool,
+    }
+
+    impl Actor<u32, Vec<usize>> for RingActor {
+        fn on_start(&mut self, ctx: &mut ActorContext<'_, u32, Vec<usize>>) {
+            if self.initiator {
+                let next = self.next;
+                let laps = self.laps_left;
+                ctx.send(next, laps);
+            }
+        }
+        fn on_message(&mut self, _from: ActorId, laps: u32, ctx: &mut ActorContext<'_, u32, Vec<usize>>) {
+            let me = ctx.self_id().index();
+            ctx.with_world(|w| w.push(me));
+            if self.initiator {
+                if laps == 0 {
+                    ctx.request_stop();
+                    return;
+                }
+                self.laps_left = laps - 1;
+                let next = self.next;
+                ctx.send(next, laps - 1);
+            } else {
+                let next = self.next;
+                ctx.send(next, laps);
+            }
+        }
+    }
+
+    fn ring(n: usize, laps: u32) -> ActorSystem<u32, Vec<usize>> {
+        let mut system = ActorSystem::new(Vec::new());
+        for i in 0..n {
+            system.add_actor(RingActor {
+                next: ActorId((i + 1) % n),
+                laps_left: laps,
+                initiator: i == 0,
+            });
+        }
+        system
+    }
+
+    #[test]
+    fn token_ring_terminates_and_visits_everyone() {
+        let report = ring(5, 3).run(Duration::from_secs(10));
+        assert!(report.stopped);
+        assert!(!report.timed_out);
+        // 3 full laps of 5 hops + the final hop back to the initiator.
+        assert_eq!(report.messages_sent, report.messages_delivered);
+        let mut visited = report.world.clone();
+        visited.sort_unstable();
+        visited.dedup();
+        assert_eq!(visited, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deadline_stops_a_system_that_never_finishes() {
+        // An actor that keeps messaging itself forever.
+        struct Loopy;
+        impl Actor<(), u64> for Loopy {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), u64>) {
+                let me = ctx.self_id();
+                ctx.send(me, ());
+            }
+            fn on_message(&mut self, _: ActorId, _: (), ctx: &mut ActorContext<'_, (), u64>) {
+                ctx.with_world(|w| *w += 1);
+                if !ctx.stop_requested() {
+                    let me = ctx.self_id();
+                    ctx.send(me, ());
+                }
+            }
+        }
+        let mut system = ActorSystem::new(0u64);
+        system.add_actor(Loopy);
+        let report = system.run(Duration::from_millis(100));
+        assert!(report.timed_out);
+        assert!(!report.stopped);
+        assert!(report.world > 0, "the loop made progress before the deadline");
+    }
+
+    #[test]
+    fn on_stop_runs_for_every_actor() {
+        struct Finisher;
+        impl Actor<(), Vec<usize>> for Finisher {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), Vec<usize>>) {
+                if ctx.self_id() == ActorId(0) {
+                    ctx.request_stop();
+                }
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), Vec<usize>>) {}
+            fn on_stop(&mut self, ctx: &mut ActorContext<'_, (), Vec<usize>>) {
+                let me = ctx.self_id().index();
+                ctx.with_world(|w| w.push(me));
+            }
+        }
+        let mut system = ActorSystem::new(Vec::new());
+        for _ in 0..4 {
+            system.add_actor(Finisher);
+        }
+        let mut report = system.run(Duration::from_secs(5));
+        report.world.sort_unstable();
+        assert_eq!(report.world, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn world_mutations_are_serialized() {
+        // Many actors increment a shared counter many times; the final
+        // value must be exact (the mutex serialises the increments).
+        struct Incr {
+            times: u32,
+        }
+        impl Actor<(), u64> for Incr {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), u64>) {
+                for _ in 0..self.times {
+                    ctx.with_world(|w| *w += 1);
+                }
+                if ctx.self_id() == ActorId(0) {
+                    // Give the others a moment, then stop.
+                    std::thread::sleep(Duration::from_millis(50));
+                    ctx.request_stop();
+                }
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), u64>) {}
+        }
+        let mut system = ActorSystem::new(0u64);
+        for _ in 0..8 {
+            system.add_actor(Incr { times: 1000 });
+        }
+        let report = system.run(Duration::from_secs(10));
+        assert_eq!(report.world, 8 * 1000);
+    }
+
+    #[test]
+    fn empty_system_times_out_quickly() {
+        let system: ActorSystem<(), ()> = ActorSystem::new(());
+        let report = system.run(Duration::from_millis(20));
+        assert!(report.timed_out);
+        assert_eq!(report.messages_sent, 0);
+    }
+}

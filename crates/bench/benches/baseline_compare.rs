@@ -1,0 +1,54 @@
+//! Comparison against the free-motion model of the earlier work [14] and
+//! against a centralized global-knowledge bound.
+//!
+//! The paper's introduction positions the 2014 algorithm as the
+//! constrained counterpart of [14] ("block motion necessitates here the
+//! presence of some other blocks, while blocks could move freely on the
+//! surface in our previous work").  The bench quantifies the cost of the
+//! constraints: elementary moves and messages for both models, plus the
+//! centralized nearest-block lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{column_bound, column_driver, free_motion_driver, run_column, run_column_free};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    println!("\n== Constrained (this paper) vs free motion [14] vs centralized bound ==");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}",
+        "N", "moves(rule)", "msgs(rule)", "moves(free)", "msgs(free)", "LB(central)", "greedy(c)"
+    );
+    for &n in &[6usize, 8, 12, 16, 20, 24] {
+        let constrained = run_column(n);
+        let free = run_column_free(n);
+        let bound = column_bound(n);
+        println!(
+            "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}{}{}",
+            n,
+            constrained.moves,
+            constrained.messages,
+            free.moves,
+            free.messages,
+            bound.nearest_block_lower_bound,
+            bound.greedy_assignment_moves,
+            if constrained.completed { "" } else { "  [rule-based incomplete]" },
+            if free.completed { "" } else { "  [free incomplete]" },
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("baseline_compare");
+    group.sample_size(10);
+    for &n in &[12usize, 24] {
+        group.bench_with_input(BenchmarkId::new("constrained", n), &n, |b, &n| {
+            b.iter(|| black_box(column_driver(n).run_des().elementary_moves()))
+        });
+        group.bench_with_input(BenchmarkId::new("free_motion", n), &n, |b, &n| {
+            b.iter(|| black_box(free_motion_driver(n).run_des().elementary_moves()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

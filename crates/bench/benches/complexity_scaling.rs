@@ -1,0 +1,46 @@
+//! Complexity-scaling benchmark (Remarks 2–4 of the paper).
+//!
+//! * Remark 2: the number of distance computations is `O(N³)`.
+//! * Remark 3: the number of messages exchanged is `O(N³)`.
+//! * Remark 4: the number of block hops to build the path is `O(N²)`.
+//!
+//! The bench sweeps the number of blocks `N` on the deterministic
+//! column-building workload, prints the measured counters and the fitted
+//! growth exponents (which must stay at or below the paper's upper
+//! bounds), and measures the wall-clock time of a full run per size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::{column_driver, fit_exponent, run_column, ResultRow, SCALING_SIZES};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    println!("\n== Complexity scaling (Remarks 2-4) ==");
+    println!("{}", ResultRow::header());
+    let mut rows: Vec<ResultRow> = Vec::new();
+    for &n in &SCALING_SIZES {
+        let row = run_column(n);
+        println!("{}", row.formatted());
+        rows.push(row);
+    }
+    let pts = |f: &dyn Fn(&ResultRow) -> f64| -> Vec<(f64, f64)> {
+        rows.iter().map(|r| (r.blocks as f64, f(r))).collect()
+    };
+    println!(
+        "fitted exponents: messages ~ N^{:.2} (<= 3), distance computations ~ N^{:.2} (<= 3), moves ~ N^{:.2} (<= 2)\n",
+        fit_exponent(&pts(&|r| r.messages as f64)),
+        fit_exponent(&pts(&|r| r.distance_computations as f64)),
+        fit_exponent(&pts(&|r| r.moves as f64)),
+    );
+
+    let mut group = c.benchmark_group("complexity_scaling");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("des_run", n), &n, |b, &n| {
+            b.iter(|| black_box(column_driver(n).run_des().elementary_moves()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Discrete-event simulator throughput (Section V.E of the paper).
+//!
+//! VisibleSim is reported at "650k events/sec" with simulations of "2
+//! millions of nodes" on a laptop.  This bench measures the events/second
+//! rate of `sb-desim` on a message-passing workload for increasing module
+//! counts (the 2M-module point is exercised by the
+//! `examples/desim_throughput.rs` binary; benches keep the sizes moderate
+//! so `cargo bench` stays fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_desim::{BlockCode, Context, Duration, LatencyModel, ModuleId, Simulator};
+use std::hint::black_box;
+
+struct RingNode {
+    next: ModuleId,
+    tokens: u32,
+    hops: u32,
+}
+
+impl BlockCode<u32, ()> for RingNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32, ()>) {
+        for _ in 0..self.tokens {
+            let (next, hops) = (self.next, self.hops);
+            ctx.send(next, hops);
+        }
+    }
+    fn on_message(&mut self, _from: ModuleId, hops: u32, ctx: &mut Context<'_, u32, ()>) {
+        if hops > 0 {
+            let next = self.next;
+            ctx.send(next, hops - 1);
+        }
+    }
+}
+
+fn run(modules: usize, events: u64) -> u64 {
+    let mut sim: Simulator<u32, ()> = Simulator::new(())
+        .with_latency(LatencyModel::Fixed(Duration::micros(3)))
+        .with_seed(5);
+    let hops = 256u32;
+    let tokens = ((events / u64::from(hops)).max(1)) as u32;
+    for i in 0..modules {
+        sim.add_module(RingNode {
+            next: ModuleId((i + 1) % modules),
+            tokens: if i == 0 { tokens } else { 0 },
+            hops,
+        });
+    }
+    sim.run_until_idle().events_processed
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    println!("\n== DES throughput (VisibleSim comparison point: ~650k events/s, 2M nodes) ==");
+    for &modules in &[1_000usize, 10_000, 100_000] {
+        let start = std::time::Instant::now();
+        let events = run(modules, 200_000);
+        let rate = events as f64 / start.elapsed().as_secs_f64();
+        println!("  {modules:>8} modules: {events:>8} events, {rate:>12.0} events/s");
+    }
+    println!();
+
+    let mut group = c.benchmark_group("desim_throughput");
+    group.sample_size(10);
+    const EVENTS: u64 = 100_000;
+    group.throughput(Throughput::Elements(EVENTS));
+    for &modules in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("ring_flood", modules),
+            &modules,
+            |b, &modules| b.iter(|| black_box(run(modules, EVENTS))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the motion-rule engine (Section IV) and the XML
+//! capability codec (Fig. 7): the `MM ⊗ MP` validation operator, the
+//! planner queries used by every election, catalogue generation, and
+//! capability-file round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_bench::column_config;
+use sb_motion::{MotionPlanner, PresenceMatrix, RuleCatalog};
+use sb_rules_xml::{parse_capabilities, write_capabilities};
+use std::hint::black_box;
+
+fn bench_rule_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_engine");
+
+    // Table II operator: one rule against one presence matrix.
+    let rule = sb_motion::rules::east_sliding();
+    let presence = PresenceMatrix::from_bits(3, &[0, 0, 0, 1, 1, 0, 1, 1, 1]).unwrap();
+    group.bench_function("validate_mm_op_mp", |b| {
+        b.iter(|| black_box(rule.matrix().validates(black_box(&presence))))
+    });
+
+    // Catalogue generation (full D4 orbits).
+    group.bench_function("standard_catalog_generation", |b| {
+        b.iter(|| black_box(RuleCatalog::standard().len()))
+    });
+
+    // Planner query on a realistic mid-reconfiguration grid.
+    let config = column_config(16);
+    let planner = MotionPlanner::standard();
+    let positions: Vec<_> = config.grid().blocks().map(|(_, p)| p).collect();
+    group.bench_function("planner_motions_involving_16_blocks", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &p in &positions {
+                count += planner.motions_involving(config.grid(), p).len();
+            }
+            black_box(count)
+        })
+    });
+
+    // XML capability file round-trip (Fig. 7 format, full catalogue).
+    let catalog = RuleCatalog::standard();
+    let text = write_capabilities(&catalog);
+    group.bench_function("xml_write_capabilities", |b| {
+        b.iter(|| black_box(write_capabilities(black_box(&catalog)).len()))
+    });
+    group.bench_function("xml_parse_capabilities", |b| {
+        b.iter(|| black_box(parse_capabilities(black_box(&text)).unwrap().len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_engine);
+criterion_main!(benches);

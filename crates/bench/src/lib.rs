@@ -1,0 +1,9 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The actual benchmark targets live in `benches/`; this library only holds
+//! workload construction helpers shared between them and the report
+//! examples at the workspace root.
+
+pub mod workloads;
+
+pub use workloads::*;

@@ -1,0 +1,150 @@
+//! Workload constructors and result-row helpers shared by the Criterion
+//! benches and the report examples.
+
+use sb_core::baseline::{centralized_bound, CentralizedBound};
+use sb_core::workloads;
+use sb_core::{MotionModel, ReconfigurationDriver, ReconfigurationReport};
+use sb_grid::SurfaceConfig;
+
+/// The block counts used by the complexity-scaling experiments
+/// (Remarks 2–4).
+pub const SCALING_SIZES: [usize; 7] = [6, 8, 12, 16, 20, 24, 32];
+
+/// One row of a paper-shaped results table.
+#[derive(Clone, Debug)]
+pub struct ResultRow {
+    /// Number of blocks `N`.
+    pub blocks: usize,
+    /// Elections (iterations of Algorithm 1).
+    pub elections: u64,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Distance computations (Remark 2).
+    pub distance_computations: u64,
+    /// Elementary block moves (Remark 4).
+    pub moves: u64,
+    /// Whether the reconfiguration completed.
+    pub completed: bool,
+}
+
+impl ResultRow {
+    /// Condenses a report into a table row.
+    pub fn from_report(report: &ReconfigurationReport) -> Self {
+        ResultRow {
+            blocks: report.blocks,
+            elections: report.elections(),
+            messages: report.total_messages(),
+            distance_computations: report.metrics.distance_computations,
+            moves: report.elementary_moves(),
+            completed: report.completed,
+        }
+    }
+
+    /// Formats the row for the console tables printed by the benches.
+    pub fn formatted(&self) -> String {
+        format!(
+            "{:>6} {:>10} {:>12} {:>14} {:>10} {:>10}",
+            self.blocks,
+            self.elections,
+            self.messages,
+            self.distance_computations,
+            self.moves,
+            if self.completed { "yes" } else { "NO" }
+        )
+    }
+
+    /// The header matching [`ResultRow::formatted`].
+    pub fn header() -> String {
+        format!(
+            "{:>6} {:>10} {:>12} {:>14} {:>10} {:>10}",
+            "N", "elections", "messages", "dist-comps", "moves", "completed"
+        )
+    }
+}
+
+/// The Fig. 10 worked example, pre-packaged as a driver.
+pub fn fig10_driver() -> ReconfigurationDriver {
+    ReconfigurationDriver::new(workloads::fig10_instance())
+}
+
+/// A column-building instance with `blocks` blocks (deterministic).
+pub fn column_driver(blocks: usize) -> ReconfigurationDriver {
+    ReconfigurationDriver::new(workloads::column_instance(blocks, 0))
+}
+
+/// The same instance under the free-motion baseline of \[14\].
+pub fn free_motion_driver(blocks: usize) -> ReconfigurationDriver {
+    ReconfigurationDriver::new(workloads::column_instance(blocks, 0))
+        .with_motion_model(MotionModel::FreeMotion)
+}
+
+/// Centralized bound for the column instance of the given size.
+pub fn column_bound(blocks: usize) -> CentralizedBound {
+    centralized_bound(&workloads::column_instance(blocks, 0))
+}
+
+/// The column instance itself (for benches that need the raw config).
+pub fn column_config(blocks: usize) -> SurfaceConfig {
+    workloads::column_instance(blocks, 0)
+}
+
+/// Runs the constrained algorithm on a column instance and returns the
+/// result row.
+pub fn run_column(blocks: usize) -> ResultRow {
+    ResultRow::from_report(&column_driver(blocks).run_des())
+}
+
+/// Runs the free-motion baseline on a column instance.
+pub fn run_column_free(blocks: usize) -> ResultRow {
+    ResultRow::from_report(&free_motion_driver(blocks).run_des())
+}
+
+/// Least-squares slope of `log(y)` against `log(x)`: the empirical growth
+/// exponent reported next to the Remark 2–4 upper bounds.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_workloads_complete_for_every_scaling_size() {
+        // A cheap smoke check on the two smallest sizes (the full sweep is
+        // exercised by the benches and the scaling example).
+        for &n in &SCALING_SIZES[..2] {
+            let row = run_column(n);
+            assert!(row.completed, "column instance with {n} blocks");
+            assert!(row.moves > 0);
+        }
+    }
+
+    #[test]
+    fn fit_exponent_recovers_powers() {
+        let quadratic: Vec<(f64, f64)> = (2..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((fit_exponent(&quadratic) - 2.0).abs() < 1e-6);
+        let cubic: Vec<(f64, f64)> = (2..20).map(|i| (i as f64, (i * i * i) as f64)).collect();
+        assert!((fit_exponent(&cubic) - 3.0).abs() < 1e-6);
+        assert!(fit_exponent(&[(1.0, 1.0)]).is_nan());
+    }
+
+    #[test]
+    fn result_row_formatting_is_aligned() {
+        let row = run_column(6);
+        assert_eq!(row.formatted().len(), ResultRow::header().len());
+    }
+}

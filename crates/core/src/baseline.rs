@@ -1,0 +1,160 @@
+//! Comparison baselines.
+//!
+//! The paper positions its contribution against the earlier work \[14\]
+//! (Tembo & El-Baz 2013), where "blocks could move freely on the surface
+//! without any support of other blocks", and motivates the election by the
+//! need to minimise both the number of blocks on the path and the number
+//! of hops needed to build it.  This module provides:
+//!
+//! * the **free-motion baseline**: the same election-based algorithm run
+//!   under the \[14\] motion model ([`crate::world::MotionModel::FreeMotion`]),
+//!   exposed as a pre-configured driver;
+//! * a **centralized global-knowledge bound**: with full knowledge of the
+//!   configuration, how many elementary moves would an assignment of
+//!   blocks to path cells need at minimum?  The distributed algorithm can
+//!   only do worse; the ratio quantifies the price of locality and of the
+//!   support constraints.
+
+use crate::driver::ReconfigurationDriver;
+use crate::world::MotionModel;
+use sb_grid::{Pos, SurfaceConfig};
+
+/// A driver pre-configured for the free-motion model of \[14\].
+pub fn free_motion_driver(config: SurfaceConfig) -> ReconfigurationDriver {
+    ReconfigurationDriver::new(config).with_motion_model(MotionModel::FreeMotion)
+}
+
+/// Bounds on the number of elementary moves computed with global
+/// knowledge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CentralizedBound {
+    /// Number of cells of the target path.
+    pub path_cells: usize,
+    /// Number of path cells already occupied in the initial configuration.
+    pub already_occupied: usize,
+    /// Lower bound on the total number of elementary moves: for every
+    /// unoccupied path cell, the distance to the nearest block that is not
+    /// itself on the path (cells may not share blocks, so the true optimum
+    /// is at least this sum).
+    pub nearest_block_lower_bound: u64,
+    /// Moves used by a greedy assignment (nearest available block to each
+    /// unoccupied path cell, processed from `I` towards `O`): a feasible
+    /// cost under free motion, hence an upper bound on the optimal
+    /// assignment cost and a realistic yard-stick for the distributed
+    /// algorithm.
+    pub greedy_assignment_moves: u64,
+}
+
+/// Computes the centralized bounds for an instance, using the canonical
+/// shortest path (the vertical-then-horizontal path of the oriented graph).
+pub fn centralized_bound(config: &SurfaceConfig) -> CentralizedBound {
+    let graph = config.graph();
+    let path = graph.canonical_path();
+    let grid = config.grid();
+    let path_cells = path.len();
+    let already_occupied = path.iter().filter(|&&c| grid.is_occupied(c)).count();
+
+    let path_set: std::collections::HashSet<Pos> = path.iter().copied().collect();
+    let mut available: Vec<Pos> = grid
+        .blocks()
+        .map(|(_, p)| p)
+        .filter(|p| !path_set.contains(p))
+        .collect();
+    available.sort();
+
+    let unfilled: Vec<Pos> = path
+        .iter()
+        .copied()
+        .filter(|&c| !grid.is_occupied(c))
+        .collect();
+
+    // Lower bound: independent nearest-block distances.
+    let mut lower = 0u64;
+    for &cell in &unfilled {
+        if let Some(d) = available.iter().map(|b| b.manhattan(cell)).min() {
+            lower += u64::from(d);
+        }
+    }
+
+    // Greedy assignment: fill cells from I towards O with the nearest
+    // still-unassigned block.
+    let mut pool = available.clone();
+    let mut greedy = 0u64;
+    for &cell in &unfilled {
+        if pool.is_empty() {
+            break;
+        }
+        let (idx, d) = pool
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.manhattan(cell)))
+            .min_by_key(|&(_, d)| d)
+            .expect("pool not empty");
+        greedy += u64::from(d);
+        pool.swap_remove(idx);
+    }
+
+    CentralizedBound {
+        path_cells,
+        already_occupied,
+        nearest_block_lower_bound: lower,
+        greedy_assignment_moves: greedy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn bounds_are_ordered() {
+        for cfg in [
+            workloads::fig10_instance(),
+            workloads::rectangle_instance(3, 2, 4),
+            workloads::column_instance(10, 3),
+        ] {
+            let b = centralized_bound(&cfg);
+            assert!(b.nearest_block_lower_bound <= b.greedy_assignment_moves);
+            assert!(b.already_occupied <= b.path_cells);
+            assert!(b.path_cells >= 2);
+        }
+    }
+
+    #[test]
+    fn fully_built_path_needs_zero_moves() {
+        let cfg = sb_grid::SurfaceConfig::from_ascii(
+            "o . .\n\
+             # . .\n\
+             # # .\n\
+             I # .",
+        )
+        .unwrap();
+        let b = centralized_bound(&cfg);
+        assert_eq!(b.already_occupied, b.path_cells);
+        assert_eq!(b.nearest_block_lower_bound, 0);
+        assert_eq!(b.greedy_assignment_moves, 0);
+    }
+
+    #[test]
+    fn distributed_algorithm_never_beats_the_lower_bound() {
+        let cfg = workloads::rectangle_instance(3, 2, 4);
+        let bound = centralized_bound(&cfg);
+        let report = ReconfigurationDriver::new(cfg).run_des();
+        assert!(report.completed);
+        assert!(
+            report.elementary_moves() >= bound.nearest_block_lower_bound,
+            "distributed {} must be >= centralized lower bound {}",
+            report.elementary_moves(),
+            bound.nearest_block_lower_bound
+        );
+    }
+
+    #[test]
+    fn free_motion_driver_uses_the_free_model() {
+        let driver = free_motion_driver(workloads::rectangle_instance(3, 2, 4));
+        let report = driver.run_des();
+        assert!(report.completed);
+        assert!(report.move_log.iter().all(|m| m.rule == "free"));
+    }
+}

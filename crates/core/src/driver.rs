@@ -1,0 +1,362 @@
+//! The high-level reconfiguration driver.
+//!
+//! [`ReconfigurationDriver`] assembles everything needed to run Algorithm 1
+//! on a problem instance — the shared world, the rule catalogue, the
+//! runtime — executes it, and condenses the outcome into a
+//! [`ReconfigurationReport`] whose fields map directly onto the quantities
+//! the paper discusses (number of elections, block moves, messages,
+//! distance computations).
+
+use crate::election::AlgorithmConfig;
+use crate::metrics::Metrics;
+use crate::runtime::{build_actor_system, build_des_simulation};
+use crate::world::{MotionModel, MoveRecord, Outcome, SurfaceWorld};
+use sb_desim::{Duration as SimDuration, LatencyModel};
+use sb_grid::SurfaceConfig;
+use sb_motion::RuleCatalog;
+use std::fmt;
+use std::time::Duration as WallDuration;
+
+/// Which runtime executed a report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuntimeKind {
+    /// The deterministic discrete-event simulator.
+    DiscreteEvent,
+    /// The threaded actor runtime.
+    Actors,
+}
+
+/// Condensed outcome of one reconfiguration run.
+#[derive(Clone, Debug)]
+pub struct ReconfigurationReport {
+    /// Which runtime produced the report.
+    pub runtime: RuntimeKind,
+    /// Number of blocks in the instance.
+    pub blocks: usize,
+    /// Cells of a shortest path between `I` and `O` (`hops + 1`).
+    pub shortest_path_cells: u32,
+    /// Whether the algorithm declared success.
+    pub completed: bool,
+    /// Whether the algorithm stalled (no candidate could move while the
+    /// goal was not reached).
+    pub stalled: bool,
+    /// Whether a complete shortest path of blocks exists at the end.
+    pub path_complete: bool,
+    /// Whether the output cell is occupied at the end.
+    pub output_occupied: bool,
+    /// Metric counters (elections, messages, distance computations,
+    /// moves).
+    pub metrics: Metrics,
+    /// The executed motions, in order.
+    pub move_log: Vec<MoveRecord>,
+    /// ASCII frames recorded after every motion (empty unless frame
+    /// recording was enabled).
+    pub frames: Vec<String>,
+    /// Final ASCII rendering of the surface.
+    pub final_ascii: String,
+    /// Simulated time at the end (discrete-event runtime only, in
+    /// microseconds).
+    pub sim_time_us: u64,
+    /// Events processed (discrete-event runtime only).
+    pub events_processed: u64,
+    /// Wall-clock duration of the run.
+    pub wall_time: WallDuration,
+}
+
+impl ReconfigurationReport {
+    /// Elementary block moves executed (the unit of the paper's "55 block
+    /// moves").
+    pub fn elementary_moves(&self) -> u64 {
+        self.metrics.elementary_moves
+    }
+
+    /// Elections run (iterations of Algorithm 1).
+    pub fn elections(&self) -> u64 {
+        self.metrics.elections
+    }
+
+    /// Total messages exchanged.
+    pub fn total_messages(&self) -> u64 {
+        self.metrics.total_messages()
+    }
+}
+
+impl fmt::Display for ReconfigurationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} blocks, path of {} cells -> {}",
+            self.blocks,
+            self.shortest_path_cells,
+            if self.completed {
+                "completed"
+            } else if self.stalled {
+                "stalled"
+            } else {
+                "not finished"
+            }
+        )?;
+        writeln!(f, "  {}", self.metrics)?;
+        writeln!(
+            f,
+            "  path complete: {}, output occupied: {}",
+            self.path_complete, self.output_occupied
+        )?;
+        write!(
+            f,
+            "  sim time {} us, {} events, wall {:?}",
+            self.sim_time_us, self.events_processed, self.wall_time
+        )
+    }
+}
+
+/// Builder/runner for one reconfiguration experiment.
+#[derive(Clone)]
+pub struct ReconfigurationDriver {
+    config: SurfaceConfig,
+    algorithm: AlgorithmConfig,
+    catalog: RuleCatalog,
+    motion_model: MotionModel,
+    latency: LatencyModel,
+    sim_seed: u64,
+    record_frames: bool,
+}
+
+impl ReconfigurationDriver {
+    /// Creates a driver for the given instance with the standard rule
+    /// catalogue, rule-based motion, the default latency model and the
+    /// default algorithm parameters.
+    pub fn new(config: SurfaceConfig) -> Self {
+        let blocks = config.block_count() as u32;
+        let mut algorithm = AlgorithmConfig::default();
+        // Safety valve: Remark 4 bounds the hops by O(N²); anything far
+        // beyond that indicates a livelock rather than progress.
+        algorithm.max_iterations = 50 * blocks * blocks + 500;
+        ReconfigurationDriver {
+            config,
+            algorithm,
+            catalog: RuleCatalog::standard(),
+            motion_model: MotionModel::RuleBased,
+            latency: LatencyModel::default(),
+            sim_seed: 1,
+            record_frames: false,
+        }
+    }
+
+    /// Overrides the algorithm parameters.
+    pub fn with_algorithm(mut self, algorithm: AlgorithmConfig) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Overrides the rule catalogue (e.g. for the sliding-only ablation).
+    pub fn with_catalog(mut self, catalog: RuleCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Switches to the free-motion baseline of \[14\].
+    pub fn with_motion_model(mut self, model: MotionModel) -> Self {
+        self.motion_model = model;
+        self
+    }
+
+    /// Overrides the message latency model of the discrete-event runtime.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the simulator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim_seed = seed;
+        self
+    }
+
+    /// Records an ASCII frame after every motion.
+    pub fn with_frames(mut self) -> Self {
+        self.record_frames = true;
+        self
+    }
+
+    /// The underlying instance.
+    pub fn config(&self) -> &SurfaceConfig {
+        &self.config
+    }
+
+    fn build_world(&self) -> SurfaceWorld {
+        let mut world = SurfaceWorld::new(
+            self.config.clone(),
+            self.catalog.clone(),
+            self.motion_model,
+        );
+        world.record_frames(self.record_frames);
+        world
+    }
+
+    fn report_from_world(
+        &self,
+        world: &SurfaceWorld,
+        runtime: RuntimeKind,
+        sim_time_us: u64,
+        events_processed: u64,
+        wall_time: WallDuration,
+    ) -> ReconfigurationReport {
+        ReconfigurationReport {
+            runtime,
+            blocks: self.config.block_count(),
+            shortest_path_cells: self.config.graph().shortest_path_info().cells,
+            completed: world.outcome() == Some(Outcome::Completed),
+            stalled: world.outcome() == Some(Outcome::Stalled),
+            path_complete: world.path_complete(),
+            output_occupied: world.output_occupied(),
+            metrics: *world.metrics(),
+            move_log: world.move_log().to_vec(),
+            frames: world.frames().to_vec(),
+            final_ascii: world.ascii(),
+            sim_time_us,
+            events_processed,
+            wall_time,
+        }
+    }
+
+    /// Runs the algorithm on the discrete-event simulator until it
+    /// terminates (or stalls).
+    pub fn run_des(&self) -> ReconfigurationReport {
+        let world = self.build_world();
+        let mut sim = build_des_simulation(world, self.algorithm, self.latency, self.sim_seed);
+        let stats = sim.run_until_idle();
+        self.report_from_world(
+            sim.world(),
+            RuntimeKind::DiscreteEvent,
+            sim.now().as_micros(),
+            stats.events_processed,
+            stats.wall_elapsed,
+        )
+    }
+
+    /// Runs the algorithm on the threaded actor runtime with the given
+    /// wall-clock deadline.
+    pub fn run_actors(&self, deadline: WallDuration) -> ReconfigurationReport {
+        let world = self.build_world();
+        let system = build_actor_system(world, self.algorithm);
+        let report = system.run(deadline);
+        self.report_from_world(
+            &report.world,
+            RuntimeKind::Actors,
+            0,
+            report.messages_delivered,
+            report.elapsed,
+        )
+    }
+
+    /// Convenience: simulated duration of the discrete-event run expressed
+    /// as a [`sb_desim::Duration`].
+    pub fn sim_duration(report: &ReconfigurationReport) -> SimDuration {
+        SimDuration::micros(report.sim_time_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn small_instance_completes_and_reports_consistent_metrics() {
+        let cfg = workloads::rectangle_instance(3, 2, 4);
+        let report = ReconfigurationDriver::new(cfg).with_frames().run_des();
+        assert!(report.completed, "report: {report}");
+        assert!(report.path_complete);
+        assert!(report.output_occupied);
+        assert!(!report.stalled);
+        // One elected hop per completed election except possibly the last
+        // (the final election may conclude without a hop when the goal is
+        // already reached), and at least one move per hop.
+        assert!(report.metrics.elected_hops >= 1);
+        assert!(report.metrics.elementary_moves >= report.metrics.elected_hops);
+        assert!(report.metrics.elections >= report.metrics.elected_hops);
+        assert_eq!(report.move_log.len() as u64, report.metrics.elected_hops);
+        assert_eq!(report.frames.len(), report.move_log.len());
+        assert!(report.total_messages() > 0);
+        assert!(report.metrics.distance_computations > 0);
+        assert!(report.events_processed > 0);
+        assert!(report.sim_time_us > 0);
+    }
+
+    #[test]
+    fn fig10_instance_completes() {
+        let report = ReconfigurationDriver::new(workloads::fig10_instance()).run_des();
+        assert!(report.completed, "report:\n{report}\n{}", report.final_ascii);
+        assert!(report.path_complete);
+        assert_eq!(report.shortest_path_cells, 11);
+        assert_eq!(report.blocks, 12);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_given_seed() {
+        let cfg = workloads::rectangle_instance(3, 2, 4);
+        let a = ReconfigurationDriver::new(cfg.clone()).with_seed(9).run_des();
+        let b = ReconfigurationDriver::new(cfg).with_seed(9).run_des();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.move_log, b.move_log);
+        assert_eq!(a.final_ascii, b.final_ascii);
+    }
+
+    #[test]
+    fn free_motion_baseline_completes_with_fewer_or_equal_moves() {
+        let cfg = workloads::rectangle_instance(3, 2, 4);
+        let constrained = ReconfigurationDriver::new(cfg.clone()).run_des();
+        let free = ReconfigurationDriver::new(cfg)
+            .with_motion_model(MotionModel::FreeMotion)
+            .run_des();
+        assert!(constrained.completed);
+        assert!(free.completed);
+        assert!(
+            free.elementary_moves() <= constrained.elementary_moves(),
+            "free motion ({}) should not need more moves than the constrained model ({})",
+            free.elementary_moves(),
+            constrained.elementary_moves()
+        );
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    #[ignore]
+    fn debug_trace_rectangle() {
+        let cfg = workloads::rectangle_instance(3, 2, 4);
+        println!("initial:\n{}", cfg.to_ascii());
+        let mut algo = crate::election::AlgorithmConfig::default();
+        algo.max_iterations = 40;
+        algo.tie_break = crate::election::TieBreak::LowestId;
+        let report = ReconfigurationDriver::new(cfg).with_algorithm(algo).with_frames().run_des();
+        for (i, rec) in report.move_log.iter().enumerate() {
+            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, rec.rule, rec.moves);
+        }
+        println!("final:\n{}", report.final_ascii);
+        println!("{report}");
+    }
+
+    #[test]
+    #[ignore]
+    fn debug_trace_free() {
+        let cfg = workloads::rectangle_instance(3, 2, 4);
+        let mut algo = crate::election::AlgorithmConfig::default();
+        algo.max_iterations = 40;
+        algo.tie_break = crate::election::TieBreak::LowestId;
+        let report = ReconfigurationDriver::new(cfg)
+            .with_algorithm(algo)
+            .with_motion_model(crate::world::MotionModel::FreeMotion)
+            .run_des();
+        for (i, rec) in report.move_log.iter().enumerate() {
+            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, rec.rule, rec.moves);
+        }
+        println!("final:\n{}", report.final_ascii);
+        println!("{report}");
+    }
+}

@@ -1,0 +1,776 @@
+//! The per-block election state machine (Section V of the paper).
+//!
+//! The state machine is written independently from any runtime: handlers
+//! receive the shared [`SurfaceWorld`] and return a list of [`Action`]s
+//! (messages to send, or a stop request).  Thin adapters in
+//! [`crate::runtime`] execute it on the discrete-event simulator and on
+//! the threaded actor runtime, so a single implementation is validated
+//! under both a deterministic scheduler and true thread-level asynchrony.
+//!
+//! ## Protocol recap
+//!
+//! Every iteration of Algorithm 1 is one *diffusing computation* in the
+//! style of Dijkstra and Scholten \[16\]:
+//!
+//! 1. the Root floods `Activate` messages; the first activation a block
+//!    receives defines its *father*; the block computes its distance
+//!    `d_BO` (Eqs. 8–10) and propagates the activation to its other
+//!    neighbours;
+//! 2. a block that has received acknowledgments from all the neighbours it
+//!    activated sends an `Ack` to its father carrying the best candidate
+//!    of its subtree (shortest distance + block id); a block that receives
+//!    an activation while already engaged declines immediately with an
+//!    `Ack` carrying an infinite distance so the sender does not wait on
+//!    it (the paper states such a block "does nothing" towards becoming a
+//!    son — the decline is the explicit form of that);
+//! 3. when the Root has collected all acknowledgments it knows the global
+//!    minimum; it routes a `Select` message towards the winner along the
+//!    recorded best-candidate links;
+//! 4. the elected block performs its one-cell hop towards `O` and a
+//!    `SelectAck` travels back up the father chain to the Root, which
+//!    either terminates (Algorithm 1's condition `P(Bk) = O`) or starts
+//!    the next iteration.
+//!
+//! ### Deviations from the paper's description (documented)
+//!
+//! * The initial `ShortestDistance` of Eq. (6) is `|O−I|₁` with
+//!   `IDshortest = Root`; because the Root itself is excluded from moving
+//!   (it anchors the input cell), seeding the aggregation with that value
+//!   could elect the Root when every other candidate ties it.  We seed
+//!   with the Root's own computed distance (which is infinite) instead;
+//!   the message still carries the field.
+//! * The paper has the elected block acknowledge first and hop afterwards.
+//!   Under true asynchrony that order lets the next election start while
+//!   the hop is still in flight, so the implementation hops first and then
+//!   acknowledges; both orders are indistinguishable to the rest of the
+//!   protocol.
+
+use crate::messages::{Candidate, Distance, Msg};
+use crate::world::{Outcome, SurfaceWorld};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sb_grid::BlockId;
+
+/// Tie-breaking policy when several blocks share the shortest distance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TieBreak {
+    /// Keep the candidate seen first (deterministic, order-dependent).
+    FirstSeen,
+    /// Prefer the lowest block identifier (fully deterministic).
+    LowestId,
+    /// Choose uniformly among tying candidates (the paper: "the Root
+    /// selects randomly one block"); applied at every aggregation point.
+    #[default]
+    Random,
+}
+
+/// When the Root declares Algorithm 1 finished.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Termination {
+    /// Stop as soon as an elected block's hop lands on the output `O`
+    /// (the literal condition of Algorithm 1).
+    OutputReached,
+    /// Keep electing until a complete shortest path of blocks connects
+    /// `I` to `O` (the declared goal of the reconfiguration).  On the
+    /// workloads of the paper both conditions coincide.
+    #[default]
+    PathComplete,
+}
+
+/// Tunable parameters of the algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct AlgorithmConfig {
+    /// Tie-breaking policy.
+    pub tie_break: TieBreak,
+    /// Termination condition.
+    pub termination: Termination,
+    /// Safety valve: abort (as `Stalled`) after this many elections.
+    pub max_iterations: u32,
+    /// Seed for the per-block RNG used by the random tie-break.
+    pub seed: u64,
+}
+
+impl Default for AlgorithmConfig {
+    fn default() -> Self {
+        AlgorithmConfig {
+            tie_break: TieBreak::default(),
+            termination: Termination::default(),
+            max_iterations: 1_000_000,
+            seed: 0xB10C,
+        }
+    }
+}
+
+/// An effect requested by the state machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Send a message to another block (necessarily a current lateral
+    /// neighbour, or the recorded father/son of the ongoing election).
+    Send {
+        /// Destination block.
+        to: BlockId,
+        /// The message.
+        msg: Msg,
+    },
+    /// Stop the whole distributed application (only ever emitted by the
+    /// Root).
+    Stop,
+}
+
+/// Per-block election state (the paper's block memory of Fig. 8: father,
+/// table of sons / pending acknowledgments, `d_BO`, `ShortestDistance`,
+/// iteration number `IT`).
+pub struct ElectionCore {
+    me: BlockId,
+    is_root: bool,
+    config: AlgorithmConfig,
+    rng: SmallRng,
+    /// Current iteration number (`IT`).
+    iteration: u32,
+    /// Whether this block has been activated in the current iteration.
+    engaged: bool,
+    /// The neighbour that activated this block.
+    father: Option<BlockId>,
+    /// Number of activation messages sent that have not been acknowledged.
+    pending_acks: usize,
+    /// Best candidate of this block's subtree.
+    best: Candidate,
+    /// The son through which the best candidate was reported
+    /// (`None` = this block itself).
+    best_via: Option<BlockId>,
+}
+
+impl ElectionCore {
+    /// Creates the state machine for one block.
+    pub fn new(me: BlockId, is_root: bool, config: AlgorithmConfig) -> Self {
+        ElectionCore {
+            me,
+            is_root,
+            config,
+            rng: SmallRng::seed_from_u64(config.seed ^ (u64::from(me.as_u32()) << 32)),
+            iteration: 0,
+            engaged: false,
+            father: None,
+            pending_acks: 0,
+            best: Candidate::none(me),
+            best_via: None,
+        }
+    }
+
+    /// The block this state machine belongs to.
+    pub fn id(&self) -> BlockId {
+        self.me
+    }
+
+    /// Whether this block is the Root.
+    pub fn is_root(&self) -> bool {
+        self.is_root
+    }
+
+    /// The current iteration number.
+    pub fn iteration(&self) -> u32 {
+        self.iteration
+    }
+
+    /// Start-up handler: the Root launches the first election.
+    pub fn on_start(&mut self, world: &mut SurfaceWorld) -> Vec<Action> {
+        if self.is_root {
+            self.start_iteration(1, world)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Message handler.
+    pub fn on_message(&mut self, from: BlockId, msg: Msg, world: &mut SurfaceWorld) -> Vec<Action> {
+        match msg {
+            Msg::Activate { iteration, .. } => self.on_activate(from, iteration, world),
+            Msg::Ack {
+                iteration,
+                shortest_distance,
+                id_shortest,
+                ..
+            } => self.on_ack(from, iteration, shortest_distance, id_shortest, world),
+            Msg::Select { iteration, elected } => self.on_select(iteration, elected, world),
+            Msg::SelectAck {
+                iteration,
+                elected,
+                reached_output,
+                moved,
+            } => self.on_select_ack(iteration, elected, reached_output, moved, world),
+        }
+    }
+
+    // ----- iteration bookkeeping ----------------------------------------------
+
+    fn reset_for(&mut self, iteration: u32) {
+        self.iteration = iteration;
+        self.engaged = false;
+        self.father = None;
+        self.pending_acks = 0;
+        self.best = Candidate::none(self.me);
+        self.best_via = None;
+    }
+
+    fn start_iteration(&mut self, iteration: u32, world: &mut SurfaceWorld) -> Vec<Action> {
+        debug_assert!(self.is_root);
+        self.reset_for(iteration);
+        self.engaged = true;
+        world.metrics_mut().elections += 1;
+        // The Root evaluates its own distance like everyone else (it is
+        // infinite: the Root anchors the input cell).
+        let own = world.distance_to_output(self.me);
+        self.merge_candidate(
+            Candidate {
+                distance: own,
+                id: self.me,
+            },
+            None,
+        );
+        let neighbors = world.neighbors_of(self.me);
+        self.pending_acks = neighbors.len();
+        let mut actions = Vec::with_capacity(neighbors.len());
+        for n in neighbors {
+            actions.push(Action::Send {
+                to: n,
+                msg: self.activate_message(world),
+            });
+        }
+        if self.pending_acks == 0 {
+            // A single isolated Root cannot build anything: stall.
+            world.set_outcome(Outcome::Stalled);
+            actions.push(Action::Stop);
+        }
+        actions
+    }
+
+    fn activate_message(&self, world: &SurfaceWorld) -> Msg {
+        Msg::Activate {
+            iteration: self.iteration,
+            father: self.me,
+            output: world.output(),
+            shortest_distance: self.best.distance,
+            id_shortest: self.best.id,
+        }
+    }
+
+    fn merge_candidate(&mut self, candidate: Candidate, via: Option<BlockId>) {
+        if candidate.distance.is_infinite() {
+            return;
+        }
+        let replace = if candidate.strictly_better_than(&self.best) {
+            true
+        } else if candidate.distance == self.best.distance {
+            match self.config.tie_break {
+                TieBreak::FirstSeen => false,
+                TieBreak::LowestId => candidate.id < self.best.id,
+                TieBreak::Random => self.rng.gen_bool(0.5),
+            }
+        } else {
+            false
+        };
+        if replace {
+            self.best = candidate;
+            self.best_via = via;
+        }
+    }
+
+    // ----- handlers ------------------------------------------------------------
+
+    fn on_activate(&mut self, from: BlockId, iteration: u32, world: &mut SurfaceWorld) -> Vec<Action> {
+        if iteration < self.iteration {
+            // Late activation from a finished election: decline.
+            return vec![self.decline_ack(from, iteration)];
+        }
+        if iteration > self.iteration {
+            self.reset_for(iteration);
+        }
+        if self.engaged {
+            // Already activated in this iteration by someone else: decline
+            // immediately so the sender does not wait on us.
+            return vec![self.decline_ack(from, iteration)];
+        }
+        // First activation of this iteration: `from` becomes the father.
+        self.engaged = true;
+        self.father = Some(from);
+        let own = world.distance_to_output(self.me);
+        self.merge_candidate(
+            Candidate {
+                distance: own,
+                id: self.me,
+            },
+            None,
+        );
+        let neighbors: Vec<BlockId> = world
+            .neighbors_of(self.me)
+            .into_iter()
+            .filter(|&n| n != from)
+            .collect();
+        self.pending_acks = neighbors.len();
+        if self.pending_acks == 0 {
+            // Leaf: acknowledge right away with the subtree best (just us).
+            return vec![Action::Send {
+                to: from,
+                msg: Msg::Ack {
+                    iteration,
+                    son: self.me,
+                    shortest_distance: self.best.distance,
+                    id_shortest: self.best.id,
+                },
+            }];
+        }
+        neighbors
+            .into_iter()
+            .map(|n| Action::Send {
+                to: n,
+                msg: self.activate_message(world),
+            })
+            .collect()
+    }
+
+    fn decline_ack(&self, to: BlockId, iteration: u32) -> Action {
+        Action::Send {
+            to,
+            msg: Msg::Ack {
+                iteration,
+                son: self.me,
+                shortest_distance: Distance::INFINITE,
+                id_shortest: self.me,
+            },
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        from: BlockId,
+        iteration: u32,
+        shortest_distance: Distance,
+        id_shortest: BlockId,
+        world: &mut SurfaceWorld,
+    ) -> Vec<Action> {
+        if iteration != self.iteration || !self.engaged || self.pending_acks == 0 {
+            return Vec::new();
+        }
+        self.pending_acks -= 1;
+        self.merge_candidate(
+            Candidate {
+                distance: shortest_distance,
+                id: id_shortest,
+            },
+            Some(from),
+        );
+        if self.pending_acks > 0 {
+            return Vec::new();
+        }
+        if self.is_root {
+            self.conclude_phase_one(world)
+        } else {
+            let father = self.father.expect("engaged non-root has a father");
+            vec![Action::Send {
+                to: father,
+                msg: Msg::Ack {
+                    iteration,
+                    son: self.me,
+                    shortest_distance: self.best.distance,
+                    id_shortest: self.best.id,
+                },
+            }]
+        }
+    }
+
+    fn conclude_phase_one(&mut self, world: &mut SurfaceWorld) -> Vec<Action> {
+        if self.best.distance.is_infinite() || self.best.id == self.me {
+            // No block can move towards the output anymore.
+            let outcome = if self.goal_reached(true, world) {
+                Outcome::Completed
+            } else {
+                Outcome::Stalled
+            };
+            world.set_outcome(outcome);
+            return vec![Action::Stop];
+        }
+        let via = self
+            .best_via
+            .expect("a non-self winner was necessarily reported by a son");
+        vec![Action::Send {
+            to: via,
+            msg: Msg::Select {
+                iteration: self.iteration,
+                elected: self.best.id,
+            },
+        }]
+    }
+
+    fn on_select(&mut self, iteration: u32, elected: BlockId, world: &mut SurfaceWorld) -> Vec<Action> {
+        if iteration != self.iteration || !self.engaged {
+            return Vec::new();
+        }
+        if elected != self.me {
+            // Forward along the recorded best-candidate link.
+            if let Some(via) = self.best_via {
+                return vec![Action::Send {
+                    to: via,
+                    msg: Msg::Select { iteration, elected },
+                }];
+            }
+            return Vec::new();
+        }
+        // We are the elected block: perform the hop, then acknowledge up
+        // the father chain.
+        let result = world.hop_towards_output(self.me, iteration);
+        let father = self.father.expect("elected block is not the Root");
+        vec![Action::Send {
+            to: father,
+            msg: Msg::SelectAck {
+                iteration,
+                elected: self.me,
+                reached_output: result.reached_output,
+                moved: result.moved,
+            },
+        }]
+    }
+
+    fn on_select_ack(
+        &mut self,
+        iteration: u32,
+        elected: BlockId,
+        reached_output: bool,
+        moved: bool,
+        world: &mut SurfaceWorld,
+    ) -> Vec<Action> {
+        if iteration != self.iteration {
+            return Vec::new();
+        }
+        if !self.is_root {
+            let father = match self.father {
+                Some(f) => f,
+                None => return Vec::new(),
+            };
+            return vec![Action::Send {
+                to: father,
+                msg: Msg::SelectAck {
+                    iteration,
+                    elected,
+                    reached_output,
+                    moved,
+                },
+            }];
+        }
+        // Root: the election is over, decide whether Algorithm 1 stops.
+        if !moved {
+            world.set_outcome(Outcome::Stalled);
+            return vec![Action::Stop];
+        }
+        if self.goal_reached(reached_output, world) {
+            world.set_outcome(Outcome::Completed);
+            return vec![Action::Stop];
+        }
+        if self.iteration >= self.config.max_iterations {
+            world.set_outcome(Outcome::Stalled);
+            return vec![Action::Stop];
+        }
+        let next = self.iteration + 1;
+        self.start_iteration(next, world)
+    }
+
+    fn goal_reached(&self, reached_output: bool, world: &SurfaceWorld) -> bool {
+        match self.config.termination {
+            Termination::OutputReached => reached_output || world.output_occupied(),
+            Termination::PathComplete => world.path_complete(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_grid::SurfaceConfig;
+
+    fn tiny_world() -> SurfaceWorld {
+        // Root at I=(1,0), two more blocks; output at the top of column 1.
+        let cfg = SurfaceConfig::from_ascii(
+            ". O .\n\
+             . . .\n\
+             . # .\n\
+             . I #",
+        )
+        .unwrap();
+        SurfaceWorld::standard(cfg)
+    }
+
+    fn config_first_seen() -> AlgorithmConfig {
+        AlgorithmConfig {
+            tie_break: TieBreak::FirstSeen,
+            ..AlgorithmConfig::default()
+        }
+    }
+
+    #[test]
+    fn root_starts_by_activating_all_neighbors() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let mut core = ElectionCore::new(root, true, config_first_seen());
+        let actions = core.on_start(&mut world);
+        assert_eq!(actions.len(), 2, "two lateral neighbours to activate");
+        for a in &actions {
+            match a {
+                Action::Send { msg: Msg::Activate { iteration, father, .. }, .. } => {
+                    assert_eq!(*iteration, 1);
+                    assert_eq!(*father, root);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(world.metrics().elections, 1);
+        assert_eq!(core.iteration(), 1);
+    }
+
+    #[test]
+    fn non_root_does_nothing_on_start() {
+        let mut world = tiny_world();
+        let some_block = world
+            .grid()
+            .block_ids_sorted()
+            .into_iter()
+            .find(|&b| Some(b) != world.root_block())
+            .unwrap();
+        let mut core = ElectionCore::new(some_block, false, config_first_seen());
+        assert!(core.on_start(&mut world).is_empty());
+    }
+
+    #[test]
+    fn leaf_block_acks_immediately_with_its_own_distance() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        // The block at (2,0) has the Root as its only neighbour: a leaf.
+        let leaf = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
+        let mut core = ElectionCore::new(leaf, false, config_first_seen());
+        let actions = core.on_message(
+            root,
+            Msg::Activate {
+                iteration: 1,
+                father: root,
+                output: world.output(),
+                shortest_distance: Distance::INFINITE,
+                id_shortest: root,
+            },
+            &mut world,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Send { to, msg: Msg::Ack { shortest_distance, id_shortest, .. } } => {
+                assert_eq!(*to, root);
+                assert_eq!(*id_shortest, leaf);
+                // (2,0) is not aligned with O=(1,3): distance is finite if
+                // it can move towards O.
+                assert!(!shortest_distance.is_infinite());
+                assert_eq!(*shortest_distance, Distance::finite(4));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_activation_is_declined() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let other = world.grid().block_at(sb_grid::Pos::new(1, 1)).unwrap();
+        let leaf = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
+        let mut core = ElectionCore::new(leaf, false, config_first_seen());
+        let output = world.output();
+        let activate = |father: BlockId| Msg::Activate {
+            iteration: 1,
+            father,
+            output,
+            shortest_distance: Distance::INFINITE,
+            id_shortest: father,
+        };
+        let _ = core.on_message(root, activate(root), &mut world);
+        let second = core.on_message(other, activate(other), &mut world);
+        assert_eq!(second.len(), 1);
+        match &second[0] {
+            Action::Send { to, msg: Msg::Ack { shortest_distance, .. } } => {
+                assert_eq!(*to, other);
+                assert!(shortest_distance.is_infinite(), "decline carries +inf");
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_selects_the_minimum_and_routes_via_the_reporting_son() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let neighbors = world.neighbors_of(root);
+        let mut core = ElectionCore::new(root, true, config_first_seen());
+        let _ = core.on_start(&mut world);
+        // First son reports a distance of 4, second son a distance of 3.
+        let a0 = core.on_message(
+            neighbors[0],
+            Msg::Ack {
+                iteration: 1,
+                son: neighbors[0],
+                shortest_distance: Distance::finite(4),
+                id_shortest: BlockId(42),
+            },
+            &mut world,
+        );
+        assert!(a0.is_empty(), "still waiting for the other ack");
+        let a1 = core.on_message(
+            neighbors[1],
+            Msg::Ack {
+                iteration: 1,
+                son: neighbors[1],
+                shortest_distance: Distance::finite(3),
+                id_shortest: BlockId(43),
+            },
+            &mut world,
+        );
+        assert_eq!(a1.len(), 1);
+        match &a1[0] {
+            Action::Send { to, msg: Msg::Select { elected, iteration } } => {
+                assert_eq!(*iteration, 1);
+                assert_eq!(*elected, BlockId(43));
+                assert_eq!(*to, neighbors[1]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_stops_with_stalled_when_every_candidate_is_infinite() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let neighbors = world.neighbors_of(root);
+        let mut core = ElectionCore::new(root, true, config_first_seen());
+        let _ = core.on_start(&mut world);
+        let mut last = Vec::new();
+        for n in &neighbors {
+            last = core.on_message(
+                *n,
+                Msg::Ack {
+                    iteration: 1,
+                    son: *n,
+                    shortest_distance: Distance::INFINITE,
+                    id_shortest: *n,
+                },
+                &mut world,
+            );
+        }
+        assert_eq!(last, vec![Action::Stop]);
+        assert_eq!(world.outcome(), Some(Outcome::Stalled));
+    }
+
+    #[test]
+    fn elected_block_hops_and_acknowledges_its_father() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        // The block at (2,0) will pretend to be elected.
+        let elected = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
+        let mut core = ElectionCore::new(elected, false, config_first_seen());
+        let _ = core.on_message(
+            root,
+            Msg::Activate {
+                iteration: 1,
+                father: root,
+                output: world.output(),
+                shortest_distance: Distance::INFINITE,
+                id_shortest: root,
+            },
+            &mut world,
+        );
+        let before = world.position_of(elected).unwrap();
+        let actions = core.on_message(
+            root,
+            Msg::Select {
+                iteration: 1,
+                elected,
+            },
+            &mut world,
+        );
+        let after = world.position_of(elected).unwrap();
+        assert!(after.manhattan(world.output()) < before.manhattan(world.output()));
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Send { to, msg: Msg::SelectAck { moved, elected: e, .. } } => {
+                assert_eq!(*to, root);
+                assert!(*moved);
+                assert_eq!(*e, elected);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(world.metrics().elected_hops, 1);
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let mut core = ElectionCore::new(root, true, config_first_seen());
+        let _ = core.on_start(&mut world);
+        // An ack for a nonexistent iteration 7 is ignored.
+        let actions = core.on_message(
+            BlockId(2),
+            Msg::Ack {
+                iteration: 7,
+                son: BlockId(2),
+                shortest_distance: Distance::finite(1),
+                id_shortest: BlockId(2),
+            },
+            &mut world,
+        );
+        assert!(actions.is_empty());
+        // A select for the wrong iteration is ignored too.
+        let actions = core.on_message(
+            BlockId(2),
+            Msg::Select {
+                iteration: 7,
+                elected: root,
+            },
+            &mut world,
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn lowest_id_tie_break_is_deterministic() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let neighbors = world.neighbors_of(root);
+        let mut core = ElectionCore::new(
+            root,
+            true,
+            AlgorithmConfig {
+                tie_break: TieBreak::LowestId,
+                ..AlgorithmConfig::default()
+            },
+        );
+        let _ = core.on_start(&mut world);
+        let _ = core.on_message(
+            neighbors[0],
+            Msg::Ack {
+                iteration: 1,
+                son: neighbors[0],
+                shortest_distance: Distance::finite(3),
+                id_shortest: BlockId(50),
+            },
+            &mut world,
+        );
+        let actions = core.on_message(
+            neighbors[1],
+            Msg::Ack {
+                iteration: 1,
+                son: neighbors[1],
+                shortest_distance: Distance::finite(3),
+                id_shortest: BlockId(7),
+            },
+            &mut world,
+        );
+        match &actions[0] {
+            Action::Send { msg: Msg::Select { elected, .. }, .. } => {
+                assert_eq!(*elected, BlockId(7), "lowest id wins the tie");
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Counters reproducing the quantities discussed in Remarks 2–4 of the
+//! paper:
+//!
+//! * Remark 2 — computation complexity: number of distance computations,
+//!   `O(N³)`.
+//! * Remark 3 — communication complexity: number of messages exchanged,
+//!   `O(N³)`.
+//! * Remark 4 — number of block hops needed to build the path, `O(N²)`.
+
+use crate::messages::MsgKind;
+use std::fmt;
+
+/// Counters accumulated by the shared world during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of elections (iterations of Algorithm 1) started.
+    pub elections: u64,
+    /// Number of `Activate` messages sent.
+    pub activate_msgs: u64,
+    /// Number of `Ack` messages sent.
+    pub ack_msgs: u64,
+    /// Number of `Select` messages sent (including forwarding hops).
+    pub select_msgs: u64,
+    /// Number of `SelectAck` messages sent (including forwarding hops).
+    pub select_ack_msgs: u64,
+    /// Number of distance computations (Eqs. 8–10 evaluations).
+    pub distance_computations: u64,
+    /// Number of elementary block moves executed (a carrying motion that
+    /// displaces two blocks counts as two moves, matching the "55 block
+    /// moves" accounting of the paper's example).
+    pub elementary_moves: u64,
+    /// Number of hops performed by elected blocks (one per successful
+    /// iteration).
+    pub elected_hops: u64,
+    /// Number of motion-rule applicability checks performed by the
+    /// planner on behalf of blocks.
+    pub rule_checks: u64,
+}
+
+impl Metrics {
+    /// Total number of messages of all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.activate_msgs + self.ack_msgs + self.select_msgs + self.select_ack_msgs
+    }
+
+    /// Records one sent message of the given kind.
+    pub fn record_message(&mut self, kind: MsgKind) {
+        match kind {
+            MsgKind::Activate => self.activate_msgs += 1,
+            MsgKind::Ack => self.ack_msgs += 1,
+            MsgKind::Select => self.select_msgs += 1,
+            MsgKind::SelectAck => self.select_ack_msgs += 1,
+        }
+    }
+
+    /// Merges another metrics record into this one (used when aggregating
+    /// across repetitions in the benches).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.elections += other.elections;
+        self.activate_msgs += other.activate_msgs;
+        self.ack_msgs += other.ack_msgs;
+        self.select_msgs += other.select_msgs;
+        self.select_ack_msgs += other.select_ack_msgs;
+        self.distance_computations += other.distance_computations;
+        self.elementary_moves += other.elementary_moves;
+        self.elected_hops += other.elected_hops;
+        self.rule_checks += other.rule_checks;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elections={} messages={} (activate={} ack={} select={} select-ack={}) \
+             distance-computations={} elementary-moves={} elected-hops={}",
+            self.elections,
+            self.total_messages(),
+            self.activate_msgs,
+            self.ack_msgs,
+            self.select_msgs,
+            self.select_ack_msgs,
+            self.distance_computations,
+            self.elementary_moves,
+            self.elected_hops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_message_updates_the_right_counter() {
+        let mut m = Metrics::default();
+        m.record_message(MsgKind::Activate);
+        m.record_message(MsgKind::Activate);
+        m.record_message(MsgKind::Ack);
+        m.record_message(MsgKind::Select);
+        m.record_message(MsgKind::SelectAck);
+        assert_eq!(m.activate_msgs, 2);
+        assert_eq!(m.ack_msgs, 1);
+        assert_eq!(m.select_msgs, 1);
+        assert_eq!(m.select_ack_msgs, 1);
+        assert_eq!(m.total_messages(), 5);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Metrics {
+            elections: 1,
+            elementary_moves: 3,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            elections: 2,
+            elementary_moves: 4,
+            distance_computations: 7,
+            ..Metrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.elections, 3);
+        assert_eq!(a.elementary_moves, 7);
+        assert_eq!(a.distance_computations, 7);
+    }
+
+    #[test]
+    fn display_contains_key_counters() {
+        let m = Metrics {
+            elections: 5,
+            elementary_moves: 55,
+            ..Metrics::default()
+        };
+        let text = m.to_string();
+        assert!(text.contains("elections=5"));
+        assert!(text.contains("elementary-moves=55"));
+    }
+}

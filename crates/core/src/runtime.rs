@@ -1,0 +1,207 @@
+//! Adapters running the election state machine on the two runtimes.
+//!
+//! * [`DesBlockCode`] runs [`ElectionCore`] as an `sb-desim` block code:
+//!   deterministic, simulated latencies, millions of modules.
+//! * [`ActorBlockCode`] runs the same state machine as an `sb-actor`
+//!   actor: one OS thread per block, real asynchrony.
+//!
+//! Both adapters translate [`Action`]s into runtime calls and count sent
+//! messages in the world's metrics.
+
+use crate::election::{Action, AlgorithmConfig, ElectionCore};
+use crate::messages::Msg;
+use crate::world::SurfaceWorld;
+use sb_actor::{Actor, ActorContext, ActorId, ActorSystem};
+use sb_desim::{BlockCode, Color, Context, LatencyModel, ModuleId, Simulator};
+
+/// Block-code adapter for the discrete-event simulator.
+pub struct DesBlockCode {
+    core: ElectionCore,
+}
+
+impl DesBlockCode {
+    /// Wraps an election state machine.
+    pub fn new(core: ElectionCore) -> Self {
+        DesBlockCode { core }
+    }
+
+    fn dispatch(&mut self, actions: Vec<Action>, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let kind = msg.kind();
+                    let target = {
+                        let world = ctx.world_mut();
+                        world.metrics_mut().record_message(kind);
+                        world
+                            .module_index_of(to)
+                            .expect("destination block is registered")
+                    };
+                    ctx.send(ModuleId(target), msg);
+                }
+                Action::Stop => {
+                    ctx.set_color(Color::GREEN);
+                    ctx.request_stop();
+                }
+            }
+        }
+    }
+}
+
+impl BlockCode<Msg, SurfaceWorld> for DesBlockCode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
+        if self.core.is_root() {
+            ctx.set_color(Color::RED);
+        }
+        let actions = self.core.on_start(ctx.world_mut());
+        self.dispatch(actions, ctx);
+    }
+
+    fn on_message(&mut self, from: ModuleId, msg: Msg, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
+        let from_block = ctx
+            .world()
+            .block_of_module(from.index())
+            .expect("sender block is registered");
+        if matches!(msg, Msg::Select { elected, .. } if elected == self.core.id()) {
+            ctx.set_color(Color::BLUE);
+        }
+        let actions = self.core.on_message(from_block, msg, ctx.world_mut());
+        self.dispatch(actions, ctx);
+    }
+}
+
+/// Builds a ready-to-run discrete-event simulation of the distributed
+/// algorithm: one module per block, the Root being the block occupying the
+/// input cell.
+pub fn build_des_simulation(
+    mut world: SurfaceWorld,
+    algorithm: AlgorithmConfig,
+    latency: LatencyModel,
+    sim_seed: u64,
+) -> Simulator<Msg, SurfaceWorld> {
+    let order = world.grid().block_ids_sorted();
+    world.set_module_mapping(order.clone());
+    let root = world
+        .root_block()
+        .expect("Assumption 2: a Root block occupies the input cell");
+    let mut sim = Simulator::new(world)
+        .with_latency(latency)
+        .with_seed(sim_seed);
+    for block in order {
+        let core = ElectionCore::new(block, block == root, algorithm);
+        sim.add_module(DesBlockCode::new(core));
+    }
+    sim
+}
+
+/// Actor adapter for the threaded runtime.
+pub struct ActorBlockCode {
+    core: ElectionCore,
+}
+
+impl ActorBlockCode {
+    /// Wraps an election state machine.
+    pub fn new(core: ElectionCore) -> Self {
+        ActorBlockCode { core }
+    }
+
+    fn dispatch(&mut self, actions: Vec<Action>, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let kind = msg.kind();
+                    let target = ctx.with_world(|world| {
+                        world.metrics_mut().record_message(kind);
+                        world
+                            .module_index_of(to)
+                            .expect("destination block is registered")
+                    });
+                    ctx.send(ActorId(target), msg);
+                }
+                Action::Stop => ctx.request_stop(),
+            }
+        }
+    }
+}
+
+impl Actor<Msg, SurfaceWorld> for ActorBlockCode {
+    fn on_start(&mut self, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
+        let actions = ctx.with_world(|world| self.core.on_start(world));
+        self.dispatch(actions, ctx);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
+        let actions = ctx.with_world(|world| {
+            let from_block = world
+                .block_of_module(from.index())
+                .expect("sender block is registered");
+            self.core.on_message(from_block, msg, world)
+        });
+        self.dispatch(actions, ctx);
+    }
+}
+
+/// Builds a ready-to-run threaded actor system of the distributed
+/// algorithm (one OS thread per block).
+pub fn build_actor_system(
+    mut world: SurfaceWorld,
+    algorithm: AlgorithmConfig,
+) -> ActorSystem<Msg, SurfaceWorld> {
+    let order = world.grid().block_ids_sorted();
+    world.set_module_mapping(order.clone());
+    let root = world
+        .root_block()
+        .expect("Assumption 2: a Root block occupies the input cell");
+    let mut system = ActorSystem::new(world);
+    for block in order {
+        let core = ElectionCore::new(block, block == root, algorithm);
+        system.add_actor(ActorBlockCode::new(core));
+    }
+    system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Outcome;
+    use sb_grid::SurfaceConfig;
+
+    fn small_config() -> SurfaceConfig {
+        // Five blocks, shortest path of four cells along column 1: one
+        // spare block stays off the path as a helper.
+        SurfaceConfig::from_ascii(
+            ". O . .\n\
+             . . # .\n\
+             . # # .\n\
+             . I # .",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn des_simulation_builds_and_completes_on_a_small_instance() {
+        let world = SurfaceWorld::standard(small_config());
+        let mut sim = build_des_simulation(
+            world,
+            AlgorithmConfig::default(),
+            LatencyModel::default(),
+            7,
+        );
+        assert_eq!(sim.module_count(), 5);
+        sim.run_until_idle();
+        let world = sim.world();
+        assert_eq!(world.outcome(), Some(Outcome::Completed));
+        assert!(world.path_complete());
+    }
+
+    #[test]
+    fn actor_system_builds_and_completes_on_a_small_instance() {
+        let world = SurfaceWorld::standard(small_config());
+        let system = build_actor_system(world, AlgorithmConfig::default());
+        assert_eq!(system.actor_count(), 5);
+        let report = system.run(std::time::Duration::from_secs(30));
+        assert!(report.stopped, "algorithm must terminate, not time out");
+        assert_eq!(report.world.outcome(), Some(Outcome::Completed));
+        assert!(report.world.path_complete());
+    }
+}

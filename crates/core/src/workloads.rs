@@ -1,0 +1,157 @@
+//! Canonical problem instances used by the examples, the tests and the
+//! benchmark harness.
+
+use sb_grid::gen::{random_connected_config, InstanceSpec};
+use sb_grid::{Bounds, Pos, SurfaceConfig};
+
+/// The worked example of the paper (Figs. 10–11): twelve blocks, input and
+/// output in the same column, shortest path of eleven cells.
+///
+/// The paper's figures are renderings whose exact block coordinates are
+/// not given numerically; this instance reconstructs the described
+/// situation: the Root occupies the input at the bottom of the output's
+/// column, the other blocks form a compact two-dimensional blob next to
+/// it, and the goal is the vertical column of blocks from `I` up to `O`.
+/// One block ends up off the path as a helper (the paper notes that block
+/// #2 "does not belong to the shortest path from I to O but it is
+/// essential to the construction of such path").
+pub fn fig10_instance() -> SurfaceConfig {
+    // 6 x 11 surface, I = (1, 0), O = (1, 10): 11 path cells, 12 blocks
+    // arranged as a two-column blob hugging the target column.
+    let bounds = Bounds::new(6, 11);
+    let input = Pos::new(1, 0);
+    let output = Pos::new(1, 10);
+    let mut blocks = Vec::new();
+    for y in 0..6 {
+        for x in 1..3 {
+            blocks.push(Pos::new(x, y));
+        }
+    }
+    SurfaceConfig::with_blocks(bounds, input, output, &blocks)
+        .expect("the Fig. 10 instance is well formed")
+}
+
+/// A column-building instance of arbitrary size: `blocks` blocks arranged
+/// as a two-column blob anchored at the input, with the output at the top
+/// of the input's column so that the shortest path uses `blocks - 1` cells
+/// (one spare helper block) — the Fig. 10 scenario parameterised by size.
+///
+/// The construction is deterministic (the `seed` parameter is accepted for
+/// API symmetry with [`random_blob_instance`] but does not influence the
+/// geometry).  Used by the complexity-scaling experiments (Remarks 2–4):
+/// the number of blocks `N` is the scaling parameter.
+pub fn column_instance(blocks: usize, seed: u64) -> SurfaceConfig {
+    let _ = seed;
+    assert!(blocks >= 4, "need at least four blocks");
+    let height = (blocks as u32).max(6);
+    let bounds = Bounds::new(6, height);
+    let input = Pos::new(1, 0);
+    let output = Pos::new(1, blocks as i32 - 2);
+    let mut cells = Vec::with_capacity(blocks);
+    let mut y = 0;
+    while cells.len() < blocks {
+        cells.push(Pos::new(1, y));
+        if cells.len() < blocks {
+            cells.push(Pos::new(2, y));
+        }
+        y += 1;
+    }
+    SurfaceConfig::with_blocks(bounds, input, output, &cells)
+        .expect("column instance is well formed")
+}
+
+/// A randomly grown connected blob anchored at the input, with the output
+/// at distance `blocks - 2`.  Unlike [`column_instance`] the blob shape is
+/// random, so the instance is **not guaranteed to be solvable** under the
+/// constrained motion model; it is used by termination/robustness tests
+/// (the algorithm must finish — complete or stall — without livelocking)
+/// and by the free-motion baseline.
+pub fn random_blob_instance(blocks: usize, seed: u64) -> SurfaceConfig {
+    assert!(blocks >= 4, "need at least four blocks");
+    let spec = InstanceSpec {
+        bounds: Bounds::new((blocks as u32 / 2 + 4).max(6), blocks as u32),
+        input: Pos::new(1, 0),
+        output: Pos::new(1, blocks as i32 - 2),
+        blocks,
+    };
+    random_connected_config(&spec, seed)
+}
+
+/// An instance with input and output in "general position" (an L-shaped
+/// path), again with one spare block.
+pub fn l_shaped_instance(blocks: usize, seed: u64) -> SurfaceConfig {
+    assert!(blocks >= 5, "need at least five blocks");
+    let hops = (blocks - 2) as i32;
+    let dx = (hops / 3).max(1);
+    let dy = hops - dx;
+    let width = (dx + blocks as i32 / 2 + 4) as u32;
+    let height = (dy + 2) as u32;
+    let input = Pos::new(width as i32 - blocks as i32 / 2 - 2, 0);
+    let spec = InstanceSpec {
+        bounds: Bounds::new(width, height),
+        input,
+        output: Pos::new(input.x - dx, dy),
+        blocks,
+    };
+    random_connected_config(&spec, seed)
+}
+
+/// A deterministic dense-rectangle instance (the blob is a `rows × cols`
+/// rectangle anchored at the input).  Useful for reproducible traces.
+pub fn rectangle_instance(rows: u32, cols: u32, path_hops: u32) -> SurfaceConfig {
+    let bounds = Bounds::new(cols + 4, path_hops + 2);
+    let input = Pos::new(1, 0);
+    let output = Pos::new(1, path_hops as i32);
+    sb_grid::gen::rectangle_config(bounds, input, output, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_matches_the_paper_description() {
+        let cfg = fig10_instance();
+        assert_eq!(cfg.block_count(), 12);
+        assert_eq!(cfg.input().manhattan(cfg.output()), 10);
+        assert_eq!(cfg.graph().shortest_path_info().cells, 11);
+        assert!(cfg.check_assumptions().is_ok());
+        assert!(!cfg.grid().is_occupied(cfg.output()));
+    }
+
+    #[test]
+    fn column_instances_scale_and_satisfy_assumptions() {
+        for &n in &[6usize, 10, 16, 24] {
+            let cfg = column_instance(n, 1);
+            assert_eq!(cfg.block_count(), n);
+            assert!(cfg.check_assumptions().is_ok(), "n={n}");
+            assert_eq!(
+                cfg.graph().shortest_path_info().cells as usize,
+                n - 1,
+                "one spare block, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn l_shaped_instances_are_in_general_position() {
+        for &n in &[6usize, 9, 14] {
+            let cfg = l_shaped_instance(n, 3);
+            assert_eq!(cfg.block_count(), n);
+            assert_ne!(cfg.input().x, cfg.output().x);
+            assert_ne!(cfg.input().y, cfg.output().y);
+            assert!(cfg.check_assumptions().is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rectangle_instance_is_deterministic() {
+        let a = rectangle_instance(3, 4, 10);
+        let b = rectangle_instance(3, 4, 10);
+        assert_eq!(
+            a.grid().occupied_positions_sorted(),
+            b.grid().occupied_positions_sorted()
+        );
+        assert_eq!(a.block_count(), 12);
+    }
+}

@@ -1,0 +1,652 @@
+//! The shared surface world.
+//!
+//! The world is the "physics" every runtime shares: the occupancy grid,
+//! the motion-rule engine, the metric counters and the move log.  Block
+//! codes never inspect it globally — they only call the narrow,
+//! locally-scoped queries a physical block could answer with its own
+//! sensors (its position, its lateral neighbours, its own admissible
+//! motions) — plus the one world mutation a block can cause: executing a
+//! motion it participates in.
+
+use crate::messages::Distance;
+use crate::metrics::Metrics;
+use sb_grid::{BlockId, OccupancyGrid, Pos, SurfaceConfig};
+use sb_motion::{MotionPlanner, PlannedMotion, RuleCatalog};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which motion feasibility model the world enforces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MotionModel {
+    /// The Smart Blocks model of this paper: a block only moves through a
+    /// validated motion rule (support blocks, possible carrying), and no
+    /// move may disconnect the ensemble (Remark 1).
+    #[default]
+    RuleBased,
+    /// The model of the earlier work \[14\] (Tembo & El-Baz 2013): blocks
+    /// move freely on the surface without support from other blocks, and
+    /// the elected block travels directly towards the output instead of
+    /// performing a single hop.  Communication does not require lateral
+    /// contact either (in \[12\]–\[14\] the blocks sit on a smart surface
+    /// that provides the communication substrate), so the election reaches
+    /// every block regardless of the current geometry.  Used as the
+    /// comparison baseline.
+    FreeMotion,
+}
+
+/// Outcome recorded by the Root when Algorithm 1 stops.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// A block reached the output (and, depending on the termination
+    /// policy, the path is complete).
+    Completed,
+    /// No candidate block could move towards the output anymore while the
+    /// goal was not reached.
+    Stalled,
+}
+
+/// One executed motion (possibly moving several blocks simultaneously).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MoveRecord {
+    /// Iteration (election) during which the motion was executed.
+    pub iteration: u32,
+    /// Name of the motion rule, or `"free"` for the free-motion baseline.
+    pub rule: String,
+    /// The blocks that moved, with their source and destination cells.
+    pub moves: Vec<(BlockId, Pos, Pos)>,
+}
+
+/// Result of asking the world to perform the elected block's hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopResult {
+    /// Whether a motion was executed at all.
+    pub moved: bool,
+    /// Whether the elected block now occupies the output cell.
+    pub reached_output: bool,
+}
+
+/// The shared world.
+pub struct SurfaceWorld {
+    config: SurfaceConfig,
+    planner: MotionPlanner,
+    motion_model: MotionModel,
+    metrics: Metrics,
+    move_log: Vec<MoveRecord>,
+    module_of: HashMap<BlockId, usize>,
+    block_of: Vec<BlockId>,
+    outcome: Option<Outcome>,
+    frames: Vec<String>,
+    record_frames: bool,
+}
+
+impl SurfaceWorld {
+    /// Creates a world around a problem instance with the given rule
+    /// catalogue and motion model.
+    pub fn new(config: SurfaceConfig, catalog: RuleCatalog, motion_model: MotionModel) -> Self {
+        let planner = match motion_model {
+            MotionModel::RuleBased => MotionPlanner::new(catalog),
+            MotionModel::FreeMotion => MotionPlanner::new(catalog).without_connectivity_check(),
+        };
+        SurfaceWorld {
+            config,
+            planner,
+            motion_model,
+            metrics: Metrics::default(),
+            move_log: Vec::new(),
+            module_of: HashMap::new(),
+            block_of: Vec::new(),
+            outcome: None,
+            frames: Vec::new(),
+            record_frames: false,
+        }
+    }
+
+    /// Creates a world with the standard catalogue and rule-based motion.
+    pub fn standard(config: SurfaceConfig) -> Self {
+        SurfaceWorld::new(config, RuleCatalog::standard(), MotionModel::RuleBased)
+    }
+
+    /// Enables recording of an ASCII frame after every executed motion
+    /// (used by the examples to display the reconfiguration steps like
+    /// Figs. 10–11).
+    pub fn record_frames(&mut self, enable: bool) {
+        self.record_frames = enable;
+    }
+
+    // ----- identity / mapping ------------------------------------------------
+
+    /// Declares the module ↔ block mapping used by the runtimes: module
+    /// index `i` runs the block code of `blocks[i]`.
+    pub fn set_module_mapping(&mut self, blocks: Vec<BlockId>) {
+        self.module_of = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, i))
+            .collect();
+        self.block_of = blocks;
+    }
+
+    /// Module index hosting a block.
+    pub fn module_index_of(&self, block: BlockId) -> Option<usize> {
+        self.module_of.get(&block).copied()
+    }
+
+    /// Block hosted by a module index.
+    pub fn block_of_module(&self, index: usize) -> Option<BlockId> {
+        self.block_of.get(index).copied()
+    }
+
+    /// Blocks in module order.
+    pub fn module_order(&self) -> &[BlockId] {
+        &self.block_of
+    }
+
+    // ----- read-only geometry -------------------------------------------------
+
+    /// The problem instance.
+    pub fn config(&self) -> &SurfaceConfig {
+        &self.config
+    }
+
+    /// The occupancy grid.
+    pub fn grid(&self) -> &OccupancyGrid {
+        self.config.grid()
+    }
+
+    /// The input cell `I`.
+    pub fn input(&self) -> Pos {
+        self.config.input()
+    }
+
+    /// The output cell `O`.
+    pub fn output(&self) -> Pos {
+        self.config.output()
+    }
+
+    /// The Root: the block currently occupying the input cell.
+    pub fn root_block(&self) -> Option<BlockId> {
+        self.config.root()
+    }
+
+    /// The current position of a block.
+    pub fn position_of(&self, block: BlockId) -> Option<Pos> {
+        self.grid().position_of(block)
+    }
+
+    /// The blocks `block` can exchange messages with.
+    ///
+    /// Under the rule-based model these are the laterally adjacent blocks
+    /// (communication ports sit on the four sides of a block).  Under the
+    /// free-motion baseline the communication substrate is the smart
+    /// surface itself, so every other block is reachable.
+    pub fn neighbors_of(&self, block: BlockId) -> Vec<BlockId> {
+        match self.motion_model {
+            MotionModel::RuleBased => match self.position_of(block) {
+                Some(pos) => self
+                    .grid()
+                    .occupied_neighbors(pos)
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect(),
+                None => Vec::new(),
+            },
+            MotionModel::FreeMotion => {
+                let mut others: Vec<BlockId> = self
+                    .grid()
+                    .blocks()
+                    .map(|(id, _)| id)
+                    .filter(|&id| id != block)
+                    .collect();
+                others.sort();
+                others
+            }
+        }
+    }
+
+    /// The motion planner (exposed for analysis tools and benches).
+    pub fn planner(&self) -> &MotionPlanner {
+        &self.planner
+    }
+
+    /// The configured motion model.
+    pub fn motion_model(&self) -> MotionModel {
+        self.motion_model
+    }
+
+    // ----- election-side queries ---------------------------------------------
+
+    /// Computes the distance `d_BO` of a block to the output, implementing
+    /// Eqs. (8)–(10) of the paper:
+    ///
+    /// * `+∞` when the block is on the output's row or column *inside the
+    ///   oriented graph `G`* (Eq. 8) — it has "already joined a position on
+    ///   this row or column" of the path being built and "must continue to
+    ///   be occupied by a block till the end of the distributed iterative
+    ///   process".  The literal text of Eq. 8 freezes any block aligned
+    ///   with `O`; restricting it to the rectangle bounded by `I` and `O`
+    ///   matches the stated intent (blocks that joined the straight part
+    ///   of the path) without also freezing helper blocks that merely pass
+    ///   by `O`'s row outside the path, which would make some instances
+    ///   unsolvable.
+    /// * `+∞` when the block occupies the input cell `I` (the Root must
+    ///   keep `I` occupied: positions of the path stay occupied, step b of
+    ///   the proof of Lemma 1);
+    /// * `+∞` when no admissible move towards `O` exists for the block
+    ///   (Eq. 9);
+    /// * the Manhattan distance `|O_i − B_i| + |O_j − B_j|` otherwise
+    ///   (Eq. 10).
+    pub fn distance_to_output(&mut self, block: BlockId) -> Distance {
+        self.metrics.distance_computations += 1;
+        let pos = match self.position_of(block) {
+            Some(p) => p,
+            None => return Distance::INFINITE,
+        };
+        let output = self.output();
+        let graph = self.config.graph();
+        if (pos.x == output.x || pos.y == output.y) && graph.contains(pos) {
+            return Distance::INFINITE;
+        }
+        if pos == self.input() {
+            return Distance::INFINITE;
+        }
+        if !self.can_hop_towards_output(pos) {
+            return Distance::INFINITE;
+        }
+        Distance::finite(pos.manhattan(output))
+    }
+
+    /// Whether the cell is *locked*: it belongs to the straight part of the
+    /// path being built (aligned with the output inside the oriented graph
+    /// `G`) or it is the input cell.  Step b of the proof of Lemma 1
+    /// requires such positions to "remain occupied all along the
+    /// distributed application"; the implementation enforces the stronger
+    /// (and livelock-free) policy that the blocks occupying them do not
+    /// move at all — not even as helpers of a carrying motion, which would
+    /// otherwise let two blocks swap through a path cell forever without
+    /// making progress.
+    pub fn is_locked(&self, pos: Pos) -> bool {
+        if pos == self.input() {
+            return true;
+        }
+        let output = self.output();
+        (pos.x == output.x || pos.y == output.y) && self.config.graph().contains(pos)
+    }
+
+    /// The admissible motions for the block at `pos` towards the output,
+    /// already filtered by the locking policy and ordered by the driver's
+    /// preference: motions whose subject enters a path cell first, then
+    /// fewest blocks moved, then destinations closest to the output's
+    /// column/row.
+    fn admissible_motions_towards_output(&mut self, pos: Pos) -> Vec<PlannedMotion> {
+        self.metrics.rule_checks += 1;
+        let output = self.output();
+        let mut motions: Vec<PlannedMotion> = self
+            .planner
+            .motions_towards(self.config.grid(), pos, output)
+            .into_iter()
+            .filter(|m| m.moves.iter().all(|&(from, _)| !self.is_locked(from)))
+            .collect();
+        motions.sort_by_key(|m| {
+            let enters_path = self.is_locked(m.subject_to);
+            (
+                !enters_path,
+                m.blocks_moved(),
+                m.subject_to.x.abs_diff(output.x) + m.subject_to.y.abs_diff(output.y),
+                m.subject_to,
+            )
+        });
+        motions
+    }
+
+    /// The admissible free-motion destinations for the block at `pos`
+    /// towards the output: any free adjacent cell strictly closer to `O`
+    /// (the \[14\] model needs neither support blocks nor connectivity).
+    fn free_motion_destinations(&mut self, pos: Pos) -> Vec<Pos> {
+        self.metrics.rule_checks += 1;
+        let output = self.output();
+        let mut dirs = pos.directions_towards(output);
+        // Prefer the direction that aligns the block with the output
+        // first (smallest cross-axis distance), so the path fills from its
+        // input end upwards instead of blocks overshooting and walling off
+        // the cells below them.
+        dirs.sort_by_key(|d| {
+            let next = pos.step(*d);
+            (
+                next.x.abs_diff(output.x).min(next.y.abs_diff(output.y)),
+                next,
+            )
+        });
+        dirs.into_iter()
+            .map(|d| pos.step(d))
+            .filter(|&next| self.config.grid().is_free(next))
+            .collect()
+    }
+
+    fn can_hop_towards_output(&mut self, pos: Pos) -> bool {
+        match self.motion_model {
+            MotionModel::RuleBased => !self.admissible_motions_towards_output(pos).is_empty(),
+            MotionModel::FreeMotion => !self.free_motion_destinations(pos).is_empty(),
+        }
+    }
+
+    // ----- motion execution ---------------------------------------------------
+
+    /// Executes the elected block's motion towards the output and records
+    /// metrics and the move log.
+    ///
+    /// * Under the rule-based model this is a single one-cell hop (possibly
+    ///   a carrying motion displacing a helper block as well), chosen
+    ///   deterministically among the admissible motions.
+    /// * Under the free-motion baseline the elected block travels directly
+    ///   towards the output, cell by cell, until it reaches a cell of the
+    ///   path (aligned with `O` inside the oriented graph) or can no longer
+    ///   progress — the behaviour of the elected block in \[14\].  Every
+    ///   traversed cell counts as one elementary move.
+    pub fn hop_towards_output(&mut self, block: BlockId, iteration: u32) -> HopResult {
+        let pos = match self.position_of(block) {
+            Some(p) => p,
+            None => {
+                return HopResult {
+                    moved: false,
+                    reached_output: false,
+                }
+            }
+        };
+        let executed: Option<(String, Vec<(Pos, Pos)>)> = match self.motion_model {
+            MotionModel::RuleBased => self
+                .admissible_motions_towards_output(pos)
+                .first()
+                .map(|m: &PlannedMotion| (m.rule_name.clone(), m.moves.clone())),
+            MotionModel::FreeMotion => {
+                // Walk towards the output until aligned (locked cell) or
+                // blocked; each step is applied later as its own
+                // elementary move, in order.
+                let mut steps = Vec::new();
+                let mut cur = pos;
+                loop {
+                    match self.free_motion_destinations(cur).first().copied() {
+                        Some(next) => {
+                            steps.push((cur, next));
+                            cur = next;
+                            if self.is_locked(cur) || cur == self.output() {
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                if steps.is_empty() {
+                    None
+                } else {
+                    Some(("free".to_string(), steps))
+                }
+            }
+        };
+
+        let (rule, moves) = match executed {
+            Some(x) => x,
+            None => {
+                return HopResult {
+                    moved: false,
+                    reached_output: false,
+                }
+            }
+        };
+
+        let records: Vec<(BlockId, Pos, Pos)> = moves
+            .iter()
+            .map(|&(from, to)| {
+                let id = self
+                    .config
+                    .grid()
+                    .block_at(from)
+                    .unwrap_or(block);
+                (id, from, to)
+            })
+            .collect();
+        match self.motion_model {
+            MotionModel::RuleBased => {
+                self.config
+                    .grid_mut()
+                    .apply_simultaneous_moves(&moves)
+                    .expect("planned motion must be executable");
+            }
+            MotionModel::FreeMotion => {
+                for &(from, to) in &moves {
+                    self.config
+                        .grid_mut()
+                        .move_block(from, to)
+                        .expect("free-motion step must be executable");
+                }
+            }
+        }
+        self.metrics.elementary_moves += moves.len() as u64;
+        self.metrics.elected_hops += 1;
+        self.move_log.push(MoveRecord {
+            iteration,
+            rule,
+            moves: records,
+        });
+        if self.record_frames {
+            self.frames.push(self.ascii());
+        }
+        let new_pos = self.position_of(block).expect("block still on surface");
+        HopResult {
+            moved: true,
+            reached_output: new_pos == self.output(),
+        }
+    }
+
+    // ----- global observations (driver / Root side) ---------------------------
+
+    /// Whether the output cell is occupied.
+    pub fn output_occupied(&self) -> bool {
+        self.grid().is_occupied(self.output())
+    }
+
+    /// Whether a complete shortest path of blocks connects `I` to `O`.
+    pub fn path_complete(&self) -> bool {
+        self.config
+            .graph()
+            .occupied_shortest_path_exists(self.config.grid())
+    }
+
+    /// The occupied shortest path, if complete.
+    pub fn completed_path(&self) -> Option<Vec<Pos>> {
+        self.config.graph().occupied_shortest_path(self.config.grid())
+    }
+
+    /// Records the final outcome (set by the Root's block code).
+    pub fn set_outcome(&mut self, outcome: Outcome) {
+        self.outcome = Some(outcome);
+    }
+
+    /// The recorded outcome, if the algorithm finished.
+    pub fn outcome(&self) -> Option<Outcome> {
+        self.outcome
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics (used by the runtimes to count
+    /// messages).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The executed motions in order.
+    pub fn move_log(&self) -> &[MoveRecord] {
+        &self.move_log
+    }
+
+    /// The recorded ASCII frames (empty unless
+    /// [`SurfaceWorld::record_frames`] was enabled).
+    pub fn frames(&self) -> &[String] {
+        &self.frames
+    }
+
+    /// ASCII rendering of the current occupancy.
+    pub fn ascii(&self) -> String {
+        self.config.to_ascii()
+    }
+
+    /// ASCII rendering with block identifiers.
+    pub fn ascii_with_ids(&self) -> String {
+        sb_grid::render::render_with_ids(self.grid(), self.input(), self.output())
+    }
+}
+
+impl fmt::Debug for SurfaceWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SurfaceWorld({} blocks, I={}, O={}, {:?})",
+            self.grid().block_count(),
+            self.input(),
+            self.output(),
+            self.motion_model
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> SurfaceWorld {
+        // Output at the top of column 1, Root at I=(1,0).
+        let cfg = SurfaceConfig::from_ascii(
+            ". O . .\n\
+             . . . .\n\
+             . . . .\n\
+             . # # .\n\
+             . I # .",
+        )
+        .unwrap();
+        SurfaceWorld::standard(cfg)
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let mut w = small_world();
+        let blocks = w.grid().block_ids_sorted();
+        w.set_module_mapping(blocks.clone());
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(w.module_index_of(*b), Some(i));
+            assert_eq!(w.block_of_module(i), Some(*b));
+        }
+        assert_eq!(w.block_of_module(99), None);
+        assert_eq!(w.module_index_of(BlockId(99)), None);
+    }
+
+    #[test]
+    fn neighbors_reflect_lateral_adjacency() {
+        let w = small_world();
+        let root = w.root_block().unwrap();
+        let neighbors = w.neighbors_of(root);
+        // The Root at (1,0) touches the blocks at (2,0) and (1,1).
+        assert_eq!(neighbors.len(), 2);
+    }
+
+    #[test]
+    fn distance_excludes_aligned_blocks_and_the_root(){
+        let mut w = small_world();
+        let output = w.output();
+        // The Root is in the output's column AND at I: infinite.
+        let root = w.root_block().unwrap();
+        assert!(w.distance_to_output(root).is_infinite());
+        // The block at (1,1) is in the output's column: infinite (Eq. 8).
+        let aligned = w.grid().block_at(Pos::new(1, 1)).unwrap();
+        assert!(w.distance_to_output(aligned).is_infinite());
+        // The block at (2,1) is not aligned and can move: finite Manhattan
+        // distance (Eq. 10).
+        let free = w.grid().block_at(Pos::new(2, 1)).unwrap();
+        let d = w.distance_to_output(free);
+        assert_eq!(d, Distance::finite(Pos::new(2, 1).manhattan(output)));
+        // Metrics counted the three computations.
+        assert_eq!(w.metrics().distance_computations, 3);
+    }
+
+    #[test]
+    fn hop_moves_towards_output_and_logs() {
+        let mut w = small_world();
+        let mover = w.grid().block_at(Pos::new(2, 1)).unwrap();
+        let before = w.position_of(mover).unwrap();
+        let result = w.hop_towards_output(mover, 1);
+        assert!(result.moved);
+        assert!(!result.reached_output);
+        let after = w.position_of(mover).unwrap();
+        assert_eq!(before.manhattan(w.output()) - 1, after.manhattan(w.output()));
+        assert_eq!(w.move_log().len(), 1);
+        assert!(w.metrics().elementary_moves >= 1);
+        assert_eq!(w.metrics().elected_hops, 1);
+        assert!(w.grid().is_connected());
+    }
+
+    #[test]
+    fn free_motion_model_ignores_support() {
+        let cfg = SurfaceConfig::from_ascii(
+            ". O . .\n\
+             . . . .\n\
+             . . . .\n\
+             . # # .\n\
+             . I # .",
+        )
+        .unwrap();
+        let mut w = SurfaceWorld::new(cfg, RuleCatalog::standard(), MotionModel::FreeMotion);
+        let mover = w.grid().block_at(Pos::new(2, 1)).unwrap();
+        // Under free motion the elected block travels directly towards the
+        // output (no support blocks needed) until it joins the output's
+        // column.
+        let r = w.hop_towards_output(mover, 1);
+        assert!(r.moved);
+        let end = w.position_of(mover).unwrap();
+        assert_eq!(end.x, w.output().x, "the journey ends on the path column");
+        assert_eq!(w.move_log()[0].rule, "free");
+        assert_eq!(
+            w.move_log()[0].moves.len() as u32,
+            Pos::new(2, 1).manhattan(end),
+            "one elementary move per traversed cell"
+        );
+        // Under the free-motion model every block can be messaged.
+        assert_eq!(w.neighbors_of(mover).len(), w.grid().block_count() - 1);
+    }
+
+    #[test]
+    fn path_completion_detection() {
+        let cfg = SurfaceConfig::from_ascii(
+            "o . .\n\
+             # . .\n\
+             # # .\n\
+             I # .",
+        )
+        .unwrap();
+        let w = SurfaceWorld::standard(cfg);
+        assert!(w.output_occupied());
+        assert!(w.path_complete());
+        let path = w.completed_path().unwrap();
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn frames_recorded_when_enabled() {
+        let mut w = small_world();
+        w.record_frames(true);
+        let mover = w.grid().block_at(Pos::new(2, 1)).unwrap();
+        w.hop_towards_output(mover, 1);
+        assert_eq!(w.frames().len(), 1);
+        assert!(w.frames()[0].contains('#'));
+        assert!(w.ascii_with_ids().contains('|'));
+    }
+
+    #[test]
+    fn outcome_set_and_read() {
+        let mut w = small_world();
+        assert_eq!(w.outcome(), None);
+        w.set_outcome(Outcome::Completed);
+        assert_eq!(w.outcome(), Some(Outcome::Completed));
+    }
+}

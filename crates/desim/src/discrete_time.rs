@@ -1,0 +1,189 @@
+//! Discrete-time facilities layered on the discrete-event core.
+//!
+//! The paper describes VisibleSim as mixing "a discrete-event core
+//! simulator with discrete-time functionalities": besides reacting to
+//! messages, block programs can be driven by a fixed-period tick (sensor
+//! sampling, actuator refresh).  This module provides that layer without
+//! touching the event core: a [`PeriodicDriver`] module emits `Tick`
+//! messages to a set of subscribed modules at a fixed simulated period, up
+//! to an optional horizon.
+
+use crate::module::{BlockCode, ModuleId};
+use crate::sim::{Context, Simulator};
+use crate::time::{Duration, SimTime};
+
+/// Marker trait for message types that can transport a tick notification.
+///
+/// The driver must be able to construct a tick message; user protocols opt
+/// in by implementing this for their message enum.
+pub trait TickMessage: Sized {
+    /// Builds the tick message for the given tick index.
+    fn tick(index: u64) -> Self;
+}
+
+/// A module that broadcasts a tick message to its subscribers every
+/// `period`, starting one period after the simulation starts.
+pub struct PeriodicDriver {
+    period: Duration,
+    subscribers: Vec<ModuleId>,
+    remaining: Option<u64>,
+    index: u64,
+}
+
+impl PeriodicDriver {
+    /// Creates a driver with an unlimited number of ticks.
+    pub fn new(period: Duration, subscribers: Vec<ModuleId>) -> Self {
+        PeriodicDriver {
+            period,
+            subscribers,
+            remaining: None,
+            index: 0,
+        }
+    }
+
+    /// Limits the driver to `count` ticks (after which it goes silent and
+    /// the simulation can drain).
+    pub fn with_tick_count(mut self, count: u64) -> Self {
+        self.remaining = Some(count);
+        self
+    }
+
+    fn arm(&self, ctx: &mut Context<'_, impl Sized, impl Sized>) {
+        ctx.set_timer(self.period, self.index);
+    }
+}
+
+impl<M: TickMessage, W> BlockCode<M, W> for PeriodicDriver {
+    fn on_start(&mut self, ctx: &mut Context<'_, M, W>) {
+        if self.remaining != Some(0) && !self.subscribers.is_empty() {
+            self.arm(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: ModuleId, _msg: M, _ctx: &mut Context<'_, M, W>) {
+        // The driver ignores incoming messages.
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Context<'_, M, W>) {
+        let index = self.index;
+        for &s in &self.subscribers {
+            ctx.send_with_delay(s, M::tick(index), Duration::ZERO);
+        }
+        self.index += 1;
+        if let Some(remaining) = self.remaining.as_mut() {
+            *remaining -= 1;
+            if *remaining == 0 {
+                return;
+            }
+        }
+        self.arm(ctx);
+    }
+}
+
+/// Convenience: registers a periodic driver ticking every `period` for the
+/// given subscribers and returns its module id.
+pub fn add_periodic_driver<M, W>(
+    sim: &mut Simulator<M, W>,
+    period: Duration,
+    subscribers: Vec<ModuleId>,
+    ticks: Option<u64>,
+) -> ModuleId
+where
+    M: TickMessage + 'static,
+    W: 'static,
+{
+    let mut driver = PeriodicDriver::new(period, subscribers);
+    if let Some(count) = ticks {
+        driver = driver.with_tick_count(count);
+    }
+    sim.add_module(driver)
+}
+
+/// Expected fire time of tick `index` for a driver started at time zero
+/// with the given period (ticks are numbered from 0 and the first fires
+/// one period after start).
+pub fn tick_time(period: Duration, index: u64) -> SimTime {
+    SimTime::ZERO + Duration::micros(period.as_micros() * (index + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Msg {
+        Tick(u64),
+    }
+
+    impl TickMessage for Msg {
+        fn tick(index: u64) -> Self {
+            Msg::Tick(index)
+        }
+    }
+
+    /// Records every tick it receives together with the simulated time.
+    struct Sampler;
+
+    impl BlockCode<Msg, Vec<(u64, u64)>> for Sampler {
+        fn on_message(
+            &mut self,
+            _from: ModuleId,
+            msg: Msg,
+            ctx: &mut Context<'_, Msg, Vec<(u64, u64)>>,
+        ) {
+            let Msg::Tick(i) = msg;
+            let now = ctx.now().as_micros();
+            ctx.world_mut().push((i, now));
+        }
+    }
+
+    #[test]
+    fn ticks_fire_at_the_requested_period() {
+        let mut sim: Simulator<Msg, Vec<(u64, u64)>> = Simulator::new(Vec::new());
+        let a = sim.add_module(Sampler);
+        let b = sim.add_module(Sampler);
+        add_periodic_driver(&mut sim, Duration::millis(2), vec![a, b], Some(3));
+        sim.run_until_idle();
+        let mut log = sim.world().clone();
+        log.sort();
+        // 3 ticks × 2 subscribers.
+        assert_eq!(log.len(), 6);
+        for (i, t) in &log {
+            assert_eq!(*t, tick_time(Duration::millis(2), *i).as_micros());
+        }
+        // Tick indices 0, 1, 2 each delivered twice.
+        let indices: Vec<u64> = log.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn bounded_driver_lets_the_simulation_drain() {
+        let mut sim: Simulator<Msg, Vec<(u64, u64)>> = Simulator::new(Vec::new());
+        let a = sim.add_module(Sampler);
+        add_periodic_driver(&mut sim, Duration::micros(10), vec![a], Some(5));
+        let stats = sim.run_until_idle();
+        assert!(sim.is_idle());
+        assert_eq!(sim.world().len(), 5);
+        // 1 sampler start + 1 driver start + 5 timer firings + 5 deliveries.
+        assert_eq!(stats.events_processed, 12);
+    }
+
+    #[test]
+    fn driver_with_no_subscribers_is_inert() {
+        let mut sim: Simulator<Msg, Vec<(u64, u64)>> = Simulator::new(Vec::new());
+        add_periodic_driver(&mut sim, Duration::micros(10), vec![], None);
+        let stats = sim.run_until_idle();
+        assert_eq!(stats.events_processed, 1, "only the start event fires");
+        assert!(sim.world().is_empty());
+    }
+
+    #[test]
+    fn unbounded_driver_runs_until_the_deadline() {
+        let mut sim: Simulator<Msg, Vec<(u64, u64)>> = Simulator::new(Vec::new());
+        let a = sim.add_module(Sampler);
+        add_periodic_driver(&mut sim, Duration::micros(100), vec![a], None);
+        sim.run_until(SimTime(1_050));
+        assert_eq!(sim.world().len(), 10, "ten full periods fit before the deadline");
+        assert!(!sim.is_idle(), "the next tick is still scheduled");
+    }
+}

@@ -1,0 +1,511 @@
+//! The discrete-event core: event queue, dispatcher and the block-code
+//! execution context.
+
+use crate::event::{Event, EventKind};
+use crate::latency::LatencyModel;
+use crate::module::{BlockCode, Color, ModuleId};
+use crate::stats::SimStats;
+use crate::time::{Duration, SimTime};
+use crate::trace::{TraceBuffer, TraceEntry};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Mutable simulator state shared between the dispatcher and the block
+/// codes (through [`Context`]).  Kept separate from the module storage so
+/// that a module can be borrowed mutably while it manipulates the kernel.
+struct Kernel<M, W> {
+    world: W,
+    queue: BinaryHeap<Event<M>>,
+    now: SimTime,
+    seq: u64,
+    latency: LatencyModel,
+    rng: SmallRng,
+    colors: Vec<Color>,
+    stats: SimStats,
+    trace: TraceBuffer,
+    stop_requested: bool,
+}
+
+impl<M, W> Kernel<M, W> {
+    fn schedule(&mut self, time: SimTime, kind: EventKind<M>) {
+        let event = Event {
+            time,
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        self.queue.push(event);
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+    }
+}
+
+/// The execution context handed to a block code while it processes an
+/// event.  It is the only way a block interacts with the rest of the
+/// system: sending messages, arming timers, reading and mutating the
+/// shared world, changing its colour, writing trace text or requesting
+/// the whole simulation to stop.
+pub struct Context<'a, M, W> {
+    kernel: &'a mut Kernel<M, W>,
+    me: ModuleId,
+}
+
+impl<'a, M, W> Context<'a, M, W> {
+    /// The module currently executing.
+    pub fn self_id(&self) -> ModuleId {
+        self.me
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Shared world, read-only.
+    pub fn world(&self) -> &W {
+        &self.kernel.world
+    }
+
+    /// Shared world, mutable.  In the Smart Blocks layer this is how the
+    /// elected block asks the "physics" to execute a motion rule.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.kernel.world
+    }
+
+    /// Sends a message to another module; it will be delivered after a
+    /// delay drawn from the simulator's latency model.
+    pub fn send(&mut self, to: ModuleId, payload: M) {
+        let delay = self.kernel.latency.sample(&mut self.kernel.rng);
+        self.send_with_delay(to, payload, delay);
+    }
+
+    /// Sends a message with an explicit delivery delay (bypassing the
+    /// latency model).
+    pub fn send_with_delay(&mut self, to: ModuleId, payload: M, delay: Duration) {
+        let time = self.kernel.now + delay;
+        let from = self.me;
+        self.kernel.stats.messages_sent += 1;
+        self.kernel.schedule(time, EventKind::Message { from, to, payload });
+    }
+
+    /// Arms a timer that will call [`BlockCode::on_timer`] with `tag`
+    /// after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, tag: u64) {
+        let time = self.kernel.now + delay;
+        let module = self.me;
+        self.kernel.stats.timers_set += 1;
+        self.kernel.schedule(time, EventKind::Timer { module, tag });
+    }
+
+    /// Changes the module's colour (debugging aid).
+    pub fn set_color(&mut self, color: Color) {
+        self.kernel.colors[self.me.index()] = color;
+    }
+
+    /// Appends a trace record (no-op unless tracing was enabled on the
+    /// simulator).
+    pub fn trace(&mut self, message: impl Into<String>) {
+        if self.kernel.trace.is_enabled() {
+            let entry = TraceEntry {
+                time: self.kernel.now,
+                module: Some(self.me),
+                message: message.into(),
+            };
+            self.kernel.trace.push(entry);
+        }
+    }
+
+    /// Uniform random integer in `0..n` from the simulator's seeded RNG
+    /// (used e.g. for the Root's random tie-breaking among equidistant
+    /// blocks).
+    pub fn rand_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "rand_below(0)");
+        self.kernel.rng.gen_range(0..n)
+    }
+
+    /// Asks the simulator to stop dispatching after the current event.
+    pub fn request_stop(&mut self) {
+        self.kernel.stop_requested = true;
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// `M` is the message type, `W` the user-defined shared world.
+pub struct Simulator<M, W> {
+    modules: Vec<Option<Box<dyn BlockCode<M, W>>>>,
+    kernel: Kernel<M, W>,
+}
+
+impl<M, W> Simulator<M, W> {
+    /// Creates a simulator around the given world, with the default
+    /// latency model and a fixed RNG seed (runs are reproducible unless a
+    /// different seed is supplied).
+    pub fn new(world: W) -> Self {
+        Simulator {
+            modules: Vec::new(),
+            kernel: Kernel {
+                world,
+                queue: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                seq: 0,
+                latency: LatencyModel::default(),
+                rng: SmallRng::seed_from_u64(0xD15C0),
+                colors: Vec::new(),
+                stats: SimStats::default(),
+                trace: TraceBuffer::disabled(),
+                stop_requested: false,
+            },
+        }
+    }
+
+    /// Sets the message latency model (builder style).
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.kernel.latency = latency;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.kernel.rng = SmallRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Enables the trace buffer with the given capacity (builder style).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.kernel.trace = TraceBuffer::with_capacity(capacity);
+        self
+    }
+
+    /// Registers a module and schedules its start-up callback at the
+    /// current simulated time.
+    pub fn add_module(&mut self, code: impl BlockCode<M, W> + 'static) -> ModuleId {
+        let id = ModuleId(self.modules.len());
+        self.modules.push(Some(Box::new(code)));
+        self.kernel.colors.push(Color::GREY);
+        let now = self.kernel.now;
+        self.kernel.schedule(now, EventKind::Start { module: id });
+        id
+    }
+
+    /// Number of registered modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.kernel.stats
+    }
+
+    /// The shared world.
+    pub fn world(&self) -> &W {
+        &self.kernel.world
+    }
+
+    /// The shared world, mutable (e.g. to inspect or perturb it between
+    /// runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.kernel.world
+    }
+
+    /// Consumes the simulator and returns the world.
+    pub fn into_world(self) -> W {
+        self.kernel.world
+    }
+
+    /// Current colour of a module.
+    pub fn color_of(&self, id: ModuleId) -> Color {
+        self.kernel.colors[id.index()]
+    }
+
+    /// The trace buffer.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.kernel.trace
+    }
+
+    /// Whether no event is pending.
+    pub fn is_idle(&self) -> bool {
+        self.kernel.queue.is_empty()
+    }
+
+    /// Whether a block code requested the simulation to stop.
+    pub fn is_stopped(&self) -> bool {
+        self.kernel.stop_requested
+    }
+
+    /// Clears a previous stop request so the run can resume.
+    pub fn clear_stop(&mut self) {
+        self.kernel.stop_requested = false;
+    }
+
+    /// Read access to a module's block code (e.g. to extract results
+    /// after the run).  Returns `None` for out-of-range identifiers.
+    pub fn module(&self, id: ModuleId) -> Option<&dyn BlockCode<M, W>> {
+        self.modules
+            .get(id.index())
+            .and_then(|m| m.as_deref())
+            .map(|m| m as &dyn BlockCode<M, W>)
+    }
+
+    /// Processes the next event.  Returns `false` when the queue is empty
+    /// (nothing was processed).
+    pub fn step(&mut self) -> bool {
+        let event = match self.kernel.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(event.time >= self.kernel.now, "time must not run backwards");
+        self.kernel.now = event.time;
+        self.kernel.stats.events_processed += 1;
+        self.kernel.stats.sim_time_end = event.time;
+        let target = event.kind.target();
+        // Messages addressed to unknown modules are dropped silently; this
+        // cannot happen through the public API but keeps the kernel total.
+        let Some(slot) = self.modules.get_mut(target.index()) else {
+            return true;
+        };
+        let Some(mut code) = slot.take() else {
+            return true;
+        };
+        {
+            let mut ctx = Context {
+                kernel: &mut self.kernel,
+                me: target,
+            };
+            match event.kind {
+                EventKind::Start { .. } => code.on_start(&mut ctx),
+                EventKind::Message { from, payload, .. } => code.on_message(from, payload, &mut ctx),
+                EventKind::Timer { tag, .. } => code.on_timer(tag, &mut ctx),
+            }
+        }
+        self.modules[target.index()] = Some(code);
+        true
+    }
+
+    /// Runs until the queue drains or a block code requests a stop.
+    /// Returns the cumulative statistics.
+    pub fn run_until_idle(&mut self) -> SimStats {
+        let start = Instant::now();
+        while !self.kernel.stop_requested && self.step() {}
+        self.kernel.stats.wall_elapsed += start.elapsed();
+        self.kernel.stats
+    }
+
+    /// Runs until the queue drains, a stop is requested, or simulated time
+    /// would exceed `deadline` (events after the deadline stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimStats {
+        let start = Instant::now();
+        while !self.kernel.stop_requested {
+            match self.kernel.queue.peek() {
+                Some(e) if e.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.kernel.stats.wall_elapsed += start.elapsed();
+        self.kernel.stats
+    }
+
+    /// Runs for `span` of simulated time from the current instant.
+    pub fn run_for(&mut self, span: Duration) -> SimStats {
+        let deadline = self.kernel.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Processes at most `n` events (used by drivers that interleave
+    /// simulation with external checks).
+    pub fn run_steps(&mut self, n: u64) -> u64 {
+        let start = Instant::now();
+        let mut done = 0;
+        while done < n && !self.kernel.stop_requested && self.step() {
+            done += 1;
+        }
+        self.kernel.stats.wall_elapsed += start.elapsed();
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: a token is passed around a ring `rounds` times, then
+    /// the last holder requests a stop.
+    struct RingNode {
+        next: ModuleId,
+        is_initiator: bool,
+        remaining: u32,
+        received: u32,
+    }
+
+    impl BlockCode<u32, Vec<ModuleId>> for RingNode {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32, Vec<ModuleId>>) {
+            let me = ctx.self_id();
+            ctx.world_mut().push(me);
+            if self.is_initiator {
+                let next = self.next;
+                let remaining = self.remaining;
+                ctx.send(next, remaining);
+            }
+        }
+        fn on_message(&mut self, _from: ModuleId, hops: u32, ctx: &mut Context<'_, u32, Vec<ModuleId>>) {
+            self.received += 1;
+            ctx.set_color(Color::GREEN);
+            ctx.trace(format!("token with {hops} hops left"));
+            if hops == 0 {
+                ctx.request_stop();
+            } else {
+                let next = self.next;
+                ctx.send(next, hops - 1);
+            }
+        }
+    }
+
+    fn build_ring(n: usize, rounds: u32) -> Simulator<u32, Vec<ModuleId>> {
+        let mut sim = Simulator::new(Vec::new()).with_trace_capacity(64);
+        for i in 0..n {
+            sim.add_module(RingNode {
+                next: ModuleId((i + 1) % n),
+                is_initiator: i == 0,
+                remaining: rounds,
+                received: 0,
+            });
+        }
+        sim
+    }
+
+    #[test]
+    fn ring_token_circulates_and_stops() {
+        let mut sim = build_ring(5, 12);
+        let stats = sim.run_until_idle();
+        // 5 start events + 13 message deliveries (hops 12..=0).
+        assert_eq!(stats.events_processed, 5 + 13);
+        assert_eq!(stats.messages_sent, 13);
+        assert!(sim.is_stopped());
+        assert!(!sim.is_idle() || sim.is_idle()); // queue may or may not be empty
+        // The world recorded every module's start.
+        assert_eq!(sim.world().len(), 5);
+        // Colours of visited modules were changed.
+        assert_eq!(sim.color_of(ModuleId(1)), Color::GREEN);
+        // The trace captured the token hops.
+        assert!(sim.trace().entries().iter().any(|e| e.message.contains("hops left")));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let mut sim = build_ring(4, 20);
+            sim = Simulator {
+                modules: sim.modules,
+                kernel: sim.kernel,
+            }
+            .with_seed(seed)
+            .with_latency(LatencyModel::Uniform {
+                min: Duration::micros(1),
+                max: Duration::micros(100),
+            });
+            sim.run_until_idle();
+            (sim.now(), sim.stats().events_processed)
+        };
+        assert_eq!(run(11), run(11));
+        // A different seed changes delivery times (almost surely).
+        assert_ne!(run(11).0, run(12).0);
+    }
+
+    #[test]
+    fn events_at_equal_time_fire_in_fifo_order() {
+        struct Recorder;
+        impl BlockCode<u32, Vec<u32>> for Recorder {
+            fn on_message(&mut self, _from: ModuleId, msg: u32, ctx: &mut Context<'_, u32, Vec<u32>>) {
+                ctx.world_mut().push(msg);
+            }
+        }
+        struct Sender {
+            target: ModuleId,
+        }
+        impl BlockCode<u32, Vec<u32>> for Sender {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32, Vec<u32>>) {
+                for i in 0..10 {
+                    // Same delivery time for every message.
+                    ctx.send_with_delay(self.target, i, Duration::micros(50));
+                }
+            }
+            fn on_message(&mut self, _: ModuleId, _: u32, _: &mut Context<'_, u32, Vec<u32>>) {}
+        }
+        let mut sim: Simulator<u32, Vec<u32>> = Simulator::new(Vec::new());
+        let recorder = sim.add_module(Recorder);
+        sim.add_module(Sender { target: recorder });
+        sim.run_until_idle();
+        assert_eq!(sim.world().as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn timers_fire_at_the_requested_time() {
+        struct TimerCode;
+        impl BlockCode<(), Vec<(u64, u64)>> for TimerCode {
+            fn on_start(&mut self, ctx: &mut Context<'_, (), Vec<(u64, u64)>>) {
+                ctx.set_timer(Duration::micros(500), 7);
+                ctx.set_timer(Duration::micros(100), 3);
+            }
+            fn on_message(&mut self, _: ModuleId, _: (), _: &mut Context<'_, (), Vec<(u64, u64)>>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, (), Vec<(u64, u64)>>) {
+                let now = ctx.now().as_micros();
+                ctx.world_mut().push((tag, now));
+            }
+        }
+        let mut sim = Simulator::new(Vec::new());
+        sim.add_module(TimerCode);
+        let stats = sim.run_until_idle();
+        assert_eq!(sim.world().as_slice(), &[(3, 100), (7, 500)]);
+        assert_eq!(stats.timers_set, 2);
+        assert_eq!(sim.now(), SimTime(500));
+    }
+
+    #[test]
+    fn run_until_respects_the_deadline() {
+        let mut sim = build_ring(3, 1000);
+        sim.run_until(SimTime(55));
+        assert!(sim.now() <= SimTime(55));
+        assert!(!sim.is_idle(), "later events must remain queued");
+        let before = sim.stats().events_processed;
+        sim.run_until_idle();
+        assert!(sim.stats().events_processed > before);
+    }
+
+    #[test]
+    fn run_steps_counts_processed_events() {
+        let mut sim = build_ring(3, 1000);
+        let done = sim.run_steps(10);
+        assert_eq!(done, 10);
+        assert_eq!(sim.stats().events_processed, 10);
+    }
+
+    #[test]
+    fn instant_latency_keeps_time_at_zero() {
+        let mut sim = build_ring(4, 8);
+        sim = Simulator {
+            modules: sim.modules,
+            kernel: sim.kernel,
+        }
+        .with_latency(LatencyModel::Instant);
+        sim.run_until_idle();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_simulator_is_idle() {
+        let mut sim: Simulator<(), ()> = Simulator::new(());
+        assert!(sim.is_idle());
+        assert!(!sim.step());
+        let stats = sim.run_until_idle();
+        assert_eq!(stats.events_processed, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulated time.
+//!
+//! The simulator measures time in abstract microseconds.  Nothing in the
+//! distributed algorithm depends on the unit (Assumption 3 only requires
+//! communications to complete in finite time); the unit only matters when
+//! interpreting latency models and throughput numbers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Duration(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// A duration of `n` microseconds.
+    pub const fn micros(n: u64) -> Duration {
+        Duration(n)
+    }
+
+    /// A duration of `n` milliseconds.
+    pub const fn millis(n: u64) -> Duration {
+        Duration(n * 1_000)
+    }
+
+    /// Microseconds in the duration.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::millis(2);
+        assert_eq!(t.as_micros(), 2_000);
+        assert_eq!(t.as_millis_f64(), 2.0);
+        assert_eq!(t - SimTime(500), Duration(1_500));
+        // Saturating subtraction never underflows.
+        assert_eq!(SimTime(5) - SimTime(10), Duration::ZERO);
+        assert_eq!(Duration(3) + Duration(4), Duration(7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(Duration::micros(999) < Duration::millis(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(42).to_string(), "42us");
+        assert_eq!(Duration::millis(1).to_string(), "1000us");
+    }
+}

@@ -1,0 +1,133 @@
+//! A lightweight execution trace, mirroring VisibleSim's debugging text
+//! output ("writing debugging text, to name a few").
+
+use crate::module::ModuleId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time of the record.
+    pub time: SimTime,
+    /// Module that emitted it (or `None` for kernel records).
+    pub module: Option<ModuleId>,
+    /// Free-form text.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.module {
+            Some(m) => write!(f, "[{} {}] {}", self.time, m, self.message),
+            None => write!(f, "[{} kernel] {}", self.time, self.message),
+        }
+    }
+}
+
+/// A bounded trace buffer.  Disabled by default (capacity 0) so that large
+/// throughput benchmarks pay nothing for it.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A disabled buffer.
+    pub fn disabled() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// A buffer keeping at most `capacity` entries (older entries beyond
+    /// the capacity are dropped and counted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends a record (no-op when disabled or full, except for the
+    /// dropped counter).
+    pub fn push(&mut self, entry: TraceEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of records that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the buffer (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(msg: &str) -> TraceEntry {
+        TraceEntry {
+            time: SimTime(1),
+            module: Some(ModuleId(2)),
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_keeps_nothing() {
+        let mut buf = TraceBuffer::disabled();
+        assert!(!buf.is_enabled());
+        buf.push(entry("x"));
+        assert!(buf.entries().is_empty());
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops() {
+        let mut buf = TraceBuffer::with_capacity(2);
+        assert!(buf.is_enabled());
+        for i in 0..5 {
+            buf.push(entry(&format!("{i}")));
+        }
+        assert_eq!(buf.entries().len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        buf.clear();
+        assert!(buf.entries().is_empty());
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn display_formats_module_and_kernel_entries() {
+        assert_eq!(entry("hello").to_string(), "[1us m2] hello");
+        let kernel = TraceEntry {
+            time: SimTime(3),
+            module: None,
+            message: "boot".to_string(),
+        };
+        assert_eq!(kernel.to_string(), "[3us kernel] boot");
+    }
+}

@@ -1,0 +1,296 @@
+//! Connectivity analysis of the block ensemble.
+//!
+//! Remark 1 of the paper prohibits block motions that disconnect one or
+//! several blocks: a separated block cannot move anymore (it has no
+//! support) and cannot participate in the distributed application.  The
+//! motion engine therefore needs to answer, cheaply and repeatedly, "is
+//! the ensemble still connected after this move?" and "which blocks are
+//! articulation points?".
+
+use crate::grid::{BlockId, OccupancyGrid};
+use crate::pos::Pos;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Whether the set of occupied cells forms a single 4-connected component.
+/// The empty set and singletons are connected by convention.
+pub fn is_connected(grid: &OccupancyGrid) -> bool {
+    let n = grid.block_count();
+    if n <= 1 {
+        return true;
+    }
+    let start = grid
+        .blocks()
+        .map(|(_, p)| p)
+        .min()
+        .expect("non-empty grid");
+    reachable_from(grid, start, None).len() == n
+}
+
+/// Number of 4-connected components of the occupied cells.
+pub fn connected_components(grid: &OccupancyGrid) -> usize {
+    let mut seen: HashSet<Pos> = HashSet::new();
+    let mut components = 0;
+    let mut all: Vec<Pos> = grid.blocks().map(|(_, p)| p).collect();
+    all.sort();
+    for p in all {
+        if seen.contains(&p) {
+            continue;
+        }
+        components += 1;
+        for q in reachable_from(grid, p, None) {
+            seen.insert(q);
+        }
+    }
+    components
+}
+
+/// The occupied positions reachable from `start` through occupied cells,
+/// optionally pretending that `skip` is empty (used to test articulation).
+pub fn reachable_from(grid: &OccupancyGrid, start: Pos, skip: Option<Pos>) -> HashSet<Pos> {
+    let mut seen = HashSet::new();
+    if Some(start) == skip || !grid.is_occupied(start) {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    seen.insert(start);
+    while let Some(p) = queue.pop_front() {
+        for n in p.neighbors4() {
+            if Some(n) == skip || seen.contains(&n) || !grid.is_occupied(n) {
+                continue;
+            }
+            seen.insert(n);
+            queue.push_back(n);
+        }
+    }
+    seen
+}
+
+/// Whether removing the block at `pos` (e.g. because it is about to move
+/// away) would split the remaining blocks into several components.
+pub fn is_articulation(grid: &OccupancyGrid, pos: Pos) -> bool {
+    if !grid.is_occupied(pos) {
+        return false;
+    }
+    let remaining = grid.block_count() - 1;
+    if remaining <= 1 {
+        return false;
+    }
+    let start = grid
+        .blocks()
+        .map(|(_, p)| p)
+        .filter(|&p| p != pos)
+        .min()
+        .expect("at least two remaining blocks");
+    reachable_from(grid, start, Some(pos)).len() != remaining
+}
+
+/// All articulation blocks of the current configuration, computed with a
+/// linear-time lowlink (Hopcroft–Tarjan) traversal over the adjacency
+/// graph of occupied cells.
+pub fn articulation_points(grid: &OccupancyGrid) -> Vec<BlockId> {
+    let positions: Vec<Pos> = {
+        let mut v: Vec<Pos> = grid.blocks().map(|(_, p)| p).collect();
+        v.sort();
+        v
+    };
+    if positions.len() < 3 {
+        return Vec::new();
+    }
+    let index_of: HashMap<Pos, usize> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i))
+        .collect();
+    let n = positions.len();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_art = vec![false; n];
+    let mut timer = 0usize;
+
+    // Iterative DFS to avoid recursion-depth limits on large surfaces.
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        let mut root_children = 0usize;
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            let neighbors: Vec<usize> = positions[u]
+                .neighbors4()
+                .iter()
+                .filter_map(|p| index_of.get(p).copied())
+                .collect();
+            if *next < neighbors.len() {
+                let v = neighbors[*next];
+                *next += 1;
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if parent[u] == p && p != root && low[u] >= disc[p] {
+                        is_art[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            is_art[root] = true;
+        }
+    }
+
+    let mut out: Vec<BlockId> = positions
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| is_art[*i])
+        .map(|(_, &p)| grid.block_at(p).expect("occupied"))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Checks whether applying the given batch of simultaneous elementary
+/// moves keeps the ensemble connected (Remark 1).  The check clones the
+/// occupancy, applies the batch and verifies connectivity, so the caller's
+/// grid is never mutated.
+pub fn moves_preserve_connectivity(grid: &OccupancyGrid, moves: &[(Pos, Pos)]) -> bool {
+    let mut trial = grid.clone();
+    match trial.apply_simultaneous_moves(moves) {
+        Ok(_) => trial.is_connected(),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Bounds;
+
+    fn grid_from(positions: &[(i32, i32)]) -> OccupancyGrid {
+        let mut g = OccupancyGrid::new(Bounds::new(10, 10));
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            g.place(BlockId(i as u32 + 1), Pos::new(x, y)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        let g = OccupancyGrid::new(Bounds::new(4, 4));
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g), 0);
+        let g = grid_from(&[(2, 2)]);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn l_shape_is_connected() {
+        let g = grid_from(&[(0, 0), (1, 0), (1, 1), (1, 2)]);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn diagonal_contact_is_not_connectivity() {
+        // Blocks touching only at corners are NOT connected under the
+        // 4-adjacency used by the lateral magnet contacts.
+        let g = grid_from(&[(0, 0), (1, 1)]);
+        assert!(!is_connected(&g));
+        assert_eq!(connected_components(&g), 2);
+    }
+
+    #[test]
+    fn articulation_of_a_straight_line() {
+        // In a line of 4 blocks the two interior blocks are articulation
+        // points, the endpoints are not.
+        let g = grid_from(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let arts = articulation_points(&g);
+        assert_eq!(arts, vec![BlockId(2), BlockId(3)]);
+        assert!(!is_articulation(&g, Pos::new(0, 0)));
+        assert!(is_articulation(&g, Pos::new(1, 0)));
+        assert!(is_articulation(&g, Pos::new(2, 0)));
+        assert!(!is_articulation(&g, Pos::new(3, 0)));
+    }
+
+    #[test]
+    fn square_has_no_articulation() {
+        let g = grid_from(&[(0, 0), (1, 0), (0, 1), (1, 1)]);
+        assert!(articulation_points(&g).is_empty());
+        for (_, p) in g.blocks() {
+            assert!(!is_articulation(&g, p));
+        }
+    }
+
+    #[test]
+    fn articulation_matches_naive_check_on_random_shapes() {
+        // Cross-validate Tarjan against the naive remove-and-BFS check.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..30 {
+            // Grow a random connected blob of 12 blocks.
+            let mut g = OccupancyGrid::new(Bounds::new(8, 8));
+            g.place(BlockId(1), Pos::new(4, 4)).unwrap();
+            let mut next_id = 2u32;
+            while g.block_count() < 12 {
+                let candidates: Vec<Pos> = g
+                    .blocks()
+                    .flat_map(|(_, p)| p.neighbors4())
+                    .filter(|&p| g.is_free(p))
+                    .collect();
+                let p = candidates[rng.gen_range(0..candidates.len())];
+                if g.place(BlockId(next_id), p).is_ok() {
+                    next_id += 1;
+                }
+            }
+            assert!(is_connected(&g));
+            let tarjan: Vec<BlockId> = articulation_points(&g);
+            let naive: Vec<BlockId> = g
+                .block_ids_sorted()
+                .into_iter()
+                .filter(|&id| is_articulation(&g, g.position_of(id).unwrap()))
+                .collect();
+            assert_eq!(tarjan, naive);
+        }
+    }
+
+    #[test]
+    fn moves_preserve_connectivity_detects_split() {
+        // Moving the middle block of an L away splits the shape.
+        let g = grid_from(&[(0, 0), (1, 0), (2, 0)]);
+        assert!(!moves_preserve_connectivity(
+            &g,
+            &[(Pos::new(1, 0), Pos::new(1, 1))]
+        ));
+        // Moving an endpoint around the corner keeps it connected.
+        assert!(moves_preserve_connectivity(
+            &g,
+            &[(Pos::new(2, 0), Pos::new(1, 1))]
+        ));
+    }
+
+    #[test]
+    fn reachable_from_skip_excludes_cell() {
+        let g = grid_from(&[(0, 0), (1, 0), (2, 0)]);
+        let r = reachable_from(&g, Pos::new(0, 0), Some(Pos::new(1, 0)));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Pos::new(0, 0)));
+    }
+}

@@ -1,0 +1,181 @@
+//! The four lateral directions of the modular surface.
+//!
+//! Blocks only have actuators, sensors and communication ports on their
+//! four lateral sides (Section II of the paper), so every physical
+//! interaction — sensing a neighbour, exchanging a message, sliding along a
+//! support — happens along one of these directions.
+
+use std::fmt;
+
+/// One of the four lateral directions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Direction {
+    /// Towards increasing `y` (the top of the figures).
+    North,
+    /// Towards increasing `x`.
+    East,
+    /// Towards decreasing `y`.
+    South,
+    /// Towards decreasing `x`.
+    West,
+}
+
+impl Direction {
+    /// All four directions in `N, E, S, W` order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The `(dx, dy)` unit offset of the direction.
+    pub const fn delta(self) -> (i32, i32) {
+        match self {
+            Direction::North => (0, 1),
+            Direction::East => (1, 0),
+            Direction::South => (0, -1),
+            Direction::West => (-1, 0),
+        }
+    }
+
+    /// The opposite direction.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// Rotates the direction by 90° counter-clockwise.
+    pub const fn rotate_ccw(self) -> Direction {
+        match self {
+            Direction::North => Direction::West,
+            Direction::West => Direction::South,
+            Direction::South => Direction::East,
+            Direction::East => Direction::North,
+        }
+    }
+
+    /// Rotates the direction by 90° clockwise.
+    pub const fn rotate_cw(self) -> Direction {
+        self.rotate_ccw().opposite().rotate_ccw().opposite().rotate_ccw()
+    }
+
+    /// A stable small index (0..4) used for neighbour tables and the
+    /// per-side communication buffers of Fig. 8.
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+        }
+    }
+
+    /// The direction with the given [`Direction::index`].
+    pub const fn from_index(idx: usize) -> Option<Direction> {
+        match idx {
+            0 => Some(Direction::North),
+            1 => Some(Direction::East),
+            2 => Some(Direction::South),
+            3 => Some(Direction::West),
+            _ => None,
+        }
+    }
+
+    /// True when the direction is horizontal (east or west).
+    pub const fn is_horizontal(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+
+    /// True when the direction is vertical (north or south).
+    pub const fn is_vertical(self) -> bool {
+        matches!(self, Direction::North | Direction::South)
+    }
+
+    /// Short single-letter name (`N`, `E`, `S`, `W`).
+    pub const fn letter(self) -> char {
+        match self {
+            Direction::North => 'N',
+            Direction::East => 'E',
+            Direction::South => 'S',
+            Direction::West => 'W',
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Direction::North => "north",
+            Direction::East => "east",
+            Direction::South => "south",
+            Direction::West => "west",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_unit_vectors() {
+        for d in Direction::ALL {
+            let (dx, dy) = d.delta();
+            assert_eq!(dx.abs() + dy.abs(), 1);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn rotations_cycle_after_four_steps() {
+        for d in Direction::ALL {
+            assert_eq!(d.rotate_ccw().rotate_ccw().rotate_ccw().rotate_ccw(), d);
+            assert_eq!(d.rotate_cw().rotate_ccw(), d);
+            assert_eq!(d.rotate_ccw().rotate_cw(), d);
+        }
+    }
+
+    #[test]
+    fn rotate_ccw_matches_expected_cycle() {
+        assert_eq!(Direction::North.rotate_ccw(), Direction::West);
+        assert_eq!(Direction::West.rotate_ccw(), Direction::South);
+        assert_eq!(Direction::South.rotate_ccw(), Direction::East);
+        assert_eq!(Direction::East.rotate_ccw(), Direction::North);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), Some(d));
+        }
+        assert_eq!(Direction::from_index(4), None);
+    }
+
+    #[test]
+    fn horizontal_vertical_partition() {
+        for d in Direction::ALL {
+            assert!(d.is_horizontal() ^ d.is_vertical());
+        }
+    }
+
+    #[test]
+    fn letters_are_distinct() {
+        let letters: Vec<char> = Direction::ALL.iter().map(|d| d.letter()).collect();
+        assert_eq!(letters, vec!['N', 'E', 'S', 'W']);
+    }
+}

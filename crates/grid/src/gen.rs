@@ -1,0 +1,230 @@
+//! Seeded random generation of problem instances.
+//!
+//! The paper's evaluation is a single worked example (Figs. 10–11); to
+//! exercise the algorithm more broadly (Lemma 1, the complexity remarks,
+//! property tests) we generate random connected configurations with a
+//! reproducible RNG.
+
+use crate::bounds::Bounds;
+use crate::config::SurfaceConfig;
+use crate::grid::BlockId;
+use crate::pos::Pos;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a randomly generated instance.
+#[derive(Clone, Debug)]
+pub struct InstanceSpec {
+    /// Surface extent.
+    pub bounds: Bounds,
+    /// Input cell `I` (the Root starts here).
+    pub input: Pos,
+    /// Output cell `O`.
+    pub output: Pos,
+    /// Number of blocks, Root included.
+    pub blocks: usize,
+}
+
+impl InstanceSpec {
+    /// A spec whose shortest path needs exactly `blocks` cells
+    /// (`blocks - 1` hops), with `I` and `O` in the same column — the
+    /// shape of the paper's worked example, parameterised by size.
+    ///
+    /// The surface is made wide enough for the initial blob to spread next
+    /// to the target column.
+    pub fn column_instance(blocks: usize) -> InstanceSpec {
+        assert!(blocks >= 2, "need at least two blocks");
+        let height = blocks as u32;
+        let width = (blocks as u32 / 2 + 3).max(4);
+        InstanceSpec {
+            bounds: Bounds::new(width, height),
+            input: Pos::new(0, 0),
+            output: Pos::new(0, height as i32 - 1),
+            blocks,
+        }
+    }
+
+    /// A spec with `I` and `O` in "general position" (distinct rows and
+    /// columns) at Manhattan distance `blocks - 1`.
+    pub fn l_shaped_instance(blocks: usize) -> InstanceSpec {
+        assert!(blocks >= 3, "need at least three blocks");
+        let hops = (blocks - 1) as i32;
+        let dx = hops / 2;
+        let dy = hops - dx;
+        let width = (dx + blocks as i32 / 2 + 3) as u32;
+        let height = (dy + 3) as u32;
+        InstanceSpec {
+            bounds: Bounds::new(width, height),
+            input: Pos::new(width as i32 - 1 - blocks as i32 / 2, 0),
+            output: Pos::new(width as i32 - 1 - blocks as i32 / 2 - dx, dy),
+            blocks,
+        }
+    }
+}
+
+/// Grows a random connected blob of blocks anchored at the input cell.
+///
+/// The generated configuration satisfies Assumption 2 of the paper: the
+/// Root occupies `I`, the ensemble is connected with a two-dimensional
+/// topology (never a single line or column), and cells of the output's
+/// row/column other than `I` itself are avoided so that the path-building
+/// experiment starts from scratch.
+pub fn random_connected_config(spec: &InstanceSpec, seed: u64) -> SurfaceConfig {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    loop {
+        if let Some(cfg) = try_generate(spec, &mut rng) {
+            if cfg.check_assumptions().is_ok() {
+                return cfg;
+            }
+        }
+    }
+}
+
+fn try_generate(spec: &InstanceSpec, rng: &mut SmallRng) -> Option<SurfaceConfig> {
+    let mut cfg = SurfaceConfig::new(spec.bounds, spec.input, spec.output);
+    cfg.place_block(BlockId(1), spec.input).ok()?;
+    let mut next_id = 2u32;
+    let mut attempts = 0usize;
+    while cfg.block_count() < spec.blocks {
+        attempts += 1;
+        if attempts > spec.blocks * 200 {
+            return None;
+        }
+        // Candidate cells: free neighbours of the current blob, away from
+        // the output cell and (to leave the experiment interesting) not on
+        // the output's row or column unless unavoidable.
+        let mut candidates: Vec<Pos> = cfg
+            .grid()
+            .blocks()
+            .flat_map(|(_, p)| p.neighbors4())
+            .filter(|&p| cfg.grid().is_free(p) && p != spec.output)
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        let preferred: Vec<Pos> = candidates
+            .iter()
+            .copied()
+            .filter(|p| p.x != spec.output.x && p.y != spec.output.y)
+            .collect();
+        let pool = if preferred.is_empty() {
+            &candidates
+        } else {
+            &preferred
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        let p = pool[rng.gen_range(0..pool.len())];
+        if cfg.place_block(BlockId(next_id), p).is_ok() {
+            next_id += 1;
+        }
+    }
+    Some(cfg)
+}
+
+/// Deterministic, compact instance: a `rows × cols` rectangle of blocks
+/// whose south-west corner is the input cell.  Handy for tests that need a
+/// known dense shape.
+pub fn rectangle_config(
+    bounds: Bounds,
+    input: Pos,
+    output: Pos,
+    rows: u32,
+    cols: u32,
+) -> SurfaceConfig {
+    let mut cfg = SurfaceConfig::new(bounds, input, output);
+    let mut id = 1u32;
+    for dy in 0..rows as i32 {
+        for dx in 0..cols as i32 {
+            let p = input.offset(dx, dy);
+            if bounds.contains(p) && p != output {
+                cfg.place_block(BlockId(id), p).expect("free cell");
+                id += 1;
+            }
+        }
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_instance_spec_geometry() {
+        let spec = InstanceSpec::column_instance(12);
+        assert_eq!(spec.input.manhattan(spec.output), 11);
+        assert_eq!(spec.blocks, 12);
+        assert!(spec.bounds.contains(spec.input));
+        assert!(spec.bounds.contains(spec.output));
+    }
+
+    #[test]
+    fn l_shaped_instance_spec_geometry() {
+        for n in 3..30 {
+            let spec = InstanceSpec::l_shaped_instance(n);
+            assert_eq!(
+                spec.input.manhattan(spec.output),
+                (n - 1) as u32,
+                "blocks={n}"
+            );
+            assert!(spec.bounds.contains(spec.input));
+            assert!(spec.bounds.contains(spec.output));
+            assert_ne!(spec.input.x, spec.output.x);
+            assert_ne!(spec.input.y, spec.output.y);
+        }
+    }
+
+    #[test]
+    fn random_config_is_reproducible() {
+        let spec = InstanceSpec::column_instance(10);
+        let a = random_connected_config(&spec, 42);
+        let b = random_connected_config(&spec, 42);
+        assert_eq!(
+            a.grid().occupied_positions_sorted(),
+            b.grid().occupied_positions_sorted()
+        );
+        let c = random_connected_config(&spec, 43);
+        // Different seeds almost surely give different placements.
+        assert_ne!(
+            a.grid().occupied_positions_sorted(),
+            c.grid().occupied_positions_sorted()
+        );
+    }
+
+    #[test]
+    fn random_config_satisfies_assumptions() {
+        for seed in 0..10 {
+            let spec = InstanceSpec::column_instance(12);
+            let cfg = random_connected_config(&spec, seed);
+            assert_eq!(cfg.block_count(), 12);
+            assert!(cfg.check_assumptions().is_ok());
+            assert_eq!(cfg.root(), Some(BlockId(1)));
+            assert!(!cfg.grid().is_occupied(cfg.output()));
+        }
+    }
+
+    #[test]
+    fn random_l_shaped_config_satisfies_assumptions() {
+        for seed in 0..5 {
+            let spec = InstanceSpec::l_shaped_instance(9);
+            let cfg = random_connected_config(&spec, seed);
+            assert_eq!(cfg.block_count(), 9);
+            assert!(cfg.check_assumptions().is_ok());
+        }
+    }
+
+    #[test]
+    fn rectangle_config_places_expected_blocks() {
+        let cfg = rectangle_config(
+            Bounds::new(8, 8),
+            Pos::new(1, 0),
+            Pos::new(1, 7),
+            3,
+            4,
+        );
+        assert_eq!(cfg.block_count(), 12);
+        assert!(cfg.grid().is_connected());
+        assert!(cfg.check_assumptions().is_ok());
+    }
+}

@@ -1,0 +1,494 @@
+//! Occupancy of the surface: which block sits on which cell.
+
+use crate::bounds::Bounds;
+use crate::pos::Pos;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a block.  The paper numbers blocks (Figs. 10–11) to follow
+/// their progression; identifiers are stable across moves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The underlying integer.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for BlockId {
+    fn from(v: u32) -> Self {
+        BlockId(v)
+    }
+}
+
+/// Errors returned by occupancy mutations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// The position is outside the surface bounds.
+    OutOfBounds(Pos),
+    /// The destination cell already holds a block.
+    CellOccupied(Pos, BlockId),
+    /// The source cell holds no block.
+    CellEmpty(Pos),
+    /// The block identifier is already placed somewhere.
+    DuplicateBlock(BlockId),
+    /// The block identifier is unknown.
+    UnknownBlock(BlockId),
+    /// A batch of simultaneous moves targets the same destination twice.
+    ConflictingMoves(Pos),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::OutOfBounds(p) => write!(f, "position {p} is outside the surface"),
+            GridError::CellOccupied(p, id) => write!(f, "cell {p} is already occupied by {id}"),
+            GridError::CellEmpty(p) => write!(f, "cell {p} is empty"),
+            GridError::DuplicateBlock(id) => write!(f, "block {id} is already on the surface"),
+            GridError::UnknownBlock(id) => write!(f, "block {id} is not on the surface"),
+            GridError::ConflictingMoves(p) => {
+                write!(f, "two simultaneous moves target the same cell {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// The occupancy grid: a dense cell array plus a block-id index.
+///
+/// This is the ground truth the simulators maintain.  Individual blocks
+/// never read it directly — they only perceive their immediate
+/// neighbourhood through the sensing API of the runtimes — but the motion
+/// engine uses it to extract Presence Matrices and to check global
+/// invariants (connectivity, Remark 1).
+#[derive(Clone, PartialEq, Eq)]
+pub struct OccupancyGrid {
+    bounds: Bounds,
+    cells: Vec<Option<BlockId>>,
+    positions: HashMap<BlockId, Pos>,
+}
+
+impl OccupancyGrid {
+    /// Creates an empty grid with the given extent.
+    pub fn new(bounds: Bounds) -> Self {
+        OccupancyGrid {
+            bounds,
+            cells: vec![None; bounds.area()],
+            positions: HashMap::new(),
+        }
+    }
+
+    /// The surface extent.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    /// Number of blocks currently on the surface.
+    pub fn block_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The block occupying `pos`, if any.  Positions outside the surface
+    /// are reported as empty.
+    pub fn block_at(&self, pos: Pos) -> Option<BlockId> {
+        if !self.bounds.contains(pos) {
+            return None;
+        }
+        self.cells[self.bounds.index_of(pos)]
+    }
+
+    /// Whether `pos` is on the surface and holds a block.
+    pub fn is_occupied(&self, pos: Pos) -> bool {
+        self.block_at(pos).is_some()
+    }
+
+    /// Whether `pos` is on the surface and free.
+    pub fn is_free(&self, pos: Pos) -> bool {
+        self.bounds.contains(pos) && self.block_at(pos).is_none()
+    }
+
+    /// The position of a block.
+    pub fn position_of(&self, id: BlockId) -> Option<Pos> {
+        self.positions.get(&id).copied()
+    }
+
+    /// Iterates over `(BlockId, Pos)` pairs in unspecified order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, Pos)> + '_ {
+        self.positions.iter().map(|(id, pos)| (*id, *pos))
+    }
+
+    /// Iterates over block identifiers sorted by id (deterministic order).
+    pub fn block_ids_sorted(&self) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> = self.positions.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Places a new block on a free cell.
+    pub fn place(&mut self, id: BlockId, pos: Pos) -> Result<(), GridError> {
+        if !self.bounds.contains(pos) {
+            return Err(GridError::OutOfBounds(pos));
+        }
+        if self.positions.contains_key(&id) {
+            return Err(GridError::DuplicateBlock(id));
+        }
+        if let Some(existing) = self.block_at(pos) {
+            return Err(GridError::CellOccupied(pos, existing));
+        }
+        let idx = self.bounds.index_of(pos);
+        self.cells[idx] = Some(id);
+        self.positions.insert(id, pos);
+        Ok(())
+    }
+
+    /// Removes the block occupying `pos` and returns its identifier.
+    pub fn remove_at(&mut self, pos: Pos) -> Result<BlockId, GridError> {
+        if !self.bounds.contains(pos) {
+            return Err(GridError::OutOfBounds(pos));
+        }
+        let idx = self.bounds.index_of(pos);
+        match self.cells[idx].take() {
+            Some(id) => {
+                self.positions.remove(&id);
+                Ok(id)
+            }
+            None => Err(GridError::CellEmpty(pos)),
+        }
+    }
+
+    /// Moves the block at `from` to the free cell `to`.  This is an
+    /// *elementary motion* in the paper's vocabulary; rule-level validity
+    /// (support blocks, free cells in the north, …) is checked by
+    /// `sb-motion`, not here.
+    pub fn move_block(&mut self, from: Pos, to: Pos) -> Result<BlockId, GridError> {
+        if !self.bounds.contains(from) {
+            return Err(GridError::OutOfBounds(from));
+        }
+        if !self.bounds.contains(to) {
+            return Err(GridError::OutOfBounds(to));
+        }
+        let id = self
+            .block_at(from)
+            .ok_or(GridError::CellEmpty(from))?;
+        if let Some(existing) = self.block_at(to) {
+            return Err(GridError::CellOccupied(to, existing));
+        }
+        let from_idx = self.bounds.index_of(from);
+        let to_idx = self.bounds.index_of(to);
+        self.cells[from_idx] = None;
+        self.cells[to_idx] = Some(id);
+        self.positions.insert(id, to);
+        Ok(id)
+    }
+
+    /// Applies a set of *simultaneous* elementary moves, as required by the
+    /// carrying rules of Section IV where several adjacent blocks move at
+    /// the same time (a destination may coincide with another move's
+    /// source: code 5 of Table I, "a new block occupies immediately a cell
+    /// abandoned by a previous block").
+    ///
+    /// All sources are vacated first, then all destinations are filled, so
+    /// chains like `A -> B, B -> C` are legal in a single batch.  The batch
+    /// is validated before any mutation; on error the grid is unchanged.
+    pub fn apply_simultaneous_moves(
+        &mut self,
+        moves: &[(Pos, Pos)],
+    ) -> Result<Vec<BlockId>, GridError> {
+        // Validation pass.
+        let mut destinations = Vec::with_capacity(moves.len());
+        let mut sources = Vec::with_capacity(moves.len());
+        for &(from, to) in moves {
+            if !self.bounds.contains(from) {
+                return Err(GridError::OutOfBounds(from));
+            }
+            if !self.bounds.contains(to) {
+                return Err(GridError::OutOfBounds(to));
+            }
+            if self.block_at(from).is_none() {
+                return Err(GridError::CellEmpty(from));
+            }
+            if destinations.contains(&to) {
+                return Err(GridError::ConflictingMoves(to));
+            }
+            if sources.contains(&from) {
+                return Err(GridError::ConflictingMoves(from));
+            }
+            destinations.push(to);
+            sources.push(from);
+        }
+        // A destination must be free, or be the source of another move in
+        // the same batch (it will be vacated simultaneously).
+        for &(_, to) in moves {
+            if self.block_at(to).is_some() && !sources.contains(&to) {
+                return Err(GridError::CellOccupied(to, self.block_at(to).unwrap()));
+            }
+        }
+        // Execution: vacate all sources, then fill all destinations.
+        let mut moved = Vec::with_capacity(moves.len());
+        let mut staged: Vec<(BlockId, Pos)> = Vec::with_capacity(moves.len());
+        for &(from, to) in moves {
+            let idx = self.bounds.index_of(from);
+            let id = self.cells[idx].take().expect("validated above");
+            staged.push((id, to));
+        }
+        for (id, to) in staged {
+            let idx = self.bounds.index_of(to);
+            debug_assert!(self.cells[idx].is_none(), "conflict validated above");
+            self.cells[idx] = Some(id);
+            self.positions.insert(id, to);
+            moved.push(id);
+        }
+        Ok(moved)
+    }
+
+    /// Occupied lateral neighbours of `pos`, as `(Direction index order)`.
+    pub fn occupied_neighbors(&self, pos: Pos) -> Vec<(crate::Direction, BlockId)> {
+        crate::Direction::ALL
+            .iter()
+            .filter_map(|&d| self.block_at(pos.step(d)).map(|id| (d, id)))
+            .collect()
+    }
+
+    /// Extracts the `size × size` presence window centred on `center`
+    /// (`size` must be odd).  Row 0 of the result is the *northernmost*
+    /// row, matching the matrix notation of the paper (Eqs. 1–5), and
+    /// column 0 is the westernmost column.  Cells outside the surface
+    /// count as empty.
+    pub fn presence_window(&self, center: Pos, size: usize) -> Vec<Vec<bool>> {
+        assert!(size % 2 == 1, "presence window size must be odd");
+        let half = (size / 2) as i32;
+        let mut rows = Vec::with_capacity(size);
+        for row in 0..size as i32 {
+            let dy = half - row; // row 0 = north
+            let mut cells = Vec::with_capacity(size);
+            for col in 0..size as i32 {
+                let dx = col - half;
+                cells.push(self.is_occupied(center.offset(dx, dy)));
+            }
+            rows.push(cells);
+        }
+        rows
+    }
+
+    /// Whether the set of blocks is connected under 4-adjacency.
+    /// An empty grid and a single block are considered connected.
+    pub fn is_connected(&self) -> bool {
+        crate::connectivity::is_connected(self)
+    }
+
+    /// Positions of all blocks, sorted (deterministic order for hashing /
+    /// comparison in tests).
+    pub fn occupied_positions_sorted(&self) -> Vec<Pos> {
+        let mut v: Vec<Pos> = self.positions.values().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Debug for OccupancyGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OccupancyGrid({}x{}, {} blocks)",
+            self.bounds.width,
+            self.bounds.height,
+            self.block_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3x3_with_l_shape() -> OccupancyGrid {
+        // Blocks at (0,0), (1,0), (1,1)
+        let mut g = OccupancyGrid::new(Bounds::new(3, 3));
+        g.place(BlockId(1), Pos::new(0, 0)).unwrap();
+        g.place(BlockId(2), Pos::new(1, 0)).unwrap();
+        g.place(BlockId(3), Pos::new(1, 1)).unwrap();
+        g
+    }
+
+    #[test]
+    fn place_and_query() {
+        let g = grid3x3_with_l_shape();
+        assert_eq!(g.block_count(), 3);
+        assert_eq!(g.block_at(Pos::new(0, 0)), Some(BlockId(1)));
+        assert_eq!(g.position_of(BlockId(3)), Some(Pos::new(1, 1)));
+        assert!(g.is_free(Pos::new(2, 2)));
+        assert!(!g.is_free(Pos::new(5, 5))); // outside is not "free"
+        assert!(!g.is_occupied(Pos::new(5, 5)));
+    }
+
+    #[test]
+    fn place_errors() {
+        let mut g = grid3x3_with_l_shape();
+        assert_eq!(
+            g.place(BlockId(9), Pos::new(0, 0)),
+            Err(GridError::CellOccupied(Pos::new(0, 0), BlockId(1)))
+        );
+        assert_eq!(
+            g.place(BlockId(1), Pos::new(2, 2)),
+            Err(GridError::DuplicateBlock(BlockId(1)))
+        );
+        assert_eq!(
+            g.place(BlockId(9), Pos::new(7, 0)),
+            Err(GridError::OutOfBounds(Pos::new(7, 0)))
+        );
+    }
+
+    #[test]
+    fn move_block_updates_both_indices() {
+        let mut g = grid3x3_with_l_shape();
+        let id = g.move_block(Pos::new(1, 1), Pos::new(2, 1)).unwrap();
+        assert_eq!(id, BlockId(3));
+        assert_eq!(g.block_at(Pos::new(1, 1)), None);
+        assert_eq!(g.block_at(Pos::new(2, 1)), Some(BlockId(3)));
+        assert_eq!(g.position_of(BlockId(3)), Some(Pos::new(2, 1)));
+    }
+
+    #[test]
+    fn move_block_errors() {
+        let mut g = grid3x3_with_l_shape();
+        assert_eq!(
+            g.move_block(Pos::new(2, 2), Pos::new(2, 1)),
+            Err(GridError::CellEmpty(Pos::new(2, 2)))
+        );
+        assert_eq!(
+            g.move_block(Pos::new(0, 0), Pos::new(1, 0)),
+            Err(GridError::CellOccupied(Pos::new(1, 0), BlockId(2)))
+        );
+    }
+
+    #[test]
+    fn remove_at_frees_the_cell() {
+        let mut g = grid3x3_with_l_shape();
+        assert_eq!(g.remove_at(Pos::new(1, 0)), Ok(BlockId(2)));
+        assert_eq!(g.block_count(), 2);
+        assert!(g.is_free(Pos::new(1, 0)));
+        assert_eq!(
+            g.remove_at(Pos::new(1, 0)),
+            Err(GridError::CellEmpty(Pos::new(1, 0)))
+        );
+    }
+
+    #[test]
+    fn simultaneous_chain_moves_carrying() {
+        // The "east carrying" situation: block A at (0,1) and block B at
+        // (1,1) both move one cell east in the same step; B's destination
+        // (2,1) is free, A's destination (1,1) is B's source.
+        let mut g = OccupancyGrid::new(Bounds::new(4, 3));
+        g.place(BlockId(1), Pos::new(0, 1)).unwrap();
+        g.place(BlockId(2), Pos::new(1, 1)).unwrap();
+        g.place(BlockId(3), Pos::new(1, 0)).unwrap(); // support
+        let moves = [
+            (Pos::new(1, 1), Pos::new(2, 1)),
+            (Pos::new(0, 1), Pos::new(1, 1)),
+        ];
+        let moved = g.apply_simultaneous_moves(&moves).unwrap();
+        assert_eq!(moved, vec![BlockId(2), BlockId(1)]);
+        assert_eq!(g.block_at(Pos::new(2, 1)), Some(BlockId(2)));
+        assert_eq!(g.block_at(Pos::new(1, 1)), Some(BlockId(1)));
+        assert!(g.is_free(Pos::new(0, 1)));
+    }
+
+    #[test]
+    fn simultaneous_moves_reject_conflicts() {
+        let mut g = OccupancyGrid::new(Bounds::new(4, 3));
+        g.place(BlockId(1), Pos::new(0, 0)).unwrap();
+        g.place(BlockId(2), Pos::new(2, 0)).unwrap();
+        let before = g.clone();
+        // Both blocks target (1,0).
+        let err = g
+            .apply_simultaneous_moves(&[
+                (Pos::new(0, 0), Pos::new(1, 0)),
+                (Pos::new(2, 0), Pos::new(1, 0)),
+            ])
+            .unwrap_err();
+        assert_eq!(err, GridError::ConflictingMoves(Pos::new(1, 0)));
+        assert_eq!(g, before, "failed batch must not mutate the grid");
+    }
+
+    #[test]
+    fn simultaneous_moves_reject_occupied_destination() {
+        let mut g = grid3x3_with_l_shape();
+        let before = g.clone();
+        let err = g
+            .apply_simultaneous_moves(&[(Pos::new(0, 0), Pos::new(1, 0))])
+            .unwrap_err();
+        assert!(matches!(err, GridError::CellOccupied(_, _)));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn presence_window_matches_matrix_orientation() {
+        // Reproduce the Presence Matrix of Eq. (2):
+        //   0 0 0
+        //   1 1 0
+        //   1 1 1
+        // centred on the moving block.  Put the centre at (1,1):
+        // north row empty, centre row has blocks at west+centre,
+        // south row fully occupied.
+        let mut g = OccupancyGrid::new(Bounds::new(3, 3));
+        g.place(BlockId(1), Pos::new(0, 1)).unwrap();
+        g.place(BlockId(2), Pos::new(1, 1)).unwrap();
+        g.place(BlockId(3), Pos::new(0, 0)).unwrap();
+        g.place(BlockId(4), Pos::new(1, 0)).unwrap();
+        g.place(BlockId(5), Pos::new(2, 0)).unwrap();
+        let w = g.presence_window(Pos::new(1, 1), 3);
+        assert_eq!(
+            w,
+            vec![
+                vec![false, false, false],
+                vec![true, true, false],
+                vec![true, true, true],
+            ]
+        );
+    }
+
+    #[test]
+    fn presence_window_outside_cells_are_empty() {
+        let mut g = OccupancyGrid::new(Bounds::new(2, 2));
+        g.place(BlockId(1), Pos::new(0, 0)).unwrap();
+        let w = g.presence_window(Pos::new(0, 0), 3);
+        // Everything west / south of (0,0) is off-surface hence empty.
+        assert_eq!(w[2], vec![false, false, false]);
+        assert_eq!(w[1][0], false);
+        assert_eq!(w[1][1], true);
+    }
+
+    #[test]
+    fn occupied_neighbors_reports_directions() {
+        let g = grid3x3_with_l_shape();
+        let n = g.occupied_neighbors(Pos::new(1, 0));
+        // Block #2 at (1,0): north neighbour #3, west neighbour #1.
+        assert!(n.contains(&(crate::Direction::North, BlockId(3))));
+        assert!(n.contains(&(crate::Direction::West, BlockId(1))));
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn block_ids_sorted_is_deterministic() {
+        let g = grid3x3_with_l_shape();
+        assert_eq!(
+            g.block_ids_sorted(),
+            vec![BlockId(1), BlockId(2), BlockId(3)]
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Paths of cells on the surface.
+
+use crate::grid::OccupancyGrid;
+use crate::pos::Pos;
+use std::fmt;
+
+/// A sequence of cells from an origin to a destination.
+///
+/// The reconfiguration goal of the paper is to end up with a *shortest*
+/// path of blocks between the input `I` and the output `O`; this type
+/// carries the cells of such a path and offers the validity checks used by
+/// the tests and the driver.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Path {
+    cells: Vec<Pos>,
+}
+
+impl Path {
+    /// Builds a path from a list of cells.
+    pub fn new(cells: Vec<Pos>) -> Self {
+        Path { cells }
+    }
+
+    /// The cells of the path.
+    pub fn cells(&self) -> &[Pos] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the path has no cell.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of hops (edges), `len - 1` for non-empty paths.
+    pub fn hops(&self) -> usize {
+        self.cells.len().saturating_sub(1)
+    }
+
+    /// First cell, if any.
+    pub fn start(&self) -> Option<Pos> {
+        self.cells.first().copied()
+    }
+
+    /// Last cell, if any.
+    pub fn end(&self) -> Option<Pos> {
+        self.cells.last().copied()
+    }
+
+    /// Whether consecutive cells are 4-adjacent (a *chain*).
+    pub fn is_chain(&self) -> bool {
+        self.cells.windows(2).all(|w| w[0].is_adjacent4(w[1]))
+    }
+
+    /// Whether the path is a chain whose every hop strictly decreases the
+    /// Manhattan distance to its own last cell — i.e. a monotone, shortest
+    /// path between its endpoints.
+    pub fn is_shortest(&self) -> bool {
+        if self.cells.len() < 2 {
+            return true;
+        }
+        let goal = *self.cells.last().unwrap();
+        self.is_chain()
+            && self
+                .cells
+                .windows(2)
+                .all(|w| w[1].manhattan(goal) < w[0].manhattan(goal))
+    }
+
+    /// Whether every cell of the path is occupied by a block in `grid`.
+    pub fn is_fully_occupied(&self, grid: &OccupancyGrid) -> bool {
+        self.cells.iter().all(|&p| grid.is_occupied(p))
+    }
+
+    /// Whether the path is a valid *conveyor* path between `input` and
+    /// `output` on the given grid: a monotone shortest chain, fully
+    /// occupied, with the right endpoints.
+    pub fn is_valid_conveyor(&self, grid: &OccupancyGrid, input: Pos, output: Pos) -> bool {
+        self.start() == Some(input)
+            && self.end() == Some(output)
+            && self.is_shortest()
+            && self.is_fully_occupied(grid)
+            && self.hops() as u32 == input.manhattan(output)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.cells {
+            if !first {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<Pos>> for Path {
+    fn from(cells: Vec<Pos>) -> Self {
+        Path::new(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::grid::BlockId;
+
+    fn column_path(len: i32) -> Path {
+        Path::new((0..len).map(|y| Pos::new(0, y)).collect())
+    }
+
+    #[test]
+    fn empty_and_singleton_paths() {
+        let p = Path::default();
+        assert!(p.is_empty());
+        assert_eq!(p.hops(), 0);
+        assert!(p.is_chain());
+        assert!(p.is_shortest());
+        let s = Path::new(vec![Pos::new(3, 3)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.hops(), 0);
+        assert!(s.is_shortest());
+    }
+
+    #[test]
+    fn column_is_shortest_chain() {
+        let p = column_path(12);
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.hops(), 11);
+        assert!(p.is_chain());
+        assert!(p.is_shortest());
+    }
+
+    #[test]
+    fn detour_is_chain_but_not_shortest() {
+        let p = Path::new(vec![
+            Pos::new(0, 0),
+            Pos::new(1, 0),
+            Pos::new(1, 1),
+            Pos::new(0, 1),
+            Pos::new(0, 2),
+        ]);
+        assert!(p.is_chain());
+        assert!(!p.is_shortest());
+    }
+
+    #[test]
+    fn gap_breaks_the_chain() {
+        let p = Path::new(vec![Pos::new(0, 0), Pos::new(0, 2)]);
+        assert!(!p.is_chain());
+        assert!(!p.is_shortest());
+    }
+
+    #[test]
+    fn conveyor_validity_requires_occupancy_and_endpoints() {
+        let bounds = Bounds::new(4, 12);
+        let mut grid = OccupancyGrid::new(bounds);
+        let p = column_path(12);
+        let input = Pos::new(0, 0);
+        let output = Pos::new(0, 11);
+        assert!(!p.is_valid_conveyor(&grid, input, output));
+        for (i, &c) in p.cells().iter().enumerate() {
+            grid.place(BlockId(i as u32 + 1), c).unwrap();
+        }
+        assert!(p.is_valid_conveyor(&grid, input, output));
+        // Wrong endpoints.
+        assert!(!p.is_valid_conveyor(&grid, Pos::new(1, 0), output));
+        assert!(!p.is_valid_conveyor(&grid, input, Pos::new(0, 10)));
+    }
+
+    #[test]
+    fn display_is_arrow_separated() {
+        let p = Path::new(vec![Pos::new(0, 0), Pos::new(0, 1)]);
+        assert_eq!(p.to_string(), "(0, 0) -> (0, 1)");
+    }
+}

@@ -1,0 +1,252 @@
+//! Lattice positions.
+//!
+//! The paper describes the position of a node `B` as a two-dimensional
+//! vector `(B1, B2)` with `0 <= B1 < W` and `0 <= B2 < H`.  We use signed
+//! coordinates internally so that intermediate computations (offsets,
+//! matrix windows that extend past the surface border) never underflow;
+//! [`crate::Bounds::contains`] decides whether a position is actually on
+//! the surface.
+
+use crate::direction::Direction;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A position on the modular surface, addressed by column (`x`) and row
+/// (`y`).  `(0, 0)` is the bottom-left corner of the surface, matching the
+/// figures of the paper where the input `I` sits at the bottom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pos {
+    /// Column index (the paper's `B1`), grows towards the east.
+    pub x: i32,
+    /// Row index (the paper's `B2`), grows towards the north.
+    pub y: i32,
+}
+
+impl Pos {
+    /// Creates a new position.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Pos { x, y }
+    }
+
+    /// The Manhattan (L1) distance between two positions.  This is the
+    /// metric `|Oi - Bi| + |Oj - Bj|` used throughout Section V of the
+    /// paper, both for the initial `ShortestDistance` (Eq. 6) and for the
+    /// per-block distance `d_BO` (Eq. 10).
+    pub fn manhattan(&self, other: Pos) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// The Chebyshev (L∞) distance; handy for deciding whether a position
+    /// falls inside a 3×3 rule window centred somewhere.
+    pub fn chebyshev(&self, other: Pos) -> u32 {
+        self.x.abs_diff(other.x).max(self.y.abs_diff(other.y))
+    }
+
+    /// Returns the position one cell away in the given direction.
+    pub fn step(&self, dir: Direction) -> Pos {
+        let (dx, dy) = dir.delta();
+        Pos::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns the position offset by `(dx, dy)`.
+    pub fn offset(&self, dx: i32, dy: i32) -> Pos {
+        Pos::new(self.x + dx, self.y + dy)
+    }
+
+    /// The four lateral (von Neumann) neighbours, in `N, E, S, W` order.
+    /// These are the only cells a block can sense, touch and exchange
+    /// messages with (Section II: actuators and sensors sit on the four
+    /// lateral sides of a block).
+    pub fn neighbors4(&self) -> [Pos; 4] {
+        [
+            self.step(Direction::North),
+            self.step(Direction::East),
+            self.step(Direction::South),
+            self.step(Direction::West),
+        ]
+    }
+
+    /// The eight surrounding cells (Moore neighbourhood), row by row from
+    /// the north-west corner; used when extracting 3×3 presence windows.
+    pub fn neighbors8(&self) -> [Pos; 8] {
+        [
+            self.offset(-1, 1),
+            self.offset(0, 1),
+            self.offset(1, 1),
+            self.offset(-1, 0),
+            self.offset(1, 0),
+            self.offset(-1, -1),
+            self.offset(0, -1),
+            self.offset(1, -1),
+        ]
+    }
+
+    /// True if `other` is one of the four lateral neighbours.
+    pub fn is_adjacent4(&self, other: Pos) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// Returns the direction pointing from `self` towards `other` when the
+    /// two positions share a row or a column, `None` otherwise.
+    pub fn direction_to(&self, other: Pos) -> Option<Direction> {
+        if self == &other {
+            return None;
+        }
+        if self.x == other.x {
+            Some(if other.y > self.y {
+                Direction::North
+            } else {
+                Direction::South
+            })
+        } else if self.y == other.y {
+            Some(if other.x > self.x {
+                Direction::East
+            } else {
+                Direction::West
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Directions along which a single-cell step from `self` strictly
+    /// decreases the Manhattan distance to `target`.  This is the set of
+    /// admissible "one hop towards O" moves of Section V.A: the elected
+    /// block "moves only to an adjacent cell (one hop motion towards O)".
+    pub fn directions_towards(&self, target: Pos) -> Vec<Direction> {
+        let mut dirs = Vec::with_capacity(2);
+        if target.x > self.x {
+            dirs.push(Direction::East);
+        } else if target.x < self.x {
+            dirs.push(Direction::West);
+        }
+        if target.y > self.y {
+            dirs.push(Direction::North);
+        } else if target.y < self.y {
+            dirs.push(Direction::South);
+        }
+        dirs
+    }
+}
+
+impl Add<(i32, i32)> for Pos {
+    type Output = Pos;
+    fn add(self, rhs: (i32, i32)) -> Pos {
+        self.offset(rhs.0, rhs.1)
+    }
+}
+
+impl Sub<Pos> for Pos {
+    type Output = (i32, i32);
+    fn sub(self, rhs: Pos) -> (i32, i32) {
+        (self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Debug for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Pos {
+    fn from((x, y): (i32, i32)) -> Self {
+        Pos::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_matches_paper_metric() {
+        // Eq. (6): ShortestDistance = |Oi - Ii| + |Oj - Ij|.
+        let i = Pos::new(3, 0);
+        let o = Pos::new(0, 5);
+        assert_eq!(i.manhattan(o), 8);
+        assert_eq!(o.manhattan(i), 8);
+        assert_eq!(i.manhattan(i), 0);
+    }
+
+    #[test]
+    fn chebyshev_distance() {
+        assert_eq!(Pos::new(0, 0).chebyshev(Pos::new(2, -3)), 3);
+        assert_eq!(Pos::new(1, 1).chebyshev(Pos::new(1, 1)), 0);
+    }
+
+    #[test]
+    fn step_in_each_direction() {
+        let p = Pos::new(2, 2);
+        assert_eq!(p.step(Direction::North), Pos::new(2, 3));
+        assert_eq!(p.step(Direction::South), Pos::new(2, 1));
+        assert_eq!(p.step(Direction::East), Pos::new(3, 2));
+        assert_eq!(p.step(Direction::West), Pos::new(1, 2));
+    }
+
+    #[test]
+    fn neighbors4_are_all_adjacent() {
+        let p = Pos::new(5, 7);
+        for n in p.neighbors4() {
+            assert!(p.is_adjacent4(n));
+            assert_eq!(p.manhattan(n), 1);
+        }
+    }
+
+    #[test]
+    fn neighbors8_are_within_chebyshev_one() {
+        let p = Pos::new(0, 0);
+        let n8 = p.neighbors8();
+        assert_eq!(n8.len(), 8);
+        for n in n8 {
+            assert_eq!(p.chebyshev(n), 1);
+        }
+        // All distinct.
+        let mut sorted = n8.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn direction_to_aligned_positions() {
+        let p = Pos::new(2, 2);
+        assert_eq!(p.direction_to(Pos::new(2, 9)), Some(Direction::North));
+        assert_eq!(p.direction_to(Pos::new(2, 0)), Some(Direction::South));
+        assert_eq!(p.direction_to(Pos::new(7, 2)), Some(Direction::East));
+        assert_eq!(p.direction_to(Pos::new(0, 2)), Some(Direction::West));
+        assert_eq!(p.direction_to(Pos::new(3, 3)), None);
+        assert_eq!(p.direction_to(p), None);
+    }
+
+    #[test]
+    fn directions_towards_decrease_distance() {
+        let p = Pos::new(4, 1);
+        let o = Pos::new(1, 6);
+        let dirs = p.directions_towards(o);
+        assert_eq!(dirs, vec![Direction::West, Direction::North]);
+        for d in dirs {
+            assert!(p.step(d).manhattan(o) < p.manhattan(o));
+        }
+        // Aligned on a column: single direction.
+        assert_eq!(
+            Pos::new(1, 0).directions_towards(Pos::new(1, 6)),
+            vec![Direction::North]
+        );
+        // Already there: no direction.
+        assert!(o.directions_towards(o).is_empty());
+    }
+
+    #[test]
+    fn add_and_sub_operators() {
+        let p = Pos::new(1, 2) + (3, -1);
+        assert_eq!(p, Pos::new(4, 1));
+        assert_eq!(p - Pos::new(1, 2), (3, -1));
+    }
+}

@@ -1,0 +1,111 @@
+//! ASCII rendering of the surface (the poor man's VisibleSim viewport).
+//!
+//! The original evaluation used VisibleSim's OpenGL view (Figs. 2, 10, 11);
+//! here the simulators dump text frames, which is enough to follow the
+//! reconfiguration and to embed snapshots in documentation and tests.
+
+use crate::grid::OccupancyGrid;
+use crate::pos::Pos;
+use std::fmt::Write as _;
+
+/// Renders the grid in the compact token format understood by
+/// [`crate::SurfaceConfig::from_ascii`]: one character per cell separated
+/// by spaces, top row first.
+pub fn render_ascii(grid: &OccupancyGrid, input: Pos, output: Pos) -> String {
+    let b = grid.bounds();
+    let mut out = String::new();
+    for row in 0..b.height as i32 {
+        let y = b.height as i32 - 1 - row;
+        for x in 0..b.width as i32 {
+            let p = Pos::new(x, y);
+            let occupied = grid.is_occupied(p);
+            let c = if p == input {
+                if occupied {
+                    'I'
+                } else {
+                    'i'
+                }
+            } else if p == output {
+                if occupied {
+                    'o'
+                } else {
+                    'O'
+                }
+            } else if occupied {
+                '#'
+            } else {
+                '.'
+            };
+            if x > 0 {
+                out.push(' ');
+            }
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the grid with block identifiers (two digits, `..` for empty
+/// cells), plus `I`/`O` markers in the margin row/column labels.  Useful
+/// for following individual blocks across reconfiguration steps, like the
+/// numbered blocks of Figs. 10–11.
+pub fn render_with_ids(grid: &OccupancyGrid, input: Pos, output: Pos) -> String {
+    let b = grid.bounds();
+    let mut out = String::new();
+    for row in 0..b.height as i32 {
+        let y = b.height as i32 - 1 - row;
+        let _ = write!(out, "{y:>2} |");
+        for x in 0..b.width as i32 {
+            let p = Pos::new(x, y);
+            match grid.block_at(p) {
+                Some(id) => {
+                    let _ = write!(out, " {:>2}", id.as_u32());
+                }
+                None => {
+                    let marker = if p == input {
+                        " I"
+                    } else if p == output {
+                        " O"
+                    } else {
+                        " ."
+                    };
+                    let _ = write!(out, " {marker:>2}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "    ");
+    for x in 0..b.width as i32 {
+        let _ = write!(out, " {x:>2}");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::grid::BlockId;
+
+    #[test]
+    fn render_ascii_round_trips_through_config() {
+        let mut grid = OccupancyGrid::new(Bounds::new(3, 3));
+        grid.place(BlockId(1), Pos::new(0, 0)).unwrap();
+        grid.place(BlockId(2), Pos::new(1, 0)).unwrap();
+        let text = render_ascii(&grid, Pos::new(0, 0), Pos::new(0, 2));
+        assert_eq!(text, "O . .\n. . .\nI # .\n");
+    }
+
+    #[test]
+    fn render_with_ids_shows_block_numbers() {
+        let mut grid = OccupancyGrid::new(Bounds::new(2, 2));
+        grid.place(BlockId(7), Pos::new(1, 1)).unwrap();
+        let text = render_with_ids(&grid, Pos::new(0, 0), Pos::new(1, 0));
+        assert!(text.contains(" 7"));
+        assert!(text.contains(" I"));
+        assert!(text.contains(" O"));
+    }
+}

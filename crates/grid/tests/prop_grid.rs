@@ -1,0 +1,101 @@
+//! Property-based tests for the surface model.
+
+use proptest::prelude::*;
+use sb_grid::gen::{random_connected_config, InstanceSpec};
+use sb_grid::{connectivity, Bounds, OccupancyGrid, Pos};
+
+fn arb_pos(width: i32, height: i32) -> impl Strategy<Value = Pos> {
+    (0..width, 0..height).prop_map(|(x, y)| Pos::new(x, y))
+}
+
+proptest! {
+    /// Manhattan distance is a metric: symmetric, zero iff equal, and
+    /// satisfies the triangle inequality.
+    #[test]
+    fn manhattan_is_a_metric(a in arb_pos(20, 20), b in arb_pos(20, 20), c in arb_pos(20, 20)) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        if a != b {
+            prop_assert!(a.manhattan(b) > 0);
+        }
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    /// Every direction returned by `directions_towards` strictly decreases
+    /// the distance to the target, and there are at most two of them.
+    #[test]
+    fn directions_towards_strictly_decrease(a in arb_pos(20, 20), b in arb_pos(20, 20)) {
+        let dirs = a.directions_towards(b);
+        prop_assert!(dirs.len() <= 2);
+        for d in dirs {
+            prop_assert_eq!(a.step(d).manhattan(b) + 1, a.manhattan(b));
+        }
+    }
+
+    /// Bounds indexing is a bijection between contained positions and
+    /// 0..area.
+    #[test]
+    fn bounds_indexing_bijection(w in 1u32..30, h in 1u32..30) {
+        let b = Bounds::new(w, h);
+        let mut seen = vec![false; b.area()];
+        for p in b.iter() {
+            let idx = b.index_of(p);
+            prop_assert!(!seen[idx]);
+            seen[idx] = true;
+            prop_assert_eq!(b.pos_of(idx), p);
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Randomly generated configurations always satisfy Assumption 2 and
+    /// are connected; removing a non-articulation block keeps them
+    /// connected.
+    #[test]
+    fn generated_configs_respect_assumption2(blocks in 4usize..24, seed in 0u64..500) {
+        let spec = InstanceSpec::column_instance(blocks);
+        let cfg = random_connected_config(&spec, seed);
+        prop_assert_eq!(cfg.block_count(), blocks);
+        prop_assert!(cfg.check_assumptions().is_ok());
+        prop_assert!(cfg.grid().is_connected());
+
+        let arts = connectivity::articulation_points(cfg.grid());
+        let mut grid: OccupancyGrid = cfg.grid().clone();
+        // Remove one non-articulation block (if any) and re-check.
+        if let Some(id) = grid
+            .block_ids_sorted()
+            .into_iter()
+            .find(|id| !arts.contains(id))
+        {
+            let pos = grid.position_of(id).unwrap();
+            grid.remove_at(pos).unwrap();
+            prop_assert!(grid.is_connected());
+        }
+    }
+
+    /// The presence window always has the requested shape and its centre
+    /// mirrors `is_occupied`.
+    #[test]
+    fn presence_window_shape(seed in 0u64..200) {
+        let spec = InstanceSpec::l_shaped_instance(10);
+        let cfg = random_connected_config(&spec, seed);
+        let grid = cfg.grid();
+        for (_, p) in grid.blocks() {
+            let w = grid.presence_window(p, 3);
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(w.iter().all(|row| row.len() == 3));
+            prop_assert!(w[1][1]);
+        }
+    }
+
+    /// `occupied_shortest_path` only reports monotone fully-occupied paths.
+    #[test]
+    fn occupied_shortest_path_is_valid(seed in 0u64..200) {
+        let spec = InstanceSpec::column_instance(8);
+        let cfg = random_connected_config(&spec, seed);
+        let graph = cfg.graph();
+        if let Some(cells) = graph.occupied_shortest_path(cfg.grid()) {
+            let path = sb_grid::Path::new(cells);
+            prop_assert!(path.is_valid_conveyor(cfg.grid(), cfg.input(), cfg.output()));
+        }
+    }
+}

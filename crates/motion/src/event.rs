@@ -1,0 +1,184 @@
+//! Event codes of Table I and the validation truth table of Table II.
+
+use std::fmt;
+
+/// The six event codes describing what happens at one cell of the local
+/// neighbourhood while a motion rule executes (Table I of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventCode {
+    /// Code 0 — static: the cell remains empty.
+    RemainsEmpty,
+    /// Code 1 — static: the cell remains occupied by the same block.
+    RemainsOccupied,
+    /// Code 2 — static or dynamic: every possible event can occur at that
+    /// position (the cell has no incidence on the motion).
+    Any,
+    /// Code 3 — dynamic: an empty cell becomes occupied.
+    BecomesOccupied,
+    /// Code 4 — dynamic: an occupied cell becomes empty.
+    BecomesEmpty,
+    /// Code 5 — dynamic: a new block occupies immediately a cell abandoned
+    /// by a previous block (simultaneous hand-over, used by the carrying
+    /// rules).
+    Handover,
+}
+
+impl EventCode {
+    /// All codes in numeric order.
+    pub const ALL: [EventCode; 6] = [
+        EventCode::RemainsEmpty,
+        EventCode::RemainsOccupied,
+        EventCode::Any,
+        EventCode::BecomesOccupied,
+        EventCode::BecomesEmpty,
+        EventCode::Handover,
+    ];
+
+    /// The numeric code of Table I.
+    pub const fn code(self) -> u8 {
+        match self {
+            EventCode::RemainsEmpty => 0,
+            EventCode::RemainsOccupied => 1,
+            EventCode::Any => 2,
+            EventCode::BecomesOccupied => 3,
+            EventCode::BecomesEmpty => 4,
+            EventCode::Handover => 5,
+        }
+    }
+
+    /// Parses a numeric code.
+    pub const fn from_code(code: u8) -> Option<EventCode> {
+        match code {
+            0 => Some(EventCode::RemainsEmpty),
+            1 => Some(EventCode::RemainsOccupied),
+            2 => Some(EventCode::Any),
+            3 => Some(EventCode::BecomesOccupied),
+            4 => Some(EventCode::BecomesEmpty),
+            5 => Some(EventCode::Handover),
+            _ => None,
+        }
+    }
+
+    /// Whether the code describes a *static* context (the cell state does
+    /// not change during the motion).  Code 2 is "static or dynamic" and
+    /// reported as neither purely static nor purely dynamic.
+    pub const fn is_static(self) -> bool {
+        matches!(self, EventCode::RemainsEmpty | EventCode::RemainsOccupied)
+    }
+
+    /// Whether the code describes a *dynamic* context (the cell state
+    /// changes during the motion).
+    pub const fn is_dynamic(self) -> bool {
+        matches!(
+            self,
+            EventCode::BecomesOccupied | EventCode::BecomesEmpty | EventCode::Handover
+        )
+    }
+
+    /// Table II: whether this event is compatible with the initial
+    /// occupancy of the cell (`presence` is true when the cell initially
+    /// holds a block).
+    ///
+    /// | Motion \ Presence | 0 | 1 |
+    /// |---|---|---|
+    /// | 0 (remains empty)     | 1 | 0 |
+    /// | 1 (remains occupied)  | 0 | 1 |
+    /// | 2 (any)               | 1 | 1 |
+    /// | 3 (becomes occupied)  | 1 | 0 |
+    /// | 4 (becomes empty)     | 0 | 1 |
+    /// | 5 (hand-over)         | 0 | 1 |
+    pub const fn compatible_with(self, presence: bool) -> bool {
+        match (self, presence) {
+            (EventCode::RemainsEmpty, false) => true,
+            (EventCode::RemainsEmpty, true) => false,
+            (EventCode::RemainsOccupied, false) => false,
+            (EventCode::RemainsOccupied, true) => true,
+            (EventCode::Any, _) => true,
+            (EventCode::BecomesOccupied, false) => true,
+            (EventCode::BecomesOccupied, true) => false,
+            (EventCode::BecomesEmpty, false) => false,
+            (EventCode::BecomesEmpty, true) => true,
+            (EventCode::Handover, false) => false,
+            (EventCode::Handover, true) => true,
+        }
+    }
+
+    /// The occupancy of the cell *after* the motion completes, given its
+    /// initial occupancy.  Returns `None` for [`EventCode::Any`], whose
+    /// final state is unconstrained by this rule.
+    pub const fn final_occupancy(self, initial: bool) -> Option<bool> {
+        let _ = initial;
+        match self {
+            EventCode::RemainsEmpty | EventCode::BecomesEmpty => Some(false),
+            EventCode::RemainsOccupied | EventCode::BecomesOccupied | EventCode::Handover => {
+                Some(true)
+            }
+            EventCode::Any => None,
+        }
+    }
+}
+
+impl fmt::Display for EventCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for e in EventCode::ALL {
+            assert_eq!(EventCode::from_code(e.code()), Some(e));
+        }
+        assert_eq!(EventCode::from_code(6), None);
+        assert_eq!(EventCode::from_code(255), None);
+    }
+
+    #[test]
+    fn table_i_static_dynamic_partition() {
+        // Table I: codes 0 and 1 are static, 3-5 dynamic, 2 is both.
+        assert!(EventCode::RemainsEmpty.is_static());
+        assert!(EventCode::RemainsOccupied.is_static());
+        assert!(!EventCode::Any.is_static());
+        assert!(!EventCode::Any.is_dynamic());
+        assert!(EventCode::BecomesOccupied.is_dynamic());
+        assert!(EventCode::BecomesEmpty.is_dynamic());
+        assert!(EventCode::Handover.is_dynamic());
+    }
+
+    #[test]
+    fn table_ii_truth_table_exact() {
+        // Row "Presence = 0": 1 0 1 1 0 0
+        let row0: Vec<bool> = EventCode::ALL
+            .iter()
+            .map(|e| e.compatible_with(false))
+            .collect();
+        assert_eq!(row0, vec![true, false, true, true, false, false]);
+        // Row "Presence = 1": 0 1 1 0 1 1
+        let row1: Vec<bool> = EventCode::ALL
+            .iter()
+            .map(|e| e.compatible_with(true))
+            .collect();
+        assert_eq!(row1, vec![false, true, true, false, true, true]);
+    }
+
+    #[test]
+    fn final_occupancy_follows_the_event() {
+        assert_eq!(EventCode::RemainsEmpty.final_occupancy(false), Some(false));
+        assert_eq!(EventCode::RemainsOccupied.final_occupancy(true), Some(true));
+        assert_eq!(EventCode::BecomesOccupied.final_occupancy(false), Some(true));
+        assert_eq!(EventCode::BecomesEmpty.final_occupancy(true), Some(false));
+        assert_eq!(EventCode::Handover.final_occupancy(true), Some(true));
+        assert_eq!(EventCode::Any.final_occupancy(true), None);
+        assert_eq!(EventCode::Any.final_occupancy(false), None);
+    }
+
+    #[test]
+    fn display_prints_numeric_code() {
+        assert_eq!(EventCode::Handover.to_string(), "5");
+        assert_eq!(EventCode::RemainsEmpty.to_string(), "0");
+    }
+}

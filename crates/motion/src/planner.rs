@@ -1,0 +1,402 @@
+//! Motion planning queries over a rule catalogue.
+//!
+//! The distributed algorithm needs two questions answered for a block `B`:
+//!
+//! 1. *Can `B` move at all?* — used by Eq. (9): `d_BO = +∞` if no move is
+//!    possible for `B`.
+//! 2. *Which motions move `B` one hop towards the output `O`?* — used when
+//!    the elected block executes its hop (Section V.C).
+//!
+//! In the physical system each block evaluates its own rules against its
+//! locally sensed neighbourhood.  The planner performs exactly that local
+//! evaluation (rule windows only look at cells within the rule's radius);
+//! the simulation runtimes call it on behalf of a block, passing the
+//! block's position.
+
+use crate::catalog::RuleCatalog;
+use crate::rule::RuleError;
+use sb_grid::{connectivity, BlockId, OccupancyGrid, Pos};
+use std::fmt;
+
+/// A concrete, applicable instantiation of a rule: the rule anchored at a
+/// world position, with the world moves it would perform and the identity
+/// of the *subject* move (the elementary move whose source is the block
+/// the query was about).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedMotion {
+    /// Name of the rule that generated this motion.
+    pub rule_name: String,
+    /// World position of the rule window's centre.
+    pub anchor: Pos,
+    /// All simultaneous world moves `(from, to)` of the rule.
+    pub moves: Vec<(Pos, Pos)>,
+    /// Source cell of the subject block.
+    pub subject_from: Pos,
+    /// Destination cell of the subject block.
+    pub subject_to: Pos,
+}
+
+impl PlannedMotion {
+    /// Number of blocks that move simultaneously.
+    pub fn blocks_moved(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether executing this motion keeps the ensemble connected
+    /// (Remark 1).
+    pub fn preserves_connectivity(&self, grid: &OccupancyGrid) -> bool {
+        connectivity::moves_preserve_connectivity(grid, &self.moves)
+    }
+
+    /// Executes the motion on the grid.
+    pub fn apply(&self, grid: &mut OccupancyGrid) -> Result<Vec<BlockId>, RuleError> {
+        Ok(grid.apply_simultaneous_moves(&self.moves)?)
+    }
+
+    /// Manhattan progress of the subject block towards `target`
+    /// (positive = closer).
+    pub fn progress_towards(&self, target: Pos) -> i64 {
+        self.subject_from.manhattan(target) as i64 - self.subject_to.manhattan(target) as i64
+    }
+}
+
+impl fmt::Display for PlannedMotion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @{}: {} -> {} ({} block(s))",
+            self.rule_name,
+            self.anchor,
+            self.subject_from,
+            self.subject_to,
+            self.blocks_moved()
+        )
+    }
+}
+
+/// Planner over a rule catalogue.
+#[derive(Clone, Debug)]
+pub struct MotionPlanner {
+    catalog: RuleCatalog,
+    /// Whether planned motions must preserve the connectivity of the whole
+    /// ensemble (Remark 1).  On by default.
+    require_connectivity: bool,
+}
+
+impl MotionPlanner {
+    /// Creates a planner with connectivity preservation enabled.
+    pub fn new(catalog: RuleCatalog) -> Self {
+        MotionPlanner {
+            catalog,
+            require_connectivity: true,
+        }
+    }
+
+    /// Creates a planner with the standard catalogue.
+    pub fn standard() -> Self {
+        MotionPlanner::new(RuleCatalog::standard())
+    }
+
+    /// Disables the global connectivity filter (used by the free-motion
+    /// baseline of the 2013 paper, where blocks do not need support).
+    pub fn without_connectivity_check(mut self) -> Self {
+        self.require_connectivity = false;
+        self
+    }
+
+    /// The underlying catalogue.
+    pub fn catalog(&self) -> &RuleCatalog {
+        &self.catalog
+    }
+
+    /// All applicable motions in which the block at `pos` is one of the
+    /// moving blocks.  Duplicate motions (identical move sets produced by
+    /// different rules) are reported once.
+    pub fn motions_involving(&self, grid: &OccupancyGrid, pos: Pos) -> Vec<PlannedMotion> {
+        let mut out: Vec<PlannedMotion> = Vec::new();
+        if !grid.is_occupied(pos) {
+            return out;
+        }
+        for rule in self.catalog.rules() {
+            for (idx, em) in rule.moves().iter().enumerate() {
+                let (ox, oy) = rule.offset_of(em.from);
+                let anchor = pos.offset(-ox, -oy);
+                if !rule.applies_at(grid, anchor) {
+                    continue;
+                }
+                let moves = rule.world_moves(anchor);
+                let (subject_from, subject_to) = moves[idx];
+                debug_assert_eq!(subject_from, pos);
+                let planned = PlannedMotion {
+                    rule_name: rule.name().to_string(),
+                    anchor,
+                    moves,
+                    subject_from,
+                    subject_to,
+                };
+                if self.require_connectivity && !planned.preserves_connectivity(grid) {
+                    continue;
+                }
+                let duplicate = out.iter().any(|p| {
+                    p.subject_to == planned.subject_to && same_move_set(&p.moves, &planned.moves)
+                });
+                if !duplicate {
+                    out.push(planned);
+                }
+            }
+        }
+        out
+    }
+
+    /// The motions of [`MotionPlanner::motions_involving`] whose subject
+    /// block ends strictly closer to `target` — the admissible "one hop
+    /// towards O" moves of the elected block.
+    pub fn motions_towards(
+        &self,
+        grid: &OccupancyGrid,
+        pos: Pos,
+        target: Pos,
+    ) -> Vec<PlannedMotion> {
+        let mut motions: Vec<PlannedMotion> = self
+            .motions_involving(grid, pos)
+            .into_iter()
+            .filter(|m| m.progress_towards(target) > 0)
+            .collect();
+        // Deterministic order: fewest blocks moved first, then by
+        // destination, so the driver's choice is reproducible.
+        motions.sort_by_key(|m| (m.blocks_moved(), m.subject_to, m.rule_name.clone()));
+        motions
+    }
+
+    /// Whether the block at `pos` can execute any motion at all.
+    pub fn can_move(&self, grid: &OccupancyGrid, pos: Pos) -> bool {
+        !self.motions_involving(grid, pos).is_empty()
+    }
+
+    /// Whether the block at `pos` can execute a motion that brings it
+    /// strictly closer to `target` (the Eq. (9) feasibility test as used
+    /// by the election).
+    pub fn can_move_towards(&self, grid: &OccupancyGrid, pos: Pos, target: Pos) -> bool {
+        !self.motions_towards(grid, pos, target).is_empty()
+    }
+}
+
+fn same_move_set(a: &[(Pos, Pos)], b: &[(Pos, Pos)]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a_sorted = a.to_vec();
+    let mut b_sorted = b.to_vec();
+    a_sorted.sort();
+    b_sorted.sort();
+    a_sorted == b_sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_grid::SurfaceConfig;
+
+    /// A 2x3 rectangle of blocks on a 6x6 surface:
+    ///
+    /// ```text
+    /// . . . . . .
+    /// . . . . . .
+    /// . . . . . .
+    /// . . . . . .
+    /// # # # . . .
+    /// I # # . . .
+    /// ```
+    fn rectangle() -> SurfaceConfig {
+        SurfaceConfig::from_ascii(
+            "O . . . . .\n\
+             . . . . . .\n\
+             . . . . . .\n\
+             . . . . . .\n\
+             . # # # . .\n\
+             . I # # . .",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn corner_block_can_slide_along_the_top() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        // The block at the north-east corner of the blob (3, 1) can slide
+        // east (support south at (3,0) is absent -> actually the east
+        // slide needs support at south of source and destination).  It can
+        // however slide north? No support.  Check the reported motions are
+        // all valid and keep connectivity.
+        let motions = planner.motions_involving(cfg.grid(), sb_grid::Pos::new(3, 1));
+        for m in &motions {
+            assert!(m.preserves_connectivity(cfg.grid()));
+            assert_eq!(m.subject_from, sb_grid::Pos::new(3, 1));
+        }
+    }
+
+    #[test]
+    fn top_row_block_slides_east_with_support() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        // Block at (2,1): east sliding to (3,1)? destination occupied.
+        // Block at (3,1) can slide east to (4,1) only if supports at (3,0)
+        // and (4,0) — (4,0) is empty so the plain slide fails, but the
+        // mirrored variant with support in the north does not apply
+        // either.  The carry rule: block (3,1) moves east carried by
+        // (2,1)?  Support south of (3,1) is (3,0): occupied.  So a carry
+        // motion is available.
+        let motions = planner.motions_involving(cfg.grid(), sb_grid::Pos::new(3, 1));
+        assert!(
+            motions
+                .iter()
+                .any(|m| m.subject_to == sb_grid::Pos::new(4, 1) && m.blocks_moved() == 2),
+            "expected an east carry for the corner block, got: {motions:?}"
+        );
+    }
+
+    #[test]
+    fn interior_block_only_moves_through_handover() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        // Block at (2,0) is surrounded west/east/north by other blocks:
+        // the only way it can move into an occupied neighbouring cell is a
+        // carrying motion where that cell is vacated simultaneously
+        // (hand-over, code 5); a single-block slide into an occupied cell
+        // must never be reported.
+        let motions = planner.motions_involving(cfg.grid(), sb_grid::Pos::new(2, 0));
+        for m in &motions {
+            assert!(m.subject_to.y >= 0, "moves must stay on the surface");
+            if cfg.grid().is_occupied(m.subject_to) {
+                assert!(
+                    m.blocks_moved() > 1,
+                    "occupied destination requires a hand-over: {m:?}"
+                );
+                assert!(
+                    m.moves.iter().any(|&(from, _)| from == m.subject_to),
+                    "the occupied destination must be vacated in the same motion"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn motions_towards_filters_by_progress() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        let output = cfg.output(); // (0, 5)
+        let pos = sb_grid::Pos::new(3, 1);
+        for m in planner.motions_towards(cfg.grid(), pos, output) {
+            assert!(m.progress_towards(output) > 0);
+        }
+        // Towards the far north-east corner instead: progress must be
+        // towards that corner.
+        let corner = sb_grid::Pos::new(5, 5);
+        for m in planner.motions_towards(cfg.grid(), pos, corner) {
+            assert!(m.subject_to.manhattan(corner) < pos.manhattan(corner));
+        }
+    }
+
+    #[test]
+    fn connectivity_filter_blocks_disconnecting_moves() {
+        // A 2x2 square plus a tail block: moving the tail's neighbour
+        // would disconnect the tail.
+        let cfg = SurfaceConfig::from_ascii(
+            "O . . . .\n\
+             . . . . .\n\
+             # # . . .\n\
+             I # # # .",
+        )
+        .unwrap();
+        let planner = MotionPlanner::standard();
+        // Block at (2,0) is the articulation between the square and the
+        // tail at (3,0).
+        let motions = planner.motions_involving(cfg.grid(), sb_grid::Pos::new(2, 0));
+        for m in &motions {
+            assert!(m.preserves_connectivity(cfg.grid()));
+        }
+        // Without the connectivity check more motions may appear.
+        let free_planner = MotionPlanner::standard().without_connectivity_check();
+        let free_motions = free_planner.motions_involving(cfg.grid(), sb_grid::Pos::new(2, 0));
+        assert!(free_motions.len() >= motions.len());
+    }
+
+    #[test]
+    fn empty_cell_has_no_motion() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        assert!(planner
+            .motions_involving(cfg.grid(), sb_grid::Pos::new(5, 5))
+            .is_empty());
+        assert!(!planner.can_move(cfg.grid(), sb_grid::Pos::new(5, 5)));
+    }
+
+    #[test]
+    fn can_move_towards_is_consistent_with_motions_towards() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        let output = cfg.output();
+        for (_, pos) in cfg.grid().blocks() {
+            assert_eq!(
+                planner.can_move_towards(cfg.grid(), pos, output),
+                !planner.motions_towards(cfg.grid(), pos, output).is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn climbing_a_column_is_possible() {
+        // A column of blocks with a climber on its east side: the climber
+        // must be able to slide north using the column as support
+        // (rotated sliding rule).
+        let cfg = SurfaceConfig::from_ascii(
+            "O . . .\n\
+             . . . .\n\
+             . . . .\n\
+             . # . .\n\
+             . # # .\n\
+             . I # .",
+        )
+        .unwrap();
+        let planner = MotionPlanner::standard();
+        let climber = sb_grid::Pos::new(2, 1);
+        let output = cfg.output();
+        let motions = planner.motions_towards(cfg.grid(), climber, output);
+        assert!(
+            motions
+                .iter()
+                .any(|m| m.subject_to == sb_grid::Pos::new(2, 2)),
+            "climber should slide north along the column, got {motions:?}"
+        );
+    }
+
+    #[test]
+    fn corner_crossing_requires_carrying() {
+        // The climber sits east of the column top; the only way to keep
+        // progressing is a carry (as block #5 does for block #9 in
+        // Fig. 10).  With the sliding-only catalogue nothing applies.
+        let cfg = SurfaceConfig::from_ascii(
+            "O . . .\n\
+             . . . .\n\
+             . # . .\n\
+             . # # .\n\
+             . # # .\n\
+             . I . .",
+        )
+        .unwrap();
+        let climber = sb_grid::Pos::new(2, 2);
+        let output = cfg.output();
+        let standard = MotionPlanner::standard();
+        let sliding_only = MotionPlanner::new(RuleCatalog::sliding_only());
+        let with_carry = standard.motions_towards(cfg.grid(), climber, output);
+        let without_carry = sliding_only.motions_towards(cfg.grid(), climber, output);
+        assert!(
+            !with_carry.is_empty(),
+            "carrying should enable progress at the corner"
+        );
+        assert!(
+            without_carry.len() < with_carry.len(),
+            "sliding-only should offer strictly fewer options"
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! Motion rules: a Motion Matrix plus the simultaneous elementary moves it
+//! triggers (the `<capability>` elements of the XML file of Fig. 7).
+
+use crate::matrix::{MatrixCoord, MotionMatrix, PresenceMatrix};
+use crate::EventCode;
+use sb_grid::{BlockId, GridError, OccupancyGrid, Pos};
+use std::fmt;
+
+/// One elementary move inside a rule: the block at matrix cell `from`
+/// slides to matrix cell `to` at logical time `time` (all the moves of the
+/// rules in the paper happen at time 0, i.e. simultaneously, but the XML
+/// schema carries the attribute so we keep it).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ElementaryMove {
+    /// Logical time offset of the move inside the rule.
+    pub time: u32,
+    /// Source cell in matrix coordinates.
+    pub from: MatrixCoord,
+    /// Destination cell in matrix coordinates.
+    pub to: MatrixCoord,
+}
+
+impl ElementaryMove {
+    /// Creates an elementary move happening at time 0.
+    pub const fn new(from: MatrixCoord, to: MatrixCoord) -> Self {
+        ElementaryMove { time: 0, from, to }
+    }
+
+    /// Creates an elementary move with an explicit time offset.
+    pub const fn at_time(time: u32, from: MatrixCoord, to: MatrixCoord) -> Self {
+        ElementaryMove { time, from, to }
+    }
+}
+
+impl fmt::Display for ElementaryMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{} {} -> {}", self.time, self.from, self.to)
+    }
+}
+
+/// Errors raised while building or applying a rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleError {
+    /// The rule declares no elementary move.
+    NoMoves,
+    /// A move starts from a cell whose event code does not release a block
+    /// (neither `BecomesEmpty` nor `Handover`).
+    SourceNotDeparture(MatrixCoord),
+    /// A move arrives at a cell whose event code does not receive a block
+    /// (neither `BecomesOccupied` nor `Handover`).
+    DestinationNotArrival(MatrixCoord),
+    /// A departure cell of the matrix has no associated move.
+    UnmatchedDeparture(MatrixCoord),
+    /// An arrival cell of the matrix has no associated move.
+    UnmatchedArrival(MatrixCoord),
+    /// A move is not a single-cell rectilinear step.
+    NonRectilinearMove(MatrixCoord, MatrixCoord),
+    /// Two moves share a source or a destination.
+    ConflictingMoves(MatrixCoord),
+    /// The rule does not validate against the occupancy around the anchor.
+    NotApplicable,
+    /// A destination cell falls outside the surface.
+    OutsideSurface(Pos),
+    /// The underlying grid mutation failed.
+    Grid(GridError),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::NoMoves => write!(f, "rule declares no elementary move"),
+            RuleError::SourceNotDeparture(c) => {
+                write!(f, "move source {c} is not a departure cell (code 4 or 5)")
+            }
+            RuleError::DestinationNotArrival(c) => {
+                write!(f, "move destination {c} is not an arrival cell (code 3 or 5)")
+            }
+            RuleError::UnmatchedDeparture(c) => {
+                write!(f, "departure cell {c} has no associated move")
+            }
+            RuleError::UnmatchedArrival(c) => write!(f, "arrival cell {c} has no associated move"),
+            RuleError::NonRectilinearMove(a, b) => {
+                write!(f, "move {a} -> {b} is not a single-cell rectilinear step")
+            }
+            RuleError::ConflictingMoves(c) => write!(f, "cell {c} appears in two moves"),
+            RuleError::NotApplicable => write!(f, "rule does not apply at this anchor"),
+            RuleError::OutsideSurface(p) => write!(f, "destination {p} is outside the surface"),
+            RuleError::Grid(e) => write!(f, "grid error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl From<GridError> for RuleError {
+    fn from(e: GridError) -> Self {
+        RuleError::Grid(e)
+    }
+}
+
+/// A named, validated block-motion rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MotionRule {
+    name: String,
+    matrix: MotionMatrix,
+    moves: Vec<ElementaryMove>,
+}
+
+impl MotionRule {
+    /// Builds a rule, verifying its internal consistency:
+    ///
+    /// * at least one elementary move,
+    /// * each move source carries code 4 (`BecomesEmpty`) or 5
+    ///   (`Handover`), each destination code 3 (`BecomesOccupied`) or 5,
+    /// * every dynamic cell of the matrix is covered by exactly one move,
+    /// * moves are single-cell rectilinear steps (the only motions the
+    ///   actuators allow).
+    pub fn new(
+        name: impl Into<String>,
+        matrix: MotionMatrix,
+        moves: Vec<ElementaryMove>,
+    ) -> Result<Self, RuleError> {
+        if moves.is_empty() {
+            return Err(RuleError::NoMoves);
+        }
+        let mut sources = Vec::new();
+        let mut dests = Vec::new();
+        for m in &moves {
+            let from_code = matrix.get(m.from);
+            if !matches!(from_code, EventCode::BecomesEmpty | EventCode::Handover) {
+                return Err(RuleError::SourceNotDeparture(m.from));
+            }
+            let to_code = matrix.get(m.to);
+            if !matches!(to_code, EventCode::BecomesOccupied | EventCode::Handover) {
+                return Err(RuleError::DestinationNotArrival(m.to));
+            }
+            let dc = m.from.col.abs_diff(m.to.col);
+            let dr = m.from.row.abs_diff(m.to.row);
+            if dc + dr != 1 {
+                return Err(RuleError::NonRectilinearMove(m.from, m.to));
+            }
+            if sources.contains(&m.from) {
+                return Err(RuleError::ConflictingMoves(m.from));
+            }
+            if dests.contains(&m.to) {
+                return Err(RuleError::ConflictingMoves(m.to));
+            }
+            sources.push(m.from);
+            dests.push(m.to);
+        }
+        for dep in matrix.departure_cells() {
+            if !sources.contains(&dep) {
+                return Err(RuleError::UnmatchedDeparture(dep));
+            }
+        }
+        for arr in matrix.arrival_cells() {
+            if !dests.contains(&arr) {
+                return Err(RuleError::UnmatchedArrival(arr));
+            }
+        }
+        Ok(MotionRule {
+            name: name.into(),
+            matrix,
+            moves,
+        })
+    }
+
+    /// The rule name (e.g. `east1`, `carry_east1`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The Motion Matrix.
+    pub fn matrix(&self) -> &MotionMatrix {
+        &self.matrix
+    }
+
+    /// The elementary moves.
+    pub fn moves(&self) -> &[ElementaryMove] {
+        &self.moves
+    }
+
+    /// Renames the rule (used when deriving symmetric variants).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Side length of the rule's window.
+    pub fn size(&self) -> usize {
+        self.matrix.size()
+    }
+
+    /// Whether the rule validates against the given presence matrix
+    /// (the `MM ⊗ MP` operator).
+    pub fn validates(&self, presence: &PresenceMatrix) -> bool {
+        self.matrix.validates(presence)
+    }
+
+    /// Converts a matrix coordinate to a world offset relative to the
+    /// anchor (the world position of the matrix centre): columns grow
+    /// eastwards, rows grow southwards.
+    pub fn offset_of(&self, coord: MatrixCoord) -> (i32, i32) {
+        let c = (self.matrix.size() / 2) as i32;
+        (coord.col as i32 - c, c - coord.row as i32)
+    }
+
+    /// The world-coordinate elementary moves triggered by anchoring the
+    /// rule's centre at `anchor`, in declaration order.
+    pub fn world_moves(&self, anchor: Pos) -> Vec<(Pos, Pos)> {
+        self.moves
+            .iter()
+            .map(|m| {
+                let (fx, fy) = self.offset_of(m.from);
+                let (tx, ty) = self.offset_of(m.to);
+                (anchor.offset(fx, fy), anchor.offset(tx, ty))
+            })
+            .collect()
+    }
+
+    /// Whether the rule applies when its centre is anchored at `anchor` on
+    /// the given grid: the presence window must validate and every
+    /// destination must fall on the surface.
+    ///
+    /// This is the purely *local* check a block can perform with its own
+    /// sensors; global constraints (connectivity of the whole ensemble,
+    /// Remark 1) are enforced by the planner.
+    pub fn applies_at(&self, grid: &OccupancyGrid, anchor: Pos) -> bool {
+        let window = grid.presence_window(anchor, self.size());
+        let presence = match PresenceMatrix::from_window(&window) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        if !self.validates(&presence) {
+            return false;
+        }
+        self.world_moves(anchor)
+            .iter()
+            .all(|&(_, to)| grid.bounds().contains(to))
+    }
+
+    /// Applies the rule at `anchor`, mutating the grid.  Returns the
+    /// blocks that moved, in declaration order of the elementary moves.
+    pub fn apply_at(&self, grid: &mut OccupancyGrid, anchor: Pos) -> Result<Vec<BlockId>, RuleError> {
+        if !self.applies_at(grid, anchor) {
+            return Err(RuleError::NotApplicable);
+        }
+        for &(_, to) in &self.world_moves(anchor) {
+            if !grid.bounds().contains(to) {
+                return Err(RuleError::OutsideSurface(to));
+            }
+        }
+        Ok(grid.apply_simultaneous_moves(&self.world_moves(anchor))?)
+    }
+}
+
+impl fmt::Display for MotionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rule {} ({}x{}):", self.name, self.size(), self.size())?;
+        write!(f, "{}", self.matrix)?;
+        for m in &self.moves {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_grid::Bounds;
+
+    fn east_sliding() -> MotionRule {
+        MotionRule::new(
+            "east1",
+            MotionMatrix::from_codes(3, &[2, 0, 0, 2, 4, 3, 2, 1, 1]).unwrap(),
+            vec![ElementaryMove::new(
+                MatrixCoord::new(1, 1),
+                MatrixCoord::new(2, 1),
+            )],
+        )
+        .unwrap()
+    }
+
+    fn east_carrying() -> MotionRule {
+        MotionRule::new(
+            "carry_east1",
+            MotionMatrix::from_codes(3, &[0, 0, 0, 4, 5, 3, 2, 1, 2]).unwrap(),
+            vec![
+                ElementaryMove::new(MatrixCoord::new(1, 1), MatrixCoord::new(2, 1)),
+                ElementaryMove::new(MatrixCoord::new(0, 1), MatrixCoord::new(1, 1)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn well_formedness_rejects_bad_rules() {
+        let mm = MotionMatrix::from_codes(3, &[2, 0, 0, 2, 4, 3, 2, 1, 1]).unwrap();
+        // No moves.
+        assert_eq!(
+            MotionRule::new("x", mm.clone(), vec![]).unwrap_err(),
+            RuleError::NoMoves
+        );
+        // Source cell is not a departure cell.
+        assert_eq!(
+            MotionRule::new(
+                "x",
+                mm.clone(),
+                vec![ElementaryMove::new(
+                    MatrixCoord::new(1, 2),
+                    MatrixCoord::new(2, 1)
+                )]
+            )
+            .unwrap_err(),
+            RuleError::SourceNotDeparture(MatrixCoord::new(1, 2))
+        );
+        // Destination cell is not an arrival cell.
+        assert_eq!(
+            MotionRule::new(
+                "x",
+                mm.clone(),
+                vec![ElementaryMove::new(
+                    MatrixCoord::new(1, 1),
+                    MatrixCoord::new(0, 1)
+                )]
+            )
+            .unwrap_err(),
+            RuleError::DestinationNotArrival(MatrixCoord::new(0, 1))
+        );
+        // Non-rectilinear (diagonal) move.
+        let mm_diag = MotionMatrix::from_codes(3, &[2, 0, 3, 2, 4, 0, 2, 1, 1]).unwrap();
+        assert_eq!(
+            MotionRule::new(
+                "x",
+                mm_diag,
+                vec![ElementaryMove::new(
+                    MatrixCoord::new(1, 1),
+                    MatrixCoord::new(2, 0)
+                )]
+            )
+            .unwrap_err(),
+            RuleError::NonRectilinearMove(MatrixCoord::new(1, 1), MatrixCoord::new(2, 0))
+        );
+        // A dynamic cell of the matrix not covered by any move.
+        let mm_two = MotionMatrix::from_codes(3, &[2, 0, 3, 2, 4, 3, 2, 1, 1]).unwrap();
+        assert!(matches!(
+            MotionRule::new(
+                "x",
+                mm_two,
+                vec![ElementaryMove::new(
+                    MatrixCoord::new(1, 1),
+                    MatrixCoord::new(2, 1)
+                )]
+            )
+            .unwrap_err(),
+            RuleError::UnmatchedArrival(_)
+        ));
+    }
+
+    #[test]
+    fn world_moves_use_paper_orientation() {
+        // Anchored at (3, 2): the east-sliding move goes to (4, 2).
+        let rule = east_sliding();
+        assert_eq!(
+            rule.world_moves(Pos::new(3, 2)),
+            vec![(Pos::new(3, 2), Pos::new(4, 2))]
+        );
+        // Carrying anchored at (3, 2): centre block to the east, the west
+        // block into the centre.
+        let carry = east_carrying();
+        assert_eq!(
+            carry.world_moves(Pos::new(3, 2)),
+            vec![
+                (Pos::new(3, 2), Pos::new(4, 2)),
+                (Pos::new(2, 2), Pos::new(3, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fig3_east_sliding_applies_and_moves() {
+        // Reconstruct the Fig. 3 situation on a real grid: moving block at
+        // (1, 1), support blocks at (1, 0) and (2, 0), a western column.
+        let mut grid = OccupancyGrid::new(Bounds::new(4, 3));
+        grid.place(BlockId(1), Pos::new(0, 1)).unwrap();
+        grid.place(BlockId(2), Pos::new(1, 1)).unwrap();
+        grid.place(BlockId(3), Pos::new(0, 0)).unwrap();
+        grid.place(BlockId(4), Pos::new(1, 0)).unwrap();
+        grid.place(BlockId(5), Pos::new(2, 0)).unwrap();
+        let rule = east_sliding();
+        let anchor = Pos::new(1, 1);
+        assert!(rule.applies_at(&grid, anchor));
+        let moved = rule.apply_at(&mut grid, anchor).unwrap();
+        assert_eq!(moved, vec![BlockId(2)]);
+        assert_eq!(grid.block_at(Pos::new(2, 1)), Some(BlockId(2)));
+        assert!(grid.is_free(Pos::new(1, 1)));
+    }
+
+    #[test]
+    fn east_sliding_rejected_without_support() {
+        // Same situation but no support under the destination: Fig. 5.
+        let mut grid = OccupancyGrid::new(Bounds::new(4, 3));
+        grid.place(BlockId(1), Pos::new(0, 1)).unwrap();
+        grid.place(BlockId(2), Pos::new(1, 1)).unwrap();
+        grid.place(BlockId(3), Pos::new(0, 0)).unwrap();
+        grid.place(BlockId(4), Pos::new(1, 0)).unwrap();
+        let rule = east_sliding();
+        assert!(!rule.applies_at(&grid, Pos::new(1, 1)));
+        assert_eq!(
+            rule.apply_at(&mut grid, Pos::new(1, 1)).unwrap_err(),
+            RuleError::NotApplicable
+        );
+    }
+
+    #[test]
+    fn carrying_moves_two_blocks_simultaneously() {
+        let mut grid = OccupancyGrid::new(Bounds::new(5, 3));
+        grid.place(BlockId(9), Pos::new(0, 1)).unwrap(); // carried
+        grid.place(BlockId(5), Pos::new(1, 1)).unwrap(); // carrier
+        grid.place(BlockId(10), Pos::new(1, 0)).unwrap(); // support
+        let carry = east_carrying();
+        let anchor = Pos::new(1, 1);
+        assert!(carry.applies_at(&grid, anchor));
+        let moved = carry.apply_at(&mut grid, anchor).unwrap();
+        assert_eq!(moved, vec![BlockId(5), BlockId(9)]);
+        assert_eq!(grid.block_at(Pos::new(2, 1)), Some(BlockId(5)));
+        assert_eq!(grid.block_at(Pos::new(1, 1)), Some(BlockId(9)));
+        assert!(grid.is_free(Pos::new(0, 1)));
+    }
+
+    #[test]
+    fn destination_outside_surface_is_rejected() {
+        // Block on the eastern border cannot slide east off the surface.
+        let mut grid = OccupancyGrid::new(Bounds::new(2, 2));
+        grid.place(BlockId(1), Pos::new(1, 1)).unwrap();
+        grid.place(BlockId(2), Pos::new(1, 0)).unwrap();
+        grid.place(BlockId(3), Pos::new(0, 0)).unwrap();
+        grid.place(BlockId(4), Pos::new(0, 1)).unwrap();
+        let rule = east_sliding();
+        assert!(!rule.applies_at(&grid, Pos::new(1, 1)));
+    }
+
+    #[test]
+    fn display_includes_matrix_and_moves() {
+        let text = east_carrying().to_string();
+        assert!(text.contains("carry_east1"));
+        assert!(text.contains("4 5 3"));
+        assert!(text.contains("1,1 -> 2,1"));
+    }
+}

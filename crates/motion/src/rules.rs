@@ -1,0 +1,162 @@
+//! The base motion rules presented in Section IV of the paper.
+//!
+//! The paper presents two families explicitly — "east sliding" (Eqs. 1–3,
+//! Fig. 3) and "east carrying" (Eqs. 4–5, Fig. 6) — and states that the
+//! other admissible motions are obtained by symmetry or rotation of these.
+//! [`crate::RuleCatalog::standard`] generates those orbits.
+
+use crate::matrix::{MatrixCoord, MotionMatrix};
+use crate::rule::{ElementaryMove, MotionRule};
+
+/// The "east sliding" rule (Eq. 1): the central block slides one cell to
+/// the east over two support blocks located south of its initial and final
+/// positions, with the cells north of both positions free.
+///
+/// ```text
+/// 2 0 0
+/// 2 4 3
+/// 2 1 1
+/// ```
+pub fn east_sliding() -> MotionRule {
+    MotionRule::new(
+        "east1",
+        MotionMatrix::from_codes(3, &[2, 0, 0, 2, 4, 3, 2, 1, 1]).expect("valid codes"),
+        vec![ElementaryMove::new(
+            MatrixCoord::new(1, 1),
+            MatrixCoord::new(2, 1),
+        )],
+    )
+    .expect("east sliding rule is well formed")
+}
+
+/// The "east carrying" rule (Eq. 4): two adjacent blocks move east
+/// simultaneously; the rear block takes over the cell abandoned by the
+/// front block (code 5), supported by a block south of the front block.
+///
+/// ```text
+/// 0 0 0
+/// 4 5 3
+/// 2 1 2
+/// ```
+pub fn east_carrying() -> MotionRule {
+    MotionRule::new(
+        "carry_east1",
+        MotionMatrix::from_codes(3, &[0, 0, 0, 4, 5, 3, 2, 1, 2]).expect("valid codes"),
+        vec![
+            ElementaryMove::new(MatrixCoord::new(1, 1), MatrixCoord::new(2, 1)),
+            ElementaryMove::new(MatrixCoord::new(0, 1), MatrixCoord::new(1, 1)),
+        ],
+    )
+    .expect("east carrying rule is well formed")
+}
+
+/// The "east wall slide" rule: a more permissive sliding family that the
+/// paper does not print but explicitly allows for ("we do not present
+/// here all the block motions rules […] a block motion that is not valid
+/// for a given Motion Matrix and Presence Matrix may be valid for the
+/// same Presence Matrix and a different Motion Matrix").
+///
+/// The block slides east along a wall of support blocks to its south; the
+/// cells north of the source and destination are *don't care* (they may be
+/// occupied — sliding into a one-cell-wide pocket between two walls is
+/// mechanically identical to sliding along a single wall, the
+/// electro-permanent magnets simply engage on both sides).
+///
+/// ```text
+/// 2 2 2
+/// 2 4 3
+/// 2 1 1
+/// ```
+pub fn east_wall_slide() -> MotionRule {
+    MotionRule::new(
+        "wall_east1",
+        MotionMatrix::from_codes(3, &[2, 2, 2, 2, 4, 3, 2, 1, 1]).expect("valid codes"),
+        vec![ElementaryMove::new(
+            MatrixCoord::new(1, 1),
+            MatrixCoord::new(2, 1),
+        )],
+    )
+    .expect("east wall slide rule is well formed")
+}
+
+/// The "east wall carry" rule: the carrying counterpart of
+/// [`east_wall_slide`] — two adjacent blocks advance east supported by a
+/// wall south of the front block, with the remaining cells left
+/// unconstrained.
+///
+/// ```text
+/// 2 2 2
+/// 4 5 3
+/// 2 1 2
+/// ```
+pub fn east_wall_carry() -> MotionRule {
+    MotionRule::new(
+        "wall_carry_east1",
+        MotionMatrix::from_codes(3, &[2, 2, 2, 4, 5, 3, 2, 1, 2]).expect("valid codes"),
+        vec![
+            ElementaryMove::new(MatrixCoord::new(1, 1), MatrixCoord::new(2, 1)),
+            ElementaryMove::new(MatrixCoord::new(0, 1), MatrixCoord::new(1, 1)),
+        ],
+    )
+    .expect("east wall carry rule is well formed")
+}
+
+/// The two base rules printed in the paper, in presentation order.
+pub fn base_rules() -> Vec<MotionRule> {
+    vec![east_sliding(), east_carrying()]
+}
+
+/// The extended base set used by the standard catalogue: the paper's two
+/// printed rules plus the permissive wall-slide and wall-carry families
+/// (the paper states that further rule families exist without printing
+/// them; these two are the minimal addition that lets blocks travel along
+/// and into partially built walls, which the worked example requires).
+pub fn extended_rules() -> Vec<MotionRule> {
+    vec![
+        east_sliding(),
+        east_carrying(),
+        east_wall_slide(),
+        east_wall_carry(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventCode;
+
+    #[test]
+    fn east_sliding_matches_eq1() {
+        let r = east_sliding();
+        assert_eq!(r.name(), "east1");
+        assert_eq!(r.matrix().codes(), vec![2, 0, 0, 2, 4, 3, 2, 1, 1]);
+        assert_eq!(r.moves().len(), 1);
+        assert_eq!(r.moves()[0].from, MatrixCoord::new(1, 1));
+        assert_eq!(r.moves()[0].to, MatrixCoord::new(2, 1));
+    }
+
+    #[test]
+    fn east_carrying_matches_eq4_and_fig7() {
+        let r = east_carrying();
+        assert_eq!(r.name(), "carry_east1");
+        assert_eq!(r.matrix().codes(), vec![0, 0, 0, 4, 5, 3, 2, 1, 2]);
+        // Fig. 7: two motions, "1,1 -> 2,1" and "0,1 -> 1,1", both at t=0.
+        assert_eq!(r.moves().len(), 2);
+        assert_eq!(r.moves()[0].from, MatrixCoord::new(1, 1));
+        assert_eq!(r.moves()[0].to, MatrixCoord::new(2, 1));
+        assert_eq!(r.moves()[1].from, MatrixCoord::new(0, 1));
+        assert_eq!(r.moves()[1].to, MatrixCoord::new(1, 1));
+        assert!(r.moves().iter().all(|m| m.time == 0));
+    }
+
+    #[test]
+    fn carrying_center_is_a_handover_cell() {
+        let r = east_carrying();
+        assert_eq!(r.matrix().get(r.matrix().center()), EventCode::Handover);
+    }
+
+    #[test]
+    fn base_rules_are_two() {
+        assert_eq!(base_rules().len(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sb-rules-xml — the XML capability codec
+//!
+//! The Smart Blocks store their motion capabilities in an XML file
+//! (Fig. 7 of the paper): each `<capability>` element carries the Motion
+//! Matrix (the `<states>` text) and the list of simultaneous elementary
+//! moves (the `<motions>` children).  "A block can access the list of
+//! possible motions that are stored in the XML code" (Section V.E).
+//!
+//! This crate implements a small, dependency-free XML subset
+//! (elements, attributes, text, comments, declarations — everything the
+//! capability files need) and the schema mapping to
+//! [`sb_motion::RuleCatalog`].
+//!
+//! ```
+//! use sb_rules_xml::{parse_capabilities, write_capabilities, paper_capabilities_xml};
+//!
+//! // Round-trip the capability file shown in Fig. 7.
+//! let catalog = parse_capabilities(paper_capabilities_xml()).unwrap();
+//! assert_eq!(catalog.len(), 2);
+//! assert!(catalog.find("east1").is_some());
+//! assert!(catalog.find("carry_east1").is_some());
+//!
+//! let text = write_capabilities(&catalog);
+//! let again = parse_capabilities(&text).unwrap();
+//! assert_eq!(again.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod schema;
+pub mod xml;
+
+pub use schema::{
+    paper_capabilities_xml, parse_capabilities, write_capabilities, SchemaError,
+};
+pub use xml::{XmlError, XmlNode};

@@ -1,0 +1,537 @@
+//! A minimal XML subset: enough to read and write the Smart Blocks
+//! capability files without pulling an external dependency.
+//!
+//! Supported: the XML declaration, comments, elements with attributes
+//! (single- or double-quoted), nested elements, text content and the five
+//! predefined entities.  Not supported (and not needed here): CDATA,
+//! processing instructions other than the declaration, DOCTYPE, and
+//! namespaces.
+
+use std::fmt;
+
+/// A parsed XML element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Element name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly inside this element (excluding
+    /// text inside children), with surrounding whitespace preserved.
+    pub text: String,
+}
+
+impl XmlNode {
+    /// Creates an element with no attributes, children or text.
+    pub fn new(name: impl Into<String>) -> Self {
+        XmlNode {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: XmlNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Sets the text content (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child with the given element name.
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given element name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serialises the node (and its subtree) with two-space indentation.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_indented(&mut out, 0);
+        out
+    }
+
+    fn write_indented(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.trim().is_empty() {
+            out.push_str(" />\n");
+            return;
+        }
+        out.push('>');
+        let trimmed = self.text.trim();
+        if self.children.is_empty() {
+            // Pure text element: keep it on one line.
+            out.push_str(&escape(trimmed));
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+            return;
+        }
+        out.push('\n');
+        if !trimmed.is_empty() {
+            let text_pad = "  ".repeat(depth + 1);
+            for line in trimmed.lines() {
+                out.push_str(&text_pad);
+                out.push_str(&escape(line.trim()));
+                out.push('\n');
+            }
+        }
+        for child in &self.children {
+            child.write_indented(out, depth + 1);
+        }
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum XmlError {
+    /// Reached the end of input while looking for more content.
+    UnexpectedEof(String),
+    /// A syntax error at the given byte offset.
+    Syntax {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A closing tag did not match the element being closed.
+    MismatchedTag {
+        /// Name of the element currently open.
+        expected: String,
+        /// Name found in the closing tag.
+        found: String,
+    },
+    /// No root element was found.
+    NoRoot,
+    /// An unknown entity reference such as `&unknown;`.
+    UnknownEntity(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof(what) => write!(f, "unexpected end of input while {what}"),
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XmlError::MismatchedTag { expected, found } => {
+                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+            }
+            XmlError::NoRoot => write!(f, "document has no root element"),
+            XmlError::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document and returns its root element.
+pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_prolog()?;
+    let root = parser.parse_element()?;
+    parser.skip_misc();
+    if parser.pos < parser.bytes.len() {
+        return Err(XmlError::Syntax {
+            offset: parser.pos,
+            message: "trailing content after the root element".to_string(),
+        });
+    }
+    Ok(root)
+}
+
+/// Escapes the five predefined entities.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Decodes the five predefined entities.
+pub fn unescape(text: &str) -> Result<String, XmlError> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.char_indices();
+    while let Some((_, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let mut entity = String::new();
+        let mut closed = false;
+        for (_, e) in chars.by_ref() {
+            if e == ';' {
+                closed = true;
+                break;
+            }
+            entity.push(e);
+            if entity.len() > 8 {
+                break;
+            }
+        }
+        if !closed {
+            return Err(XmlError::UnknownEntity(entity));
+        }
+        match entity.as_str() {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            other => return Err(XmlError::UnknownEntity(other.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            match self.bytes[self.pos..]
+                .windows(2)
+                .position(|w| w == b"?>")
+            {
+                Some(end) => self.pos += end + 2,
+                None => return Err(XmlError::UnexpectedEof("reading the XML declaration".into())),
+            }
+        }
+        self.skip_misc();
+        Ok(())
+    }
+
+    /// Skips whitespace and comments between elements.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                match self.bytes[self.pos..]
+                    .windows(3)
+                    .position(|w| w == b"-->")
+                {
+                    Some(end) => self.pos += end + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::Syntax {
+                offset: start,
+                message: "expected a name".to_string(),
+            });
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_attribute_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => {
+                return Err(XmlError::Syntax {
+                    offset: self.pos,
+                    message: "expected a quoted attribute value".to_string(),
+                })
+            }
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.pos += 1;
+                return unescape(&raw);
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof("reading an attribute value".into()))
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode, XmlError> {
+        self.skip_misc();
+        if self.peek() != Some(b'<') {
+            return Err(if self.peek().is_none() {
+                XmlError::NoRoot
+            } else {
+                XmlError::Syntax {
+                    offset: self.pos,
+                    message: "expected '<'".to_string(),
+                }
+            });
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut node = XmlNode::new(name);
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        return Ok(node);
+                    }
+                    return Err(XmlError::Syntax {
+                        offset: self.pos,
+                        message: "expected '>' after '/'".to_string(),
+                    });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(XmlError::Syntax {
+                            offset: self.pos,
+                            message: format!("expected '=' after attribute {key}"),
+                        });
+                    }
+                    self.pos += 1;
+                    self.skip_whitespace();
+                    let value = self.parse_attribute_value()?;
+                    node.attributes.push((key, value));
+                }
+                None => return Err(XmlError::UnexpectedEof("reading a start tag".into())),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_misc();
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let closing = self.parse_name()?;
+                if closing != node.name {
+                    return Err(XmlError::MismatchedTag {
+                        expected: node.name,
+                        found: closing,
+                    });
+                }
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(XmlError::Syntax {
+                        offset: self.pos,
+                        message: "expected '>' in closing tag".to_string(),
+                    });
+                }
+                self.pos += 1;
+                return Ok(node);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    node.children.push(child);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    node.text.push_str(&unescape(&raw)?);
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof(format!(
+                        "reading the content of <{}>",
+                        node.name
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_element() {
+        let node = parse("<a/>").unwrap();
+        assert_eq!(node.name, "a");
+        assert!(node.attributes.is_empty());
+        assert!(node.children.is_empty());
+    }
+
+    #[test]
+    fn parse_declaration_comments_and_nesting() {
+        let doc = r#"<?xml version="1.0" encoding="utf-8"?>
+            <!-- top comment -->
+            <root kind="test">
+              <!-- inner comment -->
+              <child id="1">hello</child>
+              <child id="2" />
+            </root>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "root");
+        assert_eq!(root.attr("kind"), Some("test"));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].text.trim(), "hello");
+        assert_eq!(root.children[1].attr("id"), Some("2"));
+        assert_eq!(root.children_named("child").count(), 2);
+        assert!(root.child("missing").is_none());
+    }
+
+    #[test]
+    fn parse_single_quoted_attributes_and_entities() {
+        let root = parse("<a name='x &amp; y'>1 &lt; 2</a>").unwrap();
+        assert_eq!(root.attr("name"), Some("x & y"));
+        assert_eq!(root.text, "1 < 2");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse(""), Err(XmlError::NoRoot)));
+        assert!(matches!(
+            parse("<a><b></a>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
+        assert!(matches!(parse("<a"), Err(XmlError::UnexpectedEof(_))));
+        assert!(matches!(
+            parse("<a>&nope;</a>"),
+            Err(XmlError::UnknownEntity(_))
+        ));
+        assert!(matches!(
+            parse("<a></a><b></b>"),
+            Err(XmlError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse("<a x=1></a>"),
+            Err(XmlError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn escape_unescape_round_trip() {
+        let original = "a < b & c > \"d\" 'e'";
+        assert_eq!(unescape(&escape(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn to_xml_round_trips() {
+        let node = XmlNode::new("capabilities").with_child(
+            XmlNode::new("capability")
+                .with_attr("name", "east1")
+                .with_attr("size", "3,3")
+                .with_child(XmlNode::new("states").with_text("2 0 0\n2 4 3\n2 1 1"))
+                .with_child(
+                    XmlNode::new("motions").with_child(
+                        XmlNode::new("motion")
+                            .with_attr("time", "0")
+                            .with_attr("from", "1,1")
+                            .with_attr("to", "2,1"),
+                    ),
+                ),
+        );
+        let text = node.to_xml();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.name, "capabilities");
+        let cap = parsed.child("capability").unwrap();
+        assert_eq!(cap.attr("name"), Some("east1"));
+        assert_eq!(cap.child("states").unwrap().text.trim(), "2 0 0\n2 4 3\n2 1 1");
+        let motion = cap.child("motions").unwrap().child("motion").unwrap();
+        assert_eq!(motion.attr("from"), Some("1,1"));
+    }
+
+    #[test]
+    fn text_with_special_characters_round_trips() {
+        let node = XmlNode::new("t").with_text("x < y & z");
+        let text = node.to_xml();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.text.trim(), "x < y & z");
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: the XML codec round-trips arbitrary well-formed rule
+//! catalogues and arbitrary attribute/text content.
+
+use proptest::prelude::*;
+use sb_motion::{RuleCatalog, Transform};
+use sb_rules_xml::xml::{escape, parse, unescape, XmlNode};
+use sb_rules_xml::{parse_capabilities, write_capabilities};
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable ASCII including the characters that need escaping.
+    proptest::collection::vec(
+        prop_oneof![
+            prop::char::range(' ', '~'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\'')
+        ],
+        0..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    /// escape/unescape is the identity on arbitrary printable text.
+    #[test]
+    fn escape_round_trip(text in arb_text()) {
+        prop_assert_eq!(unescape(&escape(&text)).unwrap(), text);
+    }
+
+    /// Attribute values and text content survive a full document
+    /// write/parse cycle.
+    #[test]
+    fn document_round_trip(attr in arb_text(), text in arb_text()) {
+        let node = XmlNode::new("root")
+            .with_attr("value", attr.clone())
+            .with_child(XmlNode::new("leaf").with_text(text.clone()));
+        let doc = node.to_xml();
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(parsed.attr("value"), Some(attr.as_str()));
+        prop_assert_eq!(parsed.child("leaf").unwrap().text.trim(), text.trim());
+    }
+
+    /// Any sub-catalogue of the full symmetry orbit of the base rules
+    /// round-trips through the capability schema.
+    #[test]
+    fn catalog_round_trip(mask in 0u32..(1 << 16)) {
+        let standard = RuleCatalog::standard();
+        let subset: RuleCatalog = standard
+            .rules()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let text = write_capabilities(&subset);
+        let parsed = parse_capabilities(&text).unwrap();
+        prop_assert_eq!(parsed.len(), subset.len());
+        for rule in subset.rules() {
+            let back = parsed.find(rule.name()).unwrap();
+            prop_assert_eq!(back.matrix(), rule.matrix());
+            prop_assert_eq!(back.moves(), rule.moves());
+        }
+    }
+
+    /// Transformed variants of the base rules round-trip individually.
+    #[test]
+    fn transformed_rule_round_trip(mirror in any::<bool>(), rotations in 0u8..4, base_idx in 0usize..2) {
+        let base = sb_motion::rules::base_rules()[base_idx].clone();
+        let rule = Transform::new(mirror, rotations).apply_rule(&base);
+        let catalog: RuleCatalog = std::iter::once(rule.clone()).collect();
+        let parsed = parse_capabilities(&write_capabilities(&catalog)).unwrap();
+        let back = parsed.find(rule.name()).unwrap();
+        prop_assert_eq!(back.matrix(), rule.matrix());
+        prop_assert_eq!(back.moves(), rule.moves());
+    }
+}

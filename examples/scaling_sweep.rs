@@ -1,0 +1,84 @@
+//! Complexity scaling sweep (Remarks 2–4 of the paper).
+//!
+//! The paper states, for `N` blocks:
+//!
+//! * Remark 2 — the number of distance computations is `O(N³)`;
+//! * Remark 3 — the number of messages exchanged is `O(N³)`;
+//! * Remark 4 — the number of block hops needed to build the path is
+//!   `O(N²)`.
+//!
+//! This example sweeps the number of blocks on column-building instances,
+//! prints the measured counters, and fits a power-law exponent so the
+//! growth rates can be compared against the remarks.
+//!
+//! ```text
+//! cargo run --release --example scaling_sweep
+//! ```
+
+use smart_surface::core::workloads::column_instance;
+use smart_surface::core::ReconfigurationDriver;
+
+fn main() {
+    let sizes = [6usize, 8, 10, 12, 16, 20, 24, 28, 32];
+    let seeds = [1u64, 2, 3];
+
+    println!(
+        "{:>4} {:>10} {:>12} {:>14} {:>12} {:>10}",
+        "N", "elections", "messages", "dist-comps", "moves", "completed"
+    );
+
+    let mut rows: Vec<(f64, f64, f64, f64)> = Vec::new();
+    for &n in &sizes {
+        let mut elections = 0f64;
+        let mut messages = 0f64;
+        let mut dists = 0f64;
+        let mut moves = 0f64;
+        let mut completed = 0usize;
+        for &seed in &seeds {
+            let config = column_instance(n, seed);
+            let report = ReconfigurationDriver::new(config).with_seed(seed).run_des();
+            elections += report.elections() as f64;
+            messages += report.total_messages() as f64;
+            dists += report.metrics.distance_computations as f64;
+            moves += report.elementary_moves() as f64;
+            completed += usize::from(report.completed);
+        }
+        let k = seeds.len() as f64;
+        println!(
+            "{:>4} {:>10.1} {:>12.1} {:>14.1} {:>12.1} {:>7}/{}",
+            n,
+            elections / k,
+            messages / k,
+            dists / k,
+            moves / k,
+            completed,
+            seeds.len()
+        );
+        rows.push((n as f64, messages / k, dists / k, moves / k));
+    }
+
+    // Least-squares slope of log(y) vs log(N): the empirical exponent.
+    let exponent = |select: &dyn Fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+        let pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0.ln(), select(r).ln())).collect();
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    };
+
+    println!("\nEmpirical growth exponents (slope of log-log fit):");
+    println!(
+        "  messages              ~ N^{:.2}   (Remark 3 upper bound: N^3)",
+        exponent(&|r| r.1)
+    );
+    println!(
+        "  distance computations ~ N^{:.2}   (Remark 2 upper bound: N^3)",
+        exponent(&|r| r.2)
+    );
+    println!(
+        "  elementary moves      ~ N^{:.2}   (Remark 4 upper bound: N^2)",
+        exponent(&|r| r.3)
+    );
+}

@@ -1,0 +1,35 @@
+//! # smart-surface — facade crate
+//!
+//! Reproduction of *"A Distributed Algorithm for a Reconfigurable Modular
+//! Surface"* (El Baz, Piranda, Bourgeois, IPDPSW 2014).
+//!
+//! This crate re-exports the public API of the workspace crates so that
+//! applications (and the examples in `examples/`) can depend on a single
+//! package:
+//!
+//! * [`grid`] — the discrete surface model (Section III of the paper).
+//! * [`motion`] — Motion/Presence matrices and the rule catalogue
+//!   (Section IV).
+//! * [`rules_xml`] — the XML capability codec (Fig. 7).
+//! * [`desim`] — the discrete-event simulator substrate (VisibleSim
+//!   equivalent, Section V.E).
+//! * [`actor`] — a threaded asynchronous runtime built on crossbeam
+//!   channels.
+//! * [`core`] — the distributed election and the reconfiguration driver
+//!   (Section V, Algorithm 1), baselines and metrics.
+
+#![forbid(unsafe_code)]
+
+pub use sb_actor as actor;
+pub use sb_core as core;
+pub use sb_desim as desim;
+pub use sb_grid as grid;
+pub use sb_motion as motion;
+pub use sb_rules_xml as rules_xml;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use sb_core::prelude::*;
+    pub use sb_grid::{Bounds, Direction, OccupancyGrid, Pos, SurfaceConfig};
+    pub use sb_motion::{MotionRule, RuleCatalog};
+}

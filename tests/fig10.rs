@@ -1,0 +1,118 @@
+//! Integration test: the worked example of Figs. 10–11.
+//!
+//! Twelve blocks, input and output in the same column, shortest path of
+//! eleven cells.  The paper reports the reconfiguration takes 55 elementary
+//! block moves with its (partially unpublished) rule families; with the
+//! reproduction's catalogue the count differs but must stay in the same
+//! range, and the qualitative claims must hold exactly: the reconfiguration
+//! completes, the final path is a full column of blocks from `I` to `O`,
+//! carrying motions are used to cross corners, and at least one block ends
+//! up off the path as a helper.
+
+use smart_surface::core::workloads::fig10_instance;
+use smart_surface::core::{ReconfigurationDriver, Termination, TieBreak};
+use smart_surface::grid::Path;
+
+#[test]
+fn fig10_reconfiguration_completes_with_a_full_column() {
+    let config = fig10_instance();
+    assert_eq!(config.block_count(), 12);
+    assert_eq!(config.graph().shortest_path_info().cells, 11);
+
+    let report = ReconfigurationDriver::new(config.clone()).with_frames().run_des();
+    assert!(report.completed, "{report}");
+    assert!(report.path_complete);
+    assert!(report.output_occupied);
+
+    // The final configuration holds a valid conveyor path from I to O.
+    let final_config = smart_surface::grid::SurfaceConfig::from_ascii(&report.final_ascii).unwrap();
+    let cells = final_config
+        .graph()
+        .occupied_shortest_path(final_config.grid())
+        .expect("a complete occupied path exists");
+    let path = Path::new(cells);
+    assert!(path.is_valid_conveyor(final_config.grid(), config.input(), config.output()));
+    assert_eq!(path.len(), 11);
+}
+
+#[test]
+fn fig10_move_count_is_in_the_papers_range() {
+    let report = ReconfigurationDriver::new(fig10_instance()).run_des();
+    let moves = report.elementary_moves();
+    // The paper quotes 55 moves; our rule catalogue is not identical, so
+    // accept the same order of magnitude (a few dozen moves) while
+    // rejecting both trivial (path already built) and runaway behaviour.
+    assert!(
+        (20..=110).contains(&moves),
+        "move count {moves} is far from the paper's 55"
+    );
+    // One block stays off the path as a helper (the paper: "block #2 does
+    // not belong to the shortest path but is essential to its
+    // construction").
+    assert_eq!(report.blocks as u32, report.shortest_path_cells + 1);
+}
+
+#[test]
+fn fig10_uses_carrying_motions_to_cross_corners() {
+    let report = ReconfigurationDriver::new(fig10_instance()).run_des();
+    assert!(report.completed);
+    let multi_block_moves = report
+        .move_log
+        .iter()
+        .filter(|record| record.moves.len() > 1)
+        .count();
+    assert!(
+        multi_block_moves > 0,
+        "corner crossing requires at least one carrying motion (Fig. 10, blocks #5/#9)"
+    );
+    // Every recorded motion displaces at most two blocks (the 3x3 rules of
+    // the catalogue never move more).
+    assert!(report.move_log.iter().all(|r| r.moves.len() <= 2));
+}
+
+#[test]
+fn fig10_is_reproducible_and_seed_sensitive_only_in_tie_breaks() {
+    let a = ReconfigurationDriver::new(fig10_instance()).with_seed(3).run_des();
+    let b = ReconfigurationDriver::new(fig10_instance()).with_seed(3).run_des();
+    assert_eq!(a.move_log, b.move_log);
+    assert_eq!(a.metrics, b.metrics);
+
+    // A deterministic tie-break must give identical runs regardless of the
+    // simulator seed.
+    let algo = smart_surface::core::election::AlgorithmConfig {
+        tie_break: TieBreak::LowestId,
+        termination: Termination::PathComplete,
+        ..Default::default()
+    };
+    let c1 = ReconfigurationDriver::new(fig10_instance())
+        .with_algorithm(algo)
+        .with_seed(1)
+        .run_des();
+    let c2 = ReconfigurationDriver::new(fig10_instance())
+        .with_algorithm(algo)
+        .with_seed(99)
+        .run_des();
+    assert_eq!(c1.move_log, c2.move_log);
+    assert!(c1.completed && c2.completed);
+}
+
+#[test]
+fn fig10_respects_the_locked_path_invariant() {
+    // Step b of the proof of Lemma 1: positions of the path that become
+    // occupied stay occupied.  Replay the move log and check that no
+    // executed motion ever vacates a cell of the output's column without
+    // refilling it in the same motion.
+    let config = fig10_instance();
+    let output = config.output();
+    let report = ReconfigurationDriver::new(config).with_frames().run_des();
+    assert!(report.completed);
+    for record in &report.move_log {
+        for &(_, from, _) in &record.moves {
+            let vacates_path_cell = from.x == output.x && from.y <= output.y && from.y >= 0;
+            assert!(
+                !vacates_path_cell,
+                "motion {record:?} vacates path cell {from}"
+            );
+        }
+    }
+}

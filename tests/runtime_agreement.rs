@@ -1,0 +1,95 @@
+//! Integration tests across runtimes and latency regimes.
+//!
+//! Assumption 3 of the paper only requires communications to complete in
+//! finite time; the algorithm must therefore behave identically (in
+//! outcome) under the deterministic discrete-event scheduler, under heavy
+//! random message jitter, and under true thread-level asynchrony.
+
+use smart_surface::core::workloads::{column_instance, fig10_instance};
+use smart_surface::core::{ReconfigurationDriver, Termination, TieBreak};
+use smart_surface::desim::{Duration as SimDuration, LatencyModel};
+use std::time::Duration;
+
+#[test]
+fn des_and_actor_runtimes_agree_on_the_outcome() {
+    let config = column_instance(8, 0);
+    let driver = ReconfigurationDriver::new(config);
+    let des = driver.run_des();
+    let actors = driver.run_actors(Duration::from_secs(120));
+    assert!(des.completed, "{des}");
+    assert!(actors.completed, "{actors}");
+    assert!(des.path_complete && actors.path_complete);
+    // Both runtimes must build a complete column; the exact helper-block
+    // position may differ (the actor runtime's interleaving is not
+    // deterministic), but the path cells are fully determined.
+    let path_of = |ascii: &str| {
+        let cfg = smart_surface::grid::SurfaceConfig::from_ascii(ascii).unwrap();
+        cfg.graph()
+            .occupied_shortest_path(cfg.grid())
+            .expect("path exists")
+    };
+    assert_eq!(path_of(&des.final_ascii), path_of(&actors.final_ascii));
+}
+
+#[test]
+fn heavy_message_jitter_does_not_break_termination() {
+    // Failure-injection flavoured test: highly variable per-message
+    // latencies reorder deliveries across links; the Dijkstra-Scholten
+    // election must still terminate with the same outcome.
+    let reference = ReconfigurationDriver::new(fig10_instance()).run_des();
+    assert!(reference.completed);
+    for seed in [1u64, 7, 23, 99] {
+        let jittered = ReconfigurationDriver::new(fig10_instance())
+            .with_latency(LatencyModel::Uniform {
+                min: SimDuration::micros(1),
+                max: SimDuration::micros(5_000),
+            })
+            .with_seed(seed)
+            .run_des();
+        assert!(jittered.completed, "seed {seed}: {jittered}");
+        assert!(jittered.path_complete);
+        // The number of elections needed to build the path does not depend
+        // on message timing (one election per hop), only tie-breaking and
+        // therefore the move sequence may differ.
+        assert!(jittered.elections() > 0);
+    }
+}
+
+#[test]
+fn zero_latency_executions_terminate() {
+    let report = ReconfigurationDriver::new(column_instance(8, 0))
+        .with_latency(LatencyModel::Instant)
+        .run_des();
+    assert!(report.completed, "{report}");
+    assert_eq!(report.sim_time_us, 0, "instant latency keeps simulated time at zero");
+}
+
+#[test]
+fn termination_policies_agree_when_the_column_ends_at_the_output() {
+    // On the column family the last block to move lands on O exactly when
+    // the path completes, so both termination policies give the same final
+    // occupancy.
+    for termination in [Termination::OutputReached, Termination::PathComplete] {
+        let algo = smart_surface::core::election::AlgorithmConfig {
+            termination,
+            tie_break: TieBreak::LowestId,
+            ..Default::default()
+        };
+        let report = ReconfigurationDriver::new(column_instance(10, 0))
+            .with_algorithm(algo)
+            .run_des();
+        assert!(report.completed, "{termination:?}: {report}");
+        assert!(report.path_complete, "{termination:?}");
+    }
+}
+
+#[test]
+fn actor_runtime_handles_message_storms_from_many_blocks() {
+    // A slightly larger ensemble on the threaded runtime: 16 OS threads
+    // exchanging the full election traffic.  The deadline is generous; the
+    // point is that the system terminates by itself, not by timeout.
+    let report = ReconfigurationDriver::new(column_instance(16, 0))
+        .run_actors(Duration::from_secs(300));
+    assert!(report.completed, "{report}");
+    assert!(report.path_complete);
+}
