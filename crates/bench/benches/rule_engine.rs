@@ -38,6 +38,44 @@ fn bench_rule_engine(c: &mut Criterion) {
         })
     });
 
+    // Bitboard engine vs the retained naive matrix matcher at N=32: the
+    // same full-surface sweep through both implementations.  The bitboard
+    // path must sustain >= 5x the naive throughput.
+    let config32 = column_config(32);
+    let planner32 = MotionPlanner::standard();
+    let positions32: Vec<_> = config32.grid().blocks().map(|(_, p)| p).collect();
+    group.bench_function("planner_motions_involving_bitboard_n32", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &p in &positions32 {
+                count += planner32.motions_involving(config32.grid(), p).len();
+            }
+            black_box(count)
+        })
+    });
+    group.bench_function("planner_motions_involving_naive_n32", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &p in &positions32 {
+                count += planner32
+                    .motions_involving_reference(config32.grid(), p)
+                    .len();
+            }
+            black_box(count)
+        })
+    });
+    // The election's Eq. (9) feasibility probe: short-circuit, zero-alloc.
+    let output32 = config32.output();
+    group.bench_function("planner_can_move_towards_n32", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &p in &positions32 {
+                count += usize::from(planner32.can_move_towards(config32.grid(), p, output32));
+            }
+            black_box(count)
+        })
+    });
+
     // XML capability file round-trip (Fig. 7 format, full catalogue).
     let catalog = RuleCatalog::standard();
     let text = write_capabilities(&catalog);

@@ -10,8 +10,10 @@
 
 use crate::messages::Distance;
 use crate::metrics::Metrics;
+use sb_grid::graph::{OrientedGraph, UNREACHABLE};
 use sb_grid::{BlockId, OccupancyGrid, Pos, SurfaceConfig};
 use sb_motion::{MotionPlanner, PlannedMotion, RuleCatalog};
+use std::cell::{Ref, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -77,6 +79,13 @@ pub struct SurfaceWorld {
     outcome: Option<Outcome>,
     frames: Vec<String>,
     record_frames: bool,
+    /// Memoised flat BFS distance field over *occupied* cells of `G`
+    /// ([`OrientedGraph::occupied_distance_field`]: hops from `I` per
+    /// cell index, `u32::MAX` when unreachable), invalidated only when a
+    /// block actually moves.  [`SurfaceWorld::path_complete`] — asked by
+    /// every `SelectAck` reaching the Root — reads the output cell's
+    /// entry instead of re-running a BFS per ask.
+    path_field: RefCell<Option<Vec<u32>>>,
 }
 
 impl SurfaceWorld {
@@ -98,6 +107,7 @@ impl SurfaceWorld {
             outcome: None,
             frames: Vec::new(),
             record_frames: false,
+            path_field: RefCell::new(None),
         }
     }
 
@@ -265,11 +275,28 @@ impl SurfaceWorld {
     /// otherwise let two blocks swap through a path cell forever without
     /// making progress.
     pub fn is_locked(&self, pos: Pos) -> bool {
-        if pos == self.input() {
-            return true;
+        locked_cell(pos, self.input(), self.output(), &self.config.graph())
+    }
+
+    /// The memoised flat BFS distance field over occupied cells of `G`
+    /// (hops from `I` through blocks along oriented links, keyed by
+    /// [`sb_grid::Bounds::index_of`], `u32::MAX` when unreachable).
+    /// Recomputed lazily, only after a block has moved.
+    pub fn occupied_distance_field(&self) -> Ref<'_, Vec<u32>> {
+        // Only take the mutable borrow when the cache is actually empty:
+        // a caller may hold a previously returned `Ref` while asking
+        // again (e.g. via `path_complete`), and an unconditional
+        // `borrow_mut` would panic on that re-entrant read.
+        if self.path_field.borrow().is_none() {
+            *self.path_field.borrow_mut() = Some(
+                self.config
+                    .graph()
+                    .occupied_distance_field(self.config.grid()),
+            );
         }
-        let output = self.output();
-        (pos.x == output.x || pos.y == output.y) && self.config.graph().contains(pos)
+        Ref::map(self.path_field.borrow(), |field| {
+            field.as_ref().expect("filled above")
+        })
     }
 
     /// The admissible motions for the block at `pos` towards the output,
@@ -322,9 +349,29 @@ impl SurfaceWorld {
             .collect()
     }
 
+    /// The Eq. (9) feasibility probe behind [`SurfaceWorld::distance_to_output`].
+    ///
+    /// Under the rule-based model this routes through the planner's
+    /// short-circuiting fast path — stop at the first admissible motion,
+    /// no `PlannedMotion` materialised, no sorting, no heap allocation
+    /// after warm-up — rather than enumerating every admissible motion
+    /// only to test the list for emptiness.  The locking policy is passed
+    /// down as the admission filter, so the answer is exactly
+    /// `!admissible_motions_towards_output(pos).is_empty()`.
     fn can_hop_towards_output(&mut self, pos: Pos) -> bool {
         match self.motion_model {
-            MotionModel::RuleBased => !self.admissible_motions_towards_output(pos).is_empty(),
+            MotionModel::RuleBased => {
+                self.metrics.rule_checks += 1;
+                let input = self.config.input();
+                let output = self.config.output();
+                let graph = self.config.graph();
+                self.planner
+                    .any_motion_towards(self.config.grid(), pos, output, |moves| {
+                        moves
+                            .iter()
+                            .all(|&(from, _)| !locked_cell(from, input, output, &graph))
+                    })
+            }
             MotionModel::FreeMotion => !self.free_motion_destinations(pos).is_empty(),
         }
     }
@@ -420,6 +467,7 @@ impl SurfaceWorld {
                 }
             }
         }
+        *self.path_field.borrow_mut() = None;
         self.metrics.elementary_moves += moves.len() as u64;
         self.metrics.elected_hops += 1;
         self.move_log.push(MoveRecord {
@@ -444,11 +492,12 @@ impl SurfaceWorld {
         self.grid().is_occupied(self.output())
     }
 
-    /// Whether a complete shortest path of blocks connects `I` to `O`.
+    /// Whether a complete shortest path of blocks connects `I` to `O`:
+    /// the output cell's entry of the memoised occupied distance field is
+    /// finite.  Recomputed only after a block has actually moved.
     pub fn path_complete(&self) -> bool {
-        self.config
-            .graph()
-            .occupied_shortest_path_exists(self.config.grid())
+        let output_idx = self.grid().bounds().index_of(self.output());
+        self.occupied_distance_field()[output_idx] != UNREACHABLE
     }
 
     /// The occupied shortest path, if complete.
@@ -497,6 +546,16 @@ impl SurfaceWorld {
     pub fn ascii_with_ids(&self) -> String {
         sb_grid::render::render_with_ids(self.grid(), self.input(), self.output())
     }
+}
+
+/// The locking policy of [`SurfaceWorld::is_locked`] as a free function,
+/// so the planner's admission closure can use it without borrowing the
+/// whole world.
+fn locked_cell(pos: Pos, input: Pos, output: Pos, graph: &OrientedGraph) -> bool {
+    if pos == input {
+        return true;
+    }
+    (pos.x == output.x || pos.y == output.y) && graph.contains(pos)
 }
 
 impl fmt::Debug for SurfaceWorld {
@@ -640,6 +699,43 @@ mod tests {
         assert_eq!(w.frames().len(), 1);
         assert!(w.frames()[0].contains('#'));
         assert!(w.ascii_with_ids().contains('|'));
+    }
+
+    #[test]
+    fn feasibility_fast_path_agrees_with_motion_enumeration() {
+        let mut w = small_world();
+        for pos in w.grid().bounds().iter() {
+            let fast = w.can_hop_towards_output(pos);
+            let full = !w.admissible_motions_towards_output(pos).is_empty();
+            assert_eq!(fast, full, "at {pos}");
+        }
+    }
+
+    #[test]
+    fn path_cache_invalidates_on_moves() {
+        // The path column (x = 0) is complete except for the output cell;
+        // the block at (1,3) can slide west onto it.
+        let cfg = SurfaceConfig::from_ascii(
+            "O # .\n\
+             # # .\n\
+             # . .\n\
+             I . .",
+        )
+        .unwrap();
+        let mut w = SurfaceWorld::standard(cfg);
+        assert!(!w.path_complete());
+        assert!(!w.path_complete(), "cached answer stays correct");
+        let finisher = w.grid().block_at(Pos::new(1, 3)).unwrap();
+        let result = w.hop_towards_output(finisher, 1);
+        assert!(result.moved);
+        assert!(result.reached_output);
+        // A stale cache would still answer `false` here: the hop must
+        // invalidate it.
+        assert!(w.path_complete());
+        // The memoised field agrees with a fresh graph computation.
+        let graph = w.config().graph();
+        let fresh = graph.occupied_distance_field(w.grid());
+        assert_eq!(*w.occupied_distance_field(), fresh);
     }
 
     #[test]

@@ -165,16 +165,158 @@ pub fn articulation_points(grid: &OccupancyGrid) -> Vec<BlockId> {
     out
 }
 
-/// Checks whether applying the given batch of simultaneous elementary
-/// moves keeps the ensemble connected (Remark 1).  The check clones the
-/// occupancy, applies the batch and verifies connectivity, so the caller's
-/// grid is never mutated.
-pub fn moves_preserve_connectivity(grid: &OccupancyGrid, moves: &[(Pos, Pos)]) -> bool {
-    let mut trial = grid.clone();
-    match trial.apply_simultaneous_moves(moves) {
-        Ok(_) => trial.is_connected(),
-        Err(_) => false,
+/// Reusable buffers for the zero-allocation connectivity probes.  Created
+/// once (e.g. per planner) and resized lazily to the grid; after that
+/// warm-up, [`is_connected_after`] performs no heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct ConnectivityScratch {
+    /// Visited bitset over cell indices.
+    visited: Vec<u64>,
+    /// BFS frontier of cell indices.
+    queue: Vec<u32>,
+    /// Post-move occupancy bitboard (the grid's words with the batch's
+    /// source bits cleared and destination bits set), so the BFS probes
+    /// plain words instead of re-scanning the override sets per cell.
+    board: Vec<u64>,
+}
+
+impl ConnectivityScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        ConnectivityScratch::default()
     }
+
+    fn reset_for(&mut self, area: usize) {
+        let words = area.div_ceil(64);
+        if self.visited.len() < words {
+            self.visited.resize(words, 0);
+        }
+        self.visited[..words].fill(0);
+        self.queue.clear();
+        // `reserve(area)` guarantees capacity >= len (0) + area, so BFS
+        // pushes never reallocate even when the scratch was warmed on a
+        // smaller grid.
+        self.queue.reserve(area);
+    }
+}
+
+/// Whether the ensemble is connected *after* hypothetically applying the
+/// given batch of simultaneous moves, computed directly on the occupancy
+/// bitboard without cloning or mutating the grid: the post-move occupancy
+/// of a cell is its current bit, overridden by the batch's source
+/// (vacated) and destination (filled) sets.
+///
+/// The batch must already be geometrically valid (sources occupied,
+/// destinations on the surface and free or vacated by the batch) — rule
+/// matching guarantees that for planned motions; use
+/// [`moves_preserve_connectivity`] when validation is also needed.
+pub fn is_connected_after(
+    grid: &OccupancyGrid,
+    moves: &[(Pos, Pos)],
+    scratch: &mut ConnectivityScratch,
+) -> bool {
+    let n = grid.block_count();
+    if n <= 1 {
+        return true;
+    }
+    let bounds = grid.bounds();
+    let (width, height) = (bounds.width, bounds.height);
+    let words_per_row = grid.words_per_row();
+    // Queue entries pack coordinates into 16-bit lanes; a silent overflow
+    // would corrupt the BFS and mis-judge Remark 1, so oversized surfaces
+    // must fail loudly (a release-mode wrong answer is worse than a
+    // panic).
+    assert!(
+        width <= u16::MAX as u32 && height <= u16::MAX as u32,
+        "connectivity probes support surfaces up to 65535x65535"
+    );
+    scratch.reset_for(bounds.area());
+    let ConnectivityScratch {
+        visited,
+        queue,
+        board,
+    } = scratch;
+    // Materialise the post-move board: clear every source bit, then set
+    // every destination bit (in that order — in a hand-over chain a cell
+    // is one move's source *and* another's destination, and the batch
+    // semantics refill it).  The BFS then probes plain words instead of
+    // re-scanning the override sets per cell.
+    board.clear();
+    board.extend_from_slice(grid.occupancy_words());
+    for &(from, _) in moves {
+        let (w, b) = grid.word_bit(from);
+        board[w] &= !(1u64 << b);
+    }
+    for &(_, to) in moves {
+        let (w, b) = grid.word_bit(to);
+        board[w] |= 1u64 << b;
+    }
+    // Start from a cell guaranteed occupied after the batch, then BFS
+    // with packed `y << 16 | x` queue entries: neighbour stepping and
+    // occupancy probes need no division anywhere.
+    let start = match moves.first() {
+        Some(&(_, to)) => to,
+        None => match grid.blocks().next() {
+            Some((_, p)) => p,
+            None => return true,
+        },
+    };
+    let board = &*board;
+    let occupied = |x: u32, y: u32| -> bool {
+        board[y as usize * words_per_row + (x as usize >> 6)] >> (x & 63) & 1 != 0
+    };
+    debug_assert!(occupied(start.x as u32, start.y as u32));
+    let start_idx = start.y as usize * width as usize + start.x as usize;
+    visited[start_idx >> 6] |= 1 << (start_idx & 63);
+    queue.push((start.y as u32) << 16 | start.x as u32);
+    let mut reached = 1usize;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let packed = queue[head];
+        head += 1;
+        let (x, y) = (packed & 0xFFFF, packed >> 16);
+        let mut visit = |nx: u32, ny: u32| {
+            let idx = ny as usize * width as usize + nx as usize;
+            let (w, b) = (idx >> 6, idx & 63);
+            if occupied(nx, ny) && visited[w] >> b & 1 == 0 {
+                visited[w] |= 1 << b;
+                reached += 1;
+                queue.push(ny << 16 | nx);
+            }
+        };
+        if x > 0 {
+            visit(x - 1, y);
+        }
+        if x + 1 < width {
+            visit(x + 1, y);
+        }
+        if y > 0 {
+            visit(x, y - 1);
+        }
+        if y + 1 < height {
+            visit(x, y + 1);
+        }
+        if reached == n {
+            return true;
+        }
+    }
+    reached == n
+}
+
+/// Checks whether applying the given batch of simultaneous elementary
+/// moves keeps the ensemble connected (Remark 1).  The caller's grid is
+/// never mutated — and, unlike the historical implementation, never
+/// *cloned* either: the batch is validated in place
+/// ([`OccupancyGrid::validate_simultaneous_moves`]) and connectivity is
+/// evaluated on the post-move bitboard view ([`is_connected_after`]).
+/// Hot paths that issue many probes should hold a [`ConnectivityScratch`]
+/// and call [`is_connected_after`] directly; callers with `&mut` access
+/// can equivalently use the [`OccupancyGrid::with_moves_applied`] journal.
+pub fn moves_preserve_connectivity(grid: &OccupancyGrid, moves: &[(Pos, Pos)]) -> bool {
+    if grid.validate_simultaneous_moves(moves).is_err() {
+        return false;
+    }
+    is_connected_after(grid, moves, &mut ConnectivityScratch::new())
 }
 
 #[cfg(test)]
@@ -284,6 +426,45 @@ mod tests {
             &g,
             &[(Pos::new(2, 0), Pos::new(1, 1))]
         ));
+    }
+
+    #[test]
+    fn connectivity_after_moves_agrees_with_journalled_trial() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut scratch = ConnectivityScratch::new();
+        for _ in 0..40 {
+            // Random connected blob.
+            let mut g = OccupancyGrid::new(Bounds::new(8, 8));
+            g.place(BlockId(1), Pos::new(4, 4)).unwrap();
+            let mut next_id = 2u32;
+            while g.block_count() < 10 {
+                let candidates: Vec<Pos> = g
+                    .blocks()
+                    .flat_map(|(_, p)| p.neighbors4())
+                    .filter(|&p| g.is_free(p))
+                    .collect();
+                let p = candidates[rng.gen_range(0..candidates.len())];
+                if g.place(BlockId(next_id), p).is_ok() {
+                    next_id += 1;
+                }
+            }
+            // Try a random single move of a random block to a free cell.
+            let blocks: Vec<Pos> = g.blocks().map(|(_, p)| p).collect();
+            let from = blocks[rng.gen_range(0..blocks.len())];
+            let to = from.neighbors4()[rng.gen_range(0..4usize)];
+            if !g.is_free(to) {
+                continue;
+            }
+            let moves = [(from, to)];
+            let fast = is_connected_after(&g, &moves, &mut scratch);
+            let journalled = g
+                .with_moves_applied(&moves, |trial| trial.is_connected())
+                .unwrap();
+            assert_eq!(fast, journalled, "moves {moves:?}");
+            assert_eq!(fast, moves_preserve_connectivity(&g, &moves));
+        }
     }
 
     #[test]

@@ -25,9 +25,14 @@ pub struct ShortestPathInfo {
     pub count: u64,
 }
 
+/// Sentinel distance for cells outside `Br` or unreachable along the
+/// oriented links, used by the flat distance fields.
+pub const UNREACHABLE: u32 = u32::MAX;
+
 /// The oriented graph `G = (Br, L)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct OrientedGraph {
+    bounds: Bounds,
     input: Pos,
     output: Pos,
     min: Pos,
@@ -41,11 +46,17 @@ impl OrientedGraph {
         assert!(bounds.contains(input), "input {input} outside surface");
         assert!(bounds.contains(output), "output {output} outside surface");
         OrientedGraph {
+            bounds,
             input,
             output,
             min: Pos::new(input.x.min(output.x), input.y.min(output.y)),
             max: Pos::new(input.x.max(output.x), input.y.max(output.y)),
         }
+    }
+
+    /// The surface extent the graph was built for.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
     }
 
     /// The input cell `I`.
@@ -131,20 +142,61 @@ impl OrientedGraph {
     /// BFS distance (in hops of `G`, i.e. following oriented links only)
     /// from `I` to every node of `Br`.
     pub fn distances_from_input(&self) -> HashMap<Pos, u32> {
-        let mut dist = HashMap::new();
-        dist.insert(self.input, 0);
+        self.distance_field()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHABLE)
+            .map(|(idx, &d)| (self.bounds.pos_of(idx), d))
+            .collect()
+    }
+
+    /// Flat variant of [`OrientedGraph::distances_from_input`]: one `u32`
+    /// per surface cell keyed by [`Bounds::index_of`], [`UNREACHABLE`] for
+    /// cells outside `Br`.  Geometry-only, so the field is computed once
+    /// and cached by consumers (e.g. the reconfiguration world) — nothing
+    /// here depends on occupancy.
+    pub fn distance_field(&self) -> Vec<u32> {
+        // Every node of Br is reachable from I along oriented links, and
+        // its BFS distance equals its Manhattan distance to I; computing
+        // it directly avoids the queue entirely.
+        let mut field = vec![UNREACHABLE; self.bounds.area()];
+        for y in self.min.y..=self.max.y {
+            for x in self.min.x..=self.max.x {
+                let p = Pos::new(x, y);
+                field[self.bounds.index_of(p)] = p.manhattan(self.input);
+            }
+        }
+        field
+    }
+
+    /// BFS distance from `I` to every cell of `Br` travelling only through
+    /// *occupied* cells along oriented links: the occupancy-aware
+    /// counterpart of [`OrientedGraph::distance_field`].  The output cell's
+    /// entry is finite exactly when a complete occupied shortest path
+    /// exists, so consumers can cache this field and invalidate it only
+    /// when a block actually moves.
+    pub fn occupied_distance_field(&self, grid: &OccupancyGrid) -> Vec<u32> {
+        let mut field = vec![UNREACHABLE; self.bounds.area()];
+        if !grid.is_occupied(self.input) {
+            return field;
+        }
+        field[self.bounds.index_of(self.input)] = 0;
         let mut queue = VecDeque::new();
         queue.push_back(self.input);
         while let Some(p) = queue.pop_front() {
-            let d = dist[&p];
+            let d = field[self.bounds.index_of(p)];
             for s in self.successors(p) {
-                dist.entry(s).or_insert_with(|| {
+                if !grid.is_occupied(s) {
+                    continue;
+                }
+                let idx = self.bounds.index_of(s);
+                if field[idx] == UNREACHABLE {
+                    field[idx] = d + 1;
                     queue.push_back(s);
-                    d + 1
-                });
+                }
             }
         }
-        dist
+        field
     }
 
     /// Whether the occupied cells of `grid` contain a complete path of
@@ -152,7 +204,7 @@ impl OrientedGraph {
     /// oriented links (i.e. a monotone, shortest path entirely made of
     /// blocks).  This is the success criterion of the reconfiguration.
     pub fn occupied_shortest_path_exists(&self, grid: &OccupancyGrid) -> bool {
-        self.occupied_shortest_path(grid).is_some()
+        self.occupied_distance_field(grid)[self.bounds.index_of(self.output)] != UNREACHABLE
     }
 
     /// Returns one complete occupied shortest path from `I` to `O`, if any.
@@ -276,11 +328,53 @@ mod tests {
     #[test]
     fn distances_from_input_follow_manhattan() {
         let g = graph_10x7();
+        // Independent oracle: a literal BFS over `successors()`, the
+        // definition the closed-form `distance_field` must reproduce.
+        let mut bfs: HashMap<Pos, u32> = HashMap::new();
+        bfs.insert(g.input(), 0);
+        let mut queue = VecDeque::from([g.input()]);
+        while let Some(p) = queue.pop_front() {
+            let d = bfs[&p];
+            for s in g.successors(p) {
+                bfs.entry(s).or_insert_with(|| {
+                    queue.push_back(s);
+                    d + 1
+                });
+            }
+        }
         let dist = g.distances_from_input();
+        assert_eq!(dist, bfs);
         assert_eq!(dist.len(), g.nodes().len());
         for (p, d) in &dist {
             assert_eq!(*d, p.manhattan(g.input()));
         }
+        // The flat field agrees with the map on every cell.
+        let field = g.distance_field();
+        for p in g.bounds().iter() {
+            match dist.get(&p) {
+                Some(&d) => assert_eq!(field[g.bounds().index_of(p)], d),
+                None => assert_eq!(field[g.bounds().index_of(p)], UNREACHABLE),
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_distance_field_marks_the_output_iff_path_complete() {
+        let bounds = Bounds::new(6, 6);
+        let g = OrientedGraph::new(bounds, Pos::new(0, 0), Pos::new(0, 4));
+        let mut grid = OccupancyGrid::new(bounds);
+        for (i, y) in (0..3).enumerate() {
+            grid.place(BlockId(i as u32 + 1), Pos::new(0, y)).unwrap();
+        }
+        let field = g.occupied_distance_field(&grid);
+        assert_eq!(field[bounds.index_of(Pos::new(0, 2))], 2);
+        assert_eq!(field[bounds.index_of(Pos::new(0, 4))], UNREACHABLE);
+        assert!(!g.occupied_shortest_path_exists(&grid));
+        grid.place(BlockId(10), Pos::new(0, 3)).unwrap();
+        grid.place(BlockId(11), Pos::new(0, 4)).unwrap();
+        let field = g.occupied_distance_field(&grid);
+        assert_eq!(field[bounds.index_of(Pos::new(0, 4))], 4);
+        assert!(g.occupied_shortest_path_exists(&grid));
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use crate::bounds::Bounds;
 use crate::pos::Pos;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a block.  The paper numbers blocks (Figs. 10–11) to follow
@@ -35,11 +34,19 @@ impl From<u32> for BlockId {
     }
 }
 
+/// Largest accepted block identifier.  Positions are kept in a dense
+/// array indexed by id, so ids must stay within a sane range; the cap is
+/// far above any realistic block count while bounding the index at a few
+/// megabytes.
+pub const MAX_BLOCK_ID: u32 = (1 << 20) - 1;
+
 /// Errors returned by occupancy mutations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GridError {
     /// The position is outside the surface bounds.
     OutOfBounds(Pos),
+    /// The block identifier exceeds [`MAX_BLOCK_ID`].
+    IdTooLarge(BlockId),
     /// The destination cell already holds a block.
     CellOccupied(Pos, BlockId),
     /// The source cell holds no block.
@@ -56,6 +63,9 @@ impl fmt::Display for GridError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GridError::OutOfBounds(p) => write!(f, "position {p} is outside the surface"),
+            GridError::IdTooLarge(id) => {
+                write!(f, "block id {id} exceeds the maximum of {MAX_BLOCK_ID}")
+            }
             GridError::CellOccupied(p, id) => write!(f, "cell {p} is already occupied by {id}"),
             GridError::CellEmpty(p) => write!(f, "cell {p} is empty"),
             GridError::DuplicateBlock(id) => write!(f, "block {id} is already on the surface"),
@@ -69,28 +79,95 @@ impl fmt::Display for GridError {
 
 impl std::error::Error for GridError {}
 
-/// The occupancy grid: a dense cell array plus a block-id index.
+/// The occupancy grid: a dense cell array, a row-major `u64` occupancy
+/// bitboard, and a dense block-id → position index.
 ///
 /// This is the ground truth the simulators maintain.  Individual blocks
 /// never read it directly — they only perceive their immediate
 /// neighbourhood through the sensing API of the runtimes — but the motion
 /// engine uses it to extract Presence Matrices and to check global
 /// invariants (connectivity, Remark 1).
-#[derive(Clone, PartialEq, Eq)]
+///
+/// ## Bitboard layout
+///
+/// `words` holds one bit per cell, row-major from the *south* row upwards
+/// (the same orientation as `cells`): row `y` occupies the
+/// `words_per_row = ceil(W / 64)` words starting at `y * words_per_row`,
+/// and within a word bit `x % 64` (LSB = westernmost) is cell `(x, y)`.
+/// Bits beyond the surface width in the last word of a row are always
+/// zero, so whole-word operations never see phantom blocks.  The motion
+/// engine lifts rule windows straight off this board
+/// ([`OccupancyGrid::window_mask`]) instead of probing cells one by one.
+#[derive(Clone)]
 pub struct OccupancyGrid {
     bounds: Bounds,
+    words_per_row: usize,
     cells: Vec<Option<BlockId>>,
-    positions: HashMap<BlockId, Pos>,
+    words: Vec<u64>,
+    /// Position of block `#i` at index `i` (dense; `None` = not placed).
+    positions: Vec<Option<Pos>>,
+    occupied: usize,
 }
+
+impl PartialEq for OccupancyGrid {
+    fn eq(&self, other: &Self) -> bool {
+        // `cells` fully determines `words`, `positions` and `occupied`;
+        // comparing it (plus the extent) is the logical equality, immune
+        // to differences in the dense index's trailing capacity.
+        self.bounds == other.bounds && self.cells == other.cells
+    }
+}
+
+impl Eq for OccupancyGrid {}
 
 impl OccupancyGrid {
     /// Creates an empty grid with the given extent.
     pub fn new(bounds: Bounds) -> Self {
+        let words_per_row = (bounds.width as usize).div_ceil(64);
         OccupancyGrid {
             bounds,
+            words_per_row,
             cells: vec![None; bounds.area()],
-            positions: HashMap::new(),
+            words: vec![0; words_per_row * bounds.height as usize],
+            positions: Vec::new(),
+            occupied: 0,
         }
+    }
+
+    /// `(word index, bit index)` of a contained position in the bitboard
+    /// layout — the single home of the addressing formula, shared with
+    /// the connectivity probes.
+    #[inline]
+    pub(crate) fn word_bit(&self, pos: Pos) -> (usize, u32) {
+        debug_assert!(self.bounds.contains(pos));
+        let word = pos.y as usize * self.words_per_row + (pos.x as usize >> 6);
+        (word, (pos.x as u32) & 63)
+    }
+
+    #[inline]
+    fn set_bit(&mut self, pos: Pos) {
+        let (w, b) = self.word_bit(pos);
+        self.words[w] |= 1u64 << b;
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, pos: Pos) {
+        let (w, b) = self.word_bit(pos);
+        self.words[w] &= !(1u64 << b);
+    }
+
+    #[inline]
+    fn test_bit(&self, pos: Pos) -> bool {
+        let (w, b) = self.word_bit(pos);
+        self.words[w] >> b & 1 != 0
+    }
+
+    fn position_slot(&mut self, id: BlockId) -> &mut Option<Pos> {
+        let idx = id.0 as usize;
+        if idx >= self.positions.len() {
+            self.positions.resize(idx + 1, None);
+        }
+        &mut self.positions[idx]
     }
 
     /// The surface extent.
@@ -100,7 +177,7 @@ impl OccupancyGrid {
 
     /// Number of blocks currently on the surface.
     pub fn block_count(&self) -> usize {
-        self.positions.len()
+        self.occupied
     }
 
     /// The block occupying `pos`, if any.  Positions outside the surface
@@ -114,29 +191,87 @@ impl OccupancyGrid {
 
     /// Whether `pos` is on the surface and holds a block.
     pub fn is_occupied(&self, pos: Pos) -> bool {
-        self.block_at(pos).is_some()
+        self.bounds.contains(pos) && self.test_bit(pos)
     }
 
     /// Whether `pos` is on the surface and free.
     pub fn is_free(&self, pos: Pos) -> bool {
-        self.bounds.contains(pos) && self.block_at(pos).is_none()
+        self.bounds.contains(pos) && !self.test_bit(pos)
     }
 
     /// The position of a block.
     pub fn position_of(&self, id: BlockId) -> Option<Pos> {
-        self.positions.get(&id).copied()
+        self.positions.get(id.0 as usize).copied().flatten()
     }
 
-    /// Iterates over `(BlockId, Pos)` pairs in unspecified order.
+    /// Iterates over `(BlockId, Pos)` pairs in ascending id order.
     pub fn blocks(&self) -> impl Iterator<Item = (BlockId, Pos)> + '_ {
-        self.positions.iter().map(|(id, pos)| (*id, *pos))
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, pos)| pos.map(|p| (BlockId(i as u32), p)))
     }
 
     /// Iterates over block identifiers sorted by id (deterministic order).
     pub fn block_ids_sorted(&self) -> Vec<BlockId> {
-        let mut ids: Vec<BlockId> = self.positions.keys().copied().collect();
-        ids.sort();
-        ids
+        self.blocks().map(|(id, _)| id).collect()
+    }
+
+    /// The raw occupancy bitboard (see the type-level layout notes).
+    pub fn occupancy_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of `u64` words per bitboard row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Lifts the `size × size` occupancy window centred on `center` into a
+    /// single `u64`, bit `row * size + col` set when the cell is occupied.
+    /// Row 0 is the *northernmost* row and column 0 the westernmost,
+    /// matching [`OccupancyGrid::presence_window`] and the paper's matrix
+    /// notation; cells outside the surface read as empty.  `size` must be
+    /// odd and at most 8 (64 bits).
+    #[inline]
+    pub fn window_mask(&self, center: Pos, size: usize) -> u64 {
+        debug_assert!(size % 2 == 1 && size <= 8);
+        let half = (size / 2) as i32;
+        let mut out = 0u64;
+        for row in 0..size {
+            let y = center.y + half - row as i32;
+            let bits = self.row_bits(y, center.x - half, size as u32);
+            out |= bits << (row * size);
+        }
+        out
+    }
+
+    /// The `n` occupancy bits of row `y` starting at column `x0` (bit 0 =
+    /// `x0`), zero-filled outside the surface.  `n <= 57` so the result
+    /// always fits even when `x0` straddles a word boundary.
+    #[inline]
+    fn row_bits(&self, y: i32, x0: i32, n: u32) -> u64 {
+        if y < 0 || y >= self.bounds.height as i32 {
+            return 0;
+        }
+        let width = self.bounds.width as i32;
+        let lo = x0.max(0);
+        let hi = (x0 + n as i32).min(width);
+        if lo >= hi {
+            return 0;
+        }
+        let row_base = y as usize * self.words_per_row;
+        let mut out = 0u64;
+        let mut x = lo;
+        while x < hi {
+            let bit = (x as usize) & 63;
+            let take = ((64 - bit) as i32).min(hi - x) as u32;
+            let chunk_mask = if take == 64 { !0 } else { (1u64 << take) - 1 };
+            let chunk = (self.words[row_base + ((x as usize) >> 6)] >> bit) & chunk_mask;
+            out |= chunk << (x - x0);
+            x += take as i32;
+        }
+        out
     }
 
     /// Places a new block on a free cell.
@@ -144,7 +279,10 @@ impl OccupancyGrid {
         if !self.bounds.contains(pos) {
             return Err(GridError::OutOfBounds(pos));
         }
-        if self.positions.contains_key(&id) {
+        if id.0 > MAX_BLOCK_ID {
+            return Err(GridError::IdTooLarge(id));
+        }
+        if self.position_of(id).is_some() {
             return Err(GridError::DuplicateBlock(id));
         }
         if let Some(existing) = self.block_at(pos) {
@@ -152,7 +290,9 @@ impl OccupancyGrid {
         }
         let idx = self.bounds.index_of(pos);
         self.cells[idx] = Some(id);
-        self.positions.insert(id, pos);
+        self.set_bit(pos);
+        *self.position_slot(id) = Some(pos);
+        self.occupied += 1;
         Ok(())
     }
 
@@ -164,7 +304,9 @@ impl OccupancyGrid {
         let idx = self.bounds.index_of(pos);
         match self.cells[idx].take() {
             Some(id) => {
-                self.positions.remove(&id);
+                self.clear_bit(pos);
+                self.positions[id.0 as usize] = None;
+                self.occupied -= 1;
                 Ok(id)
             }
             None => Err(GridError::CellEmpty(pos)),
@@ -192,7 +334,9 @@ impl OccupancyGrid {
         let to_idx = self.bounds.index_of(to);
         self.cells[from_idx] = None;
         self.cells[to_idx] = Some(id);
-        self.positions.insert(id, to);
+        self.clear_bit(from);
+        self.set_bit(to);
+        self.positions[id.0 as usize] = Some(to);
         Ok(id)
     }
 
@@ -209,51 +353,93 @@ impl OccupancyGrid {
         &mut self,
         moves: &[(Pos, Pos)],
     ) -> Result<Vec<BlockId>, GridError> {
-        // Validation pass.
-        let mut destinations = Vec::with_capacity(moves.len());
-        let mut sources = Vec::with_capacity(moves.len());
-        for &(from, to) in moves {
-            if !self.bounds.contains(from) {
-                return Err(GridError::OutOfBounds(from));
-            }
-            if !self.bounds.contains(to) {
-                return Err(GridError::OutOfBounds(to));
-            }
-            if self.block_at(from).is_none() {
-                return Err(GridError::CellEmpty(from));
-            }
-            if destinations.contains(&to) {
-                return Err(GridError::ConflictingMoves(to));
-            }
-            if sources.contains(&from) {
-                return Err(GridError::ConflictingMoves(from));
-            }
-            destinations.push(to);
-            sources.push(from);
-        }
-        // A destination must be free, or be the source of another move in
-        // the same batch (it will be vacated simultaneously).
-        for &(_, to) in moves {
-            if self.block_at(to).is_some() && !sources.contains(&to) {
-                return Err(GridError::CellOccupied(to, self.block_at(to).unwrap()));
-            }
-        }
+        self.validate_simultaneous_moves(moves)?;
         // Execution: vacate all sources, then fill all destinations.
         let mut moved = Vec::with_capacity(moves.len());
         let mut staged: Vec<(BlockId, Pos)> = Vec::with_capacity(moves.len());
         for &(from, to) in moves {
             let idx = self.bounds.index_of(from);
             let id = self.cells[idx].take().expect("validated above");
+            self.clear_bit(from);
             staged.push((id, to));
         }
         for (id, to) in staged {
             let idx = self.bounds.index_of(to);
             debug_assert!(self.cells[idx].is_none(), "conflict validated above");
             self.cells[idx] = Some(id);
-            self.positions.insert(id, to);
+            self.set_bit(to);
+            self.positions[id.0 as usize] = Some(to);
             moved.push(id);
         }
         Ok(moved)
+    }
+
+    /// Validates a batch of simultaneous moves without mutating anything:
+    /// every cell on the surface, every source occupied, no duplicated
+    /// source or destination, and every destination free or vacated by
+    /// another move of the same batch.
+    pub fn validate_simultaneous_moves(&self, moves: &[(Pos, Pos)]) -> Result<(), GridError> {
+        for (i, &(from, to)) in moves.iter().enumerate() {
+            if !self.bounds.contains(from) {
+                return Err(GridError::OutOfBounds(from));
+            }
+            if !self.bounds.contains(to) {
+                return Err(GridError::OutOfBounds(to));
+            }
+            if !self.test_bit(from) {
+                return Err(GridError::CellEmpty(from));
+            }
+            for &(prev_from, prev_to) in &moves[..i] {
+                if prev_to == to {
+                    return Err(GridError::ConflictingMoves(to));
+                }
+                if prev_from == from {
+                    return Err(GridError::ConflictingMoves(from));
+                }
+            }
+        }
+        // A destination must be free, or be the source of another move in
+        // the same batch (it will be vacated simultaneously).
+        for &(_, to) in moves {
+            if self.test_bit(to) && !moves.iter().any(|&(from, _)| from == to) {
+                return Err(GridError::CellOccupied(to, self.block_at(to).unwrap()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a batch of simultaneous moves, runs `f` on the mutated
+    /// grid, then **undoes the batch**, restoring the grid bit-for-bit.
+    ///
+    /// This is the journalled trial API used for Remark 1 connectivity
+    /// probes and any other "what if" query: it replaces the historical
+    /// clone-the-whole-grid idiom (dense cell array plus id index copied
+    /// per candidate motion) with an in-place apply → observe → revert
+    /// round-trip whose cost is proportional to the batch size only.
+    pub fn with_moves_applied<R>(
+        &mut self,
+        moves: &[(Pos, Pos)],
+        f: impl FnOnce(&OccupancyGrid) -> R,
+    ) -> Result<R, GridError> {
+        let moved = self.apply_simultaneous_moves(moves)?;
+        let result = f(self);
+        // Undo journal: clear every destination, then refill every source
+        // with the block that left it (exact inverse of the forward order,
+        // so hand-over chains restore correctly).
+        for &(_, to) in moves {
+            let idx = self.bounds.index_of(to);
+            self.cells[idx] = None;
+            self.clear_bit(to);
+        }
+        for (i, &(from, _)) in moves.iter().enumerate() {
+            let id = moved[i];
+            let idx = self.bounds.index_of(from);
+            debug_assert!(self.cells[idx].is_none());
+            self.cells[idx] = Some(id);
+            self.set_bit(from);
+            self.positions[id.0 as usize] = Some(from);
+        }
+        Ok(result)
     }
 
     /// Occupied lateral neighbours of `pos`, as `(Direction index order)`.
@@ -294,7 +480,7 @@ impl OccupancyGrid {
     /// Positions of all blocks, sorted (deterministic order for hashing /
     /// comparison in tests).
     pub fn occupied_positions_sorted(&self) -> Vec<Pos> {
-        let mut v: Vec<Pos> = self.positions.values().copied().collect();
+        let mut v: Vec<Pos> = self.positions.iter().filter_map(|p| *p).collect();
         v.sort();
         v
     }
@@ -351,6 +537,13 @@ mod tests {
             g.place(BlockId(9), Pos::new(7, 0)),
             Err(GridError::OutOfBounds(Pos::new(7, 0)))
         );
+        // Ids above the dense-index cap are rejected instead of
+        // triggering a gigantic `positions` resize.
+        assert_eq!(
+            g.place(BlockId(u32::MAX), Pos::new(2, 2)),
+            Err(GridError::IdTooLarge(BlockId(u32::MAX)))
+        );
+        assert!(g.is_free(Pos::new(2, 2)));
     }
 
     #[test]
@@ -481,6 +674,83 @@ mod tests {
         assert!(n.contains(&(crate::Direction::North, BlockId(3))));
         assert!(n.contains(&(crate::Direction::West, BlockId(1))));
         assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn window_mask_matches_presence_window() {
+        let mut g = OccupancyGrid::new(Bounds::new(7, 5));
+        for (i, &(x, y)) in [(0, 0), (1, 0), (1, 1), (2, 1), (3, 2), (6, 4), (0, 4)]
+            .iter()
+            .enumerate()
+        {
+            g.place(BlockId(i as u32 + 1), Pos::new(x, y)).unwrap();
+        }
+        for center in [
+            Pos::new(1, 1),
+            Pos::new(0, 0),
+            Pos::new(6, 4),
+            Pos::new(3, 2),
+            Pos::new(-1, -1),
+            Pos::new(7, 5),
+        ] {
+            for size in [3usize, 5, 7] {
+                let mask = g.window_mask(center, size);
+                let window = g.presence_window(center, size);
+                for row in 0..size {
+                    for col in 0..size {
+                        let bit = mask >> (row * size + col) & 1 != 0;
+                        assert_eq!(
+                            bit, window[row][col],
+                            "center {center}, size {size}, cell ({col},{row})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitboard_stays_consistent_with_cells() {
+        let mut g = grid3x3_with_l_shape();
+        g.move_block(Pos::new(1, 1), Pos::new(2, 1)).unwrap();
+        g.remove_at(Pos::new(0, 0)).unwrap();
+        g.place(BlockId(9), Pos::new(0, 2)).unwrap();
+        for p in g.bounds().iter() {
+            assert_eq!(g.is_occupied(p), g.block_at(p).is_some(), "at {p}");
+        }
+    }
+
+    #[test]
+    fn with_moves_applied_round_trips_bit_identically() {
+        let mut g = OccupancyGrid::new(Bounds::new(4, 3));
+        g.place(BlockId(1), Pos::new(0, 1)).unwrap();
+        g.place(BlockId(2), Pos::new(1, 1)).unwrap();
+        g.place(BlockId(3), Pos::new(1, 0)).unwrap();
+        let before = g.clone();
+        // A hand-over chain: vacated cell refilled in the same batch.
+        let moves = [
+            (Pos::new(1, 1), Pos::new(2, 1)),
+            (Pos::new(0, 1), Pos::new(1, 1)),
+        ];
+        let seen = g
+            .with_moves_applied(&moves, |trial| {
+                assert_eq!(trial.block_at(Pos::new(2, 1)), Some(BlockId(2)));
+                assert_eq!(trial.block_at(Pos::new(1, 1)), Some(BlockId(1)));
+                assert!(trial.is_free(Pos::new(0, 1)));
+                trial.block_count()
+            })
+            .unwrap();
+        assert_eq!(seen, 3);
+        assert_eq!(g, before, "undo must restore the exact configuration");
+        assert_eq!(g.occupancy_words(), before.occupancy_words());
+        assert_eq!(g.position_of(BlockId(1)), Some(Pos::new(0, 1)));
+        assert_eq!(g.position_of(BlockId(2)), Some(Pos::new(1, 1)));
+        // An invalid batch leaves the grid untouched and reports the error.
+        let err = g
+            .with_moves_applied(&[(Pos::new(2, 2), Pos::new(2, 1))], |_| ())
+            .unwrap_err();
+        assert_eq!(err, GridError::CellEmpty(Pos::new(2, 2)));
+        assert_eq!(g, before);
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub use bounds::Bounds;
 pub use config::{ConfigError, SurfaceConfig};
 pub use direction::Direction;
 pub use graph::{OrientedGraph, ShortestPathInfo};
-pub use grid::{BlockId, GridError, OccupancyGrid};
+pub use grid::{BlockId, GridError, OccupancyGrid, MAX_BLOCK_ID};
 pub use path::Path;
 pub use pos::Pos;

@@ -5,6 +5,7 @@
 //! list: loaded from an XML capability file (see `sb-rules-xml`) or
 //! generated from the base rules and their symmetry orbit.
 
+use crate::compiled::{CompiledRule, RuleId};
 use crate::rule::MotionRule;
 use crate::rules;
 use crate::transform::Transform;
@@ -12,15 +13,26 @@ use std::collections::HashSet;
 use std::fmt;
 
 /// A collection of motion rules.
+///
+/// Alongside the source-form rules the catalogue maintains, for each rule
+/// in insertion order, a [`CompiledRule`]: the Motion Matrix lowered to
+/// `(required_occupied, required_free)` window bitmasks plus world-offset
+/// move tables (see [`crate::compiled`]).  The rule's index doubles as its
+/// interned [`RuleId`], so hot paths refer to rules by `u16` instead of by
+/// name.
 #[derive(Clone, Debug, Default)]
 pub struct RuleCatalog {
     rules: Vec<MotionRule>,
+    compiled: Vec<CompiledRule>,
 }
 
 impl RuleCatalog {
     /// An empty catalogue.
     pub fn new() -> Self {
-        RuleCatalog { rules: Vec::new() }
+        RuleCatalog {
+            rules: Vec::new(),
+            compiled: Vec::new(),
+        }
     }
 
     /// Builds a catalogue from the given rules, dropping exact duplicates
@@ -82,6 +94,8 @@ impl RuleCatalog {
         if duplicate {
             false
         } else {
+            let id = RuleId::try_from(self.rules.len()).expect("at most 65536 rules");
+            self.compiled.push(CompiledRule::compile(&rule, id));
             self.rules.push(rule);
             true
         }
@@ -90,6 +104,22 @@ impl RuleCatalog {
     /// The rules in insertion order.
     pub fn rules(&self) -> &[MotionRule] {
         &self.rules
+    }
+
+    /// The precompiled (bitmask) form of every rule, index-aligned with
+    /// [`RuleCatalog::rules`].
+    pub fn compiled(&self) -> &[CompiledRule] {
+        &self.compiled
+    }
+
+    /// The rule behind an interned id.
+    pub fn rule(&self, id: RuleId) -> &MotionRule {
+        &self.rules[id as usize]
+    }
+
+    /// The name behind an interned id.
+    pub fn name_of(&self, id: RuleId) -> &str {
+        self.rules[id as usize].name()
     }
 
     /// Number of rules.

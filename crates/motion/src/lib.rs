@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod compiled;
 pub mod event;
 pub mod matrix;
 pub mod planner;
@@ -59,6 +60,7 @@ pub mod rules;
 pub mod transform;
 
 pub use catalog::RuleCatalog;
+pub use compiled::{CompiledRule, RuleId};
 pub use event::EventCode;
 pub use matrix::{MatrixCoord, MatrixError, MotionMatrix, PresenceMatrix};
 pub use planner::{MotionPlanner, PlannedMotion};

@@ -14,8 +14,11 @@
 //! block's position.
 
 use crate::catalog::RuleCatalog;
+use crate::compiled::RuleId;
 use crate::rule::RuleError;
-use sb_grid::{connectivity, BlockId, OccupancyGrid, Pos};
+use sb_grid::connectivity::{self, ConnectivityScratch};
+use sb_grid::{BlockId, OccupancyGrid, Pos};
+use std::cell::RefCell;
 use std::fmt;
 
 /// A concrete, applicable instantiation of a rule: the rule anchored at a
@@ -24,6 +27,8 @@ use std::fmt;
 /// the query was about).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlannedMotion {
+    /// Interned id of the rule that generated this motion.
+    pub rule_id: RuleId,
     /// Name of the rule that generated this motion.
     pub rule_name: String,
     /// World position of the rule window's centre.
@@ -74,13 +79,39 @@ impl fmt::Display for PlannedMotion {
     }
 }
 
+/// Reusable buffers for the planner's allocation-free hot path.
+#[derive(Debug, Default)]
+struct PlannerScratch {
+    /// Connectivity BFS state (visited bitset + frontier).
+    conn: ConnectivityScratch,
+    /// World moves of the candidate currently being examined.
+    moves: Vec<(Pos, Pos)>,
+}
+
 /// Planner over a rule catalogue.
-#[derive(Clone, Debug)]
+///
+/// Applicability checks run against the catalogue's precompiled rule
+/// masks and the grid's occupancy bitboard; the boolean feasibility
+/// queries ([`MotionPlanner::can_move_towards`] and friends) additionally
+/// short-circuit at the first admissible motion and reuse internal
+/// scratch buffers, performing **zero heap allocations after warm-up**.
+#[derive(Debug)]
 pub struct MotionPlanner {
     catalog: RuleCatalog,
     /// Whether planned motions must preserve the connectivity of the whole
     /// ensemble (Remark 1).  On by default.
     require_connectivity: bool,
+    scratch: RefCell<PlannerScratch>,
+}
+
+impl Clone for MotionPlanner {
+    fn clone(&self) -> Self {
+        MotionPlanner {
+            catalog: self.catalog.clone(),
+            require_connectivity: self.require_connectivity,
+            scratch: RefCell::new(PlannerScratch::default()),
+        }
+    }
 }
 
 impl MotionPlanner {
@@ -89,6 +120,7 @@ impl MotionPlanner {
         MotionPlanner {
             catalog,
             require_connectivity: true,
+            scratch: RefCell::new(PlannerScratch::default()),
         }
     }
 
@@ -112,12 +144,69 @@ impl MotionPlanner {
     /// All applicable motions in which the block at `pos` is one of the
     /// moving blocks.  Duplicate motions (identical move sets produced by
     /// different rules) are reported once.
+    ///
+    /// Matching runs on the precompiled rule masks; connectivity (Remark 1)
+    /// is evaluated on the post-move bitboard view through reusable
+    /// scratch, so candidate motions that fail either filter cost no heap
+    /// allocation.
     pub fn motions_involving(&self, grid: &OccupancyGrid, pos: Pos) -> Vec<PlannedMotion> {
         let mut out: Vec<PlannedMotion> = Vec::new();
         if !grid.is_occupied(pos) {
             return out;
         }
-        for rule in self.catalog.rules() {
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        for compiled in self.catalog.compiled() {
+            for (idx, mv) in compiled.moves.iter().enumerate() {
+                let anchor = pos.offset(-mv.from.0, -mv.from.1);
+                if !compiled.applies_at(grid, anchor) {
+                    continue;
+                }
+                scratch.moves.clear();
+                scratch
+                    .moves
+                    .extend(compiled.moves.iter().map(|m| compiled.world_move(m, anchor)));
+                let (subject_from, subject_to) = scratch.moves[idx];
+                debug_assert_eq!(subject_from, pos);
+                // Deduplicate *before* the connectivity probe: a
+                // duplicate has the identical move set, so its Remark 1
+                // verdict is identical too — testing it again would only
+                // burn a BFS.
+                let duplicate = out.iter().any(|p| {
+                    p.subject_to == subject_to && same_move_set(&p.moves, &scratch.moves)
+                });
+                if duplicate {
+                    continue;
+                }
+                if self.require_connectivity
+                    && !connectivity::is_connected_after(grid, &scratch.moves, &mut scratch.conn)
+                {
+                    continue;
+                }
+                out.push(PlannedMotion {
+                    rule_id: compiled.id,
+                    rule_name: self.catalog.name_of(compiled.id).to_string(),
+                    anchor,
+                    moves: scratch.moves.clone(),
+                    subject_from,
+                    subject_to,
+                });
+            }
+        }
+        out
+    }
+
+    /// The naive reference matcher: per-rule presence-window extraction,
+    /// entry-wise Table II validation, and clone-the-grid connectivity —
+    /// exactly the historical implementation the bitboard engine replaced.
+    /// Retained so the two can be differentially tested (they must return
+    /// identical motion lists) and benchmarked against each other.
+    pub fn motions_involving_reference(&self, grid: &OccupancyGrid, pos: Pos) -> Vec<PlannedMotion> {
+        let mut out: Vec<PlannedMotion> = Vec::new();
+        if !grid.is_occupied(pos) {
+            return out;
+        }
+        for (id, rule) in self.catalog.rules().iter().enumerate() {
             for (idx, em) in rule.moves().iter().enumerate() {
                 let (ox, oy) = rule.offset_of(em.from);
                 let anchor = pos.offset(-ox, -oy);
@@ -127,16 +216,22 @@ impl MotionPlanner {
                 let moves = rule.world_moves(anchor);
                 let (subject_from, subject_to) = moves[idx];
                 debug_assert_eq!(subject_from, pos);
+                if self.require_connectivity {
+                    let mut trial = grid.clone();
+                    let connected = trial.apply_simultaneous_moves(&moves).is_ok()
+                        && trial.is_connected();
+                    if !connected {
+                        continue;
+                    }
+                }
                 let planned = PlannedMotion {
+                    rule_id: id as RuleId,
                     rule_name: rule.name().to_string(),
                     anchor,
                     moves,
                     subject_from,
                     subject_to,
                 };
-                if self.require_connectivity && !planned.preserves_connectivity(grid) {
-                    continue;
-                }
                 let duplicate = out.iter().any(|p| {
                     p.subject_to == planned.subject_to && same_move_set(&p.moves, &planned.moves)
                 });
@@ -163,33 +258,102 @@ impl MotionPlanner {
             .filter(|m| m.progress_towards(target) > 0)
             .collect();
         // Deterministic order: fewest blocks moved first, then by
-        // destination, so the driver's choice is reproducible.
-        motions.sort_by_key(|m| (m.blocks_moved(), m.subject_to, m.rule_name.clone()));
+        // destination, then by interned rule id (catalogue order), so the
+        // driver's choice is reproducible.  Keys are `Copy` — no per-
+        // comparison `String` clone.
+        motions.sort_unstable_by_key(|m| (m.blocks_moved(), m.subject_to, m.rule_id));
         motions
     }
 
-    /// Whether the block at `pos` can execute any motion at all.
+    /// Whether the block at `pos` can execute any motion at all,
+    /// short-circuiting at the first admissible one.
     pub fn can_move(&self, grid: &OccupancyGrid, pos: Pos) -> bool {
-        !self.motions_involving(grid, pos).is_empty()
+        self.any_motion_matching(grid, pos, |_| true, |_| true)
     }
 
     /// Whether the block at `pos` can execute a motion that brings it
     /// strictly closer to `target` (the Eq. (9) feasibility test as used
-    /// by the election).
+    /// by the election).  Stops at the first admissible motion and
+    /// allocates nothing after warm-up.
     pub fn can_move_towards(&self, grid: &OccupancyGrid, pos: Pos, target: Pos) -> bool {
-        !self.motions_towards(grid, pos, target).is_empty()
+        self.any_motion_towards(grid, pos, target, |_| true)
+    }
+
+    /// [`MotionPlanner::can_move_towards`] with an extra caller-supplied
+    /// admission filter over the motion's world moves (the election uses
+    /// it to exclude motions that would displace a locked path block).
+    pub fn any_motion_towards(
+        &self,
+        grid: &OccupancyGrid,
+        pos: Pos,
+        target: Pos,
+        admit: impl FnMut(&[(Pos, Pos)]) -> bool,
+    ) -> bool {
+        let from_d = pos.manhattan(target);
+        self.any_motion_matching(
+            grid,
+            pos,
+            |subject_to| subject_to.manhattan(target) < from_d,
+            admit,
+        )
+    }
+
+    /// Short-circuiting core of the feasibility probes: true when any
+    /// rule instantiation moving the block at `pos` passes `pre` (a cheap
+    /// geometric test on the subject's destination, run before any window
+    /// lift), the compiled mask match, the connectivity filter, and
+    /// `admit` over the full move batch.  Deduplication is skipped — it
+    /// cannot change emptiness.
+    fn any_motion_matching(
+        &self,
+        grid: &OccupancyGrid,
+        pos: Pos,
+        mut pre: impl FnMut(Pos) -> bool,
+        mut admit: impl FnMut(&[(Pos, Pos)]) -> bool,
+    ) -> bool {
+        if !grid.is_occupied(pos) {
+            return false;
+        }
+        // World moves go into a stack buffer, and the scratch borrow is
+        // scoped to the connectivity probe: neither `pre` nor `admit`
+        // runs while the planner's RefCell is held, so a closure that
+        // calls back into this planner cannot hit a re-entrant borrow.
+        let mut buf = [(pos, pos); crate::compiled::MAX_MOVES_PER_RULE];
+        for compiled in self.catalog.compiled() {
+            for (idx, mv) in compiled.moves.iter().enumerate() {
+                let subject_to = pos.offset(mv.to.0 - mv.from.0, mv.to.1 - mv.from.1);
+                if !pre(subject_to) {
+                    continue;
+                }
+                let anchor = pos.offset(-mv.from.0, -mv.from.1);
+                if !compiled.applies_at(grid, anchor) {
+                    continue;
+                }
+                for (slot, m) in buf.iter_mut().zip(compiled.moves.iter()) {
+                    *slot = compiled.world_move(m, anchor);
+                }
+                let moves = &buf[..compiled.moves.len()];
+                debug_assert_eq!(moves[idx].0, pos);
+                if self.require_connectivity {
+                    let mut scratch = self.scratch.borrow_mut();
+                    if !connectivity::is_connected_after(grid, moves, &mut scratch.conn) {
+                        continue;
+                    }
+                }
+                if admit(moves) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 }
 
+/// Move-set equality irrespective of declaration order, without
+/// allocating: the batches here hold at most a handful of moves (two for
+/// every shipped rule), so the quadratic scan beats sort-and-compare.
 fn same_move_set(a: &[(Pos, Pos)], b: &[(Pos, Pos)]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut a_sorted = a.to_vec();
-    let mut b_sorted = b.to_vec();
-    a_sorted.sort();
-    b_sorted.sort();
-    a_sorted == b_sorted
+    a.len() == b.len() && a.iter().all(|m| b.contains(m))
 }
 
 #[cfg(test)]
@@ -342,6 +506,68 @@ mod tests {
                 !planner.motions_towards(cfg.grid(), pos, output).is_empty()
             );
         }
+    }
+
+    #[test]
+    fn bitboard_matcher_agrees_with_the_naive_reference() {
+        for planner in [
+            MotionPlanner::standard(),
+            MotionPlanner::standard().without_connectivity_check(),
+        ] {
+            let cfg = rectangle();
+            for pos in cfg.grid().bounds().iter() {
+                assert_eq!(
+                    planner.motions_involving(cfg.grid(), pos),
+                    planner.motions_involving_reference(cfg.grid(), pos),
+                    "at {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn can_move_matches_motion_enumeration() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        for pos in cfg.grid().bounds().iter() {
+            assert_eq!(
+                planner.can_move(cfg.grid(), pos),
+                !planner.motions_involving(cfg.grid(), pos).is_empty(),
+                "at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_filter_excludes_motions() {
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        let output = cfg.output();
+        let pos = sb_grid::Pos::new(3, 1);
+        assert!(planner.any_motion_towards(cfg.grid(), pos, output, |_| true));
+        assert!(!planner.any_motion_towards(cfg.grid(), pos, output, |_| false));
+        // Filtering out every motion touching the subject's own cell
+        // excludes everything (the subject always moves).
+        assert!(!planner.any_motion_towards(cfg.grid(), pos, output, |moves| {
+            !moves.iter().any(|&(from, _)| from == pos)
+        }));
+    }
+
+    #[test]
+    fn admission_filter_may_reenter_the_planner() {
+        // The admit closure runs with no scratch borrow held, so it can
+        // legally consult the same planner (e.g. about a displaced
+        // helper block) without a RefCell panic.
+        let cfg = rectangle();
+        let planner = MotionPlanner::standard();
+        let output = cfg.output();
+        let pos = sb_grid::Pos::new(3, 1);
+        let ok = planner.any_motion_towards(cfg.grid(), pos, output, |moves| {
+            moves
+                .iter()
+                .all(|&(from, _)| from == pos || planner.can_move(cfg.grid(), from))
+        });
+        assert!(ok);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Proves the planning fast path performs **zero heap allocations** per
+//! `can_move_towards` query after warm-up, with a counting global
+//! allocator.  Only allocations made by the measuring thread are counted
+//! (the libtest harness allocates concurrently from its own threads), via
+//! a const-initialised thread-local flag — no `Drop` glue, so reading it
+//! inside the allocator itself cannot allocate.
+
+use sb_grid::gen::{random_connected_config, InstanceSpec};
+use sb_motion::MotionPlanner;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Set on the measuring thread only; allocations elsewhere are not
+    /// counted.
+    static COUNT_THIS_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the bookkeeping is a relaxed atomic guarded by an allocation-free
+// (const-initialised, no-Drop) thread-local read.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNT_THIS_THREAD.with(Cell::get) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNT_THIS_THREAD.with(Cell::get) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn can_move_towards_allocates_nothing_after_warmup() {
+    // A realistic N=32 instance: the shape the complexity benches sweep.
+    let cfg = random_connected_config(&InstanceSpec::column_instance(32), 7);
+    let planner = MotionPlanner::standard();
+    let grid = cfg.grid();
+    let output = cfg.output();
+    let positions: Vec<_> = grid.blocks().map(|(_, p)| p).collect();
+
+    // Warm-up: size the planner's scratch buffers (connectivity bitset,
+    // frontier, post-move board, move buffer) for this grid.
+    let mut warm_hits = 0usize;
+    for &pos in &positions {
+        warm_hits += usize::from(planner.can_move_towards(grid, pos, output));
+        warm_hits += usize::from(planner.can_move(grid, pos));
+    }
+    assert!(warm_hits > 0, "the workload must exercise the fast path");
+
+    // Measured pass: the exact same queries, many times over, counting
+    // only this thread's allocations.
+    COUNT_THIS_THREAD.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut hits = 0usize;
+    for _ in 0..16 {
+        for &pos in &positions {
+            hits += usize::from(planner.can_move_towards(grid, pos, output));
+            hits += usize::from(planner.can_move(grid, pos));
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|flag| flag.set(false));
+    assert_eq!(hits, warm_hits * 16, "fast path must stay deterministic");
+    assert_eq!(
+        after - before,
+        0,
+        "can_move_towards / can_move allocated on the hot path"
+    );
+}

@@ -1,0 +1,86 @@
+//! Differential property tests: the bitboard matcher must be observably
+//! identical to the retained naive matrix matcher, and the grid's
+//! apply/undo journal must restore configurations bit-for-bit.
+
+use proptest::prelude::*;
+use sb_grid::gen::{random_connected_config, InstanceSpec};
+use sb_motion::MotionPlanner;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// On random connected grids the bitboard matcher and the naive
+    /// matrix matcher return identical `PlannedMotion` lists for every
+    /// cell of the surface (occupied or not), with and without the
+    /// Remark 1 connectivity filter.
+    #[test]
+    fn bitboard_and_naive_matchers_agree(blocks in 4usize..14, seed in 0u64..10_000) {
+        let cfg = random_connected_config(&InstanceSpec::column_instance(blocks), seed);
+        let strict = MotionPlanner::standard();
+        let free = MotionPlanner::standard().without_connectivity_check();
+        for pos in cfg.grid().bounds().iter() {
+            prop_assert_eq!(
+                strict.motions_involving(cfg.grid(), pos),
+                strict.motions_involving_reference(cfg.grid(), pos),
+                "connectivity-filtered mismatch at {}", pos
+            );
+            prop_assert_eq!(
+                free.motions_involving(cfg.grid(), pos),
+                free.motions_involving_reference(cfg.grid(), pos),
+                "unfiltered mismatch at {}", pos
+            );
+        }
+    }
+
+    /// Applying any planned motion through the journal and undoing it
+    /// leaves the grid bit-identical (cells, bitboard words, id index).
+    #[test]
+    fn apply_undo_round_trips_bit_identically(blocks in 4usize..14, seed in 0u64..10_000) {
+        let mut cfg = random_connected_config(&InstanceSpec::column_instance(blocks), seed);
+        let planner = MotionPlanner::standard();
+        let positions: Vec<_> = cfg.grid().blocks().map(|(_, p)| p).collect();
+        for pos in positions {
+            let motions = planner.motions_involving(cfg.grid(), pos);
+            let before = cfg.grid().clone();
+            for motion in motions {
+                let grid = cfg.grid_mut();
+                let blocks_moved = grid
+                    .with_moves_applied(&motion.moves, |trial| {
+                        // While applied, the subject really sits at its
+                        // destination and the ensemble stays connected.
+                        assert!(trial.is_occupied(motion.subject_to));
+                        trial.block_count()
+                    })
+                    .expect("planned motions are executable");
+                prop_assert_eq!(blocks_moved, before.block_count());
+                prop_assert_eq!(&*grid, &before, "undo must restore the configuration");
+                prop_assert_eq!(grid.occupancy_words(), before.occupancy_words());
+                for (id, p) in before.blocks() {
+                    prop_assert_eq!(grid.position_of(id), Some(p));
+                }
+            }
+        }
+    }
+
+    /// The short-circuit feasibility probe agrees with full enumeration on
+    /// every cell and every plausible target.
+    #[test]
+    fn fast_feasibility_probe_agrees_with_enumeration(blocks in 4usize..12, seed in 0u64..10_000) {
+        let cfg = random_connected_config(&InstanceSpec::column_instance(blocks), seed);
+        let planner = MotionPlanner::standard();
+        let targets = [cfg.output(), cfg.input(), sb_grid::Pos::new(0, 0)];
+        for pos in cfg.grid().bounds().iter() {
+            prop_assert_eq!(
+                planner.can_move(cfg.grid(), pos),
+                !planner.motions_involving(cfg.grid(), pos).is_empty()
+            );
+            for target in targets {
+                prop_assert_eq!(
+                    planner.can_move_towards(cfg.grid(), pos, target),
+                    !planner.motions_towards(cfg.grid(), pos, target).is_empty(),
+                    "pos {} target {}", pos, target
+                );
+            }
+        }
+    }
+}

@@ -8,8 +8,11 @@
 //!   `O(N²)`.
 //!
 //! This example sweeps the number of blocks on column-building instances,
-//! prints the measured counters, and fits a power-law exponent so the
-//! growth rates can be compared against the remarks.
+//! prints the measured counters, fits a power-law exponent so the growth
+//! rates can be compared against the remarks, and writes a
+//! machine-readable `BENCH_planner.json` (events/sec and planner
+//! probes/sec per `N`) so the performance trajectory can be tracked
+//! across changes.
 //!
 //! ```text
 //! cargo run --release --example scaling_sweep
@@ -17,6 +20,7 @@
 
 use smart_surface::core::workloads::column_instance;
 use smart_surface::core::ReconfigurationDriver;
+use std::fmt::Write as _;
 
 fn main() {
     let sizes = [6usize, 8, 10, 12, 16, 20, 24, 28, 32];
@@ -28,12 +32,16 @@ fn main() {
     );
 
     let mut rows: Vec<(f64, f64, f64, f64)> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
     for &n in &sizes {
         let mut elections = 0f64;
         let mut messages = 0f64;
         let mut dists = 0f64;
         let mut moves = 0f64;
         let mut completed = 0usize;
+        let mut events = 0f64;
+        let mut rule_checks = 0f64;
+        let mut wall_secs = 0f64;
         for &seed in &seeds {
             let config = column_instance(n, seed);
             let report = ReconfigurationDriver::new(config).with_seed(seed).run_des();
@@ -42,6 +50,9 @@ fn main() {
             dists += report.metrics.distance_computations as f64;
             moves += report.elementary_moves() as f64;
             completed += usize::from(report.completed);
+            events += report.events_processed as f64;
+            rule_checks += report.metrics.rule_checks as f64;
+            wall_secs += report.wall_time.as_secs_f64();
         }
         let k = seeds.len() as f64;
         println!(
@@ -55,6 +66,35 @@ fn main() {
             seeds.len()
         );
         rows.push((n as f64, messages / k, dists / k, moves / k));
+        let wall = wall_secs.max(1e-9);
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"n\": {n}, \"events_per_sec\": {:.1}, \"plans_per_sec\": {:.1}, \
+             \"elections\": {:.1}, \"messages\": {:.1}, \"moves\": {:.1}, \
+             \"wall_secs\": {:.6}, \"completed\": {}}}",
+            events / wall,
+            rule_checks / wall,
+            elections / k,
+            messages / k,
+            moves / k,
+            wall_secs,
+            completed == seeds.len()
+        )
+        .unwrap();
+        json_rows.push(row);
+    }
+
+    // Machine-readable summary for future perf comparisons.
+    let json = format!(
+        "{{\n  \"bench\": \"planner\",\n  \"workload\": \"column\",\n  \
+         \"seeds_per_size\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        seeds.len(),
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_planner.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_planner.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_planner.json: {e}"),
     }
 
     // Least-squares slope of log(y) vs log(N): the empirical exponent.

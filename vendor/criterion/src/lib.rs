@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `throughput`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose iteration count is auto-scaled so a sample
+//! lasts long enough to be meaningful; the median sample is reported as
+//! ns/iter (plus derived throughput when declared).  Passing `--test`
+//! (as `cargo bench -- --test` does) switches to smoke mode: every
+//! benchmark body runs exactly once, which is what CI uses.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, used to derive rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement.
+    Measure,
+    /// `--test`: run the body once to prove it works.
+    Smoke,
+}
+
+struct Sample {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl<'a> Bencher<'a> {
+    /// Calls `routine` repeatedly and records its cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            *self.result = Some(Sample {
+                ns_per_iter: f64::NAN,
+                iters: 1,
+            });
+            return;
+        }
+        // Warm-up and per-sample iteration scaling: aim for samples of at
+        // least ~5 ms, capped so slow benches still finish promptly.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let first = warm_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let iters_per_sample = (target.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        *self.result = Some(Sample {
+            ns_per_iter: median,
+            iters: iters_per_sample * self.sample_size as u64,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut result = None;
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        self.criterion.report(&full, self.throughput, result);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut result = None;
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher, input);
+        self.criterion.report(&full, self.throughput, result);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` → smoke mode;
+    /// a bare positional argument filters benchmarks by substring).
+    pub fn from_args() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Smoke,
+                "--bench" => {}
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { mode, filter }
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    fn report(&mut self, name: &str, throughput: Option<Throughput>, sample: Option<Sample>) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        match sample {
+            Some(s) if self.mode == Mode::Smoke => {
+                println!("test {name} ... ok ({} iter)", s.iters);
+            }
+            Some(s) => {
+                let mut line = format!("{name:<55} time: {}", format_ns(s.ns_per_iter));
+                if let Some(tp) = throughput {
+                    let per_sec = match tp {
+                        Throughput::Elements(n) => {
+                            format!("{} elem/s", format_rate(n as f64 / (s.ns_per_iter / 1e9)))
+                        }
+                        Throughput::Bytes(n) => {
+                            format!("{} B/s", format_rate(n as f64 / (s.ns_per_iter / 1e9)))
+                        }
+                    };
+                    line.push_str(&format!("  thrpt: {per_sec}"));
+                }
+                println!("{line}");
+            }
+            None => println!("{name:<55} (no measurement)"),
+        }
+    }
+
+    /// Prints the trailing summary (kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2}  s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Groups benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
