@@ -3,8 +3,7 @@
 use crate::context::{Actor, ActorContext, ActorId, Envelope, Shared};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Outcome of a run.
@@ -89,19 +88,33 @@ where
             messages_delivered: AtomicU64::new(0),
         };
         let start = Instant::now();
-        let timed_out = Arc::new(AtomicBool::new(false));
+        let deadline_at = start + deadline;
+        let timed_out = AtomicBool::new(false);
+        // Actor threads still running; lets the watchdog retire as soon as
+        // the system drains instead of sleeping out the whole deadline.
+        let live_actors = AtomicUsize::new(n);
 
         crossbeam::scope(|scope| {
-            // Watchdog thread: enforce the deadline.
+            // Watchdog thread: enforce the deadline.  The deadline is an
+            // absolute `Instant`, so scheduler oversleep cannot drift the
+            // effective deadline past the requested one, and the thread
+            // exits early once every actor thread has finished.
             {
                 let shared_ref = &shared;
-                let timed_out = Arc::clone(&timed_out);
+                let timed_out = &timed_out;
+                let live_actors = &live_actors;
                 scope.spawn(move |_| {
                     let step = Duration::from_millis(1);
-                    let mut waited = Duration::ZERO;
-                    while waited < deadline && !shared_ref.stop_requested() {
-                        std::thread::sleep(step);
-                        waited += step;
+                    loop {
+                        if shared_ref.stop_requested() || live_actors.load(Ordering::Acquire) == 0
+                        {
+                            return;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline_at {
+                            break;
+                        }
+                        std::thread::sleep((deadline_at - now).min(step));
                     }
                     if !shared_ref.stop_requested() {
                         timed_out.store(true, Ordering::SeqCst);
@@ -112,6 +125,7 @@ where
             // One thread per actor.
             for (idx, (mut actor, rx)) in actors.into_iter().zip(receivers).enumerate() {
                 let shared_ref = &shared;
+                let live_actors = &live_actors;
                 scope.spawn(move |_| {
                     let me = ActorId(idx);
                     let mut ctx = ActorContext {
@@ -141,6 +155,7 @@ where
                         }
                     }
                     actor.on_stop(&mut ctx);
+                    live_actors.fetch_sub(1, Ordering::Release);
                 });
             }
         })
@@ -300,10 +315,53 @@ mod tests {
     }
 
     #[test]
-    fn empty_system_times_out_quickly() {
+    fn empty_system_returns_immediately_without_timing_out() {
+        // No actor threads exist, so the watchdog must retire at once
+        // instead of sleeping out the whole deadline (the pre-fix
+        // behaviour burned the full 20 ms and reported a timeout).
         let system: ActorSystem<(), ()> = ActorSystem::new(());
-        let report = system.run(Duration::from_millis(20));
-        assert!(report.timed_out);
+        let report = system.run(Duration::from_millis(200));
+        assert!(!report.timed_out, "nothing ran, so nothing timed out");
+        assert!(!report.stopped, "no actor requested a stop");
         assert_eq!(report.messages_sent, 0);
+        assert!(
+            report.elapsed < Duration::from_millis(100),
+            "the watchdog must not burn the deadline: {:?}",
+            report.elapsed
+        );
+    }
+
+    #[test]
+    fn watchdog_does_not_drift_past_the_deadline() {
+        // The pre-fix watchdog accumulated `waited += step` across sleeps,
+        // so scheduler oversleep stretched the effective deadline.  With an
+        // absolute `Instant` deadline the run ends close to the requested
+        // duration even under oversleep.
+        struct Loopy;
+        impl Actor<(), u64> for Loopy {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), u64>) {
+                let me = ctx.self_id();
+                ctx.send(me, ());
+            }
+            fn on_message(&mut self, _: ActorId, _: (), ctx: &mut ActorContext<'_, (), u64>) {
+                ctx.with_world(|w| *w += 1);
+                if !ctx.stop_requested() {
+                    let me = ctx.self_id();
+                    ctx.send(me, ());
+                }
+            }
+        }
+        let mut system = ActorSystem::new(0u64);
+        system.add_actor(Loopy);
+        let deadline = Duration::from_millis(150);
+        let report = system.run(deadline);
+        assert!(report.timed_out);
+        // Generous margin: the point is that the watchdog tracks an
+        // absolute instant, not that the OS scheduler is precise.
+        assert!(
+            report.elapsed < deadline + Duration::from_millis(100),
+            "run overshot the deadline: {:?}",
+            report.elapsed
+        );
     }
 }

@@ -1,42 +1,77 @@
-//! Complexity-scaling benchmark (Remarks 2–4 of the paper).
+//! Complexity-scaling benchmark (Remarks 2–4 of the paper), driven by the
+//! parallel sweep engine.
 //!
 //! * Remark 2: the number of distance computations is `O(N³)`.
 //! * Remark 3: the number of messages exchanged is `O(N³)`.
 //! * Remark 4: the number of block hops to build the path is `O(N²)`.
 //!
-//! The bench sweeps the number of blocks `N` on the deterministic
-//! column-building workload, prints the measured counters and the fitted
-//! growth exponents (which must stay at or below the paper's upper
-//! bounds), and measures the wall-clock time of a full run per size.
+//! The informational sweep fans the deterministic column workload across
+//! every core through [`SweepEngine`], prints the measured counters and
+//! the fitted growth exponents (which must stay at or below the paper's
+//! upper bounds), then Criterion measures the wall-clock time of a full
+//! single-cell engine run per size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sb_bench::{column_driver, fit_exponent, run_column, ResultRow, SCALING_SIZES};
+use sb_bench::sweep::{run_cell, Family, FamilyPlan, LatencySpec, SweepEngine, SweepPlan};
+use sb_bench::{fit_exponent, SCALING_SIZES};
+use sb_core::election::TieBreak;
+use sb_core::MotionModel;
 use std::hint::black_box;
 
-fn bench_scaling(c: &mut Criterion) {
-    println!("\n== Complexity scaling (Remarks 2-4) ==");
-    println!("{}", ResultRow::header());
-    let mut rows: Vec<ResultRow> = Vec::new();
-    for &n in &SCALING_SIZES {
-        let row = run_column(n);
-        println!("{}", row.formatted());
-        rows.push(row);
+fn column_plan(sizes: Vec<usize>) -> SweepPlan {
+    SweepPlan {
+        plan_seed: 1,
+        families: vec![FamilyPlan {
+            family: Family::Column,
+            sizes,
+        }],
+        seeds: vec![1],
+        latencies: vec![LatencySpec::fixed_10us()],
+        tie_breaks: vec![TieBreak::Random],
+        motions: vec![MotionModel::RuleBased],
     }
-    let pts = |f: &dyn Fn(&ResultRow) -> f64| -> Vec<(f64, f64)> {
-        rows.iter().map(|r| (r.blocks as f64, f(r))).collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    println!("\n== Complexity scaling (Remarks 2-4, sweep engine) ==");
+    let report = SweepEngine::with_available_parallelism().run(&column_plan(SCALING_SIZES.to_vec()));
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>10} {:>10}",
+        "N", "elections", "messages", "dist-comps", "moves", "completed"
+    );
+    for g in &report.groups {
+        println!(
+            "{:>6} {:>10.0} {:>12.0} {:>14.0} {:>10.0} {:>10}",
+            g.blocks,
+            g.elections.mean,
+            g.messages.mean,
+            g.distance_computations.mean,
+            g.moves.mean,
+            if g.completed_rate == 1.0 { "yes" } else { "NO" }
+        );
+    }
+    let pts = |select: fn(&sb_bench::sweep::GroupSummary) -> f64| -> Vec<(f64, f64)> {
+        report
+            .groups
+            .iter()
+            .map(|g| (g.blocks as f64, select(g)))
+            .collect()
     };
     println!(
         "fitted exponents: messages ~ N^{:.2} (<= 3), distance computations ~ N^{:.2} (<= 3), moves ~ N^{:.2} (<= 2)\n",
-        fit_exponent(&pts(&|r| r.messages as f64)),
-        fit_exponent(&pts(&|r| r.distance_computations as f64)),
-        fit_exponent(&pts(&|r| r.moves as f64)),
+        fit_exponent(&pts(|g| g.messages.mean)),
+        fit_exponent(&pts(|g| g.distance_computations.mean)),
+        fit_exponent(&pts(|g| g.moves.mean)),
     );
 
     let mut group = c.benchmark_group("complexity_scaling");
     group.sample_size(10);
     for &n in &[8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("des_run", n), &n, |b, &n| {
-            b.iter(|| black_box(column_driver(n).run_des().elementary_moves()))
+        // Measure the cell runner itself, not the engine's thread-spawn
+        // and aggregation scaffolding (which would dominate at small N).
+        let cell = column_plan(vec![n]).cells()[0];
+        group.bench_with_input(BenchmarkId::new("engine_cell", n), &n, |b, _| {
+            b.iter(|| black_box(run_cell(&cell, 1).moves))
         });
     }
     group.finish();

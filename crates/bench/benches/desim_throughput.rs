@@ -8,6 +8,7 @@
 //! so `cargo bench` stays fast).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sb_bench::parallel_map;
 use sb_desim::{BlockCode, Context, Duration, LatencyModel, ModuleId, Simulator};
 use std::hint::black_box;
 
@@ -50,10 +51,18 @@ fn run(modules: usize, events: u64) -> u64 {
 
 fn bench_throughput(c: &mut Criterion) {
     println!("\n== DES throughput (VisibleSim comparison point: ~650k events/s, 2M nodes) ==");
-    for &modules in &[1_000usize, 10_000, 100_000] {
+    // The informational table drives the module-count axis through the
+    // sweep engine's parallel_map.  A single worker keeps the runs
+    // sequential on purpose: each simulator self-times with wall-clock
+    // Instant, and concurrent siblings would contend for cores and
+    // deflate the events/s figures quoted against VisibleSim.
+    let sizes = [1_000usize, 10_000, 100_000];
+    let rows = parallel_map(&sizes, 1, |&modules| {
         let start = std::time::Instant::now();
         let events = run(modules, 200_000);
-        let rate = events as f64 / start.elapsed().as_secs_f64();
+        (modules, events, events as f64 / start.elapsed().as_secs_f64())
+    });
+    for (modules, events, rate) in rows {
         println!("  {modules:>8} modules: {events:>8} events, {rate:>12.0} events/s");
     }
     println!();

@@ -18,7 +18,10 @@ fn bench_fig10(c: &mut Criterion) {
     println!("{}", ResultRow::from_report(&report).formatted());
     println!(
         "completed={} path_complete={} sim_time={}us events={}\n",
-        report.completed, report.path_complete, report.sim_time_us, report.events_processed
+        report.completed,
+        report.path_complete,
+        report.sim_time_us.unwrap_or(0),
+        report.events_processed.unwrap_or(0)
     );
     assert!(report.completed, "the Fig. 10 instance must reconfigure");
 

@@ -1,9 +1,14 @@
 //! Shared helpers for the benchmark harness.
 //!
-//! The actual benchmark targets live in `benches/`; this library only holds
-//! workload construction helpers shared between them and the report
-//! examples at the workspace root.
+//! The actual benchmark targets live in `benches/`; this library holds the
+//! parallel [`sweep::SweepEngine`] plus the workload construction helpers
+//! shared between the benches and the report examples at the workspace
+//! root.
 
+pub mod sweep;
 pub mod workloads;
 
+pub use sweep::{
+    parallel_map, Family, FamilyPlan, LatencySpec, SweepEngine, SweepPlan, SweepReport,
+};
 pub use workloads::*;

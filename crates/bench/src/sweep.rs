@@ -1,0 +1,700 @@
+//! The parallel batch sweep engine.
+//!
+//! [`SweepEngine`] fans a cartesian [`SweepPlan`] — workload family ×
+//! ensemble size × seed × latency model × tie-break × motion model — out
+//! across worker threads (via the vendored `crossbeam::scope`), runs every
+//! cell on the deterministic discrete-event runtime, and aggregates the
+//! per-cell counters into per-group summaries (mean/p50/p95 plus
+//! completion, stall and timeout rates).
+//!
+//! ## Determinism
+//!
+//! Every cell derives its simulator and tie-break seeds from a stable hash
+//! of the cell's *semantic* coordinates (family name, size, workload seed,
+//! latency name, tie-break name, motion name) mixed with the plan seed —
+//! never from the cell's position in the work queue or the thread that
+//! happens to run it.  Workers pull cell indices from a shared cursor and
+//! write results back into the cell's own slot, so the aggregate (and the
+//! JSON rendering, which excludes wall-clock quantities) is **byte
+//! identical for any worker count**.  The regression test
+//! `crates/bench/tests/sweep_engine.rs` pins this property.
+//!
+//! ## JSON schema (version 2)
+//!
+//! [`SweepReport::to_json`] renders the versioned machine-readable record
+//! published by CI as `BENCH_planner.json`; the field-by-field schema is
+//! documented in `ROADMAP.md` ("Engine notes").
+
+use sb_core::election::TieBreak;
+use sb_core::workloads;
+use sb_core::{MotionModel, ReconfigurationDriver};
+use sb_desim::{Duration as SimDuration, LatencyModel};
+use sb_grid::SurfaceConfig;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration as WallDuration;
+
+/// Version of the JSON schema emitted by [`SweepReport::to_json`].
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
+
+/// The scenario families the sweep can draw workloads from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Two-column blob next to the target column (the paper's Fig. 10
+    /// shape, parameterised by size); completes reliably.
+    Column,
+    /// Two-block-thick ribbon zig-zagging east/west as it rises; forces
+    /// rolls around convex/concave corners.
+    Serpentine,
+    /// Wide, sparse, randomly grown flat strip; prone to stalling once
+    /// the strip thins into chains of connectivity cut vertices.
+    SparseWide,
+    /// Zero-spare column: the path needs *every* block, demonstrating the
+    /// paper's observation that spare helper blocks are essential.
+    Minimal,
+    /// High-aspect-ratio strip with the path running horizontally.
+    HighAspect,
+}
+
+impl Family {
+    /// Every family, in the canonical (JSON) order.
+    pub const ALL: [Family; 5] = [
+        Family::Column,
+        Family::Serpentine,
+        Family::SparseWide,
+        Family::Minimal,
+        Family::HighAspect,
+    ];
+
+    /// Stable name used in the JSON record and the per-cell seed hash.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Column => "column",
+            Family::Serpentine => "serpentine",
+            Family::SparseWide => "sparse_wide",
+            Family::Minimal => "minimal",
+            Family::HighAspect => "high_aspect",
+        }
+    }
+
+    /// Builds the family's instance at the given size and workload seed.
+    pub fn build(self, blocks: usize, seed: u64) -> SurfaceConfig {
+        match self {
+            Family::Column => workloads::column_instance(blocks, seed),
+            Family::Serpentine => workloads::serpentine_instance(blocks, seed),
+            Family::SparseWide => workloads::sparse_wide_instance(blocks, seed),
+            Family::Minimal => workloads::minimal_instance(blocks, seed),
+            Family::HighAspect => workloads::high_aspect_instance(blocks, seed),
+        }
+    }
+}
+
+/// A latency model together with the stable name it carries in the JSON
+/// record and the per-cell seed hash.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySpec {
+    /// Stable identifier.
+    pub name: &'static str,
+    /// The model handed to the simulator.
+    pub model: LatencyModel,
+}
+
+impl LatencySpec {
+    /// The default deterministic 10 µs per-message latency.
+    pub fn fixed_10us() -> Self {
+        LatencySpec {
+            name: "fixed_10us",
+            model: LatencyModel::Fixed(SimDuration::micros(10)),
+        }
+    }
+
+    /// Uniform jitter in `[1, 100]` µs — reorders deliveries across links.
+    pub fn uniform_1_100us() -> Self {
+        LatencySpec {
+            name: "uniform_1_100us",
+            model: LatencyModel::Uniform {
+                min: SimDuration::micros(1),
+                max: SimDuration::micros(100),
+            },
+        }
+    }
+
+    /// Zero-delay delivery (degenerates to causal order under FIFO ties).
+    pub fn instant() -> Self {
+        LatencySpec {
+            name: "instant",
+            model: LatencyModel::Instant,
+        }
+    }
+}
+
+fn tie_break_name(t: TieBreak) -> &'static str {
+    match t {
+        TieBreak::FirstSeen => "first_seen",
+        TieBreak::LowestId => "lowest_id",
+        TieBreak::Random => "random",
+    }
+}
+
+fn motion_name(m: MotionModel) -> &'static str {
+    match m {
+        MotionModel::RuleBased => "rule_based",
+        MotionModel::FreeMotion => "free_motion",
+    }
+}
+
+/// One family together with the ensemble sizes it is swept over.
+#[derive(Clone, Debug)]
+pub struct FamilyPlan {
+    /// The scenario family.
+    pub family: Family,
+    /// Block counts `N` to sweep.
+    pub sizes: Vec<usize>,
+}
+
+/// A cartesian sweep plan.
+///
+/// Cells are enumerated family-major with the seed axis innermost, so all
+/// repetitions of one parameter point are adjacent and aggregate into one
+/// group.
+#[derive(Clone, Debug)]
+pub struct SweepPlan {
+    /// Root seed mixed into every per-cell seed.
+    pub plan_seed: u64,
+    /// Families and their size axes.
+    pub families: Vec<FamilyPlan>,
+    /// Workload seeds (repetitions per parameter point).
+    pub seeds: Vec<u64>,
+    /// Latency models.
+    pub latencies: Vec<LatencySpec>,
+    /// Tie-break policies.
+    pub tie_breaks: Vec<TieBreak>,
+    /// Motion models.
+    pub motions: Vec<MotionModel>,
+}
+
+impl SweepPlan {
+    /// The full scenario-diversity plan published by CI: five families,
+    /// the column family up to `N = 256`, two latency regimes, three
+    /// seeds per cell.
+    pub fn standard() -> Self {
+        SweepPlan {
+            plan_seed: 1,
+            families: vec![
+                FamilyPlan {
+                    family: Family::Column,
+                    sizes: vec![8, 16, 32, 64, 128, 256],
+                },
+                FamilyPlan {
+                    family: Family::Serpentine,
+                    sizes: vec![8, 16, 32, 64],
+                },
+                FamilyPlan {
+                    family: Family::SparseWide,
+                    sizes: vec![8, 16, 32, 64],
+                },
+                FamilyPlan {
+                    family: Family::Minimal,
+                    sizes: vec![8, 16, 32, 64],
+                },
+                FamilyPlan {
+                    family: Family::HighAspect,
+                    sizes: vec![8, 16, 32, 64],
+                },
+            ],
+            seeds: vec![1, 2, 3],
+            latencies: vec![LatencySpec::fixed_10us(), LatencySpec::uniform_1_100us()],
+            tie_breaks: vec![TieBreak::Random],
+            motions: vec![MotionModel::RuleBased],
+        }
+    }
+
+    /// A small plan for tests and smoke runs (sub-second on one worker).
+    pub fn smoke() -> Self {
+        SweepPlan {
+            plan_seed: 7,
+            families: vec![
+                FamilyPlan {
+                    family: Family::Column,
+                    sizes: vec![6, 8],
+                },
+                FamilyPlan {
+                    family: Family::Minimal,
+                    sizes: vec![6, 8],
+                },
+            ],
+            seeds: vec![1, 2],
+            latencies: vec![LatencySpec::fixed_10us()],
+            tie_breaks: vec![TieBreak::LowestId],
+            motions: vec![MotionModel::RuleBased],
+        }
+    }
+
+    /// Enumerates every cell of the cartesian product, seed axis
+    /// innermost.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::new();
+        for fp in &self.families {
+            for &blocks in &fp.sizes {
+                for &latency in &self.latencies {
+                    for &tie_break in &self.tie_breaks {
+                        for &motion in &self.motions {
+                            for &workload_seed in &self.seeds {
+                                cells.push(SweepCell {
+                                    family: fp.family,
+                                    blocks,
+                                    workload_seed,
+                                    latency,
+                                    tie_break,
+                                    motion,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One point of the cartesian product.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCell {
+    /// Scenario family.
+    pub family: Family,
+    /// Ensemble size `N`.
+    pub blocks: usize,
+    /// Workload (instance-generation) seed.
+    pub workload_seed: u64,
+    /// Latency model.
+    pub latency: LatencySpec,
+    /// Tie-break policy.
+    pub tie_break: TieBreak,
+    /// Motion model.
+    pub motion: MotionModel,
+}
+
+impl SweepCell {
+    /// Deterministic per-cell seed: a stable hash of the cell's semantic
+    /// coordinates mixed with the plan seed.  Independent of enumeration
+    /// order and of the worker that runs the cell.
+    pub fn cell_seed(&self, plan_seed: u64) -> u64 {
+        let mut h = fnv1a64(self.family.name().as_bytes(), 0xcbf2_9ce4_8422_2325);
+        h = fnv1a64(&(self.blocks as u64).to_le_bytes(), h);
+        h = fnv1a64(&self.workload_seed.to_le_bytes(), h);
+        h = fnv1a64(self.latency.name.as_bytes(), h);
+        h = fnv1a64(tie_break_name(self.tie_break).as_bytes(), h);
+        h = fnv1a64(motion_name(self.motion).as_bytes(), h);
+        splitmix64(h ^ splitmix64(plan_seed))
+    }
+}
+
+fn fnv1a64(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Scalar counters measured for one cell (the full report's move log,
+/// frames and renderings are deliberately dropped so a large sweep streams
+/// through bounded memory).
+#[derive(Clone, Copy, Debug)]
+pub struct CellMeasurement {
+    /// The cell the measurement belongs to.
+    pub cell: SweepCell,
+    /// Elections run (iterations of Algorithm 1).
+    pub elections: u64,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Elementary block moves executed.
+    pub moves: u64,
+    /// Distance computations (Remark 2).
+    pub distance_computations: u64,
+    /// Final simulated time, microseconds.
+    pub sim_time_us: u64,
+    /// Events processed by the dispatcher.
+    pub events: u64,
+    /// Whether the reconfiguration completed.
+    pub completed: bool,
+    /// Whether the algorithm stalled (no candidate could move, or the
+    /// iteration safety valve fired).
+    pub stalled: bool,
+    /// Whether the run ended with neither outcome (the event queue
+    /// drained without the Root concluding; must stay zero on the
+    /// discrete-event runtime).
+    pub timed_out: bool,
+    /// Wall-clock duration of the run (excluded from the JSON record,
+    /// which must be deterministic).
+    pub wall: WallDuration,
+}
+
+impl CellMeasurement {
+    /// Events per *simulated* second — a deterministic throughput figure
+    /// (wall-clock throughput is printed by the examples instead, so the
+    /// JSON stays byte-stable across machines and worker counts).
+    pub fn events_per_sim_sec(&self) -> f64 {
+        self.events as f64 / (self.sim_time_us.max(1) as f64 / 1e6)
+    }
+}
+
+/// Runs one cell on the discrete-event runtime.
+pub fn run_cell(cell: &SweepCell, plan_seed: u64) -> CellMeasurement {
+    let seed = cell.cell_seed(plan_seed);
+    let config = cell.family.build(cell.blocks, cell.workload_seed);
+    let mut driver = ReconfigurationDriver::new(config)
+        .with_latency(cell.latency.model)
+        .with_motion_model(cell.motion)
+        .with_seed(seed);
+    let mut algorithm = *driver.algorithm();
+    algorithm.tie_break = cell.tie_break;
+    // Separate stream for the tie-break RNG so it does not correlate with
+    // the latency sampling.
+    algorithm.seed = splitmix64(seed);
+    driver = driver.with_algorithm(algorithm);
+    let report = driver.run_des();
+    CellMeasurement {
+        cell: *cell,
+        elections: report.elections(),
+        messages: report.total_messages(),
+        moves: report.elementary_moves(),
+        distance_computations: report.metrics.distance_computations,
+        sim_time_us: report.sim_time_us.unwrap_or(0),
+        events: report.events_processed.unwrap_or(0),
+        completed: report.completed,
+        stalled: report.stalled,
+        timed_out: !report.completed && !report.stalled,
+        wall: report.wall_time,
+    }
+}
+
+/// Applies `f` to every item index across `workers` scoped threads,
+/// preserving item order in the returned vector.  The building block of
+/// [`SweepEngine::run`], exported for benches that fan other workloads
+/// out (e.g. the DES-throughput bench's module-count axis).
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+        }
+    })
+    .expect("sweep workers must not panic");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+/// Mean / median / 95th percentile of one metric across a group's cells
+/// (nearest-rank percentiles over the per-seed values).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Nearest-rank median.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile.
+    pub p95: f64,
+}
+
+impl Stats {
+    fn from_values(values: &mut [f64]) -> Stats {
+        assert!(!values.is_empty(), "a group has at least one cell");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Stats {
+            mean,
+            p50: nearest_rank(values, 50.0),
+            p95: nearest_rank(values, 95.0),
+        }
+    }
+}
+
+fn nearest_rank(sorted: &[f64], percentile: f64) -> f64 {
+    let k = sorted.len();
+    let rank = ((percentile / 100.0 * k as f64).ceil() as usize).clamp(1, k);
+    sorted[rank - 1]
+}
+
+/// Aggregate over the seed repetitions of one parameter point.
+#[derive(Clone, Debug)]
+pub struct GroupSummary {
+    /// Scenario family.
+    pub family: Family,
+    /// Ensemble size `N`.
+    pub blocks: usize,
+    /// Latency model name.
+    pub latency: &'static str,
+    /// Tie-break policy name.
+    pub tie_break: &'static str,
+    /// Motion model name.
+    pub motion: &'static str,
+    /// Number of runs aggregated (the seed axis).
+    pub runs: usize,
+    /// Fraction of runs that completed.
+    pub completed_rate: f64,
+    /// Fraction of runs that stalled.
+    pub stall_rate: f64,
+    /// Fraction of runs with neither outcome.
+    pub timeout_rate: f64,
+    /// Elections per run.
+    pub elections: Stats,
+    /// Messages per run.
+    pub messages: Stats,
+    /// Elementary moves per run.
+    pub moves: Stats,
+    /// Distance computations per run.
+    pub distance_computations: Stats,
+    /// Final simulated time per run (µs).
+    pub sim_time_us: Stats,
+    /// Events per simulated second.
+    pub events_per_sim_sec: Stats,
+}
+
+/// Outcome of one sweep: per-cell measurements plus per-group aggregates.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The plan's root seed.
+    pub plan_seed: u64,
+    /// Seed repetitions per parameter point.
+    pub seeds_per_cell: usize,
+    /// Per-group aggregates, in plan order.
+    pub groups: Vec<GroupSummary>,
+    /// Raw per-cell measurements, in plan order.
+    pub cells: Vec<CellMeasurement>,
+}
+
+impl SweepReport {
+    /// Total wall-clock CPU time spent inside cell runs (not part of the
+    /// JSON record).
+    pub fn total_cell_wall(&self) -> WallDuration {
+        self.cells.iter().map(|c| c.wall).sum()
+    }
+
+    /// Total events processed across every cell.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+
+    /// Renders the versioned, machine-readable JSON record.
+    ///
+    /// Only deterministic quantities are included (counters, simulated
+    /// time, rates) — never wall-clock readings — so the rendering is
+    /// byte-identical for a fixed plan regardless of worker count or
+    /// host speed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"smart-surface-sweep\",\n");
+        let _ = writeln!(out, "  \"version\": {},", SWEEP_SCHEMA_VERSION);
+        let _ = writeln!(out, "  \"plan_seed\": {},", self.plan_seed);
+        let _ = writeln!(out, "  \"seeds_per_cell\": {},", self.seeds_per_cell);
+        out.push_str("  \"percentile_method\": \"nearest-rank\",\n");
+        out.push_str("  \"groups\": [\n");
+        for (i, g) in self.groups.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"family\": \"{}\", \"n\": {}, \"latency\": \"{}\", \
+                 \"tie_break\": \"{}\", \"motion\": \"{}\", \"runs\": {},\n     \
+                 \"completed_rate\": {:.3}, \"stall_rate\": {:.3}, \"timeout_rate\": {:.3},\n     \
+                 \"elections\": {}, \"messages\": {},\n     \
+                 \"moves\": {}, \"distance_computations\": {},\n     \
+                 \"sim_time_us\": {}, \"events_per_sim_sec\": {}}}",
+                g.family.name(),
+                g.blocks,
+                g.latency,
+                g.tie_break,
+                g.motion,
+                g.runs,
+                g.completed_rate,
+                g.stall_rate,
+                g.timeout_rate,
+                stats_json(&g.elections),
+                stats_json(&g.messages),
+                stats_json(&g.moves),
+                stats_json(&g.distance_computations),
+                stats_json(&g.sim_time_us),
+                stats_json(&g.events_per_sim_sec),
+            );
+            out.push_str(if i + 1 < self.groups.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn stats_json(s: &Stats) -> String {
+    format!(
+        "{{\"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}}}",
+        s.mean, s.p50, s.p95
+    )
+}
+
+/// The parallel sweep engine.
+pub struct SweepEngine {
+    workers: usize,
+}
+
+impl SweepEngine {
+    /// An engine with a fixed worker count (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        SweepEngine {
+            workers: workers.max(1),
+        }
+    }
+
+    /// An engine sized to the host's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SweepEngine::new(workers)
+    }
+
+    /// The worker count the engine fans out to.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every cell of the plan and aggregates the results.
+    pub fn run(&self, plan: &SweepPlan) -> SweepReport {
+        let cells = plan.cells();
+        let plan_seed = plan.plan_seed;
+        let measurements = parallel_map(&cells, self.workers, |cell| run_cell(cell, plan_seed));
+        let seeds = plan.seeds.len().max(1);
+        let groups = measurements
+            .chunks(seeds)
+            .map(summarize_group)
+            .collect();
+        SweepReport {
+            plan_seed,
+            seeds_per_cell: seeds,
+            groups,
+            cells: measurements,
+        }
+    }
+}
+
+fn summarize_group(chunk: &[CellMeasurement]) -> GroupSummary {
+    let first = &chunk[0];
+    let k = chunk.len() as f64;
+    let rate = |pred: fn(&CellMeasurement) -> bool| -> f64 {
+        chunk.iter().filter(|c| pred(c)).count() as f64 / k
+    };
+    let stats = |select: fn(&CellMeasurement) -> f64| -> Stats {
+        Stats::from_values(&mut chunk.iter().map(select).collect::<Vec<f64>>())
+    };
+    GroupSummary {
+        family: first.cell.family,
+        blocks: first.cell.blocks,
+        latency: first.cell.latency.name,
+        tie_break: tie_break_name(first.cell.tie_break),
+        motion: motion_name(first.cell.motion),
+        runs: chunk.len(),
+        completed_rate: rate(|c| c.completed),
+        stall_rate: rate(|c| c.stalled),
+        timeout_rate: rate(|c| c.timed_out),
+        elections: stats(|c| c.elections as f64),
+        messages: stats(|c| c.messages as f64),
+        moves: stats(|c| c.moves as f64),
+        distance_computations: stats(|c| c.distance_computations as f64),
+        sim_time_us: stats(|c| c.sim_time_us as f64),
+        events_per_sim_sec: stats(CellMeasurement::events_per_sim_sec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_seed_depends_on_semantics_not_position() {
+        let plan = SweepPlan::smoke();
+        let cells = plan.cells();
+        // Two distinct cells get distinct seeds…
+        assert_ne!(
+            cells[0].cell_seed(plan.plan_seed),
+            cells[1].cell_seed(plan.plan_seed)
+        );
+        // …and the same cell hashes identically however it is obtained.
+        let copy = cells[0];
+        assert_eq!(
+            copy.cell_seed(plan.plan_seed),
+            cells[0].cell_seed(plan.plan_seed)
+        );
+        // A different plan seed moves every cell seed.
+        assert_ne!(cells[0].cell_seed(1), cells[0].cell_seed(2));
+    }
+
+    #[test]
+    fn plan_enumerates_the_full_cartesian_product() {
+        let plan = SweepPlan::smoke();
+        let expected: usize = plan
+            .families
+            .iter()
+            .map(|fp| fp.sizes.len())
+            .sum::<usize>()
+            * plan.seeds.len()
+            * plan.latencies.len()
+            * plan.tie_breaks.len()
+            * plan.motions.len();
+        assert_eq!(plan.cells().len(), expected);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&sorted, 50.0), 2.0);
+        assert_eq!(nearest_rank(&sorted, 95.0), 4.0);
+        assert_eq!(nearest_rank(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |&i| i * 2);
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn standard_plan_covers_the_acceptance_surface() {
+        let plan = SweepPlan::standard();
+        assert!(plan.families.len() >= 4, "at least four workload families");
+        let column = plan
+            .families
+            .iter()
+            .find(|fp| fp.family == Family::Column)
+            .expect("column family present");
+        assert!(
+            column.sizes.iter().any(|&n| n >= 256),
+            "column family reaches N >= 256"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Property test: every scenario family the sweep can draw from produces
+//! instances that satisfy Assumption 2 of the paper
+//! (`SurfaceConfig::check_assumptions`) across sizes and seeds.
+
+use proptest::prelude::*;
+use sb_bench::sweep::Family;
+
+proptest! {
+    #[test]
+    fn every_family_satisfies_assumption_2(
+        family_idx in 0usize..Family::ALL.len(),
+        blocks in 6usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let family = Family::ALL[family_idx];
+        let cfg = family.build(blocks, seed);
+        prop_assert_eq!(cfg.block_count(), blocks, "family {}", family.name());
+        prop_assert!(
+            cfg.check_assumptions().is_ok(),
+            "family {} blocks {} seed {}: {:?}",
+            family.name(),
+            blocks,
+            seed,
+            cfg.check_assumptions()
+        );
+        // The instance is a real task: the output cell starts free and a
+        // Root anchors the input.
+        prop_assert!(!cfg.grid().is_occupied(cfg.output()));
+        prop_assert!(cfg.root().is_some());
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests for the parallel sweep engine: worker-count
+//! determinism of the aggregate JSON, and sanity of the aggregates.
+
+use sb_bench::sweep::{Family, FamilyPlan, LatencySpec, SweepEngine, SweepPlan};
+use sb_core::election::TieBreak;
+use sb_core::MotionModel;
+
+/// A plan whose cells are genuinely seed-sensitive: random workload
+/// geometry, jittered latencies and random tie-breaking all read the
+/// per-cell seed, so a scheduling bug that handed one cell another
+/// cell's seed would change the measured counters (the smoke plan alone
+/// could not catch that — its families and policies are deterministic).
+fn jittered_plan() -> SweepPlan {
+    SweepPlan {
+        plan_seed: 3,
+        families: vec![
+            FamilyPlan {
+                family: Family::SparseWide,
+                sizes: vec![8, 12],
+            },
+            FamilyPlan {
+                family: Family::Column,
+                sizes: vec![8],
+            },
+        ],
+        seeds: vec![1, 2, 3],
+        latencies: vec![LatencySpec::uniform_1_100us()],
+        tie_breaks: vec![TieBreak::Random],
+        motions: vec![MotionModel::RuleBased],
+    }
+}
+
+/// Same plan + same plan seed must produce a byte-identical JSON record
+/// for *any* worker count: cell seeds derive from cell semantics, not
+/// from scheduling, and the JSON excludes every wall-clock quantity.
+#[test]
+fn aggregate_json_is_identical_across_worker_counts() {
+    for plan in [SweepPlan::smoke(), jittered_plan()] {
+        let reference = SweepEngine::new(1).run(&plan).to_json();
+        for workers in [2, 4, 8] {
+            let json = SweepEngine::new(workers).run(&plan).to_json();
+            assert_eq!(
+                reference, json,
+                "worker count {workers} changed the aggregate JSON"
+            );
+        }
+    }
+}
+
+/// Re-running the identical plan reproduces the identical record
+/// (determinism in time, not just across thread counts).
+#[test]
+fn rerunning_the_same_plan_reproduces_the_record() {
+    let plan = SweepPlan::smoke();
+    let a = SweepEngine::new(4).run(&plan).to_json();
+    let b = SweepEngine::new(4).run(&plan).to_json();
+    assert_eq!(a, b);
+}
+
+/// A different plan seed re-seeds every cell and (with random jitter in
+/// the plan) moves the measured counters.
+#[test]
+fn plan_seed_reaches_the_cells() {
+    let mut plan = SweepPlan {
+        plan_seed: 1,
+        families: vec![FamilyPlan {
+            family: Family::Column,
+            sizes: vec![8],
+        }],
+        seeds: vec![1],
+        latencies: vec![LatencySpec::uniform_1_100us()],
+        tie_breaks: vec![TieBreak::Random],
+        motions: vec![MotionModel::RuleBased],
+    };
+    let a = SweepEngine::new(2).run(&plan);
+    plan.plan_seed = 2;
+    let b = SweepEngine::new(2).run(&plan);
+    // Simulated end time depends on the sampled latencies, which depend
+    // on the per-cell seed and therefore on the plan seed.
+    assert_ne!(
+        a.cells[0].sim_time_us, b.cells[0].sim_time_us,
+        "plan seed must influence the per-cell simulator seed"
+    );
+}
+
+/// Aggregates cover every group of the cartesian plan, group rates are
+/// consistent, and the column family completes while the zero-spare
+/// family records its structural stalls.
+#[test]
+fn aggregates_are_consistent_and_scenario_outcomes_differ() {
+    let plan = SweepPlan::smoke();
+    let report = SweepEngine::new(4).run(&plan);
+    assert_eq!(report.groups.len(), 4, "2 families x 2 sizes");
+    assert_eq!(report.cells.len(), 8, "x 2 seeds");
+    for g in &report.groups {
+        assert_eq!(g.runs, 2);
+        let total = g.completed_rate + g.stall_rate + g.timeout_rate;
+        assert!((total - 1.0).abs() < 1e-9, "rates partition the runs");
+        assert!(g.messages.p50 <= g.messages.p95);
+        assert!(g.moves.mean > 0.0);
+        assert_eq!(g.timeout_rate, 0.0, "DES runs always reach an outcome");
+    }
+    let column: Vec<_> = report
+        .groups
+        .iter()
+        .filter(|g| g.family == Family::Column)
+        .collect();
+    assert!(column.iter().all(|g| g.completed_rate == 1.0));
+    let minimal: Vec<_> = report
+        .groups
+        .iter()
+        .filter(|g| g.family == Family::Minimal)
+        .collect();
+    assert!(
+        minimal.iter().all(|g| g.stall_rate == 1.0),
+        "zero-spare instances stall without a helper block"
+    );
+}
+
+/// The JSON record parses as the advertised schema version and carries
+/// the per-group percentile fields.
+#[test]
+fn json_record_carries_schema_and_percentiles() {
+    let report = SweepEngine::new(2).run(&SweepPlan::smoke());
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"smart-surface-sweep\""));
+    assert!(json.contains("\"version\": 2"));
+    assert!(json.contains("\"p50\""));
+    assert!(json.contains("\"p95\""));
+    assert!(json.contains("\"stall_rate\""));
+    assert!(json.contains("\"family\": \"column\""));
+    assert!(json.contains("\"family\": \"minimal\""));
+}

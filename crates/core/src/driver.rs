@@ -54,11 +54,23 @@ pub struct ReconfigurationReport {
     pub frames: Vec<String>,
     /// Final ASCII rendering of the surface.
     pub final_ascii: String,
-    /// Simulated time at the end (discrete-event runtime only, in
-    /// microseconds).
-    pub sim_time_us: u64,
-    /// Events processed (discrete-event runtime only).
-    pub events_processed: u64,
+    /// Simulated time at the end, in microseconds.  `None` for the actor
+    /// runtime, which runs in wall-clock time and has no simulated clock.
+    pub sim_time_us: Option<u64>,
+    /// Events processed by the discrete-event dispatcher.  `None` for the
+    /// actor runtime, which has no event queue.
+    pub events_processed: Option<u64>,
+    /// Messages actually delivered to actors.  `None` for the
+    /// discrete-event runtime, where delivery equals the metrics' sent
+    /// count by construction.
+    pub messages_delivered: Option<u64>,
+    /// Whether the runtime terminated because a block requested the stop
+    /// (normal termination of Algorithm 1).
+    pub stopped: bool,
+    /// Whether the run was cut short by the runtime's deadline (actor
+    /// runtime only; the discrete-event runtime always runs to
+    /// completion).
+    pub timed_out: bool,
     /// Wall-clock duration of the run.
     pub wall_time: WallDuration,
 }
@@ -102,11 +114,28 @@ impl fmt::Display for ReconfigurationReport {
             "  path complete: {}, output occupied: {}",
             self.path_complete, self.output_occupied
         )?;
-        write!(
-            f,
-            "  sim time {} us, {} events, wall {:?}",
-            self.sim_time_us, self.events_processed, self.wall_time
-        )
+        match self.runtime {
+            RuntimeKind::DiscreteEvent => write!(
+                f,
+                "  sim time {} us, {} events, wall {:?}",
+                self.sim_time_us.unwrap_or(0),
+                self.events_processed.unwrap_or(0),
+                self.wall_time
+            ),
+            RuntimeKind::Actors => write!(
+                f,
+                "  {} messages delivered, wall {:?}{}",
+                self.messages_delivered.unwrap_or(0),
+                self.wall_time,
+                if self.timed_out {
+                    " (deadline expired)"
+                } else if self.stopped {
+                    ""
+                } else {
+                    " (all actors exited without a stop)"
+                }
+            ),
+        }
     }
 }
 
@@ -127,11 +156,19 @@ impl ReconfigurationDriver {
     /// catalogue, rule-based motion, the default latency model and the
     /// default algorithm parameters.
     pub fn new(config: SurfaceConfig) -> Self {
-        let blocks = config.block_count() as u32;
-        let mut algorithm = AlgorithmConfig::default();
+        let blocks = config.block_count() as u64;
         // Safety valve: Remark 4 bounds the hops by O(N²); anything far
-        // beyond that indicates a livelock rather than progress.
-        algorithm.max_iterations = 50 * blocks * blocks + 500;
+        // beyond that indicates a livelock rather than progress.  Computed
+        // in u64 and saturated so huge ensembles (block_count ≳ 9.3k would
+        // overflow a u32 product) keep a valid bound instead of panicking
+        // in debug or wrapping to a tiny one in release.
+        let bound = 50u64
+            .saturating_mul(blocks.saturating_mul(blocks))
+            .saturating_add(500);
+        let algorithm = AlgorithmConfig {
+            max_iterations: u32::try_from(bound).unwrap_or(u32::MAX),
+            ..AlgorithmConfig::default()
+        };
         ReconfigurationDriver {
             config,
             algorithm,
@@ -184,6 +221,12 @@ impl ReconfigurationDriver {
         &self.config
     }
 
+    /// The algorithm parameters the driver will run with (including the
+    /// size-derived `max_iterations` safety valve).
+    pub fn algorithm(&self) -> &AlgorithmConfig {
+        &self.algorithm
+    }
+
     fn build_world(&self) -> SurfaceWorld {
         let mut world = SurfaceWorld::new(
             self.config.clone(),
@@ -198,8 +241,6 @@ impl ReconfigurationDriver {
         &self,
         world: &SurfaceWorld,
         runtime: RuntimeKind,
-        sim_time_us: u64,
-        events_processed: u64,
         wall_time: WallDuration,
     ) -> ReconfigurationReport {
         ReconfigurationReport {
@@ -214,8 +255,11 @@ impl ReconfigurationDriver {
             move_log: world.move_log().to_vec(),
             frames: world.frames().to_vec(),
             final_ascii: world.ascii(),
-            sim_time_us,
-            events_processed,
+            sim_time_us: None,
+            events_processed: None,
+            messages_delivered: None,
+            stopped: false,
+            timed_out: false,
             wall_time,
         }
     }
@@ -226,13 +270,12 @@ impl ReconfigurationDriver {
         let world = self.build_world();
         let mut sim = build_des_simulation(world, self.algorithm, self.latency, self.sim_seed);
         let stats = sim.run_until_idle();
-        self.report_from_world(
-            sim.world(),
-            RuntimeKind::DiscreteEvent,
-            sim.now().as_micros(),
-            stats.events_processed,
-            stats.wall_elapsed,
-        )
+        let mut report =
+            self.report_from_world(sim.world(), RuntimeKind::DiscreteEvent, stats.wall_elapsed);
+        report.sim_time_us = Some(sim.now().as_micros());
+        report.events_processed = Some(stats.events_processed);
+        report.stopped = sim.is_stopped();
+        report
     }
 
     /// Runs the algorithm on the threaded actor runtime with the given
@@ -240,20 +283,19 @@ impl ReconfigurationDriver {
     pub fn run_actors(&self, deadline: WallDuration) -> ReconfigurationReport {
         let world = self.build_world();
         let system = build_actor_system(world, self.algorithm);
-        let report = system.run(deadline);
-        self.report_from_world(
-            &report.world,
-            RuntimeKind::Actors,
-            0,
-            report.messages_delivered,
-            report.elapsed,
-        )
+        let run = system.run(deadline);
+        let mut report = self.report_from_world(&run.world, RuntimeKind::Actors, run.elapsed);
+        report.messages_delivered = Some(run.messages_delivered);
+        report.stopped = run.stopped;
+        report.timed_out = run.timed_out;
+        report
     }
 
     /// Convenience: simulated duration of the discrete-event run expressed
-    /// as a [`sb_desim::Duration`].
+    /// as a [`sb_desim::Duration`] (zero for actor-runtime reports, which
+    /// have no simulated clock).
     pub fn sim_duration(report: &ReconfigurationReport) -> SimDuration {
-        SimDuration::micros(report.sim_time_us)
+        SimDuration::micros(report.sim_time_us.unwrap_or(0))
     }
 }
 
@@ -280,8 +322,40 @@ mod tests {
         assert_eq!(report.frames.len(), report.move_log.len());
         assert!(report.total_messages() > 0);
         assert!(report.metrics.distance_computations > 0);
-        assert!(report.events_processed > 0);
-        assert!(report.sim_time_us > 0);
+        assert!(report.events_processed.expect("DES run counts events") > 0);
+        assert!(report.sim_time_us.expect("DES run has a simulated clock") > 0);
+        assert!(report.stopped, "the Root requested the stop");
+        assert!(!report.timed_out, "the DES runtime has no deadline");
+        assert_eq!(
+            report.messages_delivered, None,
+            "delivery counting is an actor-runtime quantity"
+        );
+    }
+
+    #[test]
+    fn max_iterations_valve_saturates_for_huge_ensembles() {
+        // 10 000 blocks: 50·N² + 500 = 5 000 000 500 overflows u32 (the
+        // pre-fix computation panicked in debug and wrapped to a uselessly
+        // small bound in release); the valve must saturate instead.
+        let bounds = sb_grid::Bounds::new(104, 102);
+        let cfg = sb_grid::gen::rectangle_config(
+            bounds,
+            sb_grid::Pos::new(1, 0),
+            sb_grid::Pos::new(1, 101),
+            100,
+            100,
+        );
+        assert_eq!(cfg.block_count(), 10_000);
+        let driver = ReconfigurationDriver::new(cfg);
+        assert_eq!(driver.algorithm().max_iterations, u32::MAX);
+
+        // A size on the near side of the overflow keeps the exact bound.
+        let small = workloads::rectangle_instance(3, 2, 4);
+        let expected = 50 * (small.block_count() as u32).pow(2) + 500;
+        assert_eq!(
+            ReconfigurationDriver::new(small).algorithm().max_iterations,
+            expected
+        );
     }
 
     #[test]
@@ -331,9 +405,11 @@ mod debug_tests {
     fn debug_trace_rectangle() {
         let cfg = workloads::rectangle_instance(3, 2, 4);
         println!("initial:\n{}", cfg.to_ascii());
-        let mut algo = crate::election::AlgorithmConfig::default();
-        algo.max_iterations = 40;
-        algo.tie_break = crate::election::TieBreak::LowestId;
+        let algo = crate::election::AlgorithmConfig {
+            max_iterations: 40,
+            tie_break: crate::election::TieBreak::LowestId,
+            ..Default::default()
+        };
         let report = ReconfigurationDriver::new(cfg).with_algorithm(algo).with_frames().run_des();
         for (i, rec) in report.move_log.iter().enumerate() {
             println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, rec.rule, rec.moves);
@@ -346,9 +422,11 @@ mod debug_tests {
     #[ignore]
     fn debug_trace_free() {
         let cfg = workloads::rectangle_instance(3, 2, 4);
-        let mut algo = crate::election::AlgorithmConfig::default();
-        algo.max_iterations = 40;
-        algo.tie_break = crate::election::TieBreak::LowestId;
+        let algo = crate::election::AlgorithmConfig {
+            max_iterations: 40,
+            tie_break: crate::election::TieBreak::LowestId,
+            ..Default::default()
+        };
         let report = ReconfigurationDriver::new(cfg)
             .with_algorithm(algo)
             .with_motion_model(crate::world::MotionModel::FreeMotion)

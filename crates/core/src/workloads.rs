@@ -1,7 +1,9 @@
 //! Canonical problem instances used by the examples, the tests and the
 //! benchmark harness.
 
-use sb_grid::gen::{random_connected_config, InstanceSpec};
+use sb_grid::gen::{
+    random_connected_config, random_flat_config, serpentine_config, InstanceSpec,
+};
 use sb_grid::{Bounds, Pos, SurfaceConfig};
 
 /// The worked example of the paper (Figs. 10–11): twelve blocks, input and
@@ -58,6 +60,90 @@ pub fn column_instance(blocks: usize, seed: u64) -> SurfaceConfig {
     }
     SurfaceConfig::with_blocks(bounds, input, output, &cells)
         .expect("column instance is well formed")
+}
+
+/// A serpentine (zig-zag) ribbon of blocks anchored at the input, with the
+/// output at the top of the input's column — the same task as
+/// [`column_instance`] (one spare block, `blocks - 1` path cells) starting
+/// from a two-block-thick ribbon that drifts east and west as it rises
+/// instead of a straight two-column blob.  The staircase geometry forces
+/// elected blocks to roll around convex and concave corners, exercising
+/// rule applications the compact families never trigger.
+///
+/// Deterministic; `seed` is accepted for API symmetry with the random
+/// families.
+pub fn serpentine_instance(blocks: usize, seed: u64) -> SurfaceConfig {
+    let _ = seed;
+    assert!(blocks >= 4, "need at least four blocks");
+    // Lateral swing grows with N so larger ribbons wander further from
+    // the target column.
+    let amplitude = (blocks as u32 / 6).clamp(2, 8);
+    let height = (blocks as u32).max(6);
+    let bounds = Bounds::new(amplitude + 5, height);
+    let input = Pos::new(1, 0);
+    let output = Pos::new(1, blocks as i32 - 2);
+    serpentine_config(bounds, input, output, blocks, amplitude)
+}
+
+/// A wide, sparse, randomly grown blob: candidate cells within two rows of
+/// the surface's south edge are preferred, so the blob spreads into a flat
+/// strip centred on the input instead of piling up next to the target
+/// column.  Output at the top of the input's column with one spare block.
+pub fn sparse_wide_instance(blocks: usize, seed: u64) -> SurfaceConfig {
+    assert!(blocks >= 4, "need at least four blocks");
+    let width = (blocks as u32 + 6).max(8);
+    let height = (blocks as u32).max(6);
+    let mid = width as i32 / 2;
+    let spec = InstanceSpec {
+        bounds: Bounds::new(width, height),
+        input: Pos::new(mid, 0),
+        output: Pos::new(mid, blocks as i32 - 2),
+        blocks,
+    };
+    random_flat_config(&spec, seed, 2)
+}
+
+/// A zero-spare ("minimal block") column instance: the shortest path from
+/// `I` to `O` needs exactly `blocks` cells, so *every* block — helpers
+/// included — must end on the path.  The paper notes that spare blocks off
+/// the path can be "essential to the construction"; this family measures
+/// how often the algorithm stalls without that slack (the sweep reports
+/// the stall rate rather than requiring completion).
+pub fn minimal_instance(blocks: usize, seed: u64) -> SurfaceConfig {
+    let _ = seed;
+    assert!(blocks >= 4, "need at least four blocks");
+    let height = (blocks as u32 + 1).max(6);
+    let bounds = Bounds::new(6, height);
+    let input = Pos::new(1, 0);
+    let output = Pos::new(1, blocks as i32 - 1);
+    let mut cells = Vec::with_capacity(blocks);
+    let mut y = 0;
+    while cells.len() < blocks {
+        cells.push(Pos::new(1, y));
+        if cells.len() < blocks {
+            cells.push(Pos::new(2, y));
+        }
+        y += 1;
+    }
+    SurfaceConfig::with_blocks(bounds, input, output, &cells)
+        .expect("minimal instance is well formed")
+}
+
+/// A high-aspect-ratio surface: a strip five cells tall and `blocks + 6`
+/// wide, with the path running *horizontally* along the strip (input and
+/// output share a row instead of a column).  One spare block; the blob is
+/// a random connected blob grown around the input inside the strip.
+pub fn high_aspect_instance(blocks: usize, seed: u64) -> SurfaceConfig {
+    assert!(blocks >= 5, "need at least five blocks");
+    let width = (blocks as u32 + 6).max(10);
+    let input = Pos::new(1, 2);
+    let spec = InstanceSpec {
+        bounds: Bounds::new(width, 5),
+        input,
+        output: Pos::new(input.x + blocks as i32 - 2, 2),
+        blocks,
+    };
+    random_connected_config(&spec, seed)
 }
 
 /// A randomly grown connected blob anchored at the input, with the output
@@ -130,6 +216,50 @@ mod tests {
                 n - 1,
                 "one spare block, n={n}"
             );
+        }
+    }
+
+    #[test]
+    fn serpentine_instances_scale_and_satisfy_assumptions() {
+        for &n in &[6usize, 12, 24, 40] {
+            let cfg = serpentine_instance(n, 0);
+            assert_eq!(cfg.block_count(), n);
+            assert!(cfg.check_assumptions().is_ok(), "n={n}");
+            assert_eq!(cfg.graph().shortest_path_info().cells as usize, n - 1);
+        }
+    }
+
+    #[test]
+    fn sparse_wide_instances_satisfy_assumptions() {
+        for &n in &[6usize, 12, 24] {
+            let cfg = sparse_wide_instance(n, 7);
+            assert_eq!(cfg.block_count(), n);
+            assert!(cfg.check_assumptions().is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn minimal_instances_have_zero_spare_blocks() {
+        for &n in &[6usize, 12, 24] {
+            let cfg = minimal_instance(n, 0);
+            assert_eq!(cfg.block_count(), n);
+            assert!(cfg.check_assumptions().is_ok(), "n={n}");
+            assert_eq!(
+                cfg.graph().shortest_path_info().cells as usize,
+                n,
+                "zero spares: every block must join the path, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_aspect_instances_run_horizontally() {
+        for &n in &[6usize, 12, 24] {
+            let cfg = high_aspect_instance(n, 3);
+            assert_eq!(cfg.block_count(), n);
+            assert!(cfg.check_assumptions().is_ok(), "n={n}");
+            assert_eq!(cfg.input().y, cfg.output().y, "path runs along a row");
+            assert!(cfg.bounds().width > cfg.bounds().height);
         }
     }
 

@@ -410,16 +410,11 @@ impl SurfaceWorld {
                 // elementary move, in order.
                 let mut steps = Vec::new();
                 let mut cur = pos;
-                loop {
-                    match self.free_motion_destinations(cur).first().copied() {
-                        Some(next) => {
-                            steps.push((cur, next));
-                            cur = next;
-                            if self.is_locked(cur) || cur == self.output() {
-                                break;
-                            }
-                        }
-                        None => break,
+                while let Some(next) = self.free_motion_destinations(cur).first().copied() {
+                    steps.push((cur, next));
+                    cur = next;
+                    if self.is_locked(cur) || cur == self.output() {
+                        break;
                     }
                 }
                 if steps.is_empty() {

@@ -122,6 +122,114 @@ fn try_generate(spec: &InstanceSpec, rng: &mut SmallRng) -> Option<SurfaceConfig
     Some(cfg)
 }
 
+/// Deterministic serpentine ribbon of `blocks` blocks anchored at
+/// `input`: a two-cell-wide column that zig-zags east and west as it
+/// rises, following a triangular wave of the given `amplitude` (one cell
+/// of lateral drift per row).  Consecutive rows always overlap in at
+/// least one column, so the ribbon is connected, two blocks thick
+/// everywhere (no connectivity cut vertices along the spine), and every
+/// placement prefix is connected.
+///
+/// The ribbon grows northwards from the input; callers must pick `bounds`
+/// and `output` so the ribbon fits below the output cell.
+pub fn serpentine_config(
+    bounds: Bounds,
+    input: Pos,
+    output: Pos,
+    blocks: usize,
+    amplitude: u32,
+) -> SurfaceConfig {
+    assert!(amplitude >= 1, "a serpentine needs a lateral swing");
+    let period = 2 * amplitude as i32;
+    let x0 = input.x;
+    let mut cells = Vec::with_capacity(blocks);
+    let mut y = input.y;
+    let mut prev_drift = 0;
+    while cells.len() < blocks {
+        // Triangular wave: 0, 1, …, amplitude, amplitude-1, …, 0, 1, …
+        let m = (y - input.y).rem_euclid(period);
+        let drift = m.min(period - m);
+        // Push the column that overlaps the previous row first, so a
+        // ribbon ending on a single (odd) cell still touches the row
+        // below: on a descending row that is the east column.
+        let (first, second) = if drift < prev_drift {
+            (drift + 1, drift)
+        } else {
+            (drift, drift + 1)
+        };
+        cells.push(Pos::new(x0 + first, y));
+        if cells.len() < blocks {
+            cells.push(Pos::new(x0 + second, y));
+        }
+        prev_drift = drift;
+        y += 1;
+    }
+    SurfaceConfig::with_blocks(bounds, input, output, &cells)
+        .expect("serpentine ribbon is well formed")
+}
+
+/// Grows a random connected blob that prefers to stay *flat and wide*:
+/// candidate cells within `max_height` rows of the input are preferred, so
+/// the blob spreads sideways into a wide, sparse strip instead of piling
+/// up (the "wide sparse blob" scenario family).  Retries until the
+/// configuration satisfies Assumption 2, like [`random_connected_config`].
+pub fn random_flat_config(spec: &InstanceSpec, seed: u64, max_height: u32) -> SurfaceConfig {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    loop {
+        if let Some(cfg) = try_generate_flat(spec, &mut rng, max_height) {
+            if cfg.check_assumptions().is_ok() {
+                return cfg;
+            }
+        }
+    }
+}
+
+fn try_generate_flat(
+    spec: &InstanceSpec,
+    rng: &mut SmallRng,
+    max_height: u32,
+) -> Option<SurfaceConfig> {
+    let mut cfg = SurfaceConfig::new(spec.bounds, spec.input, spec.output);
+    cfg.place_block(BlockId(1), spec.input).ok()?;
+    let mut next_id = 2u32;
+    let mut attempts = 0usize;
+    let ceiling = spec.input.y + max_height as i32;
+    while cfg.block_count() < spec.blocks {
+        attempts += 1;
+        if attempts > spec.blocks * 200 {
+            return None;
+        }
+        let mut candidates: Vec<Pos> = cfg
+            .grid()
+            .blocks()
+            .flat_map(|(_, p)| p.neighbors4())
+            .filter(|&p| cfg.grid().is_free(p) && p != spec.output)
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        // Prefer low cells away from the output's row/column so the blob
+        // becomes a wide strip that leaves the experiment interesting.
+        let preferred: Vec<Pos> = candidates
+            .iter()
+            .copied()
+            .filter(|p| p.y < ceiling && p.x != spec.output.x && p.y != spec.output.y)
+            .collect();
+        let pool = if preferred.is_empty() {
+            &candidates
+        } else {
+            &preferred
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        let p = pool[rng.gen_range(0..pool.len())];
+        if cfg.place_block(BlockId(next_id), p).is_ok() {
+            next_id += 1;
+        }
+    }
+    Some(cfg)
+}
+
 /// Deterministic, compact instance: a `rows × cols` rectangle of blocks
 /// whose south-west corner is the input cell.  Handy for tests that need a
 /// known dense shape.
@@ -211,6 +319,74 @@ mod tests {
             let cfg = random_connected_config(&spec, seed);
             assert_eq!(cfg.block_count(), 9);
             assert!(cfg.check_assumptions().is_ok());
+        }
+    }
+
+    #[test]
+    fn serpentine_config_is_connected_at_every_size() {
+        for blocks in 4..40 {
+            let bounds = Bounds::new(10, 40);
+            let cfg = serpentine_config(
+                bounds,
+                Pos::new(1, 0),
+                Pos::new(1, 38),
+                blocks,
+                4,
+            );
+            assert_eq!(cfg.block_count(), blocks, "blocks={blocks}");
+            assert!(cfg.grid().is_connected(), "blocks={blocks}");
+            assert_eq!(cfg.root(), Some(BlockId(1)));
+        }
+    }
+
+    #[test]
+    fn serpentine_config_swings_east_and_returns() {
+        let cfg = serpentine_config(Bounds::new(10, 30), Pos::new(1, 0), Pos::new(1, 28), 24, 3);
+        let xs: Vec<i32> = cfg
+            .grid()
+            .occupied_positions_sorted()
+            .iter()
+            .map(|p| p.x)
+            .collect();
+        // The wave reaches amplitude 3 east of the anchor (plus the second
+        // ribbon column) and comes back to the anchor column.
+        assert_eq!(*xs.iter().max().unwrap(), 1 + 3 + 1);
+        assert!(xs.contains(&1));
+    }
+
+    #[test]
+    fn serpentine_config_is_deterministic() {
+        let make = || {
+            serpentine_config(Bounds::new(10, 30), Pos::new(1, 0), Pos::new(1, 28), 17, 4)
+        };
+        assert_eq!(
+            make().grid().occupied_positions_sorted(),
+            make().grid().occupied_positions_sorted()
+        );
+    }
+
+    #[test]
+    fn flat_config_stays_low_and_satisfies_assumptions() {
+        let spec = InstanceSpec {
+            bounds: Bounds::new(30, 20),
+            input: Pos::new(15, 0),
+            output: Pos::new(15, 18),
+            blocks: 20,
+        };
+        for seed in 0..5 {
+            let cfg = random_flat_config(&spec, seed, 2);
+            assert_eq!(cfg.block_count(), 20);
+            assert!(cfg.check_assumptions().is_ok(), "seed={seed}");
+            // The preference keeps the blob inside the low strip whenever
+            // there is room (the strip has far more than 20 cells here).
+            let max_y = cfg
+                .grid()
+                .occupied_positions_sorted()
+                .iter()
+                .map(|p| p.y)
+                .max()
+                .unwrap();
+            assert!(max_y <= 2, "seed={seed}: blob reached y={max_y}");
         }
     }
 

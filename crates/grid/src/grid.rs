@@ -662,8 +662,8 @@ mod tests {
         let w = g.presence_window(Pos::new(0, 0), 3);
         // Everything west / south of (0,0) is off-surface hence empty.
         assert_eq!(w[2], vec![false, false, false]);
-        assert_eq!(w[1][0], false);
-        assert_eq!(w[1][1], true);
+        assert!(!w[1][0]);
+        assert!(w[1][1]);
     }
 
     #[test]
@@ -696,11 +696,11 @@ mod tests {
             for size in [3usize, 5, 7] {
                 let mask = g.window_mask(center, size);
                 let window = g.presence_window(center, size);
-                for row in 0..size {
-                    for col in 0..size {
+                for (row, window_row) in window.iter().enumerate() {
+                    for (col, &cell) in window_row.iter().enumerate() {
                         let bit = mask >> (row * size + col) & 1 != 0;
                         assert_eq!(
-                            bit, window[row][col],
+                            bit, cell,
                             "center {center}, size {size}, cell ({col},{row})"
                         );
                     }

@@ -296,7 +296,7 @@ impl fmt::Debug for PresenceMatrix {
 }
 
 fn check_size(size: usize) -> Result<(), MatrixError> {
-    if size < 3 || size % 2 == 0 {
+    if size < 3 || size.is_multiple_of(2) {
         Err(MatrixError::BadSize(size))
     } else {
         Ok(())

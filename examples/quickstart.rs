@@ -30,9 +30,11 @@ fn main() {
         config.graph().shortest_path_info().cells
     );
 
-    let mut algorithm = smart_surface::core::election::AlgorithmConfig::default();
-    algorithm.tie_break = TieBreak::LowestId; // deterministic demo
-    algorithm.termination = Termination::PathComplete;
+    let algorithm = smart_surface::core::election::AlgorithmConfig {
+        tie_break: TieBreak::LowestId, // deterministic demo
+        termination: Termination::PathComplete,
+        ..Default::default()
+    };
 
     let report = ReconfigurationDriver::new(config)
         .with_algorithm(algorithm)

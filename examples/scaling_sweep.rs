@@ -1,4 +1,5 @@
-//! Complexity scaling sweep (Remarks 2–4 of the paper).
+//! Scenario-diverse complexity sweep (Remarks 2–4 of the paper), run on
+//! the parallel [`sb_bench::SweepEngine`].
 //!
 //! The paper states, for `N` blocks:
 //!
@@ -7,118 +8,94 @@
 //! * Remark 4 — the number of block hops needed to build the path is
 //!   `O(N²)`.
 //!
-//! This example sweeps the number of blocks on column-building instances,
-//! prints the measured counters, fits a power-law exponent so the growth
-//! rates can be compared against the remarks, and writes a
-//! machine-readable `BENCH_planner.json` (events/sec and planner
-//! probes/sec per `N`) so the performance trajectory can be tracked
-//! across changes.
+//! This example fans the standard sweep plan — five workload families
+//! (the column family up to `N = 256`), two latency regimes, three seeds
+//! per cell — across every available core, prints the per-group
+//! aggregates, fits a power-law exponent for the column family so the
+//! growth rates can be compared against the remarks, and writes the
+//! versioned machine-readable `BENCH_planner.json` (schema in
+//! `ROADMAP.md`) so the performance trajectory can be tracked across
+//! changes.
 //!
 //! ```text
 //! cargo run --release --example scaling_sweep
 //! ```
 
-use smart_surface::core::workloads::column_instance;
-use smart_surface::core::ReconfigurationDriver;
-use std::fmt::Write as _;
+use sb_bench::sweep::{Family, SweepEngine, SweepPlan};
+use sb_bench::fit_exponent;
 
 fn main() {
-    let sizes = [6usize, 8, 10, 12, 16, 20, 24, 28, 32];
-    let seeds = [1u64, 2, 3];
+    let plan = SweepPlan::standard();
+    let engine = SweepEngine::with_available_parallelism();
+    println!(
+        "sweeping {} cells across {} workers…",
+        plan.cells().len(),
+        engine.workers()
+    );
+    let start = std::time::Instant::now();
+    let report = engine.run(&plan);
+    let wall = start.elapsed();
 
     println!(
-        "{:>4} {:>10} {:>12} {:>14} {:>12} {:>10}",
-        "N", "elections", "messages", "dist-comps", "moves", "completed"
+        "\n{:>11} {:>4} {:>16} {:>9} {:>6} {:>12} {:>14} {:>10} {:>10}",
+        "family", "N", "latency", "complete", "stall", "messages p50", "dist-comps p50", "moves p50", "moves p95"
     );
-
-    let mut rows: Vec<(f64, f64, f64, f64)> = Vec::new();
-    let mut json_rows: Vec<String> = Vec::new();
-    for &n in &sizes {
-        let mut elections = 0f64;
-        let mut messages = 0f64;
-        let mut dists = 0f64;
-        let mut moves = 0f64;
-        let mut completed = 0usize;
-        let mut events = 0f64;
-        let mut rule_checks = 0f64;
-        let mut wall_secs = 0f64;
-        for &seed in &seeds {
-            let config = column_instance(n, seed);
-            let report = ReconfigurationDriver::new(config).with_seed(seed).run_des();
-            elections += report.elections() as f64;
-            messages += report.total_messages() as f64;
-            dists += report.metrics.distance_computations as f64;
-            moves += report.elementary_moves() as f64;
-            completed += usize::from(report.completed);
-            events += report.events_processed as f64;
-            rule_checks += report.metrics.rule_checks as f64;
-            wall_secs += report.wall_time.as_secs_f64();
-        }
-        let k = seeds.len() as f64;
+    for g in &report.groups {
         println!(
-            "{:>4} {:>10.1} {:>12.1} {:>14.1} {:>12.1} {:>7}/{}",
-            n,
-            elections / k,
-            messages / k,
-            dists / k,
-            moves / k,
-            completed,
-            seeds.len()
+            "{:>11} {:>4} {:>16} {:>8.0}% {:>5.0}% {:>12.0} {:>14.0} {:>10.0} {:>10.0}",
+            g.family.name(),
+            g.blocks,
+            g.latency,
+            g.completed_rate * 100.0,
+            g.stall_rate * 100.0,
+            g.messages.p50,
+            g.distance_computations.p50,
+            g.moves.p50,
+            g.moves.p95,
         );
-        rows.push((n as f64, messages / k, dists / k, moves / k));
-        let wall = wall_secs.max(1e-9);
-        let mut row = String::new();
-        write!(
-            row,
-            "    {{\"n\": {n}, \"events_per_sec\": {:.1}, \"plans_per_sec\": {:.1}, \
-             \"elections\": {:.1}, \"messages\": {:.1}, \"moves\": {:.1}, \
-             \"wall_secs\": {:.6}, \"completed\": {}}}",
-            events / wall,
-            rule_checks / wall,
-            elections / k,
-            messages / k,
-            moves / k,
-            wall_secs,
-            completed == seeds.len()
-        )
-        .unwrap();
-        json_rows.push(row);
     }
 
-    // Machine-readable summary for future perf comparisons.
-    let json = format!(
-        "{{\n  \"bench\": \"planner\",\n  \"workload\": \"column\",\n  \
-         \"seeds_per_size\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        seeds.len(),
-        json_rows.join(",\n")
-    );
+    // Machine-readable record for future perf comparisons (deterministic:
+    // byte-identical for a fixed plan regardless of worker count).
+    let json = report.to_json();
     match std::fs::write("BENCH_planner.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_planner.json"),
+        Ok(()) => println!("\nwrote BENCH_planner.json ({} groups)", report.groups.len()),
         Err(e) => eprintln!("\ncould not write BENCH_planner.json: {e}"),
     }
 
-    // Least-squares slope of log(y) vs log(N): the empirical exponent.
-    let exponent = |select: &dyn Fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
-        let pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0.ln(), select(r).ln())).collect();
-        let n = pts.len() as f64;
-        let sx: f64 = pts.iter().map(|p| p.0).sum();
-        let sy: f64 = pts.iter().map(|p| p.1).sum();
-        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
-        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
-        (n * sxy - sx * sy) / (n * sxx - sx * sx)
-    };
+    // Wall-clock throughput summary (host-dependent; kept out of the
+    // JSON record on purpose).
+    let cell_wall = report.total_cell_wall().as_secs_f64();
+    println!(
+        "{} events across {} runs in {:.2?} wall ({:.0} events/s aggregate, {:.1}x parallel speed-up)",
+        report.total_events(),
+        report.cells.len(),
+        wall,
+        report.total_events() as f64 / wall.as_secs_f64().max(1e-9),
+        cell_wall / wall.as_secs_f64().max(1e-9),
+    );
 
-    println!("\nEmpirical growth exponents (slope of log-log fit):");
+    // Least-squares slope of log(y) vs log(N) on the column family under
+    // the deterministic latency: the empirical exponent of Remarks 2-4.
+    let column: Vec<_> = report
+        .groups
+        .iter()
+        .filter(|g| g.family == Family::Column && g.latency == "fixed_10us")
+        .collect();
+    let pts = |select: fn(&sb_bench::sweep::GroupSummary) -> f64| -> Vec<(f64, f64)> {
+        column.iter().map(|g| (g.blocks as f64, select(g))).collect()
+    };
+    println!("\nEmpirical growth exponents, column family (slope of log-log fit):");
     println!(
         "  messages              ~ N^{:.2}   (Remark 3 upper bound: N^3)",
-        exponent(&|r| r.1)
+        fit_exponent(&pts(|g| g.messages.mean))
     );
     println!(
         "  distance computations ~ N^{:.2}   (Remark 2 upper bound: N^3)",
-        exponent(&|r| r.2)
+        fit_exponent(&pts(|g| g.distance_computations.mean))
     );
     println!(
         "  elementary moves      ~ N^{:.2}   (Remark 4 upper bound: N^2)",
-        exponent(&|r| r.3)
+        fit_exponent(&pts(|g| g.moves.mean))
     );
 }

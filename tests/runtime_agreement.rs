@@ -61,7 +61,11 @@ fn zero_latency_executions_terminate() {
         .with_latency(LatencyModel::Instant)
         .run_des();
     assert!(report.completed, "{report}");
-    assert_eq!(report.sim_time_us, 0, "instant latency keeps simulated time at zero");
+    assert_eq!(
+        report.sim_time_us,
+        Some(0),
+        "instant latency keeps simulated time at zero"
+    );
 }
 
 #[test]
