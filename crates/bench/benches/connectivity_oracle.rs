@@ -1,0 +1,117 @@
+//! Connectivity-probe benchmark: the cut-vertex [`ConnectivityOracle`]
+//! against the per-probe scratch BFS it replaced, across every workload
+//! family of the sweep.
+//!
+//! The measured workload is the election's admission filter: for every
+//! block of the instance, probe its *supported* single-block moves (free
+//! destinations in the radius-2 diamond with at least one occupied
+//! lateral neighbour besides the mover — the destinations the
+//! support-requiring motion rules actually emit, and the cases where the
+//! BFS must traverse the whole ensemble rather than bail on an isolated
+//! mover).  The BFS pays O(N) per probe; the oracle pays one Tarjan pass
+//! per world state and O(1) per probe, so at N ≥ 128 the oracle must
+//! sustain **at least 5×** the BFS throughput on these single-block
+//! probes (the PR 3 acceptance bar — the two must return identical
+//! verdicts, which the harness asserts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_bench::sweep::Family;
+use sb_grid::connectivity::{is_connected_after, ConnectivityScratch};
+use sb_grid::{ConnectivityOracle, Pos, SurfaceConfig};
+use std::hint::black_box;
+
+/// The single-block probe set of one world state: every block to each
+/// free, support-bearing destination within two lateral steps.
+fn probe_set(cfg: &SurfaceConfig) -> Vec<(Pos, Pos)> {
+    let grid = cfg.grid();
+    let mut probes = Vec::new();
+    for (_, from) in grid.blocks() {
+        for dx in -2i32..=2 {
+            for dy in -2i32..=2 {
+                if (dx, dy) == (0, 0) || dx.abs() + dy.abs() > 2 {
+                    continue;
+                }
+                let to = from.offset(dx, dy);
+                let supported = to
+                    .neighbors4()
+                    .iter()
+                    .any(|&q| q != from && grid.is_occupied(q));
+                if grid.is_free(to) && supported {
+                    probes.push((from, to));
+                }
+            }
+        }
+    }
+    probes
+}
+
+fn bench_connectivity_oracle(c: &mut Criterion) {
+    let n = 128usize;
+    let seed = 11u64;
+    let mut group = c.benchmark_group("connectivity_oracle");
+
+    for family in Family::ALL {
+        let cfg = family.build(n, seed);
+        let grid = cfg.grid();
+        let probes = probe_set(&cfg);
+        assert!(!probes.is_empty(), "{}: no single-block probes", family.name());
+
+        // The two implementations must agree probe for probe before any
+        // timing is trusted.
+        {
+            let mut oracle = ConnectivityOracle::new();
+            let mut scratch = ConnectivityScratch::new();
+            for &(from, to) in &probes {
+                let moves = [(from, to)];
+                assert_eq!(
+                    oracle.preserves_connectivity(grid, &moves),
+                    is_connected_after(grid, &moves, &mut scratch),
+                    "{}: verdict mismatch on {} -> {}",
+                    family.name(),
+                    from,
+                    to
+                );
+            }
+        }
+
+        let mut scratch = ConnectivityScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("bfs_per_probe", family.name()),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut admitted = 0usize;
+                    for &(from, to) in probes {
+                        admitted += usize::from(is_connected_after(
+                            grid,
+                            &[(from, to)],
+                            &mut scratch,
+                        ));
+                    }
+                    black_box(admitted)
+                })
+            },
+        );
+
+        let mut oracle = ConnectivityOracle::new();
+        group.bench_with_input(
+            BenchmarkId::new("oracle", family.name()),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut admitted = 0usize;
+                    for &(from, to) in probes {
+                        admitted +=
+                            usize::from(oracle.preserves_connectivity(grid, &[(from, to)]));
+                    }
+                    black_box(admitted)
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity_oracle);
+criterion_main!(benches);

@@ -20,11 +20,14 @@ pub struct RuleUsage {
 }
 
 impl RuleUsage {
-    /// Tallies the rules of a move log.
-    pub fn from_moves(moves: &[MoveRecord]) -> Self {
+    /// Tallies the rules of a report's move log, resolving the interned
+    /// rule ids through the report's name table.
+    pub fn from_report(report: &ReconfigurationReport) -> Self {
         let mut counts = BTreeMap::new();
-        for record in moves {
-            *counts.entry(record.rule.clone()).or_insert(0) += 1;
+        for record in &report.move_log {
+            *counts
+                .entry(report.rule_name(record).to_string())
+                .or_insert(0) += 1;
         }
         RuleUsage { counts }
     }
@@ -140,7 +143,7 @@ pub struct RunSummary {
 impl RunSummary {
     /// Builds the summary from a report.
     pub fn from_report(report: &ReconfigurationReport) -> Self {
-        let rules = RuleUsage::from_moves(&report.move_log);
+        let rules = RuleUsage::from_report(report);
         let travel = BlockTravel::from_moves(&report.move_log);
         let elections = report.elections();
         RunSummary {
@@ -196,7 +199,7 @@ mod tests {
     #[test]
     fn rule_usage_totals_match_hops() {
         let report = completed_report();
-        let usage = RuleUsage::from_moves(&report.move_log);
+        let usage = RuleUsage::from_report(&report);
         assert_eq!(usage.total() as u64, report.metrics.elected_hops);
         assert!(usage.distinct_rules() >= 1);
         assert_eq!(usage.count("a_rule_that_does_not_exist"), 0);
@@ -250,7 +253,7 @@ mod tests {
         let report = ReconfigurationDriver::new(workloads::column_instance(8, 0))
             .with_motion_model(crate::world::MotionModel::FreeMotion)
             .run_des();
-        let usage = RuleUsage::from_moves(&report.move_log);
+        let usage = RuleUsage::from_report(&report);
         assert_eq!(usage.distinct_rules(), 1);
         assert!(usage.count("free") > 0);
     }

@@ -155,6 +155,9 @@ mod tests {
         let driver = free_motion_driver(workloads::rectangle_instance(3, 2, 4));
         let report = driver.run_des();
         assert!(report.completed);
-        assert!(report.move_log.iter().all(|m| m.rule == "free"));
+        assert!(report
+            .move_log
+            .iter()
+            .all(|m| m.rule == crate::world::MoveRule::Free));
     }
 }

@@ -10,7 +10,7 @@
 use crate::election::AlgorithmConfig;
 use crate::metrics::Metrics;
 use crate::runtime::{build_actor_system, build_des_simulation};
-use crate::world::{MotionModel, MoveRecord, Outcome, SurfaceWorld};
+use crate::world::{MotionModel, MoveRecord, MoveRule, Outcome, SurfaceWorld};
 use sb_desim::{Duration as SimDuration, LatencyModel};
 use sb_grid::SurfaceConfig;
 use sb_motion::RuleCatalog;
@@ -49,6 +49,11 @@ pub struct ReconfigurationReport {
     pub metrics: Metrics,
     /// The executed motions, in order.
     pub move_log: Vec<MoveRecord>,
+    /// Display names of the catalogue rules, indexed by interned
+    /// [`sb_motion::RuleId`] — the table [`ReconfigurationReport::rule_name`]
+    /// resolves [`MoveRecord::rule`] against (one clone per run, not per
+    /// executed motion).
+    pub rule_names: Vec<String>,
     /// ASCII frames recorded after every motion (empty unless frame
     /// recording was enabled).
     pub frames: Vec<String>,
@@ -90,6 +95,19 @@ impl ReconfigurationReport {
     /// Total messages exchanged.
     pub fn total_messages(&self) -> u64 {
         self.metrics.total_messages()
+    }
+
+    /// The display name of a recorded motion's rule (`"free"` for the
+    /// free-motion baseline), resolved through the report's name table.
+    pub fn rule_name(&self, record: &MoveRecord) -> &str {
+        match record.rule {
+            MoveRule::Catalog(id) => self
+                .rule_names
+                .get(id as usize)
+                .map(String::as_str)
+                .unwrap_or("<unknown rule>"),
+            MoveRule::Free => "free",
+        }
     }
 }
 
@@ -253,6 +271,13 @@ impl ReconfigurationDriver {
             output_occupied: world.output_occupied(),
             metrics: *world.metrics(),
             move_log: world.move_log().to_vec(),
+            rule_names: world
+                .planner()
+                .catalog()
+                .names()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
             frames: world.frames().to_vec(),
             final_ascii: world.ascii(),
             sim_time_us: None,
@@ -412,7 +437,7 @@ mod debug_tests {
         };
         let report = ReconfigurationDriver::new(cfg).with_algorithm(algo).with_frames().run_des();
         for (i, rec) in report.move_log.iter().enumerate() {
-            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, rec.rule, rec.moves);
+            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, report.rule_name(rec), rec.moves);
         }
         println!("final:\n{}", report.final_ascii);
         println!("{report}");
@@ -432,7 +457,7 @@ mod debug_tests {
             .with_motion_model(crate::world::MotionModel::FreeMotion)
             .run_des();
         for (i, rec) in report.move_log.iter().enumerate() {
-            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, rec.rule, rec.moves);
+            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, report.rule_name(rec), rec.moves);
         }
         println!("final:\n{}", report.final_ascii);
         println!("{report}");

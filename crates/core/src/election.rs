@@ -44,6 +44,28 @@
 //!   the hop is still in flight, so the implementation hops first and then
 //!   acknowledges; both orders are indistinguishable to the rest of the
 //!   protocol.
+//! * "The Root selects randomly one block" ([`TieBreak::Random`]) is
+//!   implemented as an *exactly uniform per aggregation point* choice via
+//!   reservoir sampling: at every aggregation point the k-th candidate
+//!   tying the current best distance replaces it with probability 1/k
+//!   (`gen_ratio(1, k)`, with the ties-seen counter reset on strict
+//!   improvement).  The historical implementation flipped a fair coin per
+//!   tying merge, which biased even a single aggregation point towards
+//!   late-arriving candidates (the last of k tied with probability ½, the
+//!   first with only 1/2^(k−1)).  Across a multi-level `Ack` tree the
+//!   composite choice weights each *subtree*, not each candidate, equally
+//!   (an `Ack` carries one winner and no tie count), so candidates under
+//!   a son that aggregated many ties are individually less likely than a
+//!   candidate merged directly at the Root — global uniformity would need
+//!   a ties count in the `Ack` message and a weighted reservoir.
+//! * A `Select` that reaches an engaged block which neither is the winner
+//!   nor has recorded a best-candidate link (`best_via == None`) cannot
+//!   be forwarded — the routing state it needs never existed at this
+//!   block.  Instead of dropping it silently (which left the Root waiting
+//!   forever for a `SelectAck`), the block counts the anomaly in
+//!   `metrics.protocol_drops` and answers its father with
+//!   `SelectAck { moved: false, .. }`, so the Root concludes the
+//!   iteration as a clean stall rather than hanging.
 
 use crate::messages::{Candidate, Distance, Msg};
 use crate::world::{Outcome, SurfaceWorld};
@@ -59,7 +81,10 @@ pub enum TieBreak {
     /// Prefer the lowest block identifier (fully deterministic).
     LowestId,
     /// Choose uniformly among tying candidates (the paper: "the Root
-    /// selects randomly one block"); applied at every aggregation point.
+    /// selects randomly one block"); applied at every aggregation point
+    /// by reservoir sampling — the `k`-th candidate at the current best
+    /// distance replaces the held one with probability `1/k`, so each of
+    /// the `k` is kept with probability `1/k` exactly.
     #[default]
     Random,
 }
@@ -138,6 +163,10 @@ pub struct ElectionCore {
     /// The son through which the best candidate was reported
     /// (`None` = this block itself).
     best_via: Option<BlockId>,
+    /// Number of candidates seen at the current best distance (reset to 1
+    /// on every strict improvement): the reservoir count behind the
+    /// uniform [`TieBreak::Random`].
+    ties_seen: u32,
 }
 
 impl ElectionCore {
@@ -154,6 +183,7 @@ impl ElectionCore {
             pending_acks: 0,
             best: Candidate::none(me),
             best_via: None,
+            ties_seen: 0,
         }
     }
 
@@ -210,6 +240,7 @@ impl ElectionCore {
         self.pending_acks = 0;
         self.best = Candidate::none(self.me);
         self.best_via = None;
+        self.ties_seen = 0;
     }
 
     fn start_iteration(&mut self, iteration: u32, world: &mut SurfaceWorld) -> Vec<Action> {
@@ -259,12 +290,20 @@ impl ElectionCore {
             return;
         }
         let replace = if candidate.strictly_better_than(&self.best) {
+            self.ties_seen = 1;
             true
         } else if candidate.distance == self.best.distance {
+            self.ties_seen += 1;
             match self.config.tie_break {
                 TieBreak::FirstSeen => false,
                 TieBreak::LowestId => candidate.id < self.best.id,
-                TieBreak::Random => self.rng.gen_bool(0.5),
+                // Reservoir sampling: the k-th candidate at this distance
+                // displaces the held one with probability 1/k, leaving
+                // every tying candidate elected with probability 1/k
+                // exactly.  (The historical coin flip `gen_bool(0.5)`
+                // favoured late arrivals: the last of k tying candidates
+                // won with probability 1/2, the first with 1/2^(k-1).)
+                TieBreak::Random => self.rng.gen_ratio(1, self.ties_seen),
             }
         } else {
             false
@@ -411,6 +450,23 @@ impl ElectionCore {
                 return vec![Action::Send {
                     to: via,
                     msg: Msg::Select { iteration, elected },
+                }];
+            }
+            // Mis-routed selection: we are not the winner and recorded no
+            // son to forward through.  Dropping it silently would leave
+            // the Root waiting forever for the `SelectAck`; answer the
+            // father with `moved: false` instead so the Root stalls
+            // cleanly, and count the anomaly.
+            world.metrics_mut().protocol_drops += 1;
+            if let Some(father) = self.father {
+                return vec![Action::Send {
+                    to: father,
+                    msg: Msg::SelectAck {
+                        iteration,
+                        elected,
+                        reached_output: false,
+                        moved: false,
+                    },
                 }];
             }
             return Vec::new();
@@ -730,6 +786,122 @@ mod tests {
             &mut world,
         );
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn mis_routed_select_answers_the_father_instead_of_hanging() {
+        // An engaged block with `best_via == None` (a leaf that only ever
+        // reported itself) receiving a `Select` for *another* block has no
+        // link to forward it along.  It must answer its father with
+        // `moved: false` — silently dropping the message left the Root
+        // waiting for a `SelectAck` forever — and count the anomaly.
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let leaf = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
+        let mut core = ElectionCore::new(leaf, false, config_first_seen());
+        let _ = core.on_message(
+            root,
+            Msg::Activate {
+                iteration: 1,
+                father: root,
+                output: world.output(),
+                shortest_distance: Distance::INFINITE,
+                id_shortest: root,
+            },
+            &mut world,
+        );
+        let stray = BlockId(777);
+        let actions = core.on_message(
+            root,
+            Msg::Select {
+                iteration: 1,
+                elected: stray,
+            },
+            &mut world,
+        );
+        assert_eq!(actions.len(), 1, "the drop must be answered, not silent");
+        match &actions[0] {
+            Action::Send {
+                to,
+                msg:
+                    Msg::SelectAck {
+                        iteration,
+                        elected,
+                        reached_output,
+                        moved,
+                    },
+            } => {
+                assert_eq!(*to, root, "the answer goes up the father chain");
+                assert_eq!(*iteration, 1);
+                assert_eq!(*elected, stray);
+                assert!(!*moved, "no hop was performed");
+                assert!(!*reached_output);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(world.metrics().protocol_drops, 1);
+    }
+
+    #[test]
+    fn random_tie_break_is_uniform_across_three_candidates() {
+        // Root with three lateral neighbours; each son reports a distinct
+        // candidate at the same distance.  Over many seeded trials each of
+        // the three tying candidates must be elected about 1/3 of the
+        // time — the pre-fix coin-flip merge gave the last-reported
+        // candidate probability 1/2 and the first only 1/4.
+        use std::collections::HashMap;
+        let mut counts: HashMap<BlockId, usize> = HashMap::new();
+        let trials = 1000u64;
+        for trial in 0..trials {
+            let cfg = SurfaceConfig::from_ascii(
+                ". O .\n\
+                 . . .\n\
+                 . # .\n\
+                 # I #",
+            )
+            .unwrap();
+            let mut world = SurfaceWorld::standard(cfg);
+            let root = world.root_block().unwrap();
+            let neighbors = world.neighbors_of(root);
+            assert_eq!(neighbors.len(), 3, "the root needs three sons");
+            let mut core = ElectionCore::new(
+                root,
+                true,
+                AlgorithmConfig {
+                    tie_break: TieBreak::Random,
+                    seed: trial,
+                    ..AlgorithmConfig::default()
+                },
+            );
+            let _ = core.on_start(&mut world);
+            let mut last = Vec::new();
+            for (i, &son) in neighbors.iter().enumerate() {
+                last = core.on_message(
+                    son,
+                    Msg::Ack {
+                        iteration: 1,
+                        son,
+                        shortest_distance: Distance::finite(3),
+                        id_shortest: BlockId(42 + i as u32),
+                    },
+                    &mut world,
+                );
+            }
+            match &last[0] {
+                Action::Send {
+                    msg: Msg::Select { elected, .. },
+                    ..
+                } => *counts.entry(*elected).or_insert(0) += 1,
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        for id in [42u32, 43, 44] {
+            let won = counts.get(&BlockId(id)).copied().unwrap_or(0);
+            assert!(
+                (250..=420).contains(&won),
+                "candidate #{id} elected {won}/{trials}: not uniform ({counts:?})"
+            );
+        }
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::election::{AlgorithmConfig, Termination, TieBreak};
     pub use crate::messages::{Distance, Msg};
     pub use crate::metrics::Metrics;
-    pub use crate::world::{MotionModel, SurfaceWorld};
+    pub use crate::world::{MotionModel, MoveRule, SurfaceWorld};
 }
 
 pub use prelude::*;

@@ -35,6 +35,12 @@ pub struct Metrics {
     /// Number of motion-rule applicability checks performed by the
     /// planner on behalf of blocks.
     pub rule_checks: u64,
+    /// Number of protocol messages that could not be handled by their
+    /// recipient (e.g. a `Select` reaching an engaged block with no
+    /// recorded best-candidate link).  Such anomalies are answered so the
+    /// Root stalls cleanly instead of hanging; a non-zero count flags a
+    /// routing bug or message reordering worth investigating.
+    pub protocol_drops: u64,
 }
 
 impl Metrics {
@@ -65,6 +71,7 @@ impl Metrics {
         self.elementary_moves += other.elementary_moves;
         self.elected_hops += other.elected_hops;
         self.rule_checks += other.rule_checks;
+        self.protocol_drops += other.protocol_drops;
     }
 }
 
@@ -83,7 +90,11 @@ impl fmt::Display for Metrics {
             self.distance_computations,
             self.elementary_moves,
             self.elected_hops,
-        )
+        )?;
+        if self.protocol_drops > 0 {
+            write!(f, " protocol-drops={}", self.protocol_drops)?;
+        }
+        Ok(())
     }
 }
 

@@ -11,8 +11,8 @@
 use crate::messages::Distance;
 use crate::metrics::Metrics;
 use sb_grid::graph::{OrientedGraph, UNREACHABLE};
-use sb_grid::{BlockId, OccupancyGrid, Pos, SurfaceConfig};
-use sb_motion::{MotionPlanner, PlannedMotion, RuleCatalog};
+use sb_grid::{BlockId, ConnectivityOracle, OccupancyGrid, Pos, SurfaceConfig};
+use sb_motion::{MotionPlanner, PlannedMotion, RuleCatalog, RuleId};
 use std::cell::{Ref, RefCell};
 use std::collections::HashMap;
 use std::fmt;
@@ -47,13 +47,29 @@ pub enum Outcome {
     Stalled,
 }
 
+/// The capability that produced a recorded motion.
+///
+/// The hot path stores the interned [`RuleId`] (two bytes, `Copy`)
+/// instead of cloning the rule's display name per executed motion; the
+/// name is resolved through the catalogue only when rendering
+/// ([`SurfaceWorld::rule_name_of`],
+/// [`crate::driver::ReconfigurationReport::rule_name`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveRule {
+    /// An interned rule of the world's catalogue.
+    Catalog(RuleId),
+    /// The free-motion pseudo-rule of the \[14\] baseline (rendered as
+    /// `"free"`).
+    Free,
+}
+
 /// One executed motion (possibly moving several blocks simultaneously).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MoveRecord {
     /// Iteration (election) during which the motion was executed.
     pub iteration: u32,
-    /// Name of the motion rule, or `"free"` for the free-motion baseline.
-    pub rule: String,
+    /// The capability that produced the motion.
+    pub rule: MoveRule,
     /// The blocks that moved, with their source and destination cells.
     pub moves: Vec<(BlockId, Pos, Pos)>,
 }
@@ -79,13 +95,32 @@ pub struct SurfaceWorld {
     outcome: Option<Outcome>,
     frames: Vec<String>,
     record_frames: bool,
-    /// Memoised flat BFS distance field over *occupied* cells of `G`
+    /// The occupancy-derived caches, all keyed by the grid's epoch
+    /// counter (see [`WorldCache`]).
+    cache: RefCell<WorldCache>,
+}
+
+/// Memoised views of the current occupancy, unified under one epoch
+/// discipline: each entry records the [`OccupancyGrid::epoch`] it was
+/// computed at and is rebuilt lazily once the grid's epoch moves past it
+/// (a block moved in [`SurfaceWorld::hop_towards_output`]).  This
+/// replaces the historical ad-hoc `RefCell<Option<…>>` whose consumers
+/// had to remember to null it out after every mutation.
+#[derive(Debug, Default)]
+struct WorldCache {
+    /// Cut-vertex connectivity oracle serving every Remark 1 probe of the
+    /// election (Eq. 9 feasibility and hop enumeration); it tracks grid
+    /// epochs internally.
+    oracle: ConnectivityOracle,
+    /// Grid epoch `path_field` was computed at.
+    path_epoch: Option<u64>,
+    /// Flat BFS distance field over *occupied* cells of `G`
     /// ([`OrientedGraph::occupied_distance_field`]: hops from `I` per
-    /// cell index, `u32::MAX` when unreachable), invalidated only when a
-    /// block actually moves.  [`SurfaceWorld::path_complete`] — asked by
-    /// every `SelectAck` reaching the Root — reads the output cell's
-    /// entry instead of re-running a BFS per ask.
-    path_field: RefCell<Option<Vec<u32>>>,
+    /// cell index, `u32::MAX` when unreachable).
+    /// [`SurfaceWorld::path_complete`] — asked by every `SelectAck`
+    /// reaching the Root — reads the output cell's entry instead of
+    /// re-running a BFS per ask.
+    path_field: Option<Vec<u32>>,
 }
 
 impl SurfaceWorld {
@@ -107,7 +142,7 @@ impl SurfaceWorld {
             outcome: None,
             frames: Vec::new(),
             record_frames: false,
-            path_field: RefCell::new(None),
+            cache: RefCell::new(WorldCache::default()),
         }
     }
 
@@ -281,21 +316,28 @@ impl SurfaceWorld {
     /// The memoised flat BFS distance field over occupied cells of `G`
     /// (hops from `I` through blocks along oriented links, keyed by
     /// [`sb_grid::Bounds::index_of`], `u32::MAX` when unreachable).
-    /// Recomputed lazily, only after a block has moved.
+    /// Recomputed lazily, only after the grid's epoch has moved (a block
+    /// moved).
     pub fn occupied_distance_field(&self) -> Ref<'_, Vec<u32>> {
-        // Only take the mutable borrow when the cache is actually empty:
+        let epoch = self.grid().epoch();
+        // Only take the mutable borrow when the cache is actually stale:
         // a caller may hold a previously returned `Ref` while asking
         // again (e.g. via `path_complete`), and an unconditional
-        // `borrow_mut` would panic on that re-entrant read.
-        if self.path_field.borrow().is_none() {
-            *self.path_field.borrow_mut() = Some(
-                self.config
-                    .graph()
-                    .occupied_distance_field(self.config.grid()),
-            );
+        // `borrow_mut` would panic on that re-entrant read.  (A held
+        // `Ref` borrows the world, so the grid cannot have moved since —
+        // the stale path is unreachable in that situation.)
+        let stale = self.cache.borrow().path_epoch != Some(epoch);
+        if stale {
+            let field = self
+                .config
+                .graph()
+                .occupied_distance_field(self.config.grid());
+            let mut cache = self.cache.borrow_mut();
+            cache.path_field = Some(field);
+            cache.path_epoch = Some(epoch);
         }
-        Ref::map(self.path_field.borrow(), |field| {
-            field.as_ref().expect("filled above")
+        Ref::map(self.cache.borrow(), |cache| {
+            cache.path_field.as_ref().expect("filled above")
         })
     }
 
@@ -307,9 +349,10 @@ impl SurfaceWorld {
     fn admissible_motions_towards_output(&mut self, pos: Pos) -> Vec<PlannedMotion> {
         self.metrics.rule_checks += 1;
         let output = self.output();
+        let oracle = &mut self.cache.borrow_mut().oracle;
         let mut motions: Vec<PlannedMotion> = self
             .planner
-            .motions_towards(self.config.grid(), pos, output)
+            .motions_towards_with(self.config.grid(), pos, output, oracle)
             .into_iter()
             .filter(|m| m.moves.iter().all(|&(from, _)| !self.is_locked(from)))
             .collect();
@@ -365,12 +408,18 @@ impl SurfaceWorld {
                 let input = self.config.input();
                 let output = self.config.output();
                 let graph = self.config.graph();
-                self.planner
-                    .any_motion_towards(self.config.grid(), pos, output, |moves| {
+                let oracle = &mut self.cache.borrow_mut().oracle;
+                self.planner.any_motion_towards_with(
+                    self.config.grid(),
+                    pos,
+                    output,
+                    |moves| {
                         moves
                             .iter()
                             .all(|&(from, _)| !locked_cell(from, input, output, &graph))
-                    })
+                    },
+                    oracle,
+                )
             }
             MotionModel::FreeMotion => !self.free_motion_destinations(pos).is_empty(),
         }
@@ -399,11 +448,11 @@ impl SurfaceWorld {
                 }
             }
         };
-        let executed: Option<(String, Vec<(Pos, Pos)>)> = match self.motion_model {
+        let executed: Option<(MoveRule, Vec<(Pos, Pos)>)> = match self.motion_model {
             MotionModel::RuleBased => self
                 .admissible_motions_towards_output(pos)
                 .first()
-                .map(|m: &PlannedMotion| (m.rule_name.clone(), m.moves.clone())),
+                .map(|m: &PlannedMotion| (MoveRule::Catalog(m.rule_id), m.moves.clone())),
             MotionModel::FreeMotion => {
                 // Walk towards the output until aligned (locked cell) or
                 // blocked; each step is applied later as its own
@@ -420,7 +469,7 @@ impl SurfaceWorld {
                 if steps.is_empty() {
                     None
                 } else {
-                    Some(("free".to_string(), steps))
+                    Some((MoveRule::Free, steps))
                 }
             }
         };
@@ -462,7 +511,8 @@ impl SurfaceWorld {
                 }
             }
         }
-        *self.path_field.borrow_mut() = None;
+        // No cache invalidation needed: the mutations above advanced the
+        // grid's epoch, which every derived cache keys on.
         self.metrics.elementary_moves += moves.len() as u64;
         self.metrics.elected_hops += 1;
         self.move_log.push(MoveRecord {
@@ -524,6 +574,15 @@ impl SurfaceWorld {
     /// The executed motions in order.
     pub fn move_log(&self) -> &[MoveRecord] {
         &self.move_log
+    }
+
+    /// The display name of a recorded motion's rule, resolved through the
+    /// world's catalogue (records store the interned [`RuleId`] only).
+    pub fn rule_name_of(&self, record: &MoveRecord) -> &str {
+        match record.rule {
+            MoveRule::Catalog(id) => self.planner.catalog().name_of(id),
+            MoveRule::Free => "free",
+        }
     }
 
     /// The recorded ASCII frames (empty unless
@@ -635,6 +694,12 @@ mod tests {
         let after = w.position_of(mover).unwrap();
         assert_eq!(before.manhattan(w.output()) - 1, after.manhattan(w.output()));
         assert_eq!(w.move_log().len(), 1);
+        // The record interns the rule id; the display name resolves
+        // through the catalogue and names a real rule.
+        let record = &w.move_log()[0];
+        assert!(matches!(record.rule, MoveRule::Catalog(_)));
+        let name = w.rule_name_of(record).to_string();
+        assert!(w.planner().catalog().find(&name).is_some());
         assert!(w.metrics().elementary_moves >= 1);
         assert_eq!(w.metrics().elected_hops, 1);
         assert!(w.grid().is_connected());
@@ -659,7 +724,8 @@ mod tests {
         assert!(r.moved);
         let end = w.position_of(mover).unwrap();
         assert_eq!(end.x, w.output().x, "the journey ends on the path column");
-        assert_eq!(w.move_log()[0].rule, "free");
+        assert_eq!(w.move_log()[0].rule, MoveRule::Free);
+        assert_eq!(w.rule_name_of(&w.move_log()[0]), "free");
         assert_eq!(
             w.move_log()[0].moves.len() as u32,
             Pos::new(2, 1).manhattan(end),

@@ -1,7 +1,7 @@
 //! # sb-desim — a discrete-event simulator for ensembles of programmable
 //! blocks
 //!
-//! The evaluation of the paper runs inside **VisibleSim** [18], the
+//! The evaluation of the paper runs inside **VisibleSim** \[18\], the
 //! authors' C++ simulator: "VisibleSim mixes a discrete-event core
 //! simulator with discrete-time functionalities […] we reported
 //! simulations with 2 millions of nodes at a rate of 650k events/sec on a

@@ -6,7 +6,8 @@ use std::fmt;
 /// Identifier of a module registered in the simulator.
 ///
 /// Mirrors VisibleSim's block identifiers; the Smart Blocks layer maps it
-/// 1:1 to [`sb_grid::BlockId`]-style identifiers.
+/// 1:1 to `sb_grid::BlockId`-style identifiers (`sb-desim` deliberately
+/// does not depend on the grid crate).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ModuleId(pub usize);
 

@@ -1,0 +1,551 @@
+//! Incremental cut-vertex connectivity oracle for motion probes.
+//!
+//! Remark 1 admits a motion only if the ensemble stays connected, and the
+//! election probes that admission filter once per candidate rule of every
+//! perimeter block — the hottest query of the whole system.  The scratch
+//! BFS of [`crate::connectivity::is_connected_after`] answers each probe
+//! in O(N); this module answers the dominant case in O(1) by computing a
+//! property of the *world state* once instead of once per probe:
+//!
+//! > a single block's move from `s` to `d` preserves connectivity iff
+//! > `s` is **not** an articulation point of the current adjacency graph
+//! > and `d` touches at least one block other than the one leaving `s`.
+//!
+//! One iterative Tarjan low-link DFS over the occupancy bitboard yields
+//! the articulation (cut-vertex) set as a bitboard mask; every subsequent
+//! single-block probe against the same world state is a couple of bit
+//! tests plus a four-neighbour scan.  A source that *is* a cut vertex is
+//! still O(1): the move may rejoin the pieces it separates (e.g. an
+//! L-corner block sliding diagonally around its own corner), and the DFS
+//! tree's preorder intervals decide exactly whether the destination
+//! touches every piece (`ConnectivityOracle::cut_source_move_connects`).
+//! The probes the mask genuinely cannot decide fall back to the scratch
+//! BFS, so the oracle is **bit-for-bit equivalent** to
+//! [`crate::connectivity::is_connected_after`] on every geometrically
+//! valid batch:
+//!
+//! * multi-block (carrying) batches — vacating two cells at once is not
+//!   captured by single-vertex removal;
+//! * states that are already disconnected (the mask describes components,
+//!   not how a move might merge them).
+//!
+//! ## Invalidation
+//!
+//! The oracle is keyed by [`OccupancyGrid::epoch`], the grid's globally
+//! unique occupancy version: the first probe after any mutation rebuilds
+//! the mask, later probes reuse it.  There is no subscription or manual
+//! invalidation — holding one oracle and probing many different grids is
+//! safe (each rebuild is tagged with the grid's own epoch).
+//!
+//! All buffers are retained across rebuilds, so after one warm-up rebuild
+//! per grid size the oracle performs **no heap allocation** (asserted by
+//! `crates/motion/tests/alloc_free.rs`).
+
+use crate::connectivity::{self, ConnectivityScratch};
+use crate::grid::OccupancyGrid;
+use crate::pos::Pos;
+
+const UNVISITED: u32 = u32::MAX;
+/// Sentinel parent index for DFS roots.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Cut-vertex connectivity oracle (see the module docs).
+///
+/// Create once per planner or world and pass to every probe; the oracle
+/// tracks grid epochs internally and rebuilds its cut-vertex mask lazily.
+#[derive(Clone, Debug, Default)]
+pub struct ConnectivityOracle {
+    /// Epoch of the grid the mask below was computed for.
+    built_epoch: Option<u64>,
+    /// Cut-vertex bitboard, word layout identical to the occupancy board
+    /// (bit set ⇔ the cell holds a block whose removal splits the rest).
+    cut: Vec<u64>,
+    /// Number of 4-connected components of the occupied cells.
+    components: u32,
+    /// Tarjan state, indexed by cell index (`y * width + x`).
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    parent: Vec<u32>,
+    /// Largest `disc` inside each vertex's DFS subtree: preorder stamps a
+    /// subtree with the contiguous interval `[disc[v], high[v]]`, so
+    /// "does `q` live under child `c`?" is two comparisons — the key to
+    /// answering cut-vertex moves in O(1)
+    /// (`ConnectivityOracle::cut_source_move_connects`).
+    high: Vec<u32>,
+    /// Explicit DFS stack: `y << 19 | x << 3 | next_direction`.
+    stack: Vec<u64>,
+    /// Scratch for the BFS fallback.
+    bfs: ConnectivityScratch,
+    /// Lifetime counters (observability for benches and tests).
+    rebuilds: u64,
+    fast_probes: u64,
+    fallback_probes: u64,
+}
+
+impl ConnectivityOracle {
+    /// Creates an oracle with empty buffers.
+    pub fn new() -> Self {
+        ConnectivityOracle::default()
+    }
+
+    /// Whether the ensemble stays connected after hypothetically applying
+    /// the batch of simultaneous `moves` — the same contract as
+    /// [`connectivity::is_connected_after`] (the batch must already be
+    /// geometrically valid), with identical answers.
+    ///
+    /// Single-block batches whose source is not a cut vertex are answered
+    /// in O(1) from the memoised mask; everything else falls back to the
+    /// scratch BFS.
+    pub fn preserves_connectivity(&mut self, grid: &OccupancyGrid, moves: &[(Pos, Pos)]) -> bool {
+        if grid.block_count() <= 1 {
+            return true;
+        }
+        match moves {
+            [] => {
+                // Empty batch: the post-move board is the current board.
+                self.ensure_fresh(grid);
+                self.fast_probes += 1;
+                return self.components <= 1;
+            }
+            &[(from, to)] => {
+                self.ensure_fresh(grid);
+                if self.components == 1 {
+                    if from == to {
+                        // Vacated and refilled in the same batch: no-op.
+                        self.fast_probes += 1;
+                        return true;
+                    }
+                    if !self.cut_bit(grid, from) {
+                        // Removing a non-cut block keeps the rest in one
+                        // piece; the mover stays attached iff its
+                        // destination touches any block it is not itself
+                        // vacating.
+                        self.fast_probes += 1;
+                        return to
+                            .neighbors4()
+                            .iter()
+                            .any(|&q| q != from && grid.is_occupied(q));
+                    }
+                    // Cut-vertex source: still O(1) — removing `from`
+                    // splits the rest into known pieces (the split DFS
+                    // subtrees plus the remainder), and the move keeps
+                    // everything connected iff the destination touches
+                    // all of them.
+                    if let Some(verdict) = self.cut_source_move_connects(grid, from, to) {
+                        self.fast_probes += 1;
+                        return verdict;
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.fallback_probes += 1;
+        connectivity::is_connected_after(grid, moves, &mut self.bfs)
+    }
+
+    /// Whether the block at `pos` is an articulation point of the current
+    /// configuration (false for empty or off-surface cells), from the
+    /// memoised mask.
+    pub fn is_cut_vertex(&mut self, grid: &OccupancyGrid, pos: Pos) -> bool {
+        self.ensure_fresh(grid);
+        grid.bounds().contains(pos) && self.cut_bit(grid, pos)
+    }
+
+    /// Number of 4-connected components of the occupied cells.
+    pub fn component_count(&mut self, grid: &OccupancyGrid) -> u32 {
+        self.ensure_fresh(grid);
+        self.components
+    }
+
+    /// The cut-vertex bitboard for `grid` (same word layout as
+    /// [`OccupancyGrid::occupancy_words`]), rebuilt if stale.
+    pub fn cut_mask(&mut self, grid: &OccupancyGrid) -> &[u64] {
+        self.ensure_fresh(grid);
+        &self.cut[..grid.occupancy_words().len()]
+    }
+
+    /// How many times the Tarjan pass ran (once per distinct world state
+    /// probed).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Probes answered in O(1) from the mask.
+    pub fn fast_probes(&self) -> u64 {
+        self.fast_probes
+    }
+
+    /// Probes that fell back to the scratch BFS.
+    pub fn fallback_probes(&self) -> u64 {
+        self.fallback_probes
+    }
+
+    #[inline]
+    fn cut_bit(&self, grid: &OccupancyGrid, pos: Pos) -> bool {
+        let (w, b) = grid.word_bit(pos);
+        self.cut[w] >> b & 1 != 0
+    }
+
+    /// Exact verdict for a single-block move whose source `s` **is** a cut
+    /// vertex of the (connected) ensemble, in O(1).
+    ///
+    /// Removing `s` splits the remaining blocks into known pieces: one per
+    /// *split child* of `s` in the DFS tree (a tree child `c` with
+    /// `low[c] >= disc[s]`; for a DFS root every tree child), plus — for a
+    /// non-root `s` — the remainder reached through `s`'s parent.  The
+    /// ensemble stays connected iff the mover's destination `d` is
+    /// laterally adjacent to *every* piece; membership of a neighbour `q`
+    /// in a split subtree is two comparisons against the subtree's
+    /// contiguous preorder interval `[disc[c], high[c]]`.
+    ///
+    /// Returns `None` in the defensive case of an inconsistency (falls
+    /// back to the BFS), which does not occur for fresh state.
+    fn cut_source_move_connects(&self, grid: &OccupancyGrid, s: Pos, d: Pos) -> Option<bool> {
+        let bounds = grid.bounds();
+        let width = bounds.width as usize;
+        let index = |p: Pos| p.y as usize * width + p.x as usize;
+        let s_idx = index(s);
+        let s_is_root = self.parent[s_idx] == NO_PARENT;
+        // Collect the split children of `s` (at most its four lateral
+        // neighbours).
+        let mut split: [(u32, u32); 4] = [(0, 0); 4];
+        let mut split_count = 0usize;
+        for c in s.neighbors4() {
+            if !grid.is_occupied(c) {
+                continue;
+            }
+            let c_idx = index(c);
+            if self.parent[c_idx] == s_idx as u32
+                && (s_is_root || self.low[c_idx] >= self.disc[s_idx])
+            {
+                split[split_count] = (self.disc[c_idx], self.high[c_idx]);
+                split_count += 1;
+            }
+        }
+        // Components of the ensemble minus `s`: each split subtree, plus
+        // the remainder on the parent side of a non-root `s`.
+        let pieces = split_count + usize::from(!s_is_root);
+        if pieces < 2 {
+            // A true cut vertex always splits into >= 2 pieces; anything
+            // else means the state is inconsistent with the mask.
+            return None;
+        }
+        // `d` must touch every piece (slot `split_count` = remainder).
+        let mut covered = [false; 5];
+        let mut distinct = 0usize;
+        for q in d.neighbors4() {
+            if q == s || !grid.is_occupied(q) {
+                continue;
+            }
+            let dq = self.disc[index(q)];
+            let mut piece = split_count;
+            for (i, &(lo, hi)) in split[..split_count].iter().enumerate() {
+                if (lo..=hi).contains(&dq) {
+                    piece = i;
+                    break;
+                }
+            }
+            if piece == split_count && s_is_root {
+                // Every vertex but the root lives under one of its tree
+                // children; not finding one is an inconsistency.
+                return None;
+            }
+            if !covered[piece] {
+                covered[piece] = true;
+                distinct += 1;
+            }
+        }
+        Some(distinct == pieces)
+    }
+
+    #[inline]
+    fn ensure_fresh(&mut self, grid: &OccupancyGrid) {
+        if self.built_epoch != Some(grid.epoch()) {
+            self.rebuild(grid);
+        }
+    }
+
+    /// One iterative Tarjan low-link DFS over the occupancy bitboard:
+    /// fills `cut` and `components` for the grid's current epoch.
+    fn rebuild(&mut self, grid: &OccupancyGrid) {
+        let bounds = grid.bounds();
+        // Stack entries pack coordinates into 16-bit lanes (like the BFS
+        // queue of `is_connected_after`); fail loudly instead of silently
+        // mis-judging Remark 1 on oversized surfaces.
+        assert!(
+            bounds.width <= u16::MAX as u32 && bounds.height <= u16::MAX as u32,
+            "connectivity oracle supports surfaces up to 65535x65535"
+        );
+        let area = bounds.area();
+        let words = grid.occupancy_words();
+        if self.disc.len() < area {
+            self.disc.resize(area, UNVISITED);
+            self.low.resize(area, 0);
+            self.high.resize(area, 0);
+            self.parent.resize(area, NO_PARENT);
+        }
+        self.disc[..area].fill(UNVISITED);
+        if self.cut.len() < words.len() {
+            self.cut.resize(words.len(), 0);
+        }
+        self.cut[..words.len()].fill(0);
+        self.stack.clear();
+        self.stack.reserve(grid.block_count());
+        self.components = 0;
+
+        let words_per_row = grid.words_per_row();
+        let mut timer = 0u32;
+        for (w, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                let y = (w / words_per_row) as u32;
+                let x = ((w % words_per_row) * 64) as u32 + b;
+                if self.disc[y as usize * bounds.width as usize + x as usize] != UNVISITED {
+                    continue;
+                }
+                self.components += 1;
+                self.dfs_component(grid, x, y, &mut timer);
+            }
+        }
+        self.built_epoch = Some(grid.epoch());
+        self.rebuilds += 1;
+    }
+
+    /// Explores one component from `(root_x, root_y)`, marking every cut
+    /// vertex it contains.
+    fn dfs_component(&mut self, grid: &OccupancyGrid, root_x: u32, root_y: u32, timer: &mut u32) {
+        let bounds = grid.bounds();
+        let (width, height) = (bounds.width, bounds.height);
+        let words_per_row = grid.words_per_row();
+        let words = grid.occupancy_words();
+        let occupied = |x: u32, y: u32| -> bool {
+            words[y as usize * words_per_row + (x as usize >> 6)] >> (x & 63) & 1 != 0
+        };
+        let index = |x: u32, y: u32| -> usize { y as usize * width as usize + x as usize };
+        let pack = |x: u32, y: u32| -> u64 { (y as u64) << 19 | (x as u64) << 3 };
+
+        let root_idx = index(root_x, root_y);
+        self.disc[root_idx] = *timer;
+        self.low[root_idx] = *timer;
+        self.high[root_idx] = *timer;
+        self.parent[root_idx] = NO_PARENT;
+        *timer += 1;
+        let mut root_children = 0u32;
+        self.stack.push(pack(root_x, root_y));
+
+        while let Some(&entry) = self.stack.last() {
+            let dir = (entry & 0b111) as u32;
+            let x = (entry >> 3 & 0xFFFF) as u32;
+            let y = (entry >> 19) as u32;
+            let u_idx = index(x, y);
+            if dir < 4 {
+                *self.stack.last_mut().expect("non-empty") = entry + 1;
+                // Neighbour in direction `dir`: west, east, south, north.
+                let (nx, ny) = match dir {
+                    0 if x > 0 => (x - 1, y),
+                    1 if x + 1 < width => (x + 1, y),
+                    2 if y > 0 => (x, y - 1),
+                    3 if y + 1 < height => (x, y + 1),
+                    _ => continue,
+                };
+                if !occupied(nx, ny) {
+                    continue;
+                }
+                let v_idx = index(nx, ny);
+                if self.disc[v_idx] == UNVISITED {
+                    // Tree edge: descend.
+                    self.parent[v_idx] = u_idx as u32;
+                    if u_idx == root_idx {
+                        root_children += 1;
+                    }
+                    self.disc[v_idx] = *timer;
+                    self.low[v_idx] = *timer;
+                    self.high[v_idx] = *timer;
+                    *timer += 1;
+                    self.stack.push(pack(nx, ny));
+                } else if self.parent[u_idx] != v_idx as u32 {
+                    // Back edge (grid graphs have no parallel edges, so
+                    // skipping the one parent cell is exact).
+                    self.low[u_idx] = self.low[u_idx].min(self.disc[v_idx]);
+                }
+            } else {
+                // All neighbours of `u` explored: propagate the low-link
+                // to the parent and apply the articulation criterion.
+                self.stack.pop();
+                if let Some(&p_entry) = self.stack.last() {
+                    let px = (p_entry >> 3 & 0xFFFF) as u32;
+                    let py = (p_entry >> 19) as u32;
+                    let p_idx = index(px, py);
+                    self.low[p_idx] = self.low[p_idx].min(self.low[u_idx]);
+                    self.high[p_idx] = self.high[p_idx].max(self.high[u_idx]);
+                    if p_idx != root_idx && self.low[u_idx] >= self.disc[p_idx] {
+                        let (w, b) = grid.word_bit(Pos::new(px as i32, py as i32));
+                        self.cut[w] |= 1u64 << b;
+                    }
+                }
+            }
+        }
+        if root_children > 1 {
+            let (w, b) = grid.word_bit(Pos::new(root_x as i32, root_y as i32));
+            self.cut[w] |= 1u64 << b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::connectivity::{articulation_points, is_connected_after, ConnectivityScratch};
+    use crate::grid::BlockId;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_from(positions: &[(i32, i32)]) -> OccupancyGrid {
+        let mut g = OccupancyGrid::new(Bounds::new(10, 10));
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            g.place(BlockId(i as u32 + 1), Pos::new(x, y)).unwrap();
+        }
+        g
+    }
+
+    fn random_blob(rng: &mut SmallRng, blocks: usize) -> OccupancyGrid {
+        let mut g = OccupancyGrid::new(Bounds::new(9, 9));
+        g.place(BlockId(1), Pos::new(4, 4)).unwrap();
+        let mut next_id = 2u32;
+        while g.block_count() < blocks {
+            let candidates: Vec<Pos> = g
+                .blocks()
+                .flat_map(|(_, p)| p.neighbors4())
+                .filter(|&p| g.is_free(p))
+                .collect();
+            let p = candidates[rng.gen_range(0..candidates.len())];
+            if g.place(BlockId(next_id), p).is_ok() {
+                next_id += 1;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn mask_agrees_with_tarjan_block_listing() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut oracle = ConnectivityOracle::new();
+        for _ in 0..40 {
+            let g = random_blob(&mut rng, 14);
+            let expected = articulation_points(&g);
+            for (id, p) in g.blocks() {
+                assert_eq!(
+                    oracle.is_cut_vertex(&g, p),
+                    expected.contains(&id),
+                    "block {id} at {p}"
+                );
+            }
+            // Empty and off-surface cells are never cut vertices.
+            assert!(!oracle.is_cut_vertex(&g, Pos::new(-1, -1)));
+            assert_eq!(oracle.component_count(&g), 1);
+        }
+    }
+
+    #[test]
+    fn line_interior_is_cut_endpoints_are_not() {
+        let g = grid_from(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let mut oracle = ConnectivityOracle::new();
+        assert!(!oracle.is_cut_vertex(&g, Pos::new(0, 0)));
+        assert!(oracle.is_cut_vertex(&g, Pos::new(1, 0)));
+        assert!(oracle.is_cut_vertex(&g, Pos::new(2, 0)));
+        assert!(!oracle.is_cut_vertex(&g, Pos::new(3, 0)));
+        assert_eq!(oracle.rebuilds(), 1, "one state, one Tarjan pass");
+    }
+
+    #[test]
+    fn cut_vertex_move_that_reconnects_is_accepted() {
+        // (0,0) is a cut vertex of the L, yet moving it to (1,1) keeps
+        // the ensemble connected (the destination touches both arms): the
+        // O(1) piece-coverage check must accept it, agreeing with the
+        // BFS.
+        let g = grid_from(&[(0, 0), (1, 0), (0, 1)]);
+        let mut oracle = ConnectivityOracle::new();
+        assert!(oracle.is_cut_vertex(&g, Pos::new(0, 0)));
+        let moves = [(Pos::new(0, 0), Pos::new(1, 1))];
+        assert!(oracle.preserves_connectivity(&g, &moves));
+        assert!(is_connected_after(
+            &g,
+            &moves,
+            &mut ConnectivityScratch::new()
+        ));
+        assert_eq!(oracle.fallback_probes(), 0, "cut sources stay O(1)");
+        // Moving it away instead strands one arm.
+        assert!(!oracle.preserves_connectivity(&g, &[(Pos::new(0, 0), Pos::new(0, 2))]));
+    }
+
+    #[test]
+    fn probes_agree_with_bfs_on_random_single_moves() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut oracle = ConnectivityOracle::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut checked = 0usize;
+        for _ in 0..60 {
+            let g = random_blob(&mut rng, 12);
+            let blocks: Vec<Pos> = g.blocks().map(|(_, p)| p).collect();
+            for &from in &blocks {
+                for to in from.neighbors4() {
+                    if !g.is_free(to) {
+                        continue;
+                    }
+                    let moves = [(from, to)];
+                    assert_eq!(
+                        oracle.preserves_connectivity(&g, &moves),
+                        is_connected_after(&g, &moves, &mut scratch),
+                        "move {from} -> {to}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 100, "workload too small: {checked}");
+        assert!(oracle.fast_probes() > 0, "fast path never taken");
+    }
+
+    #[test]
+    fn epoch_invalidation_tracks_mutations() {
+        let mut g = grid_from(&[(0, 0), (1, 0), (2, 0)]);
+        let mut oracle = ConnectivityOracle::new();
+        assert!(oracle.is_cut_vertex(&g, Pos::new(1, 0)));
+        // Close the triangle: (1,0) stops being an articulation point.
+        g.place(BlockId(9), Pos::new(1, 1)).unwrap();
+        g.place(BlockId(10), Pos::new(0, 1)).unwrap();
+        g.place(BlockId(11), Pos::new(2, 1)).unwrap();
+        assert!(!oracle.is_cut_vertex(&g, Pos::new(1, 0)));
+        assert_eq!(oracle.rebuilds(), 2);
+    }
+
+    #[test]
+    fn disconnected_states_fall_back_to_the_exact_answer() {
+        let g = grid_from(&[(0, 0), (2, 0)]);
+        let mut oracle = ConnectivityOracle::new();
+        assert_eq!(oracle.component_count(&g), 2);
+        // Moving (2,0) west to (1,0) joins the components.
+        assert!(oracle.preserves_connectivity(&g, &[(Pos::new(2, 0), Pos::new(1, 0))]));
+        // Moving it east keeps them apart.
+        assert!(!oracle.preserves_connectivity(&g, &[(Pos::new(2, 0), Pos::new(3, 0))]));
+        // The empty batch reports the current (dis)connectivity.
+        assert!(!oracle.preserves_connectivity(&g, &[]));
+    }
+
+    #[test]
+    fn multi_block_batches_use_the_bfs() {
+        // A carrying chain on a supported pair: exact answers required.
+        let g = grid_from(&[(0, 1), (1, 1), (1, 0), (2, 0)]);
+        let mut oracle = ConnectivityOracle::new();
+        let carry = [
+            (Pos::new(1, 1), Pos::new(2, 1)),
+            (Pos::new(0, 1), Pos::new(1, 1)),
+        ];
+        let expected = is_connected_after(&g, &carry, &mut ConnectivityScratch::new());
+        assert_eq!(oracle.preserves_connectivity(&g, &carry), expected);
+        assert_eq!(oracle.fallback_probes(), 1);
+    }
+}

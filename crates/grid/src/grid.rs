@@ -3,6 +3,20 @@
 use crate::bounds::Bounds;
 use crate::pos::Pos;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Source of globally unique occupancy versions: every grid mutation
+/// stamps the grid with a fresh value drawn from this process-wide
+/// counter, so two grids carrying the same [`OccupancyGrid::epoch`] are
+/// guaranteed to hold identical occupancy (either untouched clones of one
+/// another or the same grid).  Derived caches (the connectivity oracle,
+/// the memoised distance fields) key on the epoch instead of subscribing
+/// to invalidation callbacks.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Identifier of a block.  The paper numbers blocks (Figs. 10–11) to follow
 /// their progression; identifiers are stable across moves.
@@ -107,6 +121,9 @@ pub struct OccupancyGrid {
     /// Position of block `#i` at index `i` (dense; `None` = not placed).
     positions: Vec<Option<Pos>>,
     occupied: usize,
+    /// Globally unique version of the occupancy content (see
+    /// [`OccupancyGrid::epoch`]).
+    epoch: u64,
 }
 
 impl PartialEq for OccupancyGrid {
@@ -131,7 +148,19 @@ impl OccupancyGrid {
             words: vec![0; words_per_row * bounds.height as usize],
             positions: Vec::new(),
             occupied: 0,
+            epoch: fresh_epoch(),
         }
+    }
+
+    /// The occupancy version: a process-globally unique stamp renewed by
+    /// every mutation.  Two grids reporting the same epoch are guaranteed
+    /// to hold bit-identical occupancy (a clone shares its source's epoch
+    /// until either is mutated), so caches derived from the occupancy —
+    /// the cut-vertex oracle, the memoised distance fields — compare
+    /// epochs instead of being invalidated by hand.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// `(word index, bit index)` of a contained position in the bitboard
@@ -293,6 +322,7 @@ impl OccupancyGrid {
         self.set_bit(pos);
         *self.position_slot(id) = Some(pos);
         self.occupied += 1;
+        self.epoch = fresh_epoch();
         Ok(())
     }
 
@@ -307,6 +337,7 @@ impl OccupancyGrid {
                 self.clear_bit(pos);
                 self.positions[id.0 as usize] = None;
                 self.occupied -= 1;
+                self.epoch = fresh_epoch();
                 Ok(id)
             }
             None => Err(GridError::CellEmpty(pos)),
@@ -337,6 +368,7 @@ impl OccupancyGrid {
         self.clear_bit(from);
         self.set_bit(to);
         self.positions[id.0 as usize] = Some(to);
+        self.epoch = fresh_epoch();
         Ok(id)
     }
 
@@ -371,6 +403,7 @@ impl OccupancyGrid {
             self.positions[id.0 as usize] = Some(to);
             moved.push(id);
         }
+        self.epoch = fresh_epoch();
         Ok(moved)
     }
 
@@ -439,6 +472,10 @@ impl OccupancyGrid {
             self.set_bit(from);
             self.positions[id.0 as usize] = Some(from);
         }
+        // The undo restores the occupancy bit-for-bit, but derived caches
+        // may have observed the trial state through `f`; a fresh epoch
+        // keeps them conservatively correct.
+        self.epoch = fresh_epoch();
         Ok(result)
     }
 
@@ -751,6 +788,33 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, GridError::CellEmpty(Pos::new(2, 2)));
         assert_eq!(g, before);
+    }
+
+    #[test]
+    fn epoch_changes_on_every_mutation_and_only_then() {
+        let mut g = grid3x3_with_l_shape();
+        let e0 = g.epoch();
+        assert_eq!(g.epoch(), e0, "reads do not advance the epoch");
+        // An untouched clone shares the version (identical content).
+        let clone = g.clone();
+        assert_eq!(clone.epoch(), e0);
+        g.move_block(Pos::new(1, 1), Pos::new(2, 1)).unwrap();
+        let e1 = g.epoch();
+        assert_ne!(e1, e0);
+        assert_eq!(clone.epoch(), e0, "the clone keeps its own version");
+        // Failed mutations leave the epoch untouched.
+        assert!(g.move_block(Pos::new(2, 2), Pos::new(2, 1)).is_err());
+        assert_eq!(g.epoch(), e1);
+        // A journalled trial restores the bits but renews the version
+        // (conservative: observers may have seen the trial state).
+        g.with_moves_applied(&[(Pos::new(2, 1), Pos::new(1, 1))], |_| ())
+            .unwrap();
+        assert_ne!(g.epoch(), e1);
+        // Epochs are globally unique: a fresh grid never aliases an
+        // existing one.
+        let other = OccupancyGrid::new(Bounds::new(3, 3));
+        assert_ne!(other.epoch(), g.epoch());
+        assert_ne!(other.epoch(), e0);
     }
 
     #[test]

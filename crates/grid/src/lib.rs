@@ -20,6 +20,8 @@
 //!   input `I` and output `O`; parseable from / renderable to ASCII art.
 //! * [`connectivity`] — connectivity and articulation-point analysis used to
 //!   enforce Remark 1 of the paper (no move may disconnect the ensemble).
+//! * [`articulation`] — the incremental cut-vertex oracle answering
+//!   single-block Remark 1 probes in O(1) per world state.
 //! * [`graph`] — the oriented graph `G` containing every shortest path
 //!   between `I` and `O`, plus BFS distances and path utilities.
 //! * [`gen`] — seeded random generation of connected configurations used by
@@ -42,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod articulation;
 pub mod bounds;
 pub mod config;
 pub mod connectivity;
@@ -53,6 +56,7 @@ pub mod path;
 pub mod pos;
 pub mod render;
 
+pub use articulation::ConnectivityOracle;
 pub use bounds::Bounds;
 pub use config::{ConfigError, SurfaceConfig};
 pub use direction::Direction;

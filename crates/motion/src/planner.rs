@@ -16,10 +16,16 @@
 use crate::catalog::RuleCatalog;
 use crate::compiled::RuleId;
 use crate::rule::RuleError;
-use sb_grid::connectivity::{self, ConnectivityScratch};
-use sb_grid::{BlockId, OccupancyGrid, Pos};
+use sb_grid::connectivity;
+use sb_grid::{BlockId, ConnectivityOracle, OccupancyGrid, Pos};
 use std::cell::RefCell;
 use std::fmt;
+
+/// A Remark 1 admission probe over a candidate move batch (abstracts
+/// whether the verdict comes from the planner's own oracle, a
+/// caller-owned one, or nothing at all when connectivity is not
+/// required).
+type PreservesProbe<'a> = dyn FnMut(&[(Pos, Pos)]) -> bool + 'a;
 
 /// A concrete, applicable instantiation of a rule: the rule anchored at a
 /// world position, with the world moves it would perform and the identity
@@ -27,10 +33,11 @@ use std::fmt;
 /// the query was about).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlannedMotion {
-    /// Interned id of the rule that generated this motion.
+    /// Interned id of the rule that generated this motion.  Resolve the
+    /// display name through [`RuleCatalog::name_of`] when rendering; the
+    /// motion itself stays `String`-free so enumeration allocates nothing
+    /// per candidate beyond the move list.
     pub rule_id: RuleId,
-    /// Name of the rule that generated this motion.
-    pub rule_name: String,
     /// World position of the rule window's centre.
     pub anchor: Pos,
     /// All simultaneous world moves `(from, to)` of the rule.
@@ -69,8 +76,8 @@ impl fmt::Display for PlannedMotion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} @{}: {} -> {} ({} block(s))",
-            self.rule_name,
+            "rule#{} @{}: {} -> {} ({} block(s))",
+            self.rule_id,
             self.anchor,
             self.subject_from,
             self.subject_to,
@@ -79,29 +86,32 @@ impl fmt::Display for PlannedMotion {
     }
 }
 
-/// Reusable buffers for the planner's allocation-free hot path.
-#[derive(Debug, Default)]
-struct PlannerScratch {
-    /// Connectivity BFS state (visited bitset + frontier).
-    conn: ConnectivityScratch,
-    /// World moves of the candidate currently being examined.
-    moves: Vec<(Pos, Pos)>,
-}
-
 /// Planner over a rule catalogue.
 ///
 /// Applicability checks run against the catalogue's precompiled rule
-/// masks and the grid's occupancy bitboard; the boolean feasibility
-/// queries ([`MotionPlanner::can_move_towards`] and friends) additionally
+/// masks and the grid's occupancy bitboard; the Remark 1 admission filter
+/// goes through a [`ConnectivityOracle`] (cut-vertex mask computed once
+/// per world state, O(1) single-block probes, BFS fallback for carrying
+/// batches); and the boolean feasibility queries
+/// ([`MotionPlanner::can_move_towards`] and friends) additionally
 /// short-circuit at the first admissible motion and reuse internal
 /// scratch buffers, performing **zero heap allocations after warm-up**.
+///
+/// Callers that own a world-level oracle (e.g. `sb-core`'s
+/// `SurfaceWorld`) pass it through the `*_with` variants so the
+/// cut-vertex mask is shared with every other consumer of the same world
+/// state; the plain variants fall back to a planner-internal oracle.
 #[derive(Debug)]
 pub struct MotionPlanner {
     catalog: RuleCatalog,
     /// Whether planned motions must preserve the connectivity of the whole
     /// ensemble (Remark 1).  On by default.
     require_connectivity: bool,
-    scratch: RefCell<PlannerScratch>,
+    /// World moves of the candidate currently being examined (reused
+    /// across enumeration queries).
+    moves_scratch: RefCell<Vec<(Pos, Pos)>>,
+    /// Planner-owned connectivity oracle for callers without their own.
+    oracle: RefCell<ConnectivityOracle>,
 }
 
 impl Clone for MotionPlanner {
@@ -109,7 +119,8 @@ impl Clone for MotionPlanner {
         MotionPlanner {
             catalog: self.catalog.clone(),
             require_connectivity: self.require_connectivity,
-            scratch: RefCell::new(PlannerScratch::default()),
+            moves_scratch: RefCell::new(Vec::new()),
+            oracle: RefCell::new(ConnectivityOracle::new()),
         }
     }
 }
@@ -120,7 +131,8 @@ impl MotionPlanner {
         MotionPlanner {
             catalog,
             require_connectivity: true,
-            scratch: RefCell::new(PlannerScratch::default()),
+            moves_scratch: RefCell::new(Vec::new()),
+            oracle: RefCell::new(ConnectivityOracle::new()),
         }
     }
 
@@ -146,48 +158,53 @@ impl MotionPlanner {
     /// different rules) are reported once.
     ///
     /// Matching runs on the precompiled rule masks; connectivity (Remark 1)
-    /// is evaluated on the post-move bitboard view through reusable
-    /// scratch, so candidate motions that fail either filter cost no heap
-    /// allocation.
+    /// is answered by the planner's [`ConnectivityOracle`], so candidate
+    /// motions that fail either filter cost no heap allocation.
     pub fn motions_involving(&self, grid: &OccupancyGrid, pos: Pos) -> Vec<PlannedMotion> {
+        let oracle = &mut *self.oracle.borrow_mut();
+        self.motions_involving_with(grid, pos, oracle)
+    }
+
+    /// [`MotionPlanner::motions_involving`] probing Remark 1 through a
+    /// caller-owned oracle (shared cut-vertex mask).
+    pub fn motions_involving_with(
+        &self,
+        grid: &OccupancyGrid,
+        pos: Pos,
+        oracle: &mut ConnectivityOracle,
+    ) -> Vec<PlannedMotion> {
         let mut out: Vec<PlannedMotion> = Vec::new();
         if !grid.is_occupied(pos) {
             return out;
         }
-        let mut scratch = self.scratch.borrow_mut();
-        let scratch = &mut *scratch;
+        let mut moves_buf = self.moves_scratch.borrow_mut();
         for compiled in self.catalog.compiled() {
             for (idx, mv) in compiled.moves.iter().enumerate() {
                 let anchor = pos.offset(-mv.from.0, -mv.from.1);
                 if !compiled.applies_at(grid, anchor) {
                     continue;
                 }
-                scratch.moves.clear();
-                scratch
-                    .moves
-                    .extend(compiled.moves.iter().map(|m| compiled.world_move(m, anchor)));
-                let (subject_from, subject_to) = scratch.moves[idx];
+                moves_buf.clear();
+                moves_buf.extend(compiled.moves.iter().map(|m| compiled.world_move(m, anchor)));
+                let (subject_from, subject_to) = moves_buf[idx];
                 debug_assert_eq!(subject_from, pos);
                 // Deduplicate *before* the connectivity probe: a
                 // duplicate has the identical move set, so its Remark 1
                 // verdict is identical too — testing it again would only
-                // burn a BFS.
-                let duplicate = out.iter().any(|p| {
-                    p.subject_to == subject_to && same_move_set(&p.moves, &scratch.moves)
-                });
+                // burn a probe.
+                let duplicate = out
+                    .iter()
+                    .any(|p| p.subject_to == subject_to && same_move_set(&p.moves, &moves_buf));
                 if duplicate {
                     continue;
                 }
-                if self.require_connectivity
-                    && !connectivity::is_connected_after(grid, &scratch.moves, &mut scratch.conn)
-                {
+                if self.require_connectivity && !oracle.preserves_connectivity(grid, &moves_buf) {
                     continue;
                 }
                 out.push(PlannedMotion {
                     rule_id: compiled.id,
-                    rule_name: self.catalog.name_of(compiled.id).to_string(),
                     anchor,
-                    moves: scratch.moves.clone(),
+                    moves: moves_buf.clone(),
                     subject_from,
                     subject_to,
                 });
@@ -226,7 +243,6 @@ impl MotionPlanner {
                 }
                 let planned = PlannedMotion {
                     rule_id: id as RuleId,
-                    rule_name: rule.name().to_string(),
                     anchor,
                     moves,
                     subject_from,
@@ -252,8 +268,21 @@ impl MotionPlanner {
         pos: Pos,
         target: Pos,
     ) -> Vec<PlannedMotion> {
+        let oracle = &mut *self.oracle.borrow_mut();
+        self.motions_towards_with(grid, pos, target, oracle)
+    }
+
+    /// [`MotionPlanner::motions_towards`] probing Remark 1 through a
+    /// caller-owned oracle (shared cut-vertex mask).
+    pub fn motions_towards_with(
+        &self,
+        grid: &OccupancyGrid,
+        pos: Pos,
+        target: Pos,
+        oracle: &mut ConnectivityOracle,
+    ) -> Vec<PlannedMotion> {
         let mut motions: Vec<PlannedMotion> = self
-            .motions_involving(grid, pos)
+            .motions_involving_with(grid, pos, oracle)
             .into_iter()
             .filter(|m| m.progress_towards(target) > 0)
             .collect();
@@ -268,7 +297,9 @@ impl MotionPlanner {
     /// Whether the block at `pos` can execute any motion at all,
     /// short-circuiting at the first admissible one.
     pub fn can_move(&self, grid: &OccupancyGrid, pos: Pos) -> bool {
-        self.any_motion_matching(grid, pos, |_| true, |_| true)
+        self.any_motion_matching(grid, pos, |_| true, |_| true, &mut |moves| {
+            self.oracle.borrow_mut().preserves_connectivity(grid, moves)
+        })
     }
 
     /// Whether the block at `pos` can execute a motion that brings it
@@ -295,13 +326,39 @@ impl MotionPlanner {
             pos,
             |subject_to| subject_to.manhattan(target) < from_d,
             admit,
+            &mut |moves| {
+                // Borrowed per probe, never across `pre`/`admit`, so
+                // re-entrant planner calls from those closures stay legal.
+                self.oracle.borrow_mut().preserves_connectivity(grid, moves)
+            },
+        )
+    }
+
+    /// [`MotionPlanner::any_motion_towards`] probing Remark 1 through a
+    /// caller-owned oracle (shared cut-vertex mask).
+    pub fn any_motion_towards_with(
+        &self,
+        grid: &OccupancyGrid,
+        pos: Pos,
+        target: Pos,
+        admit: impl FnMut(&[(Pos, Pos)]) -> bool,
+        oracle: &mut ConnectivityOracle,
+    ) -> bool {
+        let from_d = pos.manhattan(target);
+        self.any_motion_matching(
+            grid,
+            pos,
+            |subject_to| subject_to.manhattan(target) < from_d,
+            admit,
+            &mut |moves| oracle.preserves_connectivity(grid, moves),
         )
     }
 
     /// Short-circuiting core of the feasibility probes: true when any
     /// rule instantiation moving the block at `pos` passes `pre` (a cheap
     /// geometric test on the subject's destination, run before any window
-    /// lift), the compiled mask match, the connectivity filter, and
+    /// lift), the compiled mask match, the `preserves` connectivity probe
+    /// (skipped when the planner does not require connectivity), and
     /// `admit` over the full move batch.  Deduplication is skipped — it
     /// cannot change emptiness.
     fn any_motion_matching(
@@ -310,13 +367,14 @@ impl MotionPlanner {
         pos: Pos,
         mut pre: impl FnMut(Pos) -> bool,
         mut admit: impl FnMut(&[(Pos, Pos)]) -> bool,
+        preserves: &mut PreservesProbe<'_>,
     ) -> bool {
         if !grid.is_occupied(pos) {
             return false;
         }
-        // World moves go into a stack buffer, and the scratch borrow is
-        // scoped to the connectivity probe: neither `pre` nor `admit`
-        // runs while the planner's RefCell is held, so a closure that
+        // World moves go into a stack buffer; no planner RefCell is held
+        // while `pre` or `admit` runs (the internal-oracle `preserves`
+        // closure scopes its borrow to the probe), so a closure that
         // calls back into this planner cannot hit a re-entrant borrow.
         let mut buf = [(pos, pos); crate::compiled::MAX_MOVES_PER_RULE];
         for compiled in self.catalog.compiled() {
@@ -334,11 +392,8 @@ impl MotionPlanner {
                 }
                 let moves = &buf[..compiled.moves.len()];
                 debug_assert_eq!(moves[idx].0, pos);
-                if self.require_connectivity {
-                    let mut scratch = self.scratch.borrow_mut();
-                    if !connectivity::is_connected_after(grid, moves, &mut scratch.conn) {
-                        continue;
-                    }
+                if self.require_connectivity && !preserves(moves) {
+                    continue;
                 }
                 if admit(moves) {
                     return true;

@@ -6,6 +6,7 @@
 //! inside the allocator itself cannot allocate.
 
 use sb_grid::gen::{random_connected_config, InstanceSpec};
+use sb_grid::ConnectivityOracle;
 use sb_motion::MotionPlanner;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -83,5 +84,70 @@ fn can_move_towards_allocates_nothing_after_warmup() {
         after - before,
         0,
         "can_move_towards / can_move allocated on the hot path"
+    );
+}
+
+#[test]
+fn connectivity_oracle_allocates_nothing_after_warmup() {
+    // Two distinct same-size world states: alternating between them
+    // forces a full Tarjan rebuild on every probe round (their epochs
+    // differ), so the measured pass covers the rebuild path as well as
+    // the O(1) probes and the BFS fallback.
+    let cfg_a = random_connected_config(&InstanceSpec::column_instance(32), 7);
+    let cfg_b = random_connected_config(&InstanceSpec::column_instance(32), 8);
+    let mut oracle = ConnectivityOracle::new();
+
+    let probe_all = |oracle: &mut ConnectivityOracle| {
+        let mut admitted = 0usize;
+        for cfg in [&cfg_a, &cfg_b] {
+            let grid = cfg.grid();
+            for (_, from) in grid.blocks() {
+                for to in from.neighbors4() {
+                    if !grid.is_free(to) {
+                        continue;
+                    }
+                    // Single-block probe (fast path or cut-vertex
+                    // fallback)...
+                    admitted += usize::from(oracle.preserves_connectivity(grid, &[(from, to)]));
+                    // ...and a hand-over chain through the vacated cell
+                    // (multi-block BFS fallback).
+                    for helper in from.neighbors4() {
+                        if grid.is_occupied(helper) {
+                            let chain = [(from, to), (helper, from)];
+                            admitted +=
+                                usize::from(oracle.preserves_connectivity(grid, &chain));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        admitted
+    };
+
+    // Warm-up: size the Tarjan buffers, the cut mask and the BFS scratch
+    // for both grids.
+    let warm = probe_all(&mut oracle);
+    assert!(warm > 0, "the workload must admit some motions");
+    let warm_rebuilds = oracle.rebuilds();
+
+    COUNT_THIS_THREAD.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut admitted = 0usize;
+    for _ in 0..8 {
+        admitted += probe_all(&mut oracle);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|flag| flag.set(false));
+
+    assert_eq!(admitted, warm * 8, "probes must stay deterministic");
+    assert!(
+        oracle.rebuilds() > warm_rebuilds,
+        "alternating grids must force rebuilds in the measured pass"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "ConnectivityOracle allocated after warm-up (probe or rebuild path)"
     );
 }

@@ -1,0 +1,113 @@
+//! Differential property tests for the cut-vertex connectivity oracle:
+//! [`ConnectivityOracle::preserves_connectivity`] must be bit-for-bit
+//! identical to the scratch-BFS [`is_connected_after`] on every
+//! geometrically valid batch — random single-block moves (adjacent hops
+//! and longer repositionings), the carrying batches the rule catalogue
+//! actually produces, and the cut-vertex chains of the `sparse_wide`
+//! geometry where the fast path's articulation reasoning is most at risk.
+
+use proptest::prelude::*;
+use sb_grid::connectivity::{is_connected_after, ConnectivityScratch};
+use sb_grid::gen::{random_connected_config, random_flat_config, InstanceSpec};
+use sb_grid::{Bounds, ConnectivityOracle, Pos, SurfaceConfig};
+use sb_motion::MotionPlanner;
+
+/// The `sparse_wide` workload geometry (flat strip, thickness ≤ 3): thins
+/// into chains whose interior blocks are all articulation points.
+fn sparse_wide_config(blocks: usize, seed: u64) -> SurfaceConfig {
+    let width = (blocks as u32 + 6).max(8);
+    let height = (blocks as u32).max(6);
+    let mid = width as i32 / 2;
+    let spec = InstanceSpec {
+        bounds: Bounds::new(width, height),
+        input: Pos::new(mid, 0),
+        output: Pos::new(mid, blocks as i32 - 2),
+        blocks,
+    };
+    random_flat_config(&spec, seed, 2)
+}
+
+/// Every valid single-block batch from `from`: free destinations within a
+/// radius-2 diamond (adjacent hops plus the longer repositionings the
+/// `is_connected_after` contract also admits).
+fn single_move_destinations(cfg: &SurfaceConfig, from: Pos) -> Vec<Pos> {
+    let mut out = Vec::new();
+    for dx in -2i32..=2 {
+        for dy in -2i32..=2 {
+            if (dx, dy) == (0, 0) || dx.abs() + dy.abs() > 2 {
+                continue;
+            }
+            let to = from.offset(dx, dy);
+            if cfg.grid().is_free(to) {
+                out.push(to);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Oracle ≡ BFS over random connected blobs and sparse cut-vertex
+    /// chains, for single-block moves and for the multi-block carrying
+    /// batches of the standard catalogue.
+    #[test]
+    fn oracle_agrees_with_bfs(blocks in 6usize..16, seed in 0u64..10_000, sparse in any::<bool>()) {
+        let cfg = if sparse {
+            sparse_wide_config(blocks, seed)
+        } else {
+            random_connected_config(&InstanceSpec::column_instance(blocks), seed)
+        };
+        let grid = cfg.grid();
+        let mut oracle = ConnectivityOracle::new();
+        let mut scratch = ConnectivityScratch::new();
+
+        // Single-block batches (the oracle's O(1) fast path plus its
+        // cut-vertex BFS fallback).
+        for (_, from) in grid.blocks() {
+            for to in single_move_destinations(&cfg, from) {
+                let moves = [(from, to)];
+                prop_assert_eq!(
+                    oracle.preserves_connectivity(grid, &moves),
+                    is_connected_after(grid, &moves, &mut scratch),
+                    "single move {} -> {} (sparse={})", from, to, sparse
+                );
+            }
+        }
+
+        // Multi-block batches: every carrying motion the catalogue can
+        // instantiate anywhere on this grid (connectivity filter off so
+        // disconnecting candidates are exercised too).
+        let planner = MotionPlanner::standard().without_connectivity_check();
+        for (_, pos) in grid.blocks() {
+            for motion in planner.motions_involving(grid, pos) {
+                prop_assert_eq!(
+                    oracle.preserves_connectivity(grid, &motion.moves),
+                    is_connected_after(grid, &motion.moves, &mut scratch),
+                    "batch {:?} (sparse={})", motion.moves, sparse
+                );
+            }
+        }
+
+        // The same oracle kept probing one state must have amortised to
+        // the fast path at least once on these workloads.
+        prop_assert!(oracle.fast_probes() > 0);
+    }
+
+    /// On the planner's own output the oracle-backed filter reports
+    /// exactly the motions the BFS-backed reference matcher reports (the
+    /// end-to-end guarantee behind identical sweep numbers).
+    #[test]
+    fn oracle_backed_planner_matches_reference(blocks in 5usize..12, seed in 0u64..10_000) {
+        let cfg = random_connected_config(&InstanceSpec::column_instance(blocks), seed);
+        let planner = MotionPlanner::standard();
+        for pos in cfg.grid().bounds().iter() {
+            prop_assert_eq!(
+                planner.motions_involving(cfg.grid(), pos),
+                planner.motions_involving_reference(cfg.grid(), pos),
+                "at {}", pos
+            );
+        }
+    }
+}

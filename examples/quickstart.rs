@@ -53,7 +53,7 @@ fn main() {
         println!(
             "  iteration {:>3}: rule {:<16} block {} {} -> {} ({} block(s) moved)",
             record.iteration,
-            record.rule,
+            report.rule_name(record),
             id,
             from,
             to,

@@ -96,7 +96,7 @@ pub mod collection {
     use crate::TestRng;
     use std::ops::Range;
 
-    /// Accepted sizes for [`vec`]: an exact length or a half-open range.
+    /// Accepted sizes for [`vec()`]: an exact length or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -44,6 +44,17 @@ pub trait Rng: RngCore + Sized {
         let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         x < p
     }
+
+    /// Returns `true` with probability `numerator / denominator`, exactly
+    /// (one uniform draw in `0..denominator`, no floating-point rounding)
+    /// — mirroring `rand::Rng::gen_ratio`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio requires 0 <= numerator <= denominator and denominator > 0"
+        );
+        uniform_u64(self, denominator as u64) < numerator as u64
+    }
 }
 
 impl<R: RngCore + Sized> Rng for R {}
@@ -133,6 +144,17 @@ mod tests {
             let z = rng.gen_range(-5i32..5);
             assert!((-5..5).contains(&z));
         }
+    }
+
+    #[test]
+    fn gen_ratio_matches_its_ratio() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // 1/3 over many draws.
+        let hits = (0..30_000).filter(|_| rng.gen_ratio(1, 3)).count();
+        assert!((9_000..11_000).contains(&hits), "hits = {hits}");
+        // Degenerate ratios are exact.
+        assert!(!(0..100).any(|_| rng.gen_ratio(0, 7)));
+        assert!((0..100).all(|_| rng.gen_ratio(7, 7)));
     }
 
     #[test]
