@@ -35,10 +35,20 @@ pub(crate) struct Envelope<M> {
     pub payload: M,
 }
 
+/// An RGB visual state, mirroring `sb-desim`'s block colours (the
+/// VisibleSim `setColor` debugging facility).  Kept as a plain tuple so
+/// `sb-actor` stays independent of the simulator crate; the default is
+/// neutral grey `(128, 128, 128)`, matching the simulator's `GREY`.
+pub type VisualState = (u8, u8, u8);
+
+/// The neutral grey every actor starts in.
+pub const VISUAL_NEUTRAL: VisualState = (128, 128, 128);
+
 /// State shared by every actor thread.
 pub(crate) struct Shared<M, W> {
     pub world: Mutex<W>,
     pub mailboxes: Vec<Sender<Envelope<M>>>,
+    pub visuals: Mutex<Vec<VisualState>>,
     pub stop: AtomicBool,
     pub messages_sent: AtomicU64,
     pub messages_delivered: AtomicU64,
@@ -110,6 +120,14 @@ impl<'a, M, W> ActorContext<'a, M, W> {
     pub fn with_world<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
         let mut guard = self.shared.world.lock();
         f(&mut guard)
+    }
+
+    /// Sets this actor's visual state (colour), mirroring the simulator's
+    /// `set_color` debugging aid so block programs behave identically on
+    /// both runtimes.  The final states are reported by
+    /// [`crate::ActorRunReport::visuals`].
+    pub fn set_visual(&mut self, visual: VisualState) {
+        self.shared.visuals.lock()[self.me.index()] = visual;
     }
 
     /// Requests the whole system to stop; actor threads exit after

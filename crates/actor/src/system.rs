@@ -1,6 +1,6 @@
 //! The actor system: thread spawning, shutdown and statistics.
 
-use crate::context::{Actor, ActorContext, ActorId, Envelope, Shared};
+use crate::context::{Actor, ActorContext, ActorId, Envelope, Shared, VisualState, VISUAL_NEUTRAL};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -19,6 +19,10 @@ pub struct ActorRunReport<W> {
     pub messages_sent: u64,
     /// Messages actually delivered to `on_message`.
     pub messages_delivered: u64,
+    /// Final visual state (colour) of every actor, indexed by
+    /// [`ActorId`]; actors that never called
+    /// [`ActorContext::set_visual`] stay at the neutral grey.
+    pub visuals: Vec<VisualState>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -83,6 +87,7 @@ where
         let shared = Shared {
             world: Mutex::new(world),
             mailboxes: senders,
+            visuals: Mutex::new(vec![VISUAL_NEUTRAL; n]),
             stop: AtomicBool::new(false),
             messages_sent: AtomicU64::new(0),
             messages_delivered: AtomicU64::new(0),
@@ -106,8 +111,7 @@ where
                 scope.spawn(move |_| {
                     let step = Duration::from_millis(1);
                     loop {
-                        if shared_ref.stop_requested() || live_actors.load(Ordering::Acquire) == 0
-                        {
+                        if shared_ref.stop_requested() || live_actors.load(Ordering::Acquire) == 0 {
                             return;
                         }
                         let now = Instant::now();
@@ -168,6 +172,7 @@ where
             timed_out,
             messages_sent: shared.messages_sent.load(Ordering::Relaxed),
             messages_delivered: shared.messages_delivered.load(Ordering::Relaxed),
+            visuals: shared.visuals.into_inner(),
             elapsed,
             world: shared.world.into_inner(),
         }
@@ -194,7 +199,12 @@ mod tests {
                 ctx.send(next, laps);
             }
         }
-        fn on_message(&mut self, _from: ActorId, laps: u32, ctx: &mut ActorContext<'_, u32, Vec<usize>>) {
+        fn on_message(
+            &mut self,
+            _from: ActorId,
+            laps: u32,
+            ctx: &mut ActorContext<'_, u32, Vec<usize>>,
+        ) {
             let me = ctx.self_id().index();
             ctx.with_world(|w| w.push(me));
             if self.initiator {
@@ -259,7 +269,10 @@ mod tests {
         let report = system.run(Duration::from_millis(100));
         assert!(report.timed_out);
         assert!(!report.stopped);
-        assert!(report.world > 0, "the loop made progress before the deadline");
+        assert!(
+            report.world > 0,
+            "the loop made progress before the deadline"
+        );
     }
 
     #[test]
@@ -284,6 +297,27 @@ mod tests {
         let mut report = system.run(Duration::from_secs(5));
         report.world.sort_unstable();
         assert_eq!(report.world, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn visual_states_are_recorded_per_actor() {
+        struct Painter;
+        impl Actor<(), ()> for Painter {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), ()>) {
+                let me = ctx.self_id().index() as u8;
+                ctx.set_visual((me, 0, 0));
+                if ctx.self_id() == ActorId(0) {
+                    ctx.request_stop();
+                }
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), ()>) {}
+        }
+        let mut system = ActorSystem::new(());
+        for _ in 0..3 {
+            system.add_actor(Painter);
+        }
+        let report = system.run(Duration::from_secs(5));
+        assert_eq!(report.visuals, vec![(0, 0, 0), (1, 0, 0), (2, 0, 0)]);
     }
 
     #[test]

@@ -16,14 +16,22 @@ fn run_with_catalog(n: usize, catalog: RuleCatalog) -> (bool, u64, u64) {
     let report = ReconfigurationDriver::new(column_config(n))
         .with_catalog(catalog)
         .run_des();
-    (report.completed, report.elementary_moves(), report.elections())
+    (
+        report.completed,
+        report.elementary_moves(),
+        report.elections(),
+    )
 }
 
 fn run_with_algorithm(n: usize, algorithm: AlgorithmConfig) -> (bool, u64, u64) {
     let report = ReconfigurationDriver::new(column_config(n))
         .with_algorithm(algorithm)
         .run_des();
-    (report.completed, report.elementary_moves(), report.elections())
+    (
+        report.completed,
+        report.elementary_moves(),
+        report.elections(),
+    )
 }
 
 fn bench_ablations(c: &mut Criterion) {
@@ -37,9 +45,7 @@ fn bench_ablations(c: &mut Criterion) {
         ("carrying only", RuleCatalog::carrying_only()),
     ] {
         let (completed, moves, elections) = run_with_catalog(n, catalog);
-        println!(
-            "  {label:<22} completed={completed:<5} moves={moves:<5} elections={elections}"
-        );
+        println!("  {label:<22} completed={completed:<5} moves={moves:<5} elections={elections}");
     }
 
     println!("\n== Ablation 2: tie-breaking policy (N = {n}) ==");
@@ -53,9 +59,7 @@ fn bench_ablations(c: &mut Criterion) {
             ..AlgorithmConfig::default()
         };
         let (completed, moves, elections) = run_with_algorithm(n, algorithm);
-        println!(
-            "  {label:<22} completed={completed:<5} moves={moves:<5} elections={elections}"
-        );
+        println!("  {label:<22} completed={completed:<5} moves={moves:<5} elections={elections}");
     }
 
     println!("\n== Ablation 3: termination condition (N = {n}) ==");
@@ -68,9 +72,7 @@ fn bench_ablations(c: &mut Criterion) {
             ..AlgorithmConfig::default()
         };
         let (completed, moves, elections) = run_with_algorithm(n, algorithm);
-        println!(
-            "  {label:<22} completed={completed:<5} moves={moves:<5} elections={elections}"
-        );
+        println!("  {label:<22} completed={completed:<5} moves={moves:<5} elections={elections}");
     }
     println!();
 

@@ -31,8 +31,16 @@ fn bench_baselines(c: &mut Criterion) {
             free.messages,
             bound.nearest_block_lower_bound,
             bound.greedy_assignment_moves,
-            if constrained.completed { "" } else { "  [rule-based incomplete]" },
-            if free.completed { "" } else { "  [free incomplete]" },
+            if constrained.completed {
+                ""
+            } else {
+                "  [rule-based incomplete]"
+            },
+            if free.completed {
+                ""
+            } else {
+                "  [free incomplete]"
+            },
         );
     }
     println!();

@@ -12,7 +12,7 @@
 //! single-cell engine run per size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sb_bench::sweep::{run_cell, Family, FamilyPlan, LatencySpec, SweepEngine, SweepPlan};
+use sb_bench::sweep::{run_cell, Family, FamilyPlan, NetworkSpec, SweepEngine, SweepPlan};
 use sb_bench::{fit_exponent, SCALING_SIZES};
 use sb_core::election::TieBreak;
 use sb_core::MotionModel;
@@ -26,7 +26,7 @@ fn column_plan(sizes: Vec<usize>) -> SweepPlan {
             sizes,
         }],
         seeds: vec![1],
-        latencies: vec![LatencySpec::fixed_10us()],
+        networks: vec![NetworkSpec::fixed_10us()],
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
     }
@@ -34,7 +34,8 @@ fn column_plan(sizes: Vec<usize>) -> SweepPlan {
 
 fn bench_scaling(c: &mut Criterion) {
     println!("\n== Complexity scaling (Remarks 2-4, sweep engine) ==");
-    let report = SweepEngine::with_available_parallelism().run(&column_plan(SCALING_SIZES.to_vec()));
+    let report =
+        SweepEngine::with_available_parallelism().run(&column_plan(SCALING_SIZES.to_vec()));
     println!(
         "{:>6} {:>10} {:>12} {:>14} {:>10} {:>10}",
         "N", "elections", "messages", "dist-comps", "moves", "completed"

@@ -54,7 +54,11 @@ fn bench_connectivity_oracle(c: &mut Criterion) {
         let cfg = family.build(n, seed);
         let grid = cfg.grid();
         let probes = probe_set(&cfg);
-        assert!(!probes.is_empty(), "{}: no single-block probes", family.name());
+        assert!(
+            !probes.is_empty(),
+            "{}: no single-block probes",
+            family.name()
+        );
 
         // The two implementations must agree probe for probe before any
         // timing is trusted.
@@ -82,11 +86,8 @@ fn bench_connectivity_oracle(c: &mut Criterion) {
                 b.iter(|| {
                     let mut admitted = 0usize;
                     for &(from, to) in probes {
-                        admitted += usize::from(is_connected_after(
-                            grid,
-                            &[(from, to)],
-                            &mut scratch,
-                        ));
+                        admitted +=
+                            usize::from(is_connected_after(grid, &[(from, to)], &mut scratch));
                     }
                     black_box(admitted)
                 })
@@ -101,8 +102,7 @@ fn bench_connectivity_oracle(c: &mut Criterion) {
                 b.iter(|| {
                     let mut admitted = 0usize;
                     for &(from, to) in probes {
-                        admitted +=
-                            usize::from(oracle.preserves_connectivity(grid, &[(from, to)]));
+                        admitted += usize::from(oracle.preserves_connectivity(grid, &[(from, to)]));
                     }
                     black_box(admitted)
                 })

@@ -60,7 +60,11 @@ fn bench_throughput(c: &mut Criterion) {
     let rows = parallel_map(&sizes, 1, |&modules| {
         let start = std::time::Instant::now();
         let events = run(modules, 200_000);
-        (modules, events, events as f64 / start.elapsed().as_secs_f64())
+        (
+            modules,
+            events,
+            events as f64 / start.elapsed().as_secs_f64(),
+        )
     });
     for (modules, events, rate) in rows {
         println!("  {modules:>8} modules: {events:>8} events, {rate:>12.0} events/s");

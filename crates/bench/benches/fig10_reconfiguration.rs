@@ -13,7 +13,9 @@ fn bench_fig10(c: &mut Criterion) {
     // Print the experiment row once, so `cargo bench` output doubles as
     // the reproduction record for EXPERIMENTS.md.
     let report = fig10_driver().run_des();
-    println!("\n== Fig. 10/11 worked example (paper: 55 block moves, 12 blocks, path of 11 cells) ==");
+    println!(
+        "\n== Fig. 10/11 worked example (paper: 55 block moves, 12 blocks, path of 11 cells) =="
+    );
     println!("{}", ResultRow::header());
     println!("{}", ResultRow::from_report(&report).formatted());
     println!(

@@ -9,6 +9,6 @@ pub mod sweep;
 pub mod workloads;
 
 pub use sweep::{
-    parallel_map, Family, FamilyPlan, LatencySpec, SweepEngine, SweepPlan, SweepReport,
+    parallel_map, Family, FamilyPlan, NetworkSpec, SweepEngine, SweepPlan, SweepReport,
 };
 pub use workloads::*;

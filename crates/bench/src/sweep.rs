@@ -1,17 +1,21 @@
 //! The parallel batch sweep engine.
 //!
 //! [`SweepEngine`] fans a cartesian [`SweepPlan`] — workload family ×
-//! ensemble size × seed × latency model × tie-break × motion model — out
+//! ensemble size × seed × network model × tie-break × motion model — out
 //! across worker threads (via the vendored `crossbeam::scope`), runs every
 //! cell on the deterministic discrete-event runtime, and aggregates the
 //! per-cell counters into per-group summaries (mean/p50/p95 plus
-//! completion, stall and timeout rates).
+//! completion, stall and timeout rates).  The network axis covers both
+//! benign Assumption-3 regimes (fixed, jittered, heterogeneous/asymmetric
+//! per-link, heavy-tailed) and the explicit assumption-violation probes
+//! (i.i.d. drop and duplication), so stall and timeout rates under each
+//! transport are measured data rather than folklore.
 //!
 //! ## Determinism
 //!
 //! Every cell derives its simulator and tie-break seeds from a stable hash
 //! of the cell's *semantic* coordinates (family name, size, workload seed,
-//! latency name, tie-break name, motion name) mixed with the plan seed —
+//! network name, tie-break name, motion name) mixed with the plan seed —
 //! never from the cell's position in the work queue or the thread that
 //! happens to run it.  Workers pull cell indices from a shared cursor and
 //! write results back into the cell's own slot, so the aggregate (and the
@@ -19,7 +23,7 @@
 //! identical for any worker count**.  The regression test
 //! `crates/bench/tests/sweep_engine.rs` pins this property.
 //!
-//! ## JSON schema (version 2)
+//! ## JSON schema (version 3)
 //!
 //! [`SweepReport::to_json`] renders the versioned machine-readable record
 //! published by CI as `BENCH_planner.json`; the field-by-field schema is
@@ -28,7 +32,8 @@
 use sb_core::election::TieBreak;
 use sb_core::workloads;
 use sb_core::{MotionModel, ReconfigurationDriver};
-use sb_desim::{Duration as SimDuration, LatencyModel};
+use sb_desim::network::{fnv1a64, splitmix64};
+use sb_desim::{Duration as SimDuration, LatencyModel, NetworkModel};
 use sb_grid::SurfaceConfig;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,7 +41,10 @@ use std::sync::Mutex;
 use std::time::Duration as WallDuration;
 
 /// Version of the JSON schema emitted by [`SweepReport::to_json`].
-pub const SWEEP_SCHEMA_VERSION: u32 = 2;
+///
+/// v3 renamed the `latency` identity field to `network` when the global
+/// latency axis became the per-link [`NetworkModel`] axis.
+pub const SWEEP_SCHEMA_VERSION: u32 = 3;
 
 /// The scenario families the sweep can draw workloads from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -90,41 +98,109 @@ impl Family {
     }
 }
 
-/// A latency model together with the stable name it carries in the JSON
+/// A network model together with the stable name it carries in the JSON
 /// record and the per-cell seed hash.
 #[derive(Clone, Copy, Debug)]
-pub struct LatencySpec {
+pub struct NetworkSpec {
     /// Stable identifier.
     pub name: &'static str,
     /// The model handed to the simulator.
-    pub model: LatencyModel,
+    pub model: NetworkModel,
 }
 
-impl LatencySpec {
-    /// The default deterministic 10 µs per-message latency.
+impl NetworkSpec {
+    /// The default deterministic 10 µs per-message latency on every link.
     pub fn fixed_10us() -> Self {
-        LatencySpec {
+        NetworkSpec {
             name: "fixed_10us",
-            model: LatencyModel::Fixed(SimDuration::micros(10)),
+            model: NetworkModel::Uniform(LatencyModel::Fixed(SimDuration::micros(10))),
         }
     }
 
     /// Uniform jitter in `[1, 100]` µs — reorders deliveries across links.
     pub fn uniform_1_100us() -> Self {
-        LatencySpec {
+        NetworkSpec {
             name: "uniform_1_100us",
-            model: LatencyModel::Uniform {
+            model: NetworkModel::Uniform(LatencyModel::Uniform {
                 min: SimDuration::micros(1),
                 max: SimDuration::micros(100),
-            },
+            }),
         }
     }
 
     /// Zero-delay delivery (degenerates to causal order under FIFO ties).
     pub fn instant() -> Self {
-        LatencySpec {
+        NetworkSpec {
             name: "instant",
-            model: LatencyModel::Instant,
+            model: NetworkModel::Uniform(LatencyModel::Instant),
+        }
+    }
+
+    /// Heterogeneous, asymmetric per-link constants drawn log-uniformly
+    /// from `[1 µs, 500 µs]` — each direction of each link has its own
+    /// fixed delay.
+    pub fn hetero_asym_1_500us() -> Self {
+        NetworkSpec {
+            name: "hetero_asym_1_500us",
+            model: NetworkModel::HeterogeneousLinks {
+                min: SimDuration::micros(1),
+                max: SimDuration::micros(500),
+                symmetric: false,
+            },
+        }
+    }
+
+    /// Heavy-tailed (log-uniform) per-message delays across four decades,
+    /// `[1 µs, 10 ms]` — the harshest finite-time regime of Assumption 3.
+    pub fn heavy_tail_1us_10ms() -> Self {
+        NetworkSpec {
+            name: "heavy_tail_1us_10ms",
+            model: NetworkModel::HeavyTail {
+                min: SimDuration::micros(1),
+                max: SimDuration::millis(10),
+            },
+        }
+    }
+
+    /// Jitter bursts: 10 µs normally, with per-link staggered windows of
+    /// eight consecutive 1 ms deliveries every 64 messages.
+    pub fn jitter_bursts() -> Self {
+        NetworkSpec {
+            name: "jitter_bursts",
+            model: NetworkModel::JitterBursts {
+                base: SimDuration::micros(10),
+                spike: SimDuration::millis(1),
+                period: 64,
+                burst_len: 8,
+            },
+        }
+    }
+
+    /// Assumption-violation probe: 1% i.i.d. message drop.  Dropped
+    /// election messages deadlock the diffusing computation, which the
+    /// sweep measures as timeouts.
+    pub fn drop_1pct() -> Self {
+        NetworkSpec {
+            name: "drop_1pct",
+            model: NetworkModel::Lossy {
+                latency: LatencyModel::Fixed(SimDuration::micros(10)),
+                drop_permille: 10,
+            },
+        }
+    }
+
+    /// Assumption-violation probe: 1% i.i.d. duplication with independent
+    /// delays, so copies can overtake originals.
+    pub fn dup_1pct() -> Self {
+        NetworkSpec {
+            name: "dup_1pct",
+            model: NetworkModel::Duplicating {
+                latency: LatencyModel::Uniform {
+                    min: SimDuration::micros(1),
+                    max: SimDuration::micros(100),
+                },
+                dup_permille: 10,
+            },
         }
     }
 }
@@ -166,8 +242,8 @@ pub struct SweepPlan {
     pub families: Vec<FamilyPlan>,
     /// Workload seeds (repetitions per parameter point).
     pub seeds: Vec<u64>,
-    /// Latency models.
-    pub latencies: Vec<LatencySpec>,
+    /// Network models.
+    pub networks: Vec<NetworkSpec>,
     /// Tie-break policies.
     pub tie_breaks: Vec<TieBreak>,
     /// Motion models.
@@ -176,8 +252,12 @@ pub struct SweepPlan {
 
 impl SweepPlan {
     /// The full scenario-diversity plan published by CI: five families,
-    /// the column family up to `N = 256`, two latency regimes, three
-    /// seeds per cell.
+    /// the column family up to `N = 256`, four benign network regimes
+    /// (fixed, jittered, heterogeneous/asymmetric, heavy-tailed), three
+    /// seeds per cell.  The fault-injection probes live in
+    /// [`SweepPlan::fault_probes`] (small sizes — a 1% drop rate breaks
+    /// nearly every large election, so big ensembles only measure the
+    /// constant 1).
     pub fn standard() -> Self {
         SweepPlan {
             plan_seed: 1,
@@ -204,7 +284,39 @@ impl SweepPlan {
                 },
             ],
             seeds: vec![1, 2, 3],
-            latencies: vec![LatencySpec::fixed_10us(), LatencySpec::uniform_1_100us()],
+            networks: vec![
+                NetworkSpec::fixed_10us(),
+                NetworkSpec::uniform_1_100us(),
+                NetworkSpec::hetero_asym_1_500us(),
+                NetworkSpec::heavy_tail_1us_10ms(),
+            ],
+            tie_breaks: vec![TieBreak::Random],
+            motions: vec![MotionModel::RuleBased],
+        }
+    }
+
+    /// The assumption-violation plan: every family at small sizes under
+    /// jitter bursts, 1% i.i.d. drop and 1% i.i.d. duplication.  Stall
+    /// and timeout rates under these transports are the measurement — a
+    /// dropped election message deadlocks the diffusing computation
+    /// (timeout), a duplicated one can double-decrement an ack counter
+    /// (protocol anomaly, clean stall).
+    pub fn fault_probes() -> Self {
+        SweepPlan {
+            plan_seed: 11,
+            families: Family::ALL
+                .iter()
+                .map(|&family| FamilyPlan {
+                    family,
+                    sizes: vec![8, 16],
+                })
+                .collect(),
+            seeds: vec![1, 2, 3],
+            networks: vec![
+                NetworkSpec::jitter_bursts(),
+                NetworkSpec::drop_1pct(),
+                NetworkSpec::dup_1pct(),
+            ],
             tie_breaks: vec![TieBreak::Random],
             motions: vec![MotionModel::RuleBased],
         }
@@ -225,7 +337,7 @@ impl SweepPlan {
                 },
             ],
             seeds: vec![1, 2],
-            latencies: vec![LatencySpec::fixed_10us()],
+            networks: vec![NetworkSpec::fixed_10us()],
             tie_breaks: vec![TieBreak::LowestId],
             motions: vec![MotionModel::RuleBased],
         }
@@ -237,7 +349,7 @@ impl SweepPlan {
         let mut cells = Vec::new();
         for fp in &self.families {
             for &blocks in &fp.sizes {
-                for &latency in &self.latencies {
+                for &network in &self.networks {
                     for &tie_break in &self.tie_breaks {
                         for &motion in &self.motions {
                             for &workload_seed in &self.seeds {
@@ -245,7 +357,7 @@ impl SweepPlan {
                                     family: fp.family,
                                     blocks,
                                     workload_seed,
-                                    latency,
+                                    network,
                                     tie_break,
                                     motion,
                                 });
@@ -268,8 +380,8 @@ pub struct SweepCell {
     pub blocks: usize,
     /// Workload (instance-generation) seed.
     pub workload_seed: u64,
-    /// Latency model.
-    pub latency: LatencySpec,
+    /// Network model.
+    pub network: NetworkSpec,
     /// Tie-break policy.
     pub tie_break: TieBreak,
     /// Motion model.
@@ -284,26 +396,11 @@ impl SweepCell {
         let mut h = fnv1a64(self.family.name().as_bytes(), 0xcbf2_9ce4_8422_2325);
         h = fnv1a64(&(self.blocks as u64).to_le_bytes(), h);
         h = fnv1a64(&self.workload_seed.to_le_bytes(), h);
-        h = fnv1a64(self.latency.name.as_bytes(), h);
+        h = fnv1a64(self.network.name.as_bytes(), h);
         h = fnv1a64(tie_break_name(self.tie_break).as_bytes(), h);
         h = fnv1a64(motion_name(self.motion).as_bytes(), h);
         splitmix64(h ^ splitmix64(plan_seed))
     }
-}
-
-fn fnv1a64(bytes: &[u8], mut hash: u64) -> u64 {
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 /// Scalar counters measured for one cell (the full report's move log,
@@ -330,9 +427,10 @@ pub struct CellMeasurement {
     /// Whether the algorithm stalled (no candidate could move, or the
     /// iteration safety valve fired).
     pub stalled: bool,
-    /// Whether the run ended with neither outcome (the event queue
-    /// drained without the Root concluding; must stay zero on the
-    /// discrete-event runtime).
+    /// Whether the run ended with neither outcome: the event queue
+    /// drained without the Root concluding.  Zero under every
+    /// fault-free network; a message-dropping [`NetworkSpec`] deadlocks
+    /// the election, and the resulting timeouts are the measurement.
     pub timed_out: bool,
     /// Wall-clock duration of the run (excluded from the JSON record,
     /// which must be deterministic).
@@ -353,7 +451,7 @@ pub fn run_cell(cell: &SweepCell, plan_seed: u64) -> CellMeasurement {
     let seed = cell.cell_seed(plan_seed);
     let config = cell.family.build(cell.blocks, cell.workload_seed);
     let mut driver = ReconfigurationDriver::new(config)
-        .with_latency(cell.latency.model)
+        .with_network(cell.network.model)
         .with_motion_model(cell.motion)
         .with_seed(seed);
     let mut algorithm = *driver.algorithm();
@@ -450,8 +548,8 @@ pub struct GroupSummary {
     pub family: Family,
     /// Ensemble size `N`.
     pub blocks: usize,
-    /// Latency model name.
-    pub latency: &'static str,
+    /// Network model name.
+    pub network: &'static str,
     /// Tie-break policy name.
     pub tie_break: &'static str,
     /// Motion model name.
@@ -521,7 +619,7 @@ impl SweepReport {
         for (i, g) in self.groups.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"family\": \"{}\", \"n\": {}, \"latency\": \"{}\", \
+                "    {{\"family\": \"{}\", \"n\": {}, \"network\": \"{}\", \
                  \"tie_break\": \"{}\", \"motion\": \"{}\", \"runs\": {},\n     \
                  \"completed_rate\": {:.3}, \"stall_rate\": {:.3}, \"timeout_rate\": {:.3},\n     \
                  \"elections\": {}, \"messages\": {},\n     \
@@ -529,7 +627,7 @@ impl SweepReport {
                  \"sim_time_us\": {}, \"events_per_sim_sec\": {}}}",
                 g.family.name(),
                 g.blocks,
-                g.latency,
+                g.network,
                 g.tie_break,
                 g.motion,
                 g.runs,
@@ -543,7 +641,11 @@ impl SweepReport {
                 stats_json(&g.sim_time_us),
                 stats_json(&g.events_per_sim_sec),
             );
-            out.push_str(if i + 1 < self.groups.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.groups.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  ]\n}\n");
         out
@@ -589,10 +691,7 @@ impl SweepEngine {
         let plan_seed = plan.plan_seed;
         let measurements = parallel_map(&cells, self.workers, |cell| run_cell(cell, plan_seed));
         let seeds = plan.seeds.len().max(1);
-        let groups = measurements
-            .chunks(seeds)
-            .map(summarize_group)
-            .collect();
+        let groups = measurements.chunks(seeds).map(summarize_group).collect();
         SweepReport {
             plan_seed,
             seeds_per_cell: seeds,
@@ -614,7 +713,7 @@ fn summarize_group(chunk: &[CellMeasurement]) -> GroupSummary {
     GroupSummary {
         family: first.cell.family,
         blocks: first.cell.blocks,
-        latency: first.cell.latency.name,
+        network: first.cell.network.name,
         tie_break: tie_break_name(first.cell.tie_break),
         motion: motion_name(first.cell.motion),
         runs: chunk.len(),
@@ -656,13 +755,9 @@ mod tests {
     #[test]
     fn plan_enumerates_the_full_cartesian_product() {
         let plan = SweepPlan::smoke();
-        let expected: usize = plan
-            .families
-            .iter()
-            .map(|fp| fp.sizes.len())
-            .sum::<usize>()
+        let expected: usize = plan.families.iter().map(|fp| fp.sizes.len()).sum::<usize>()
             * plan.seeds.len()
-            * plan.latencies.len()
+            * plan.networks.len()
             * plan.tie_breaks.len()
             * plan.motions.len();
         assert_eq!(plan.cells().len(), expected);

@@ -1,7 +1,8 @@
 //! Integration tests for the parallel sweep engine: worker-count
-//! determinism of the aggregate JSON, and sanity of the aggregates.
+//! determinism of the aggregate JSON, sanity of the aggregates, and the
+//! fault-injection (assumption-violation) network axis.
 
-use sb_bench::sweep::{Family, FamilyPlan, LatencySpec, SweepEngine, SweepPlan};
+use sb_bench::sweep::{Family, FamilyPlan, NetworkSpec, SweepEngine, SweepPlan};
 use sb_core::election::TieBreak;
 use sb_core::MotionModel;
 
@@ -24,7 +25,29 @@ fn jittered_plan() -> SweepPlan {
             },
         ],
         seeds: vec![1, 2, 3],
-        latencies: vec![LatencySpec::uniform_1_100us()],
+        networks: vec![NetworkSpec::uniform_1_100us()],
+        tie_breaks: vec![TieBreak::Random],
+        motions: vec![MotionModel::RuleBased],
+    }
+}
+
+/// A small plan exercising every fault-injecting network model: per-link
+/// heterogeneity, jitter bursts, i.i.d. drop and i.i.d. duplication.
+fn fault_plan() -> SweepPlan {
+    SweepPlan {
+        plan_seed: 5,
+        families: vec![FamilyPlan {
+            family: Family::Column,
+            sizes: vec![8, 12],
+        }],
+        seeds: vec![1, 2, 3],
+        networks: vec![
+            NetworkSpec::hetero_asym_1_500us(),
+            NetworkSpec::heavy_tail_1us_10ms(),
+            NetworkSpec::jitter_bursts(),
+            NetworkSpec::drop_1pct(),
+            NetworkSpec::dup_1pct(),
+        ],
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
     }
@@ -33,9 +56,11 @@ fn jittered_plan() -> SweepPlan {
 /// Same plan + same plan seed must produce a byte-identical JSON record
 /// for *any* worker count: cell seeds derive from cell semantics, not
 /// from scheduling, and the JSON excludes every wall-clock quantity.
+/// The fault plan rides along so drop/duplication verdicts are pinned to
+/// the same discipline.
 #[test]
 fn aggregate_json_is_identical_across_worker_counts() {
-    for plan in [SweepPlan::smoke(), jittered_plan()] {
+    for plan in [SweepPlan::smoke(), jittered_plan(), fault_plan()] {
         let reference = SweepEngine::new(1).run(&plan).to_json();
         for workers in [2, 4, 8] {
             let json = SweepEngine::new(workers).run(&plan).to_json();
@@ -68,7 +93,7 @@ fn plan_seed_reaches_the_cells() {
             sizes: vec![8],
         }],
         seeds: vec![1],
-        latencies: vec![LatencySpec::uniform_1_100us()],
+        networks: vec![NetworkSpec::uniform_1_100us()],
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
     };
@@ -98,7 +123,10 @@ fn aggregates_are_consistent_and_scenario_outcomes_differ() {
         assert!((total - 1.0).abs() < 1e-9, "rates partition the runs");
         assert!(g.messages.p50 <= g.messages.p95);
         assert!(g.moves.mean > 0.0);
-        assert_eq!(g.timeout_rate, 0.0, "DES runs always reach an outcome");
+        assert_eq!(
+            g.timeout_rate, 0.0,
+            "DES runs under a fault-free network always reach an outcome"
+        );
     }
     let column: Vec<_> = report
         .groups
@@ -117,17 +145,56 @@ fn aggregates_are_consistent_and_scenario_outcomes_differ() {
     );
 }
 
+/// The assumption-violation probes produce the degradation they exist to
+/// measure: benign per-link regimes still complete the column workload,
+/// while i.i.d. drop deadlocks elections (timeouts/stalls appear) — and
+/// nothing panics or hangs along the way.
+#[test]
+fn fault_injecting_networks_degrade_outcomes_without_breaking_the_engine() {
+    let report = SweepEngine::new(4).run(&fault_plan());
+    for g in &report.groups {
+        let total = g.completed_rate + g.stall_rate + g.timeout_rate;
+        assert!((total - 1.0).abs() < 1e-9, "rates partition the runs");
+    }
+    let rate = |name: &str, pick: fn(&sb_bench::sweep::GroupSummary) -> f64| -> f64 {
+        let groups: Vec<_> = report.groups.iter().filter(|g| g.network == name).collect();
+        assert!(!groups.is_empty(), "network {name} swept");
+        groups.iter().map(|g| pick(g)).sum::<f64>() / groups.len() as f64
+    };
+    // Benign (finite-time) transports: the column family still completes.
+    for benign in [
+        "hetero_asym_1_500us",
+        "heavy_tail_1us_10ms",
+        "jitter_bursts",
+    ] {
+        assert_eq!(
+            rate(benign, |g| g.completed_rate),
+            1.0,
+            "{benign} respects Assumption 3, the election must terminate"
+        );
+    }
+    // 1% drop on N ∈ {8, 12} columns: most elections lose a message and
+    // deadlock — a non-trivial failure rate is the *expected* data.
+    let drop_failures = rate("drop_1pct", |g| g.stall_rate + g.timeout_rate);
+    assert!(
+        drop_failures > 0.0,
+        "i.i.d. drop must produce stalls or timeouts somewhere"
+    );
+}
+
 /// The JSON record parses as the advertised schema version and carries
-/// the per-group percentile fields.
+/// the per-group percentile fields plus the v3 network axis.
 #[test]
 fn json_record_carries_schema_and_percentiles() {
     let report = SweepEngine::new(2).run(&SweepPlan::smoke());
     let json = report.to_json();
     assert!(json.contains("\"schema\": \"smart-surface-sweep\""));
-    assert!(json.contains("\"version\": 2"));
+    assert!(json.contains("\"version\": 3"));
     assert!(json.contains("\"p50\""));
     assert!(json.contains("\"p95\""));
     assert!(json.contains("\"stall_rate\""));
+    assert!(json.contains("\"network\": \"fixed_10us\""));
+    assert!(!json.contains("\"latency\""), "v3 renamed the axis");
     assert!(json.contains("\"family\": \"column\""));
     assert!(json.contains("\"family\": \"minimal\""));
 }

@@ -11,7 +11,7 @@ use crate::election::AlgorithmConfig;
 use crate::metrics::Metrics;
 use crate::runtime::{build_actor_system, build_des_simulation};
 use crate::world::{MotionModel, MoveRecord, MoveRule, Outcome, SurfaceWorld};
-use sb_desim::{Duration as SimDuration, LatencyModel};
+use sb_desim::{Duration as SimDuration, LatencyModel, NetworkModel};
 use sb_grid::SurfaceConfig;
 use sb_motion::RuleCatalog;
 use std::fmt;
@@ -164,7 +164,7 @@ pub struct ReconfigurationDriver {
     algorithm: AlgorithmConfig,
     catalog: RuleCatalog,
     motion_model: MotionModel,
-    latency: LatencyModel,
+    network: NetworkModel,
     sim_seed: u64,
     record_frames: bool,
 }
@@ -192,7 +192,7 @@ impl ReconfigurationDriver {
             algorithm,
             catalog: RuleCatalog::standard(),
             motion_model: MotionModel::RuleBased,
-            latency: LatencyModel::default(),
+            network: NetworkModel::default(),
             sim_seed: 1,
             record_frames: false,
         }
@@ -216,9 +216,18 @@ impl ReconfigurationDriver {
         self
     }
 
-    /// Overrides the message latency model of the discrete-event runtime.
-    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
-        self.latency = latency;
+    /// Overrides the message latency model of the discrete-event runtime
+    /// (uniform across links); shorthand for
+    /// `with_network(NetworkModel::Uniform(..))`.
+    pub fn with_latency(self, latency: LatencyModel) -> Self {
+        self.with_network(NetworkModel::Uniform(latency))
+    }
+
+    /// Overrides the per-link network model of the discrete-event runtime
+    /// (heterogeneous/asymmetric delays, heavy tails, jitter bursts, or
+    /// the drop/duplication assumption-violation probes).
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
         self
     }
 
@@ -246,11 +255,8 @@ impl ReconfigurationDriver {
     }
 
     fn build_world(&self) -> SurfaceWorld {
-        let mut world = SurfaceWorld::new(
-            self.config.clone(),
-            self.catalog.clone(),
-            self.motion_model,
-        );
+        let mut world =
+            SurfaceWorld::new(self.config.clone(), self.catalog.clone(), self.motion_model);
         world.record_frames(self.record_frames);
         world
     }
@@ -293,7 +299,7 @@ impl ReconfigurationDriver {
     /// terminates (or stalls).
     pub fn run_des(&self) -> ReconfigurationReport {
         let world = self.build_world();
-        let mut sim = build_des_simulation(world, self.algorithm, self.latency, self.sim_seed);
+        let mut sim = build_des_simulation(world, self.algorithm, self.network, self.sim_seed);
         let stats = sim.run_until_idle();
         let mut report =
             self.report_from_world(sim.world(), RuntimeKind::DiscreteEvent, stats.wall_elapsed);
@@ -386,7 +392,11 @@ mod tests {
     #[test]
     fn fig10_instance_completes() {
         let report = ReconfigurationDriver::new(workloads::fig10_instance()).run_des();
-        assert!(report.completed, "report:\n{report}\n{}", report.final_ascii);
+        assert!(
+            report.completed,
+            "report:\n{report}\n{}",
+            report.final_ascii
+        );
         assert!(report.path_complete);
         assert_eq!(report.shortest_path_cells, 11);
         assert_eq!(report.blocks, 12);
@@ -395,7 +405,9 @@ mod tests {
     #[test]
     fn runs_are_reproducible_for_a_given_seed() {
         let cfg = workloads::rectangle_instance(3, 2, 4);
-        let a = ReconfigurationDriver::new(cfg.clone()).with_seed(9).run_des();
+        let a = ReconfigurationDriver::new(cfg.clone())
+            .with_seed(9)
+            .run_des();
         let b = ReconfigurationDriver::new(cfg).with_seed(9).run_des();
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.move_log, b.move_log);
@@ -435,9 +447,18 @@ mod debug_tests {
             tie_break: crate::election::TieBreak::LowestId,
             ..Default::default()
         };
-        let report = ReconfigurationDriver::new(cfg).with_algorithm(algo).with_frames().run_des();
+        let report = ReconfigurationDriver::new(cfg)
+            .with_algorithm(algo)
+            .with_frames()
+            .run_des();
         for (i, rec) in report.move_log.iter().enumerate() {
-            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, report.rule_name(rec), rec.moves);
+            println!(
+                "hop {:>3} iter {:>3} rule {:<18} moves {:?}",
+                i,
+                rec.iteration,
+                report.rule_name(rec),
+                rec.moves
+            );
         }
         println!("final:\n{}", report.final_ascii);
         println!("{report}");
@@ -457,7 +478,13 @@ mod debug_tests {
             .with_motion_model(crate::world::MotionModel::FreeMotion)
             .run_des();
         for (i, rec) in report.move_log.iter().enumerate() {
-            println!("hop {:>3} iter {:>3} rule {:<18} moves {:?}", i, rec.iteration, report.rule_name(rec), rec.moves);
+            println!(
+                "hop {:>3} iter {:>3} rule {:<18} moves {:?}",
+                i,
+                rec.iteration,
+                report.rule_name(rec),
+                rec.moves
+            );
         }
         println!("final:\n{}", report.final_ascii);
         println!("{report}");

@@ -1,11 +1,13 @@
 //! The per-block election state machine (Section V of the paper).
 //!
 //! The state machine is written independently from any runtime: handlers
-//! receive the shared [`SurfaceWorld`] and return a list of [`Action`]s
-//! (messages to send, or a stop request).  Thin adapters in
-//! [`crate::runtime`] execute it on the discrete-event simulator and on
-//! the threaded actor runtime, so a single implementation is validated
-//! under both a deterministic scheduler and true thread-level asynchrony.
+//! receive the shared [`SurfaceWorld`] and write [`Action`]s (messages to
+//! send, or a stop request) into a caller-owned reusable [`ActionSink`].
+//! The generic [`crate::runtime::BlockHarness`] executes it on the
+//! discrete-event simulator and on the threaded actor runtime through
+//! the [`crate::runtime::Transport`] trait, so a single implementation is
+//! validated under both a deterministic scheduler and true thread-level
+//! asynchrony.
 //!
 //! ## Protocol recap
 //!
@@ -142,6 +144,69 @@ pub enum Action {
     Stop,
 }
 
+/// A caller-owned, reusable buffer the state machine writes its
+/// [`Action`]s into.
+///
+/// The handlers historically returned a fresh `Vec<Action>` per event,
+/// which put one heap allocation (often two, counting the intermediate
+/// neighbour list) on every message of the hot deliver→step→dispatch
+/// loop.  A sink is handed in by the runtime harness instead and drained
+/// after each step, so after warm-up the buffer's capacity is stable and
+/// the whole loop allocates nothing
+/// (`crates/motion/tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<Action>,
+}
+
+impl ActionSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ActionSink::default()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Appends a send action.
+    pub fn send(&mut self, to: BlockId, msg: Msg) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Appends a stop action.
+    pub fn stop(&mut self) {
+        self.actions.push(Action::Stop);
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the sink holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The buffered actions, in emission order.
+    pub fn as_slice(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Removes and returns every buffered action, keeping the capacity
+    /// for the next step.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+
+    /// Discards every buffered action, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+}
+
 /// Per-block election state (the paper's block memory of Fig. 8: father,
 /// table of sons / pending acknowledgments, `d_BO`, `ShortestDistance`,
 /// iteration number `IT`).
@@ -167,6 +232,10 @@ pub struct ElectionCore {
     /// on every strict improvement): the reservoir count behind the
     /// uniform [`TieBreak::Random`].
     ties_seen: u32,
+    /// Scratch buffer for the neighbour list of the current event (reused
+    /// across events so the hot path performs no allocation after
+    /// warm-up).
+    neighbors_scratch: Vec<BlockId>,
 }
 
 impl ElectionCore {
@@ -184,7 +253,16 @@ impl ElectionCore {
             best: Candidate::none(me),
             best_via: None,
             ties_seen: 0,
+            neighbors_scratch: Vec::new(),
         }
+    }
+
+    /// Returns the state machine to its pre-start state (iteration 0,
+    /// disengaged), keeping the block identity, configuration, RNG stream
+    /// position and warmed scratch buffers.  Lets a harness re-run
+    /// elections on the same world without reallocating anything.
+    pub fn reset_state(&mut self) {
+        self.reset_for(0);
     }
 
     /// The block this state machine belongs to.
@@ -202,32 +280,37 @@ impl ElectionCore {
         self.iteration
     }
 
-    /// Start-up handler: the Root launches the first election.
-    pub fn on_start(&mut self, world: &mut SurfaceWorld) -> Vec<Action> {
+    /// Start-up handler: the Root launches the first election.  Requested
+    /// effects are appended to `sink`.
+    pub fn on_start(&mut self, world: &mut SurfaceWorld, sink: &mut ActionSink) {
         if self.is_root {
-            self.start_iteration(1, world)
-        } else {
-            Vec::new()
+            self.start_iteration(1, world, sink);
         }
     }
 
-    /// Message handler.
-    pub fn on_message(&mut self, from: BlockId, msg: Msg, world: &mut SurfaceWorld) -> Vec<Action> {
+    /// Message handler.  Requested effects are appended to `sink`.
+    pub fn on_message(
+        &mut self,
+        from: BlockId,
+        msg: Msg,
+        world: &mut SurfaceWorld,
+        sink: &mut ActionSink,
+    ) {
         match msg {
-            Msg::Activate { iteration, .. } => self.on_activate(from, iteration, world),
+            Msg::Activate { iteration, .. } => self.on_activate(from, iteration, world, sink),
             Msg::Ack {
                 iteration,
                 shortest_distance,
                 id_shortest,
                 ..
-            } => self.on_ack(from, iteration, shortest_distance, id_shortest, world),
-            Msg::Select { iteration, elected } => self.on_select(iteration, elected, world),
+            } => self.on_ack(from, iteration, shortest_distance, id_shortest, world, sink),
+            Msg::Select { iteration, elected } => self.on_select(iteration, elected, world, sink),
             Msg::SelectAck {
                 iteration,
                 elected,
                 reached_output,
                 moved,
-            } => self.on_select_ack(iteration, elected, reached_output, moved, world),
+            } => self.on_select_ack(iteration, elected, reached_output, moved, world, sink),
         }
     }
 
@@ -243,7 +326,7 @@ impl ElectionCore {
         self.ties_seen = 0;
     }
 
-    fn start_iteration(&mut self, iteration: u32, world: &mut SurfaceWorld) -> Vec<Action> {
+    fn start_iteration(&mut self, iteration: u32, world: &mut SurfaceWorld, sink: &mut ActionSink) {
         debug_assert!(self.is_root);
         self.reset_for(iteration);
         self.engaged = true;
@@ -258,21 +341,16 @@ impl ElectionCore {
             },
             None,
         );
-        let neighbors = world.neighbors_of(self.me);
-        self.pending_acks = neighbors.len();
-        let mut actions = Vec::with_capacity(neighbors.len());
-        for n in neighbors {
-            actions.push(Action::Send {
-                to: n,
-                msg: self.activate_message(world),
-            });
+        world.neighbors_into(self.me, &mut self.neighbors_scratch);
+        self.pending_acks = self.neighbors_scratch.len();
+        for &n in &self.neighbors_scratch {
+            sink.send(n, self.activate_message(world));
         }
         if self.pending_acks == 0 {
             // A single isolated Root cannot build anything: stall.
             world.set_outcome(Outcome::Stalled);
-            actions.push(Action::Stop);
+            sink.stop();
         }
-        actions
     }
 
     fn activate_message(&self, world: &SurfaceWorld) -> Msg {
@@ -316,10 +394,17 @@ impl ElectionCore {
 
     // ----- handlers ------------------------------------------------------------
 
-    fn on_activate(&mut self, from: BlockId, iteration: u32, world: &mut SurfaceWorld) -> Vec<Action> {
+    fn on_activate(
+        &mut self,
+        from: BlockId,
+        iteration: u32,
+        world: &mut SurfaceWorld,
+        sink: &mut ActionSink,
+    ) {
         if iteration < self.iteration {
             // Late activation from a finished election: decline.
-            return vec![self.decline_ack(from, iteration)];
+            sink.push(self.decline_ack(from, iteration));
+            return;
         }
         if iteration > self.iteration {
             self.reset_for(iteration);
@@ -327,7 +412,8 @@ impl ElectionCore {
         if self.engaged {
             // Already activated in this iteration by someone else: decline
             // immediately so the sender does not wait on us.
-            return vec![self.decline_ack(from, iteration)];
+            sink.push(self.decline_ack(from, iteration));
+            return;
         }
         // First activation of this iteration: `from` becomes the father.
         self.engaged = true;
@@ -340,31 +426,25 @@ impl ElectionCore {
             },
             None,
         );
-        let neighbors: Vec<BlockId> = world
-            .neighbors_of(self.me)
-            .into_iter()
-            .filter(|&n| n != from)
-            .collect();
-        self.pending_acks = neighbors.len();
+        world.neighbors_into(self.me, &mut self.neighbors_scratch);
+        self.neighbors_scratch.retain(|&n| n != from);
+        self.pending_acks = self.neighbors_scratch.len();
         if self.pending_acks == 0 {
             // Leaf: acknowledge right away with the subtree best (just us).
-            return vec![Action::Send {
-                to: from,
-                msg: Msg::Ack {
+            sink.send(
+                from,
+                Msg::Ack {
                     iteration,
                     son: self.me,
                     shortest_distance: self.best.distance,
                     id_shortest: self.best.id,
                 },
-            }];
+            );
+            return;
         }
-        neighbors
-            .into_iter()
-            .map(|n| Action::Send {
-                to: n,
-                msg: self.activate_message(world),
-            })
-            .collect()
+        for &n in &self.neighbors_scratch {
+            sink.send(n, self.activate_message(world));
+        }
     }
 
     fn decline_ack(&self, to: BlockId, iteration: u32) -> Action {
@@ -386,9 +466,10 @@ impl ElectionCore {
         shortest_distance: Distance,
         id_shortest: BlockId,
         world: &mut SurfaceWorld,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         if iteration != self.iteration || !self.engaged || self.pending_acks == 0 {
-            return Vec::new();
+            return;
         }
         self.pending_acks -= 1;
         self.merge_candidate(
@@ -399,25 +480,25 @@ impl ElectionCore {
             Some(from),
         );
         if self.pending_acks > 0 {
-            return Vec::new();
+            return;
         }
         if self.is_root {
-            self.conclude_phase_one(world)
+            self.conclude_phase_one(world, sink);
         } else {
             let father = self.father.expect("engaged non-root has a father");
-            vec![Action::Send {
-                to: father,
-                msg: Msg::Ack {
+            sink.send(
+                father,
+                Msg::Ack {
                     iteration,
                     son: self.me,
                     shortest_distance: self.best.distance,
                     id_shortest: self.best.id,
                 },
-            }]
+            );
         }
     }
 
-    fn conclude_phase_one(&mut self, world: &mut SurfaceWorld) -> Vec<Action> {
+    fn conclude_phase_one(&mut self, world: &mut SurfaceWorld, sink: &mut ActionSink) {
         if self.best.distance.is_infinite() || self.best.id == self.me {
             // No block can move towards the output anymore.
             let outcome = if self.goal_reached(true, world) {
@@ -426,31 +507,36 @@ impl ElectionCore {
                 Outcome::Stalled
             };
             world.set_outcome(outcome);
-            return vec![Action::Stop];
+            sink.stop();
+            return;
         }
         let via = self
             .best_via
             .expect("a non-self winner was necessarily reported by a son");
-        vec![Action::Send {
-            to: via,
-            msg: Msg::Select {
+        sink.send(
+            via,
+            Msg::Select {
                 iteration: self.iteration,
                 elected: self.best.id,
             },
-        }]
+        );
     }
 
-    fn on_select(&mut self, iteration: u32, elected: BlockId, world: &mut SurfaceWorld) -> Vec<Action> {
+    fn on_select(
+        &mut self,
+        iteration: u32,
+        elected: BlockId,
+        world: &mut SurfaceWorld,
+        sink: &mut ActionSink,
+    ) {
         if iteration != self.iteration || !self.engaged {
-            return Vec::new();
+            return;
         }
         if elected != self.me {
             // Forward along the recorded best-candidate link.
             if let Some(via) = self.best_via {
-                return vec![Action::Send {
-                    to: via,
-                    msg: Msg::Select { iteration, elected },
-                }];
+                sink.send(via, Msg::Select { iteration, elected });
+                return;
             }
             // Mis-routed selection: we are not the winner and recorded no
             // son to forward through.  Dropping it silently would leave
@@ -459,31 +545,31 @@ impl ElectionCore {
             // cleanly, and count the anomaly.
             world.metrics_mut().protocol_drops += 1;
             if let Some(father) = self.father {
-                return vec![Action::Send {
-                    to: father,
-                    msg: Msg::SelectAck {
+                sink.send(
+                    father,
+                    Msg::SelectAck {
                         iteration,
                         elected,
                         reached_output: false,
                         moved: false,
                     },
-                }];
+                );
             }
-            return Vec::new();
+            return;
         }
         // We are the elected block: perform the hop, then acknowledge up
         // the father chain.
         let result = world.hop_towards_output(self.me, iteration);
         let father = self.father.expect("elected block is not the Root");
-        vec![Action::Send {
-            to: father,
-            msg: Msg::SelectAck {
+        sink.send(
+            father,
+            Msg::SelectAck {
                 iteration,
                 elected: self.me,
                 reached_output: result.reached_output,
                 moved: result.moved,
             },
-        }]
+        );
     }
 
     fn on_select_ack(
@@ -493,40 +579,45 @@ impl ElectionCore {
         reached_output: bool,
         moved: bool,
         world: &mut SurfaceWorld,
-    ) -> Vec<Action> {
+        sink: &mut ActionSink,
+    ) {
         if iteration != self.iteration {
-            return Vec::new();
+            return;
         }
         if !self.is_root {
             let father = match self.father {
                 Some(f) => f,
-                None => return Vec::new(),
+                None => return,
             };
-            return vec![Action::Send {
-                to: father,
-                msg: Msg::SelectAck {
+            sink.send(
+                father,
+                Msg::SelectAck {
                     iteration,
                     elected,
                     reached_output,
                     moved,
                 },
-            }];
+            );
+            return;
         }
         // Root: the election is over, decide whether Algorithm 1 stops.
         if !moved {
             world.set_outcome(Outcome::Stalled);
-            return vec![Action::Stop];
+            sink.stop();
+            return;
         }
         if self.goal_reached(reached_output, world) {
             world.set_outcome(Outcome::Completed);
-            return vec![Action::Stop];
+            sink.stop();
+            return;
         }
         if self.iteration >= self.config.max_iterations {
             world.set_outcome(Outcome::Stalled);
-            return vec![Action::Stop];
+            sink.stop();
+            return;
         }
         let next = self.iteration + 1;
-        self.start_iteration(next, world)
+        self.start_iteration(next, world, sink);
     }
 
     fn goal_reached(&self, reached_output: bool, world: &SurfaceWorld) -> bool {
@@ -541,6 +632,27 @@ impl ElectionCore {
 mod tests {
     use super::*;
     use sb_grid::SurfaceConfig;
+
+    /// Test shorthand: runs the start handler through a throwaway sink
+    /// and returns the emitted actions.
+    fn start(core: &mut ElectionCore, world: &mut SurfaceWorld) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        core.on_start(world, &mut sink);
+        sink.drain().collect()
+    }
+
+    /// Test shorthand: delivers one message through a throwaway sink and
+    /// returns the emitted actions.
+    fn deliver(
+        core: &mut ElectionCore,
+        from: BlockId,
+        msg: Msg,
+        world: &mut SurfaceWorld,
+    ) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        core.on_message(from, msg, world, &mut sink);
+        sink.drain().collect()
+    }
 
     fn tiny_world() -> SurfaceWorld {
         // Root at I=(1,0), two more blocks; output at the top of column 1.
@@ -566,11 +678,17 @@ mod tests {
         let mut world = tiny_world();
         let root = world.root_block().unwrap();
         let mut core = ElectionCore::new(root, true, config_first_seen());
-        let actions = core.on_start(&mut world);
+        let actions = start(&mut core, &mut world);
         assert_eq!(actions.len(), 2, "two lateral neighbours to activate");
         for a in &actions {
             match a {
-                Action::Send { msg: Msg::Activate { iteration, father, .. }, .. } => {
+                Action::Send {
+                    msg:
+                        Msg::Activate {
+                            iteration, father, ..
+                        },
+                    ..
+                } => {
                     assert_eq!(*iteration, 1);
                     assert_eq!(*father, root);
                 }
@@ -591,7 +709,7 @@ mod tests {
             .find(|&b| Some(b) != world.root_block())
             .unwrap();
         let mut core = ElectionCore::new(some_block, false, config_first_seen());
-        assert!(core.on_start(&mut world).is_empty());
+        assert!(start(&mut core, &mut world).is_empty());
     }
 
     #[test]
@@ -601,7 +719,8 @@ mod tests {
         // The block at (2,0) has the Root as its only neighbour: a leaf.
         let leaf = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
         let mut core = ElectionCore::new(leaf, false, config_first_seen());
-        let actions = core.on_message(
+        let actions = deliver(
+            &mut core,
             root,
             Msg::Activate {
                 iteration: 1,
@@ -614,7 +733,15 @@ mod tests {
         );
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            Action::Send { to, msg: Msg::Ack { shortest_distance, id_shortest, .. } } => {
+            Action::Send {
+                to,
+                msg:
+                    Msg::Ack {
+                        shortest_distance,
+                        id_shortest,
+                        ..
+                    },
+            } => {
                 assert_eq!(*to, root);
                 assert_eq!(*id_shortest, leaf);
                 // (2,0) is not aligned with O=(1,3): distance is finite if
@@ -641,11 +768,16 @@ mod tests {
             shortest_distance: Distance::INFINITE,
             id_shortest: father,
         };
-        let _ = core.on_message(root, activate(root), &mut world);
-        let second = core.on_message(other, activate(other), &mut world);
+        let _ = deliver(&mut core, root, activate(root), &mut world);
+        let second = deliver(&mut core, other, activate(other), &mut world);
         assert_eq!(second.len(), 1);
         match &second[0] {
-            Action::Send { to, msg: Msg::Ack { shortest_distance, .. } } => {
+            Action::Send {
+                to,
+                msg: Msg::Ack {
+                    shortest_distance, ..
+                },
+            } => {
                 assert_eq!(*to, other);
                 assert!(shortest_distance.is_infinite(), "decline carries +inf");
             }
@@ -659,9 +791,10 @@ mod tests {
         let root = world.root_block().unwrap();
         let neighbors = world.neighbors_of(root);
         let mut core = ElectionCore::new(root, true, config_first_seen());
-        let _ = core.on_start(&mut world);
+        let _ = start(&mut core, &mut world);
         // First son reports a distance of 4, second son a distance of 3.
-        let a0 = core.on_message(
+        let a0 = deliver(
+            &mut core,
             neighbors[0],
             Msg::Ack {
                 iteration: 1,
@@ -672,7 +805,8 @@ mod tests {
             &mut world,
         );
         assert!(a0.is_empty(), "still waiting for the other ack");
-        let a1 = core.on_message(
+        let a1 = deliver(
+            &mut core,
             neighbors[1],
             Msg::Ack {
                 iteration: 1,
@@ -684,7 +818,10 @@ mod tests {
         );
         assert_eq!(a1.len(), 1);
         match &a1[0] {
-            Action::Send { to, msg: Msg::Select { elected, iteration } } => {
+            Action::Send {
+                to,
+                msg: Msg::Select { elected, iteration },
+            } => {
                 assert_eq!(*iteration, 1);
                 assert_eq!(*elected, BlockId(43));
                 assert_eq!(*to, neighbors[1]);
@@ -699,10 +836,11 @@ mod tests {
         let root = world.root_block().unwrap();
         let neighbors = world.neighbors_of(root);
         let mut core = ElectionCore::new(root, true, config_first_seen());
-        let _ = core.on_start(&mut world);
+        let _ = start(&mut core, &mut world);
         let mut last = Vec::new();
         for n in &neighbors {
-            last = core.on_message(
+            last = deliver(
+                &mut core,
                 *n,
                 Msg::Ack {
                     iteration: 1,
@@ -724,7 +862,8 @@ mod tests {
         // The block at (2,0) will pretend to be elected.
         let elected = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
         let mut core = ElectionCore::new(elected, false, config_first_seen());
-        let _ = core.on_message(
+        let _ = deliver(
+            &mut core,
             root,
             Msg::Activate {
                 iteration: 1,
@@ -736,7 +875,8 @@ mod tests {
             &mut world,
         );
         let before = world.position_of(elected).unwrap();
-        let actions = core.on_message(
+        let actions = deliver(
+            &mut core,
             root,
             Msg::Select {
                 iteration: 1,
@@ -748,7 +888,12 @@ mod tests {
         assert!(after.manhattan(world.output()) < before.manhattan(world.output()));
         assert_eq!(actions.len(), 1);
         match &actions[0] {
-            Action::Send { to, msg: Msg::SelectAck { moved, elected: e, .. } } => {
+            Action::Send {
+                to,
+                msg: Msg::SelectAck {
+                    moved, elected: e, ..
+                },
+            } => {
                 assert_eq!(*to, root);
                 assert!(*moved);
                 assert_eq!(*e, elected);
@@ -763,9 +908,10 @@ mod tests {
         let mut world = tiny_world();
         let root = world.root_block().unwrap();
         let mut core = ElectionCore::new(root, true, config_first_seen());
-        let _ = core.on_start(&mut world);
+        let _ = start(&mut core, &mut world);
         // An ack for a nonexistent iteration 7 is ignored.
-        let actions = core.on_message(
+        let actions = deliver(
+            &mut core,
             BlockId(2),
             Msg::Ack {
                 iteration: 7,
@@ -777,7 +923,8 @@ mod tests {
         );
         assert!(actions.is_empty());
         // A select for the wrong iteration is ignored too.
-        let actions = core.on_message(
+        let actions = deliver(
+            &mut core,
             BlockId(2),
             Msg::Select {
                 iteration: 7,
@@ -799,7 +946,8 @@ mod tests {
         let root = world.root_block().unwrap();
         let leaf = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
         let mut core = ElectionCore::new(leaf, false, config_first_seen());
-        let _ = core.on_message(
+        let _ = deliver(
+            &mut core,
             root,
             Msg::Activate {
                 iteration: 1,
@@ -811,7 +959,8 @@ mod tests {
             &mut world,
         );
         let stray = BlockId(777);
-        let actions = core.on_message(
+        let actions = deliver(
+            &mut core,
             root,
             Msg::Select {
                 iteration: 1,
@@ -873,10 +1022,11 @@ mod tests {
                     ..AlgorithmConfig::default()
                 },
             );
-            let _ = core.on_start(&mut world);
+            let _ = start(&mut core, &mut world);
             let mut last = Vec::new();
             for (i, &son) in neighbors.iter().enumerate() {
-                last = core.on_message(
+                last = deliver(
+                    &mut core,
                     son,
                     Msg::Ack {
                         iteration: 1,
@@ -917,8 +1067,9 @@ mod tests {
                 ..AlgorithmConfig::default()
             },
         );
-        let _ = core.on_start(&mut world);
-        let _ = core.on_message(
+        let _ = start(&mut core, &mut world);
+        let _ = deliver(
+            &mut core,
             neighbors[0],
             Msg::Ack {
                 iteration: 1,
@@ -928,7 +1079,8 @@ mod tests {
             },
             &mut world,
         );
-        let actions = core.on_message(
+        let actions = deliver(
+            &mut core,
             neighbors[1],
             Msg::Ack {
                 iteration: 1,
@@ -939,7 +1091,10 @@ mod tests {
             &mut world,
         );
         match &actions[0] {
-            Action::Send { msg: Msg::Select { elected, .. }, .. } => {
+            Action::Send {
+                msg: Msg::Select { elected, .. },
+                ..
+            } => {
                 assert_eq!(*elected, BlockId(7), "lowest id wins the tie");
             }
             other => panic!("unexpected action {other:?}"),

@@ -35,7 +35,8 @@
 //!   metrics, move log.
 //! * [`election`] — the runtime-agnostic per-block state machine
 //!   ([`election::ElectionCore`]).
-//! * [`runtime`] — adapters running the state machine on the
+//! * [`runtime`] — the unified harness ([`runtime::BlockHarness`] over
+//!   the [`runtime::Transport`] trait) running the state machine on the
 //!   discrete-event simulator (`sb-desim`) and on the threaded actor
 //!   runtime (`sb-actor`).
 //! * [`driver`] — [`driver::ReconfigurationDriver`], the high-level entry

@@ -1,72 +1,201 @@
-//! Adapters running the election state machine on the two runtimes.
+//! The unified runtime harness: one election-to-runtime translation,
+//! pluggable transports.
 //!
-//! * [`DesBlockCode`] runs [`ElectionCore`] as an `sb-desim` block code:
-//!   deterministic, simulated latencies, millions of modules.
-//! * [`ActorBlockCode`] runs the same state machine as an `sb-actor`
-//!   actor: one OS thread per block, real asynchrony.
+//! Historically the election state machine was adapted to each runtime by
+//! a dedicated block-code type (`DesBlockCode` for `sb-desim`,
+//! `ActorBlockCode` for `sb-actor`) and the two copies drifted: the actor
+//! adapter silently lost the Root/elected/stopped colouring the simulator
+//! adapter performed.  There is now exactly **one** adapter:
 //!
-//! Both adapters translate [`Action`]s into runtime calls and count sent
-//! messages in the world's metrics.
+//! * [`Transport`] — the five-method capability surface a runtime must
+//!   offer (send to a module index, request a stop, set the visual state,
+//!   run a closure against the shared world), implemented by thin shims
+//!   over [`sb_desim::Context`] and [`sb_actor::ActorContext`];
+//! * [`BlockHarness`] — owns the [`ElectionCore`] plus a reusable
+//!   [`ActionSink`], and performs the election-to-runtime translation
+//!   (message-kind metrics, module-index lookup, Root RED / elected BLUE
+//!   / stopped GREEN colouring, stop propagation) once, generically over
+//!   `T: Transport`.
+//!
+//! The harness implements both `sb_desim::BlockCode` and
+//! `sb_actor::Actor`, so the two build functions register the *same*
+//! type; any future runtime only needs a `Transport` shim.
 
-use crate::election::{Action, AlgorithmConfig, ElectionCore};
+use crate::election::{Action, ActionSink, AlgorithmConfig, ElectionCore};
 use crate::messages::Msg;
 use crate::world::SurfaceWorld;
 use sb_actor::{Actor, ActorContext, ActorId, ActorSystem};
-use sb_desim::{BlockCode, Color, Context, LatencyModel, ModuleId, Simulator};
+use sb_desim::{BlockCode, Context, ModuleId, NetworkModel, Simulator};
 
-/// Block-code adapter for the discrete-event simulator.
-pub struct DesBlockCode {
-    core: ElectionCore,
+pub use sb_desim::Color;
+
+/// The capability surface a runtime hands to the [`BlockHarness`] while
+/// it processes one event.
+///
+/// Implementations are thin, stateless shims over the runtime's native
+/// context; all protocol logic lives in the harness.
+pub trait Transport {
+    /// Sends `msg` to the module at index `target` (the world's
+    /// module ↔ block mapping translates identifiers).
+    fn send(&mut self, target: usize, msg: Msg);
+
+    /// Asks the whole runtime to stop dispatching.
+    fn request_stop(&mut self);
+
+    /// Sets the executing block's visual state (debugging aid mirroring
+    /// VisibleSim's `setColor`).
+    fn set_visual_state(&mut self, color: Color);
+
+    /// Runs a closure with (exclusive) access to the shared world and
+    /// returns its result.
+    fn with_world<R>(&mut self, f: impl FnOnce(&mut SurfaceWorld) -> R) -> R;
 }
 
-impl DesBlockCode {
+/// The per-block program, runtime-agnostic: election state machine +
+/// reusable action sink + the one dispatch loop.
+pub struct BlockHarness {
+    core: ElectionCore,
+    sink: ActionSink,
+}
+
+impl BlockHarness {
     /// Wraps an election state machine.
     pub fn new(core: ElectionCore) -> Self {
-        DesBlockCode { core }
+        BlockHarness {
+            core,
+            sink: ActionSink::new(),
+        }
     }
 
-    fn dispatch(&mut self, actions: Vec<Action>, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
-        for action in actions {
+    /// The wrapped state machine.
+    pub fn core(&self) -> &ElectionCore {
+        &self.core
+    }
+
+    /// Returns the wrapped state machine to its pre-start state while
+    /// keeping every warmed buffer (the action sink and the core's
+    /// scratch), so a driver can re-run elections without reallocating.
+    pub fn reset(&mut self) {
+        self.core.reset_state();
+        self.sink.clear();
+    }
+
+    /// Start-up: colour the Root and run the core's start handler.
+    pub fn start<T: Transport>(&mut self, transport: &mut T) {
+        if self.core.is_root() {
+            transport.set_visual_state(Color::RED);
+        }
+        let BlockHarness { core, sink } = self;
+        transport.with_world(|world| core.on_start(world, sink));
+        self.dispatch(transport);
+    }
+
+    /// Delivers one message from the module at index `from` and executes
+    /// the requested effects.
+    pub fn deliver<T: Transport>(&mut self, from: usize, msg: Msg, transport: &mut T) {
+        if matches!(msg, Msg::Select { elected, .. } if elected == self.core.id()) {
+            transport.set_visual_state(Color::BLUE);
+        }
+        let BlockHarness { core, sink } = self;
+        transport.with_world(|world| {
+            let from_block = world
+                .block_of_module(from)
+                .expect("sender block is registered");
+            core.on_message(from_block, msg, world, sink);
+        });
+        self.dispatch(transport);
+    }
+
+    /// The single election-to-runtime dispatch loop: drains the sink,
+    /// counting sent messages per kind in the world's metrics, resolving
+    /// destination blocks to module indices, and translating a stop into
+    /// the GREEN "finished" colour plus a runtime stop request.
+    fn dispatch<T: Transport>(&mut self, transport: &mut T) {
+        for action in self.sink.drain() {
             match action {
                 Action::Send { to, msg } => {
                     let kind = msg.kind();
-                    let target = {
-                        let world = ctx.world_mut();
+                    let target = transport.with_world(|world| {
                         world.metrics_mut().record_message(kind);
                         world
                             .module_index_of(to)
                             .expect("destination block is registered")
-                    };
-                    ctx.send(ModuleId(target), msg);
+                    });
+                    transport.send(target, msg);
                 }
                 Action::Stop => {
-                    ctx.set_color(Color::GREEN);
-                    ctx.request_stop();
+                    transport.set_visual_state(Color::GREEN);
+                    transport.request_stop();
                 }
             }
         }
     }
 }
 
-impl BlockCode<Msg, SurfaceWorld> for DesBlockCode {
+/// [`Transport`] shim over the discrete-event simulator's context.
+struct DesTransport<'a, 'k>(&'a mut Context<'k, Msg, SurfaceWorld>);
+
+impl Transport for DesTransport<'_, '_> {
+    fn send(&mut self, target: usize, msg: Msg) {
+        self.0.send(ModuleId(target), msg);
+    }
+
+    fn request_stop(&mut self) {
+        self.0.request_stop();
+    }
+
+    fn set_visual_state(&mut self, color: Color) {
+        self.0.set_color(color);
+    }
+
+    fn with_world<R>(&mut self, f: impl FnOnce(&mut SurfaceWorld) -> R) -> R {
+        f(self.0.world_mut())
+    }
+}
+
+impl BlockCode<Msg, SurfaceWorld> for BlockHarness {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
-        if self.core.is_root() {
-            ctx.set_color(Color::RED);
-        }
-        let actions = self.core.on_start(ctx.world_mut());
-        self.dispatch(actions, ctx);
+        self.start(&mut DesTransport(ctx));
     }
 
     fn on_message(&mut self, from: ModuleId, msg: Msg, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
-        let from_block = ctx
-            .world()
-            .block_of_module(from.index())
-            .expect("sender block is registered");
-        if matches!(msg, Msg::Select { elected, .. } if elected == self.core.id()) {
-            ctx.set_color(Color::BLUE);
-        }
-        let actions = self.core.on_message(from_block, msg, ctx.world_mut());
-        self.dispatch(actions, ctx);
+        self.deliver(from.index(), msg, &mut DesTransport(ctx));
+    }
+}
+
+/// [`Transport`] shim over the threaded actor runtime's context.
+struct ActorTransport<'a, 'k>(&'a mut ActorContext<'k, Msg, SurfaceWorld>);
+
+impl Transport for ActorTransport<'_, '_> {
+    fn send(&mut self, target: usize, msg: Msg) {
+        self.0.send(ActorId(target), msg);
+    }
+
+    fn request_stop(&mut self) {
+        self.0.request_stop();
+    }
+
+    fn set_visual_state(&mut self, color: Color) {
+        self.0.set_visual((color.r, color.g, color.b));
+    }
+
+    fn with_world<R>(&mut self, f: impl FnOnce(&mut SurfaceWorld) -> R) -> R {
+        self.0.with_world(f)
+    }
+}
+
+impl Actor<Msg, SurfaceWorld> for BlockHarness {
+    fn on_start(&mut self, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
+        self.start(&mut ActorTransport(ctx));
+    }
+
+    fn on_message(
+        &mut self,
+        from: ActorId,
+        msg: Msg,
+        ctx: &mut ActorContext<'_, Msg, SurfaceWorld>,
+    ) {
+        self.deliver(from.index(), msg, &mut ActorTransport(ctx));
     }
 }
 
@@ -76,7 +205,7 @@ impl BlockCode<Msg, SurfaceWorld> for DesBlockCode {
 pub fn build_des_simulation(
     mut world: SurfaceWorld,
     algorithm: AlgorithmConfig,
-    latency: LatencyModel,
+    network: NetworkModel,
     sim_seed: u64,
 ) -> Simulator<Msg, SurfaceWorld> {
     let order = world.grid().block_ids_sorted();
@@ -85,60 +214,13 @@ pub fn build_des_simulation(
         .root_block()
         .expect("Assumption 2: a Root block occupies the input cell");
     let mut sim = Simulator::new(world)
-        .with_latency(latency)
+        .with_network(network)
         .with_seed(sim_seed);
     for block in order {
         let core = ElectionCore::new(block, block == root, algorithm);
-        sim.add_module(DesBlockCode::new(core));
+        sim.add_module(BlockHarness::new(core));
     }
     sim
-}
-
-/// Actor adapter for the threaded runtime.
-pub struct ActorBlockCode {
-    core: ElectionCore,
-}
-
-impl ActorBlockCode {
-    /// Wraps an election state machine.
-    pub fn new(core: ElectionCore) -> Self {
-        ActorBlockCode { core }
-    }
-
-    fn dispatch(&mut self, actions: Vec<Action>, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
-        for action in actions {
-            match action {
-                Action::Send { to, msg } => {
-                    let kind = msg.kind();
-                    let target = ctx.with_world(|world| {
-                        world.metrics_mut().record_message(kind);
-                        world
-                            .module_index_of(to)
-                            .expect("destination block is registered")
-                    });
-                    ctx.send(ActorId(target), msg);
-                }
-                Action::Stop => ctx.request_stop(),
-            }
-        }
-    }
-}
-
-impl Actor<Msg, SurfaceWorld> for ActorBlockCode {
-    fn on_start(&mut self, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
-        let actions = ctx.with_world(|world| self.core.on_start(world));
-        self.dispatch(actions, ctx);
-    }
-
-    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
-        let actions = ctx.with_world(|world| {
-            let from_block = world
-                .block_of_module(from.index())
-                .expect("sender block is registered");
-            self.core.on_message(from_block, msg, world)
-        });
-        self.dispatch(actions, ctx);
-    }
 }
 
 /// Builds a ready-to-run threaded actor system of the distributed
@@ -155,7 +237,7 @@ pub fn build_actor_system(
     let mut system = ActorSystem::new(world);
     for block in order {
         let core = ElectionCore::new(block, block == root, algorithm);
-        system.add_actor(ActorBlockCode::new(core));
+        system.add_actor(BlockHarness::new(core));
     }
     system
 }
@@ -163,6 +245,7 @@ pub fn build_actor_system(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::election::TieBreak;
     use crate::world::Outcome;
     use sb_grid::SurfaceConfig;
 
@@ -184,7 +267,7 @@ mod tests {
         let mut sim = build_des_simulation(
             world,
             AlgorithmConfig::default(),
-            LatencyModel::default(),
+            NetworkModel::default(),
             7,
         );
         assert_eq!(sim.module_count(), 5);
@@ -203,5 +286,45 @@ mod tests {
         assert!(report.stopped, "algorithm must terminate, not time out");
         assert_eq!(report.world.outcome(), Some(Outcome::Completed));
         assert!(report.world.path_complete());
+    }
+
+    /// The satellite fix this PR pins down: the actor runtime used to
+    /// ignore the Root RED / elected BLUE / stopped GREEN colouring the
+    /// simulator performed.  With both runtimes routed through the one
+    /// harness, the final visual states must agree module-for-module (the
+    /// deterministic LowestId tie-break makes the elected sequence — and
+    /// therefore the BLUE set — runtime-independent).
+    #[test]
+    fn visual_states_agree_between_runtimes() {
+        let algorithm = AlgorithmConfig {
+            tie_break: TieBreak::LowestId,
+            ..AlgorithmConfig::default()
+        };
+
+        let world = SurfaceWorld::standard(small_config());
+        let mut sim = build_des_simulation(world, algorithm, NetworkModel::default(), 7);
+        sim.run_until_idle();
+        let des_colors: Vec<(u8, u8, u8)> = (0..sim.module_count())
+            .map(|i| {
+                let c = sim.color_of(ModuleId(i));
+                (c.r, c.g, c.b)
+            })
+            .collect();
+
+        let world = SurfaceWorld::standard(small_config());
+        let system = build_actor_system(world, algorithm);
+        let report = system.run(std::time::Duration::from_secs(60));
+        assert!(report.stopped);
+
+        assert_eq!(des_colors, report.visuals, "visual-state parity");
+        // The palette is meaningful, not accidental: the Root module
+        // finished GREEN (it was RED until it stopped the run), at least
+        // one block was elected BLUE, and nobody is still RED.
+        let green = (Color::GREEN.r, Color::GREEN.g, Color::GREEN.b);
+        let blue = (Color::BLUE.r, Color::BLUE.g, Color::BLUE.b);
+        let red = (Color::RED.r, Color::RED.g, Color::RED.b);
+        assert_eq!(des_colors.iter().filter(|&&c| c == green).count(), 1);
+        assert!(des_colors.contains(&blue), "an elected block turned BLUE");
+        assert!(!des_colors.contains(&red), "the Root recoloured on stop");
     }
 }

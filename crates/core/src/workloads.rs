@@ -1,9 +1,7 @@
 //! Canonical problem instances used by the examples, the tests and the
 //! benchmark harness.
 
-use sb_grid::gen::{
-    random_connected_config, random_flat_config, serpentine_config, InstanceSpec,
-};
+use sb_grid::gen::{random_connected_config, random_flat_config, serpentine_config, InstanceSpec};
 use sb_grid::{Bounds, Pos, SurfaceConfig};
 
 /// The worked example of the paper (Figs. 10–11): twelve blocks, input and

@@ -163,11 +163,7 @@ impl SurfaceWorld {
     /// Declares the module ↔ block mapping used by the runtimes: module
     /// index `i` runs the block code of `blocks[i]`.
     pub fn set_module_mapping(&mut self, blocks: Vec<BlockId>) {
-        self.module_of = blocks
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b, i))
-            .collect();
+        self.module_of = blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
         self.block_of = blocks;
     }
 
@@ -225,25 +221,37 @@ impl SurfaceWorld {
     /// free-motion baseline the communication substrate is the smart
     /// surface itself, so every other block is reachable.
     pub fn neighbors_of(&self, block: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.neighbors_into(block, &mut out);
+        out
+    }
+
+    /// Fills `out` with the blocks `block` can exchange messages with
+    /// (see [`SurfaceWorld::neighbors_of`]), reusing the buffer's
+    /// capacity — the allocation-free variant the election hot path uses.
+    pub fn neighbors_into(&self, block: BlockId, out: &mut Vec<BlockId>) {
+        out.clear();
         match self.motion_model {
-            MotionModel::RuleBased => match self.position_of(block) {
-                Some(pos) => self
-                    .grid()
-                    .occupied_neighbors(pos)
-                    .into_iter()
-                    .map(|(_, id)| id)
-                    .collect(),
-                None => Vec::new(),
-            },
+            MotionModel::RuleBased => {
+                if let Some(pos) = self.position_of(block) {
+                    // Same Direction::ALL probe order as
+                    // `OccupancyGrid::occupied_neighbors`, without
+                    // materialising the `(Direction, BlockId)` pairs.
+                    for &d in sb_grid::Direction::ALL.iter() {
+                        if let Some(id) = self.grid().block_at(pos.step(d)) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
             MotionModel::FreeMotion => {
-                let mut others: Vec<BlockId> = self
-                    .grid()
-                    .blocks()
-                    .map(|(id, _)| id)
-                    .filter(|&id| id != block)
-                    .collect();
-                others.sort();
-                others
+                out.extend(
+                    self.grid()
+                        .blocks()
+                        .map(|(id, _)| id)
+                        .filter(|&id| id != block),
+                );
+                out.sort();
             }
         }
     }
@@ -487,11 +495,7 @@ impl SurfaceWorld {
         let records: Vec<(BlockId, Pos, Pos)> = moves
             .iter()
             .map(|&(from, to)| {
-                let id = self
-                    .config
-                    .grid()
-                    .block_at(from)
-                    .unwrap_or(block);
+                let id = self.config.grid().block_at(from).unwrap_or(block);
                 (id, from, to)
             })
             .collect();
@@ -547,7 +551,9 @@ impl SurfaceWorld {
 
     /// The occupied shortest path, if complete.
     pub fn completed_path(&self) -> Option<Vec<Pos>> {
-        self.config.graph().occupied_shortest_path(self.config.grid())
+        self.config
+            .graph()
+            .occupied_shortest_path(self.config.grid())
     }
 
     /// Records the final outcome (set by the Root's block code).
@@ -665,7 +671,7 @@ mod tests {
     }
 
     #[test]
-    fn distance_excludes_aligned_blocks_and_the_root(){
+    fn distance_excludes_aligned_blocks_and_the_root() {
         let mut w = small_world();
         let output = w.output();
         // The Root is in the output's column AND at I: infinite.
@@ -692,7 +698,10 @@ mod tests {
         assert!(result.moved);
         assert!(!result.reached_output);
         let after = w.position_of(mover).unwrap();
-        assert_eq!(before.manhattan(w.output()) - 1, after.manhattan(w.output()));
+        assert_eq!(
+            before.manhattan(w.output()) - 1,
+            after.manhattan(w.output())
+        );
         assert_eq!(w.move_log().len(), 1);
         // The record interns the rule id; the display name resolves
         // through the catalogue and names a real rule.

@@ -183,7 +183,11 @@ mod tests {
         let a = sim.add_module(Sampler);
         add_periodic_driver(&mut sim, Duration::micros(100), vec![a], None);
         sim.run_until(SimTime(1_050));
-        assert_eq!(sim.world().len(), 10, "ten full periods fit before the deadline");
+        assert_eq!(
+            sim.world().len(),
+            10,
+            "ten full periods fit before the deadline"
+        );
         assert!(!sim.is_idle(), "the next tick is still scheduled");
     }
 }

@@ -110,7 +110,9 @@ mod tests {
             payload: 9,
         };
         assert_eq!(e.target(), ModuleId(2));
-        let s: EventKind<u8> = EventKind::Start { module: ModuleId(4) };
+        let s: EventKind<u8> = EventKind::Start {
+            module: ModuleId(4),
+        };
         assert_eq!(s.target(), ModuleId(4));
         let t: EventKind<u8> = EventKind::Timer {
             module: ModuleId(5),

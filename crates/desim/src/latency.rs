@@ -82,7 +82,9 @@ mod tests {
             max: Duration::micros(50),
         };
         let mut rng = SmallRng::seed_from_u64(7);
-        let samples: Vec<u64> = (0..200).map(|_| model.sample(&mut rng).as_micros()).collect();
+        let samples: Vec<u64> = (0..200)
+            .map(|_| model.sample(&mut rng).as_micros())
+            .collect();
         assert!(samples.iter().all(|&s| (5..=50).contains(&s)));
         let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
         assert!(distinct.len() > 5, "jitter should produce varied delays");

@@ -15,8 +15,10 @@
 //! * an explicit, user-defined **world** shared by the modules (for the
 //!   Smart Blocks: the occupancy grid and the motion engine), accessed
 //!   through the event [`Context`];
-//! * configurable **message latency models** (fixed, uniform jitter),
-//!   driven by a seeded RNG so that every run is reproducible;
+//! * configurable **per-link network models** ([`NetworkModel`]: fixed or
+//!   jittered latency, heterogeneous/asymmetric links, heavy tails,
+//!   jitter bursts, and i.i.d. drop/duplication fault probes), driven by
+//!   seeded per-link RNG streams so that every run is reproducible;
 //! * **statistics** (events processed, messages sent, wall-clock
 //!   throughput) used to reproduce the events/second figure of the paper;
 //! * block **colours** and a trace buffer, mirroring the debugging
@@ -64,6 +66,7 @@ pub mod discrete_time;
 pub mod event;
 pub mod latency;
 pub mod module;
+pub mod network;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -73,6 +76,7 @@ pub use discrete_time::{add_periodic_driver, PeriodicDriver, TickMessage};
 pub use event::EventKind;
 pub use latency::LatencyModel;
 pub use module::{BlockCode, Color, ModuleId};
+pub use network::NetworkModel;
 pub use sim::{Context, Simulator};
 pub use stats::SimStats;
 pub use time::{Duration, SimTime};

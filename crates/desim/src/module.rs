@@ -45,15 +45,35 @@ pub struct Color {
 
 impl Color {
     /// A few named colours used by the Smart Blocks block code.
-    pub const GREY: Color = Color { r: 128, g: 128, b: 128 };
+    pub const GREY: Color = Color {
+        r: 128,
+        g: 128,
+        b: 128,
+    };
     /// Red: the Root block.
-    pub const RED: Color = Color { r: 220, g: 40, b: 40 };
+    pub const RED: Color = Color {
+        r: 220,
+        g: 40,
+        b: 40,
+    };
     /// Green: a block on the finished path.
-    pub const GREEN: Color = Color { r: 40, g: 200, b: 40 };
+    pub const GREEN: Color = Color {
+        r: 40,
+        g: 200,
+        b: 40,
+    };
     /// Blue: the currently elected block.
-    pub const BLUE: Color = Color { r: 40, g: 80, b: 220 };
+    pub const BLUE: Color = Color {
+        r: 40,
+        g: 80,
+        b: 220,
+    };
     /// Yellow: a candidate block.
-    pub const YELLOW: Color = Color { r: 230, g: 210, b: 40 };
+    pub const YELLOW: Color = Color {
+        r: 230,
+        g: 210,
+        b: 40,
+    };
 }
 
 /// The per-block user program, equivalent to a VisibleSim *BlockCode*.
@@ -95,7 +115,13 @@ mod tests {
 
     #[test]
     fn named_colors_are_distinct() {
-        let colors = [Color::GREY, Color::RED, Color::GREEN, Color::BLUE, Color::YELLOW];
+        let colors = [
+            Color::GREY,
+            Color::RED,
+            Color::GREEN,
+            Color::BLUE,
+            Color::YELLOW,
+        ];
         for (i, a) in colors.iter().enumerate() {
             for b in colors.iter().skip(i + 1) {
                 assert_ne!(a, b);

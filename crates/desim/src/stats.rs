@@ -14,6 +14,11 @@ pub struct SimStats {
     pub events_processed: u64,
     /// Messages sent by block codes.
     pub messages_sent: u64,
+    /// Messages dropped by a fault-injecting network model (never
+    /// delivered; a violation of the paper's Assumption 3).
+    pub messages_dropped: u64,
+    /// Duplicate deliveries injected by a fault-injecting network model.
+    pub messages_duplicated: u64,
     /// Timers armed by block codes.
     pub timers_set: u64,
     /// Largest number of events simultaneously pending in the queue.

@@ -70,7 +70,12 @@ fn random_topology(n: usize, seed: u64) -> Vec<Vec<ModuleId>> {
     adj
 }
 
-fn run_flood(n: usize, topo_seed: u64, sim_seed: u64, jitter: bool) -> (Vec<(u64, ModuleId, u32)>, u64, SimTime) {
+fn run_flood(
+    n: usize,
+    topo_seed: u64,
+    sim_seed: u64,
+    jitter: bool,
+) -> (Vec<(u64, ModuleId, u32)>, u64, SimTime) {
     let world = FloodWorld {
         neighbors: random_topology(n, topo_seed),
         receipts: Vec::new(),
@@ -83,7 +88,9 @@ fn run_flood(n: usize, topo_seed: u64, sim_seed: u64, jitter: bool) -> (Vec<(u64
     } else {
         LatencyModel::Fixed(Duration::micros(10))
     };
-    let mut sim = Simulator::new(world).with_seed(sim_seed).with_latency(latency);
+    let mut sim = Simulator::new(world)
+        .with_seed(sim_seed)
+        .with_latency(latency);
     for i in 0..n {
         sim.add_module(FloodNode {
             seen: Vec::new(),

@@ -174,10 +174,10 @@ impl SurfaceConfig {
                 .filter(|&p| p != self.input)
                 .collect();
             if non_root.len() >= 2 {
-                let same_col = non_root.windows(2).all(|w| w[0].x == w[1].x)
-                    && non_root[0].x == self.output.x;
-                let same_row = non_root.windows(2).all(|w| w[0].y == w[1].y)
-                    && non_root[0].y == self.output.y;
+                let same_col =
+                    non_root.windows(2).all(|w| w[0].x == w[1].x) && non_root[0].x == self.output.x;
+                let same_row =
+                    non_root.windows(2).all(|w| w[0].y == w[1].y) && non_root[0].y == self.output.y;
                 if same_col || same_row {
                     return Err(ConfigError::AssumptionViolated(
                         "all blocks but the Root occupy the output's line or column".to_string(),

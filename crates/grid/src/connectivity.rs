@@ -18,11 +18,7 @@ pub fn is_connected(grid: &OccupancyGrid) -> bool {
     if n <= 1 {
         return true;
     }
-    let start = grid
-        .blocks()
-        .map(|(_, p)| p)
-        .min()
-        .expect("non-empty grid");
+    let start = grid.blocks().map(|(_, p)| p).min().expect("non-empty grid");
     reachable_from(grid, start, None).len() == n
 }
 
@@ -97,11 +93,8 @@ pub fn articulation_points(grid: &OccupancyGrid) -> Vec<BlockId> {
     if positions.len() < 3 {
         return Vec::new();
     }
-    let index_of: HashMap<Pos, usize> = positions
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (p, i))
-        .collect();
+    let index_of: HashMap<Pos, usize> =
+        positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let n = positions.len();
     let mut disc = vec![usize::MAX; n];
     let mut low = vec![0usize; n];

@@ -61,7 +61,11 @@ impl Direction {
 
     /// Rotates the direction by 90° clockwise.
     pub const fn rotate_cw(self) -> Direction {
-        self.rotate_ccw().opposite().rotate_ccw().opposite().rotate_ccw()
+        self.rotate_ccw()
+            .opposite()
+            .rotate_ccw()
+            .opposite()
+            .rotate_ccw()
     }
 
     /// A stable small index (0..4) used for neighbour tables and the

@@ -326,13 +326,7 @@ mod tests {
     fn serpentine_config_is_connected_at_every_size() {
         for blocks in 4..40 {
             let bounds = Bounds::new(10, 40);
-            let cfg = serpentine_config(
-                bounds,
-                Pos::new(1, 0),
-                Pos::new(1, 38),
-                blocks,
-                4,
-            );
+            let cfg = serpentine_config(bounds, Pos::new(1, 0), Pos::new(1, 38), blocks, 4);
             assert_eq!(cfg.block_count(), blocks, "blocks={blocks}");
             assert!(cfg.grid().is_connected(), "blocks={blocks}");
             assert_eq!(cfg.root(), Some(BlockId(1)));
@@ -356,9 +350,8 @@ mod tests {
 
     #[test]
     fn serpentine_config_is_deterministic() {
-        let make = || {
-            serpentine_config(Bounds::new(10, 30), Pos::new(1, 0), Pos::new(1, 28), 17, 4)
-        };
+        let make =
+            || serpentine_config(Bounds::new(10, 30), Pos::new(1, 0), Pos::new(1, 28), 17, 4);
         assert_eq!(
             make().grid().occupied_positions_sorted(),
             make().grid().occupied_positions_sorted()
@@ -392,13 +385,7 @@ mod tests {
 
     #[test]
     fn rectangle_config_places_expected_blocks() {
-        let cfg = rectangle_config(
-            Bounds::new(8, 8),
-            Pos::new(1, 0),
-            Pos::new(1, 7),
-            3,
-            4,
-        );
+        let cfg = rectangle_config(Bounds::new(8, 8), Pos::new(1, 0), Pos::new(1, 7), 3, 4);
         assert_eq!(cfg.block_count(), 12);
         assert!(cfg.grid().is_connected());
         assert!(cfg.check_assumptions().is_ok());

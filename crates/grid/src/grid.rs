@@ -355,9 +355,7 @@ impl OccupancyGrid {
         if !self.bounds.contains(to) {
             return Err(GridError::OutOfBounds(to));
         }
-        let id = self
-            .block_at(from)
-            .ok_or(GridError::CellEmpty(from))?;
+        let id = self.block_at(from).ok_or(GridError::CellEmpty(from))?;
         if let Some(existing) = self.block_at(to) {
             return Err(GridError::CellOccupied(to, existing));
         }

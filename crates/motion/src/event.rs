@@ -169,7 +169,10 @@ mod tests {
     fn final_occupancy_follows_the_event() {
         assert_eq!(EventCode::RemainsEmpty.final_occupancy(false), Some(false));
         assert_eq!(EventCode::RemainsOccupied.final_occupancy(true), Some(true));
-        assert_eq!(EventCode::BecomesOccupied.final_occupancy(false), Some(true));
+        assert_eq!(
+            EventCode::BecomesOccupied.final_occupancy(false),
+            Some(true)
+        );
         assert_eq!(EventCode::BecomesEmpty.final_occupancy(true), Some(false));
         assert_eq!(EventCode::Handover.final_occupancy(true), Some(true));
         assert_eq!(EventCode::Any.final_occupancy(true), None);

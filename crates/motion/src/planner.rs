@@ -185,7 +185,12 @@ impl MotionPlanner {
                     continue;
                 }
                 moves_buf.clear();
-                moves_buf.extend(compiled.moves.iter().map(|m| compiled.world_move(m, anchor)));
+                moves_buf.extend(
+                    compiled
+                        .moves
+                        .iter()
+                        .map(|m| compiled.world_move(m, anchor)),
+                );
                 let (subject_from, subject_to) = moves_buf[idx];
                 debug_assert_eq!(subject_from, pos);
                 // Deduplicate *before* the connectivity probe: a
@@ -218,7 +223,11 @@ impl MotionPlanner {
     /// exactly the historical implementation the bitboard engine replaced.
     /// Retained so the two can be differentially tested (they must return
     /// identical motion lists) and benchmarked against each other.
-    pub fn motions_involving_reference(&self, grid: &OccupancyGrid, pos: Pos) -> Vec<PlannedMotion> {
+    pub fn motions_involving_reference(
+        &self,
+        grid: &OccupancyGrid,
+        pos: Pos,
+    ) -> Vec<PlannedMotion> {
         let mut out: Vec<PlannedMotion> = Vec::new();
         if !grid.is_occupied(pos) {
             return out;
@@ -235,8 +244,8 @@ impl MotionPlanner {
                 debug_assert_eq!(subject_from, pos);
                 if self.require_connectivity {
                     let mut trial = grid.clone();
-                    let connected = trial.apply_simultaneous_moves(&moves).is_ok()
-                        && trial.is_connected();
+                    let connected =
+                        trial.apply_simultaneous_moves(&moves).is_ok() && trial.is_connected();
                     if !connected {
                         continue;
                     }
@@ -603,9 +612,11 @@ mod tests {
         assert!(!planner.any_motion_towards(cfg.grid(), pos, output, |_| false));
         // Filtering out every motion touching the subject's own cell
         // excludes everything (the subject always moves).
-        assert!(!planner.any_motion_towards(cfg.grid(), pos, output, |moves| {
-            !moves.iter().any(|&(from, _)| from == pos)
-        }));
+        assert!(
+            !planner.any_motion_towards(cfg.grid(), pos, output, |moves| {
+                !moves.iter().any(|&(from, _)| from == pos)
+            })
+        );
     }
 
     #[test]

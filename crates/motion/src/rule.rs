@@ -73,7 +73,10 @@ impl fmt::Display for RuleError {
                 write!(f, "move source {c} is not a departure cell (code 4 or 5)")
             }
             RuleError::DestinationNotArrival(c) => {
-                write!(f, "move destination {c} is not an arrival cell (code 3 or 5)")
+                write!(
+                    f,
+                    "move destination {c} is not an arrival cell (code 3 or 5)"
+                )
             }
             RuleError::UnmatchedDeparture(c) => {
                 write!(f, "departure cell {c} has no associated move")
@@ -241,7 +244,11 @@ impl MotionRule {
 
     /// Applies the rule at `anchor`, mutating the grid.  Returns the
     /// blocks that moved, in declaration order of the elementary moves.
-    pub fn apply_at(&self, grid: &mut OccupancyGrid, anchor: Pos) -> Result<Vec<BlockId>, RuleError> {
+    pub fn apply_at(
+        &self,
+        grid: &mut OccupancyGrid,
+        anchor: Pos,
+    ) -> Result<Vec<BlockId>, RuleError> {
         if !self.applies_at(grid, anchor) {
             return Err(RuleError::NotApplicable);
         }

@@ -29,14 +29,38 @@ impl Transform {
 
     /// All eight elements of D4, identity first.
     pub const ALL: [Transform; 8] = [
-        Transform { mirror: false, rotations: 0 },
-        Transform { mirror: false, rotations: 1 },
-        Transform { mirror: false, rotations: 2 },
-        Transform { mirror: false, rotations: 3 },
-        Transform { mirror: true, rotations: 0 },
-        Transform { mirror: true, rotations: 1 },
-        Transform { mirror: true, rotations: 2 },
-        Transform { mirror: true, rotations: 3 },
+        Transform {
+            mirror: false,
+            rotations: 0,
+        },
+        Transform {
+            mirror: false,
+            rotations: 1,
+        },
+        Transform {
+            mirror: false,
+            rotations: 2,
+        },
+        Transform {
+            mirror: false,
+            rotations: 3,
+        },
+        Transform {
+            mirror: true,
+            rotations: 0,
+        },
+        Transform {
+            mirror: true,
+            rotations: 1,
+        },
+        Transform {
+            mirror: true,
+            rotations: 2,
+        },
+        Transform {
+            mirror: true,
+            rotations: 3,
+        },
     ];
 
     /// Creates a transform.
@@ -49,10 +73,22 @@ impl Transform {
 
     /// The pure rotations (including identity).
     pub const ROTATIONS: [Transform; 4] = [
-        Transform { mirror: false, rotations: 0 },
-        Transform { mirror: false, rotations: 1 },
-        Transform { mirror: false, rotations: 2 },
-        Transform { mirror: false, rotations: 3 },
+        Transform {
+            mirror: false,
+            rotations: 0,
+        },
+        Transform {
+            mirror: false,
+            rotations: 1,
+        },
+        Transform {
+            mirror: false,
+            rotations: 2,
+        },
+        Transform {
+            mirror: false,
+            rotations: 3,
+        },
     ];
 
     /// The vertical symmetry of Fig. 4: mirror across the *horizontal*
@@ -103,11 +139,13 @@ impl Transform {
         let moves: Vec<ElementaryMove> = rule
             .moves()
             .iter()
-            .map(|m| ElementaryMove::at_time(
-                m.time,
-                self.apply_coord(m.from, size),
-                self.apply_coord(m.to, size),
-            ))
+            .map(|m| {
+                ElementaryMove::at_time(
+                    m.time,
+                    self.apply_coord(m.from, size),
+                    self.apply_coord(m.to, size),
+                )
+            })
             .collect();
         let name = if *self == Transform::IDENTITY {
             rule.name().to_string()
@@ -216,10 +254,7 @@ mod tests {
         let sym = Transform::VERTICAL_SYMMETRY.apply_rule(&rule);
         assert_eq!(sym.matrix().codes(), vec![2, 1, 1, 2, 4, 3, 2, 0, 0]);
         // The move still goes east.
-        assert_eq!(
-            sym.moves()[0].from,
-            MatrixCoord::new(1, 1)
-        );
+        assert_eq!(sym.moves()[0].from, MatrixCoord::new(1, 1));
         assert_eq!(sym.moves()[0].to, MatrixCoord::new(2, 1));
     }
 
@@ -231,9 +266,15 @@ mod tests {
         let north = Transform::new(false, 1).apply_rule(&rule);
         assert_eq!(north.moves()[0].from, MatrixCoord::new(1, 1));
         assert_eq!(north.moves()[0].to, MatrixCoord::new(1, 0)); // row 0 = north
-        // Support cells (code 1) end up in the east column.
-        assert_eq!(north.matrix().get(MatrixCoord::new(2, 0)), crate::EventCode::RemainsOccupied);
-        assert_eq!(north.matrix().get(MatrixCoord::new(2, 1)), crate::EventCode::RemainsOccupied);
+                                                                 // Support cells (code 1) end up in the east column.
+        assert_eq!(
+            north.matrix().get(MatrixCoord::new(2, 0)),
+            crate::EventCode::RemainsOccupied
+        );
+        assert_eq!(
+            north.matrix().get(MatrixCoord::new(2, 1)),
+            crate::EventCode::RemainsOccupied
+        );
     }
 
     #[test]

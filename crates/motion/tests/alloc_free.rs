@@ -88,6 +88,143 @@ fn can_move_towards_allocates_nothing_after_warmup() {
 }
 
 #[test]
+fn election_deliver_step_dispatch_allocates_nothing_after_warmup() {
+    // End-to-end: the full deliver→step→dispatch loop of the unified
+    // runtime harness — message delivery into `ElectionCore`, actions
+    // written into the reusable `ActionSink`, dispatch translating them
+    // into sends (metrics + module-index lookup) — must be allocation-free
+    // after warm-up.  The measured workload is a complete election round
+    // (Root flood, distance evaluations through the planner fast path,
+    // ack folding, Root conclusion) over every block of a column world
+    // whose reconfiguration already completed: hops are excluded by
+    // construction, because a hop appends to the world's move log, which
+    // legitimately accumulates.
+    use sb_core::election::{AlgorithmConfig, ElectionCore, TieBreak};
+    use sb_core::runtime::{BlockHarness, Color, Transport};
+    use sb_core::workloads::column_instance;
+    use sb_core::{Msg, SurfaceWorld};
+    use std::collections::VecDeque;
+
+    /// A queue-backed test transport: sends append to a shared VecDeque,
+    /// the stop flag is a bool — nothing allocates once the queue's
+    /// capacity is warm.
+    struct QueueTransport<'a> {
+        world: &'a mut SurfaceWorld,
+        queue: &'a mut VecDeque<(usize, usize, Msg)>,
+        me: usize,
+        stopped: &'a mut bool,
+    }
+
+    impl Transport for QueueTransport<'_> {
+        fn send(&mut self, target: usize, msg: Msg) {
+            self.queue.push_back((self.me, target, msg));
+        }
+        fn request_stop(&mut self) {
+            *self.stopped = true;
+        }
+        fn set_visual_state(&mut self, _color: Color) {}
+        fn with_world<R>(&mut self, f: impl FnOnce(&mut SurfaceWorld) -> R) -> R {
+            f(self.world)
+        }
+    }
+
+    let algorithm = AlgorithmConfig {
+        tie_break: TieBreak::LowestId,
+        ..AlgorithmConfig::default()
+    };
+    let mut world = SurfaceWorld::standard(column_instance(12, 0));
+    let order = world.grid().block_ids_sorted();
+    world.set_module_mapping(order.clone());
+    let root = world.root_block().expect("root occupies the input");
+    let mut harnesses: Vec<BlockHarness> = order
+        .iter()
+        .map(|&b| BlockHarness::new(ElectionCore::new(b, b == root, algorithm)))
+        .collect();
+    let mut queue: VecDeque<(usize, usize, Msg)> = VecDeque::new();
+    let mut stopped = false;
+
+    // Runs one complete protocol execution (start + drain) and returns
+    // the number of delivered messages.
+    let run_round = |world: &mut SurfaceWorld,
+                     harnesses: &mut Vec<BlockHarness>,
+                     queue: &mut VecDeque<(usize, usize, Msg)>,
+                     stopped: &mut bool|
+     -> usize {
+        *stopped = false;
+        for (i, harness) in harnesses.iter_mut().enumerate() {
+            harness.reset();
+            let mut transport = QueueTransport {
+                world,
+                queue,
+                me: i,
+                stopped,
+            };
+            harness.start(&mut transport);
+        }
+        let mut delivered = 0usize;
+        while let Some((from, to, msg)) = queue.pop_front() {
+            delivered += 1;
+            let mut transport = QueueTransport {
+                world,
+                queue,
+                me: to,
+                stopped,
+            };
+            harnesses[to].deliver(from, msg, &mut transport);
+        }
+        delivered
+    };
+
+    // Warm-up 1: the full reconfiguration, hops included — sizes the
+    // planner scratch, the sinks, the neighbour buffers and the queue,
+    // and leaves the world in its completed (hop-free) end state.
+    let first = run_round(&mut world, &mut harnesses, &mut queue, &mut stopped);
+    assert!(stopped, "the Root must stop the run");
+    assert!(world.path_complete(), "the column workload completes");
+
+    // Warm-up 2: a completed world can still host a few more helper
+    // hops (blocks not on the path with a finite distance) before every
+    // remaining candidate is locked.  Keep running election rounds until
+    // the world reaches its fixed point; the first hop-free round is the
+    // exact shape the measured rounds replay (all candidates infinite,
+    // clean conclusion, zero hops).
+    let mut reference;
+    loop {
+        let moves = world.metrics().elementary_moves;
+        reference = run_round(&mut world, &mut harnesses, &mut queue, &mut stopped);
+        assert!(stopped);
+        if world.metrics().elementary_moves == moves {
+            break;
+        }
+    }
+    assert!(reference > 0 && reference < first);
+    let moves_before = world.metrics().elementary_moves;
+
+    // Measured: identical full election rounds, counting only this
+    // thread's allocations.
+    COUNT_THIS_THREAD.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..8 {
+        let delivered = run_round(&mut world, &mut harnesses, &mut queue, &mut stopped);
+        assert_eq!(delivered, reference, "rounds must stay deterministic");
+        assert!(stopped);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|flag| flag.set(false));
+
+    assert_eq!(
+        world.metrics().elementary_moves,
+        moves_before,
+        "the measured rounds must not move a block"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "deliver→step→dispatch allocated on the hot path"
+    );
+}
+
+#[test]
 fn connectivity_oracle_allocates_nothing_after_warmup() {
     // Two distinct same-size world states: alternating between them
     // forces a full Tarjan rebuild on every probe round (their epochs
@@ -114,8 +251,7 @@ fn connectivity_oracle_allocates_nothing_after_warmup() {
                     for helper in from.neighbors4() {
                         if grid.is_occupied(helper) {
                             let chain = [(from, to), (helper, from)];
-                            admitted +=
-                                usize::from(oracle.preserves_connectivity(grid, &chain));
+                            admitted += usize::from(oracle.preserves_connectivity(grid, &chain));
                             break;
                         }
                     }

@@ -31,7 +31,5 @@
 pub mod schema;
 pub mod xml;
 
-pub use schema::{
-    paper_capabilities_xml, parse_capabilities, write_capabilities, SchemaError,
-};
+pub use schema::{paper_capabilities_xml, parse_capabilities, write_capabilities, SchemaError};
 pub use xml::{XmlError, XmlNode};

@@ -231,7 +231,10 @@ pub fn write_capabilities(catalog: &RuleCatalog) -> String {
                 .with_child(motions),
         );
     }
-    format!("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n{}", root.to_xml())
+    format!(
+        "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n{}",
+        root.to_xml()
+    )
 }
 
 fn parse_pair(text: &str) -> Option<(usize, usize)> {

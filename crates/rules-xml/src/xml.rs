@@ -155,7 +155,10 @@ impl fmt::Display for XmlError {
                 write!(f, "XML syntax error at byte {offset}: {message}")
             }
             XmlError::MismatchedTag { expected, found } => {
-                write!(f, "mismatched closing tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched closing tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::NoRoot => write!(f, "document has no root element"),
             XmlError::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
@@ -258,12 +261,13 @@ impl<'a> Parser<'a> {
     fn skip_prolog(&mut self) -> Result<(), XmlError> {
         self.skip_whitespace();
         if self.starts_with("<?xml") {
-            match self.bytes[self.pos..]
-                .windows(2)
-                .position(|w| w == b"?>")
-            {
+            match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
                 Some(end) => self.pos += end + 2,
-                None => return Err(XmlError::UnexpectedEof("reading the XML declaration".into())),
+                None => {
+                    return Err(XmlError::UnexpectedEof(
+                        "reading the XML declaration".into(),
+                    ))
+                }
             }
         }
         self.skip_misc();
@@ -275,10 +279,7 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_whitespace();
             if self.starts_with("<!--") {
-                match self.bytes[self.pos..]
-                    .windows(3)
-                    .position(|w| w == b"-->")
-                {
+                match self.bytes[self.pos..].windows(3).position(|w| w == b"-->") {
                     Some(end) => self.pos += end + 3,
                     None => {
                         self.pos = self.bytes.len();
@@ -489,10 +490,7 @@ mod tests {
             parse("<a></a><b></b>"),
             Err(XmlError::Syntax { .. })
         ));
-        assert!(matches!(
-            parse("<a x=1></a>"),
-            Err(XmlError::Syntax { .. })
-        ));
+        assert!(matches!(parse("<a x=1></a>"), Err(XmlError::Syntax { .. })));
     }
 
     #[test]
@@ -522,7 +520,10 @@ mod tests {
         assert_eq!(parsed.name, "capabilities");
         let cap = parsed.child("capability").unwrap();
         assert_eq!(cap.attr("name"), Some("east1"));
-        assert_eq!(cap.child("states").unwrap().text.trim(), "2 0 0\n2 4 3\n2 1 1");
+        assert_eq!(
+            cap.child("states").unwrap().text.trim(),
+            "2 0 0\n2 4 3\n2 1 1"
+        );
         let motion = cap.child("motions").unwrap().child("motion").unwrap();
         assert_eq!(motion.attr("from"), Some("1,1"));
     }

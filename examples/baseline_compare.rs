@@ -34,8 +34,16 @@ fn main() {
             free.total_messages(),
             bound.nearest_block_lower_bound,
             bound.greedy_assignment_moves,
-            if constrained.completed { "" } else { "[rule-based DID NOT complete] " },
-            if free.completed { "" } else { "[free-motion DID NOT complete]" },
+            if constrained.completed {
+                ""
+            } else {
+                "[rule-based DID NOT complete] "
+            },
+            if free.completed {
+                ""
+            } else {
+                "[free-motion DID NOT complete]"
+            },
         );
     }
     println!("\nLB(central) = centralized nearest-block lower bound on moves;");

@@ -13,7 +13,8 @@ use smart_surface::core::ReconfigurationDriver;
 
 fn main() {
     let config = fig10_instance();
-    println!("Fig. 10 instance: {} blocks, I={}, O={}, shortest path {} cells",
+    println!(
+        "Fig. 10 instance: {} blocks, I={}, O={}, shortest path {} cells",
         config.block_count(),
         config.input(),
         config.output(),
@@ -23,11 +24,24 @@ fn main() {
 
     let report = ReconfigurationDriver::new(config).with_frames().run_des();
 
-    println!("Reconfiguration {}", if report.completed { "completed" } else { "DID NOT complete" });
+    println!(
+        "Reconfiguration {}",
+        if report.completed {
+            "completed"
+        } else {
+            "DID NOT complete"
+        }
+    );
     println!("  elections (iterations) : {}", report.elections());
-    println!("  elementary block moves : {} (paper reports 55 with its rule set)", report.elementary_moves());
+    println!(
+        "  elementary block moves : {} (paper reports 55 with its rule set)",
+        report.elementary_moves()
+    );
     println!("  messages exchanged     : {}", report.total_messages());
-    println!("  distance computations  : {}", report.metrics.distance_computations);
+    println!(
+        "  distance computations  : {}",
+        report.metrics.distance_computations
+    );
     println!("  path complete          : {}", report.path_complete);
 
     // Show the beginning, middle and end of the reconfiguration, like the

@@ -37,9 +37,15 @@ fn main() {
     let east = rules::east_sliding();
     println!("{east}");
     let mp = PresenceMatrix::from_bits(3, &[0, 0, 0, 1, 1, 0, 1, 1, 1]).unwrap();
-    println!("validates against the Eq. (2) presence matrix: {}", east.validates(&mp));
+    println!(
+        "validates against the Eq. (2) presence matrix: {}",
+        east.validates(&mp)
+    );
     let bad = PresenceMatrix::from_bits(3, &[0, 0, 0, 1, 1, 0, 1, 1, 0]).unwrap();
-    println!("validates without the support block (Fig. 5): {}", east.validates(&bad));
+    println!(
+        "validates without the support block (Fig. 5): {}",
+        east.validates(&bad)
+    );
 
     println!("\n== East carrying rule (Eq. 4, Fig. 6) ==");
     println!("{}", rules::east_carrying());
@@ -62,6 +68,9 @@ fn main() {
         parsed.len(),
         parsed.names()
     );
-    println!("re-serialised standard catalogue ({} bytes):", write_capabilities(&catalog).len());
+    println!(
+        "re-serialised standard catalogue ({} bytes):",
+        write_capabilities(&catalog).len()
+    );
     println!("{}", write_capabilities(&parsed));
 }

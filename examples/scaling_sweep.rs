@@ -9,20 +9,57 @@
 //!   `O(N²)`.
 //!
 //! This example fans the standard sweep plan — five workload families
-//! (the column family up to `N = 256`), two latency regimes, three seeds
-//! per cell — across every available core, prints the per-group
+//! (the column family up to `N = 256`), four network regimes (fixed,
+//! jittered, heterogeneous/asymmetric per-link, heavy-tailed), three
+//! seeds per cell — across every available core, prints the per-group
 //! aggregates, fits a power-law exponent for the column family so the
 //! growth rates can be compared against the remarks, and writes the
-//! versioned machine-readable `BENCH_planner.json` (schema in
+//! versioned machine-readable `BENCH_planner.json` (schema v3, see
 //! `ROADMAP.md`) so the performance trajectory can be tracked across
 //! changes.
+//!
+//! It then smoke-runs the **fault-probe plan** — jitter bursts, 1% i.i.d.
+//! drop, 1% i.i.d. duplication — so the assumption-violation transport
+//! path executes on every CI run and its stall/timeout rates are printed
+//! as measured data.
 //!
 //! ```text
 //! cargo run --release --example scaling_sweep
 //! ```
 
-use sb_bench::sweep::{Family, SweepEngine, SweepPlan};
 use sb_bench::fit_exponent;
+use sb_bench::sweep::{Family, SweepEngine, SweepPlan, SweepReport};
+
+fn print_groups(report: &SweepReport) {
+    println!(
+        "\n{:>11} {:>4} {:>20} {:>9} {:>6} {:>8} {:>12} {:>14} {:>10} {:>10}",
+        "family",
+        "N",
+        "network",
+        "complete",
+        "stall",
+        "timeout",
+        "messages p50",
+        "dist-comps p50",
+        "moves p50",
+        "moves p95"
+    );
+    for g in &report.groups {
+        println!(
+            "{:>11} {:>4} {:>20} {:>8.0}% {:>5.0}% {:>7.0}% {:>12.0} {:>14.0} {:>10.0} {:>10.0}",
+            g.family.name(),
+            g.blocks,
+            g.network,
+            g.completed_rate * 100.0,
+            g.stall_rate * 100.0,
+            g.timeout_rate * 100.0,
+            g.messages.p50,
+            g.distance_computations.p50,
+            g.moves.p50,
+            g.moves.p95,
+        );
+    }
+}
 
 fn main() {
     let plan = SweepPlan::standard();
@@ -35,31 +72,16 @@ fn main() {
     let start = std::time::Instant::now();
     let report = engine.run(&plan);
     let wall = start.elapsed();
-
-    println!(
-        "\n{:>11} {:>4} {:>16} {:>9} {:>6} {:>12} {:>14} {:>10} {:>10}",
-        "family", "N", "latency", "complete", "stall", "messages p50", "dist-comps p50", "moves p50", "moves p95"
-    );
-    for g in &report.groups {
-        println!(
-            "{:>11} {:>4} {:>16} {:>8.0}% {:>5.0}% {:>12.0} {:>14.0} {:>10.0} {:>10.0}",
-            g.family.name(),
-            g.blocks,
-            g.latency,
-            g.completed_rate * 100.0,
-            g.stall_rate * 100.0,
-            g.messages.p50,
-            g.distance_computations.p50,
-            g.moves.p50,
-            g.moves.p95,
-        );
-    }
+    print_groups(&report);
 
     // Machine-readable record for future perf comparisons (deterministic:
     // byte-identical for a fixed plan regardless of worker count).
     let json = report.to_json();
     match std::fs::write("BENCH_planner.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_planner.json ({} groups)", report.groups.len()),
+        Ok(()) => println!(
+            "\nwrote BENCH_planner.json ({} groups)",
+            report.groups.len()
+        ),
         Err(e) => eprintln!("\ncould not write BENCH_planner.json: {e}"),
     }
 
@@ -80,10 +102,13 @@ fn main() {
     let column: Vec<_> = report
         .groups
         .iter()
-        .filter(|g| g.family == Family::Column && g.latency == "fixed_10us")
+        .filter(|g| g.family == Family::Column && g.network == "fixed_10us")
         .collect();
     let pts = |select: fn(&sb_bench::sweep::GroupSummary) -> f64| -> Vec<(f64, f64)> {
-        column.iter().map(|g| (g.blocks as f64, select(g))).collect()
+        column
+            .iter()
+            .map(|g| (g.blocks as f64, select(g)))
+            .collect()
     };
     println!("\nEmpirical growth exponents, column family (slope of log-log fit):");
     println!(
@@ -98,4 +123,16 @@ fn main() {
         "  elementary moves      ~ N^{:.2}   (Remark 4 upper bound: N^2)",
         fit_exponent(&pts(|g| g.moves.mean))
     );
+
+    // Assumption-violation probes: jitter bursts respect Assumption 3
+    // (finite time) and must still complete; i.i.d. drop deadlocks
+    // elections (timeouts), i.i.d. duplication perturbs ack counting
+    // (clean stalls).  These rates are the measurement.
+    let fault_plan = SweepPlan::fault_probes();
+    println!(
+        "\nfault probes: {} cells (jitter bursts, 1% drop, 1% duplication)…",
+        fault_plan.cells().len()
+    );
+    let fault_report = engine.run(&fault_plan);
+    print_groups(&fault_report);
 }

@@ -20,7 +20,9 @@ fn shipped_capability_file_matches_fig7() {
     assert_eq!(east.matrix(), rules::east_sliding().matrix());
     assert_eq!(east.moves(), rules::east_sliding().moves());
 
-    let carry = catalog.find("carry_east1").expect("east carrying rule present");
+    let carry = catalog
+        .find("carry_east1")
+        .expect("east carrying rule present");
     assert_eq!(carry.matrix(), rules::east_carrying().matrix());
     assert_eq!(carry.moves(), rules::east_carrying().moves());
 }

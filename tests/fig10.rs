@@ -19,7 +19,9 @@ fn fig10_reconfiguration_completes_with_a_full_column() {
     assert_eq!(config.block_count(), 12);
     assert_eq!(config.graph().shortest_path_info().cells, 11);
 
-    let report = ReconfigurationDriver::new(config.clone()).with_frames().run_des();
+    let report = ReconfigurationDriver::new(config.clone())
+        .with_frames()
+        .run_des();
     assert!(report.completed, "{report}");
     assert!(report.path_complete);
     assert!(report.output_occupied);
@@ -72,8 +74,12 @@ fn fig10_uses_carrying_motions_to_cross_corners() {
 
 #[test]
 fn fig10_is_reproducible_and_seed_sensitive_only_in_tie_breaks() {
-    let a = ReconfigurationDriver::new(fig10_instance()).with_seed(3).run_des();
-    let b = ReconfigurationDriver::new(fig10_instance()).with_seed(3).run_des();
+    let a = ReconfigurationDriver::new(fig10_instance())
+        .with_seed(3)
+        .run_des();
+    let b = ReconfigurationDriver::new(fig10_instance())
+        .with_seed(3)
+        .run_des();
     assert_eq!(a.move_log, b.move_log);
     assert_eq!(a.metrics, b.metrics);
 

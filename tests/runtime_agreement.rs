@@ -5,9 +5,11 @@
 //! outcome) under the deterministic discrete-event scheduler, under heavy
 //! random message jitter, and under true thread-level asynchrony.
 
+use sb_bench::sweep::Family;
+use smart_surface::core::election::AlgorithmConfig;
 use smart_surface::core::workloads::{column_instance, fig10_instance};
 use smart_surface::core::{ReconfigurationDriver, Termination, TieBreak};
-use smart_surface::desim::{Duration as SimDuration, LatencyModel};
+use smart_surface::desim::{Duration as SimDuration, LatencyModel, NetworkModel};
 use std::time::Duration;
 
 #[test]
@@ -88,12 +90,90 @@ fn termination_policies_agree_when_the_column_ends_at_the_output() {
 }
 
 #[test]
+fn all_families_agree_across_runtimes_at_small_n() {
+    // Every workload family of the sweep, at N = 8, on both runtimes.
+    // With the deterministic LowestId tie-break the elected block of each
+    // iteration is the global (distance, id) minimum — independent of
+    // message timing — so the hop sequence, the final occupancy and the
+    // outcome must agree between the deterministic scheduler and true
+    // thread-level asynchrony, for completing and stalling families
+    // alike.
+    for family in Family::ALL {
+        let algo = AlgorithmConfig {
+            tie_break: TieBreak::LowestId,
+            ..Default::default()
+        };
+        let driver = ReconfigurationDriver::new(family.build(8, 1)).with_algorithm(algo);
+        let des = driver.run_des();
+        let actors = driver.run_actors(Duration::from_secs(120));
+        assert!(
+            actors.stopped && !actors.timed_out,
+            "{}: the actor run must terminate by itself: {actors}",
+            family.name()
+        );
+        assert_eq!(
+            (des.completed, des.stalled),
+            (actors.completed, actors.stalled),
+            "{}: outcome must not depend on the runtime",
+            family.name()
+        );
+        assert_eq!(
+            des.final_ascii,
+            actors.final_ascii,
+            "{}: final occupancy must not depend on the runtime",
+            family.name()
+        );
+        assert_eq!(
+            des.elementary_moves(),
+            actors.elementary_moves(),
+            "{}: the hop sequence is timing-independent under LowestId",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_and_bursty_networks_do_not_break_termination() {
+    // Per-link asymmetric constants and burst-jittered links are still
+    // finite-time transports (Assumption 3 holds), so the election must
+    // terminate with the same outcome as the fixed-latency reference.
+    let reference = ReconfigurationDriver::new(fig10_instance()).run_des();
+    assert!(reference.completed);
+    for network in [
+        NetworkModel::HeterogeneousLinks {
+            min: SimDuration::micros(1),
+            max: SimDuration::micros(500),
+            symmetric: false,
+        },
+        NetworkModel::HeavyTail {
+            min: SimDuration::micros(1),
+            max: SimDuration::millis(10),
+        },
+        NetworkModel::JitterBursts {
+            base: SimDuration::micros(10),
+            spike: SimDuration::millis(1),
+            period: 64,
+            burst_len: 8,
+        },
+    ] {
+        for seed in [1u64, 23] {
+            let report = ReconfigurationDriver::new(fig10_instance())
+                .with_network(network)
+                .with_seed(seed)
+                .run_des();
+            assert!(report.completed, "{network:?} seed {seed}: {report}");
+            assert!(report.path_complete, "{network:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
 fn actor_runtime_handles_message_storms_from_many_blocks() {
     // A slightly larger ensemble on the threaded runtime: 16 OS threads
     // exchanging the full election traffic.  The deadline is generous; the
     // point is that the system terminates by itself, not by timeout.
-    let report = ReconfigurationDriver::new(column_instance(16, 0))
-        .run_actors(Duration::from_secs(300));
+    let report =
+        ReconfigurationDriver::new(column_instance(16, 0)).run_actors(Duration::from_secs(300));
     assert!(report.completed, "{report}");
     assert!(report.path_complete);
 }

@@ -52,7 +52,9 @@ pub mod channel {
             receivers: AtomicUsize::new(1),
         });
         (
-            Sender { chan: Arc::clone(&chan) },
+            Sender {
+                chan: Arc::clone(&chan),
+            },
             Receiver { chan },
         )
     }
