@@ -3,71 +3,36 @@
 //! VisibleSim is reported at "650k events/sec" with simulations of "2
 //! millions of nodes" on a laptop.  This bench measures the events/second
 //! rate of `sb-desim` on a message-passing workload for increasing module
-//! counts (the 2M-module point is exercised by the
-//! `examples/desim_throughput.rs` binary; benches keep the sizes moderate
-//! so `cargo bench` stays fast).
+//! counts, **before and after** the PR 5 engine change: the full seed
+//! configuration (`BinaryHeap` queue, boxed modules, eager per-module
+//! `Start` events) is still constructible through
+//! `sb_bench::run_ring_boxed_heap`, so the calendar-queue +
+//! monomorphic-arena speed-up is measured in the same binary rather than
+//! quoted from a deleted commit.  The 10⁵-module election point is
+//! exercised by `examples/desim_throughput.rs`; benches keep sizes
+//! moderate so `cargo bench` stays fast.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sb_bench::parallel_map;
-use sb_desim::{BlockCode, Context, Duration, LatencyModel, ModuleId, Simulator};
+use sb_bench::{measure_election, measure_ring, run_ring_arena, run_ring_boxed_heap, Family};
 use std::hint::black_box;
-
-struct RingNode {
-    next: ModuleId,
-    tokens: u32,
-    hops: u32,
-}
-
-impl BlockCode<u32, ()> for RingNode {
-    fn on_start(&mut self, ctx: &mut Context<'_, u32, ()>) {
-        for _ in 0..self.tokens {
-            let (next, hops) = (self.next, self.hops);
-            ctx.send(next, hops);
-        }
-    }
-    fn on_message(&mut self, _from: ModuleId, hops: u32, ctx: &mut Context<'_, u32, ()>) {
-        if hops > 0 {
-            let next = self.next;
-            ctx.send(next, hops - 1);
-        }
-    }
-}
-
-fn run(modules: usize, events: u64) -> u64 {
-    let mut sim: Simulator<u32, ()> = Simulator::new(())
-        .with_latency(LatencyModel::Fixed(Duration::micros(3)))
-        .with_seed(5);
-    let hops = 256u32;
-    let tokens = ((events / u64::from(hops)).max(1)) as u32;
-    for i in 0..modules {
-        sim.add_module(RingNode {
-            next: ModuleId((i + 1) % modules),
-            tokens: if i == 0 { tokens } else { 0 },
-            hops,
-        });
-    }
-    sim.run_until_idle().events_processed
-}
 
 fn bench_throughput(c: &mut Criterion) {
     println!("\n== DES throughput (VisibleSim comparison point: ~650k events/s, 2M nodes) ==");
-    // The informational table drives the module-count axis through the
-    // sweep engine's parallel_map.  A single worker keeps the runs
-    // sequential on purpose: each simulator self-times with wall-clock
-    // Instant, and concurrent siblings would contend for cores and
-    // deflate the events/s figures quoted against VisibleSim.
-    let sizes = [1_000usize, 10_000, 100_000];
-    let rows = parallel_map(&sizes, 1, |&modules| {
-        let start = std::time::Instant::now();
-        let events = run(modules, 200_000);
-        (
-            modules,
-            events,
-            events as f64 / start.elapsed().as_secs_f64(),
-        )
-    });
-    for (modules, events, rate) in rows {
-        println!("  {modules:>8} modules: {events:>8} events, {rate:>12.0} events/s");
+    println!("   baseline = BinaryHeap queue + boxed modules + eager starts; tuned = calendar queue + arena");
+    // Informational before/after table (sequential on purpose: each run
+    // self-times with wall-clock Instant, and concurrent siblings would
+    // contend for cores and deflate the events/s figures).
+    let mut points = Vec::new();
+    for &modules in &[1_000usize, 10_000, 100_000] {
+        points.push(measure_ring(modules, (modules as u64) * 4));
+    }
+    points.push(measure_election(Family::Column, 10_000, 30_000));
+    for p in &points {
+        println!(
+            "  {:>10} {:>8} modules: {:>8} events, baseline {:>11.0} ev/s, tuned {:>11.0} ev/s ({:.1}x)",
+            p.workload, p.modules, p.events, p.baseline_events_per_sec,
+            p.tuned_events_per_sec, p.speedup(),
+        );
     }
     println!();
 
@@ -77,9 +42,14 @@ fn bench_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(EVENTS));
     for &modules in &[1_000usize, 10_000, 100_000] {
         group.bench_with_input(
-            BenchmarkId::new("ring_flood", modules),
+            BenchmarkId::new("ring_arena_calendar", modules),
             &modules,
-            |b, &modules| b.iter(|| black_box(run(modules, EVENTS))),
+            |b, &modules| b.iter(|| black_box(run_ring_arena(modules, EVENTS))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ring_boxed_heap", modules),
+            &modules,
+            |b, &modules| b.iter(|| black_box(run_ring_boxed_heap(modules, EVENTS))),
         );
     }
     group.finish();

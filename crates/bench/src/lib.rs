@@ -6,9 +6,13 @@
 //! root.
 
 pub mod sweep;
+pub mod throughput;
 pub mod workloads;
 
 pub use sweep::{
     parallel_map, Family, FamilyPlan, NetworkSpec, SweepEngine, SweepPlan, SweepReport,
+};
+pub use throughput::{
+    measure_election, measure_ring, run_ring_arena, run_ring_boxed_heap, ThroughputPoint,
 };
 pub use workloads::*;

@@ -23,12 +23,20 @@
 //! identical for any worker count**.  The regression test
 //! `crates/bench/tests/sweep_engine.rs` pins this property.
 //!
-//! ## JSON schema (version 3)
+//! ## JSON schema (version 4)
 //!
 //! [`SweepReport::to_json`] renders the versioned machine-readable record
 //! published by CI as `BENCH_planner.json`; the field-by-field schema is
-//! documented in `ROADMAP.md` ("Engine notes").
+//! documented in `ROADMAP.md` ("Engine notes").  v4 adds the per-cell
+//! `cells` array — identity coordinates, the exact per-cell simulator
+//! seed and the outcome/counters of every run — so a regression found in
+//! a group aggregate can be bisected to one reproducible cell without
+//! re-running the plan, plus an optional host-dependent
+//! `desim_throughput` section (attached by `examples/scaling_sweep.rs`,
+//! never by [`SweepEngine::run`] itself, so worker-count byte-identity is
+//! untouched).
 
+use crate::throughput::ThroughputPoint;
 use sb_core::election::TieBreak;
 use sb_core::workloads;
 use sb_core::{MotionModel, ReconfigurationDriver};
@@ -43,8 +51,10 @@ use std::time::Duration as WallDuration;
 /// Version of the JSON schema emitted by [`SweepReport::to_json`].
 ///
 /// v3 renamed the `latency` identity field to `network` when the global
-/// latency axis became the per-link [`NetworkModel`] axis.
-pub const SWEEP_SCHEMA_VERSION: u32 = 3;
+/// latency axis became the per-link [`NetworkModel`] axis; v4 added the
+/// per-cell `cells` records (identity + cell seed + outcome + counters)
+/// and the optional `desim_throughput` section.
+pub const SWEEP_SCHEMA_VERSION: u32 = 4;
 
 /// The scenario families the sweep can draw workloads from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -444,6 +454,17 @@ impl CellMeasurement {
     pub fn events_per_sim_sec(&self) -> f64 {
         self.events as f64 / (self.sim_time_us.max(1) as f64 / 1e6)
     }
+
+    /// Stable outcome name for the JSON record.
+    pub fn outcome_name(&self) -> &'static str {
+        if self.completed {
+            "completed"
+        } else if self.stalled {
+            "stalled"
+        } else {
+            "timeout"
+        }
+    }
 }
 
 /// Runs one cell on the discrete-event runtime.
@@ -587,6 +608,12 @@ pub struct SweepReport {
     pub groups: Vec<GroupSummary>,
     /// Raw per-cell measurements, in plan order.
     pub cells: Vec<CellMeasurement>,
+    /// Optional before/after DES throughput points, rendered into the
+    /// JSON's `desim_throughput` section when non-empty.  Always empty
+    /// straight out of [`SweepEngine::run`] (the section is wall-clock
+    /// and therefore host-dependent); `examples/scaling_sweep.rs`
+    /// attaches the measurement after the sweep.
+    pub throughput: Vec<ThroughputPoint>,
 }
 
 impl SweepReport {
@@ -604,9 +631,13 @@ impl SweepReport {
     /// Renders the versioned, machine-readable JSON record.
     ///
     /// Only deterministic quantities are included (counters, simulated
-    /// time, rates) — never wall-clock readings — so the rendering is
-    /// byte-identical for a fixed plan regardless of worker count or
-    /// host speed.
+    /// time, rates, per-cell seeds) — never wall-clock readings — so the
+    /// rendering is byte-identical for a fixed plan regardless of worker
+    /// count or host speed.  The single exception is the optional
+    /// `desim_throughput` section: it is rendered only when a caller
+    /// attached an explicit wall-clock measurement to
+    /// [`SweepReport::throughput`], and is flagged host-dependent in the
+    /// record itself.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
@@ -647,7 +678,69 @@ impl SweepReport {
                 "\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        // Schema v4: one record per cell, so a regression in a group
+        // aggregate can be bisected to a single reproducible run (the
+        // `cell_seed` is the exact simulator seed `run_cell` used).
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"family\": \"{}\", \"n\": {}, \"workload_seed\": {}, \
+                 \"network\": \"{}\", \"tie_break\": \"{}\", \"motion\": \"{}\",\n     \
+                 \"cell_seed\": \"{:016x}\", \"outcome\": \"{}\",\n     \
+                 \"elections\": {}, \"messages\": {}, \"moves\": {}, \
+                 \"distance_computations\": {}, \"sim_time_us\": {}, \"events\": {}}}",
+                c.cell.family.name(),
+                c.cell.blocks,
+                c.cell.workload_seed,
+                c.cell.network.name,
+                tie_break_name(c.cell.tie_break),
+                motion_name(c.cell.motion),
+                c.cell.cell_seed(self.plan_seed),
+                c.outcome_name(),
+                c.elections,
+                c.messages,
+                c.moves,
+                c.distance_computations,
+                c.sim_time_us,
+                c.events,
+            );
+            out.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        if self.throughput.is_empty() {
+            out.push_str("  ]\n}\n");
+        } else {
+            out.push_str("  ],\n");
+            // Host-dependent section: wall-clock before/after rates of the
+            // DES engine, attached explicitly by the sweep example.
+            out.push_str("  \"desim_throughput_note\": \"events/s are wall-clock (host-dependent); every other field in this record is deterministic\",\n");
+            out.push_str("  \"desim_throughput\": [\n");
+            for (i, p) in self.throughput.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "    {{\"workload\": \"{}\", \"modules\": {}, \"events\": {}, \
+                     \"baseline_events_per_sec\": {:.0}, \"tuned_events_per_sec\": {:.0}, \
+                     \"speedup\": {:.2}}}",
+                    p.workload,
+                    p.modules,
+                    p.events,
+                    p.baseline_events_per_sec,
+                    p.tuned_events_per_sec,
+                    p.speedup(),
+                );
+                out.push_str(if i + 1 < self.throughput.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ]\n}\n");
+        }
         out
     }
 }
@@ -697,6 +790,7 @@ impl SweepEngine {
             seeds_per_cell: seeds,
             groups,
             cells: measurements,
+            throughput: Vec::new(),
         }
     }
 }

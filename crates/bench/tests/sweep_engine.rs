@@ -189,7 +189,7 @@ fn json_record_carries_schema_and_percentiles() {
     let report = SweepEngine::new(2).run(&SweepPlan::smoke());
     let json = report.to_json();
     assert!(json.contains("\"schema\": \"smart-surface-sweep\""));
-    assert!(json.contains("\"version\": 3"));
+    assert!(json.contains("\"version\": 4"));
     assert!(json.contains("\"p50\""));
     assert!(json.contains("\"p95\""));
     assert!(json.contains("\"stall_rate\""));
@@ -197,4 +197,54 @@ fn json_record_carries_schema_and_percentiles() {
     assert!(!json.contains("\"latency\""), "v3 renamed the axis");
     assert!(json.contains("\"family\": \"column\""));
     assert!(json.contains("\"family\": \"minimal\""));
+}
+
+/// Schema v4: the record carries one `cells` entry per run — identity
+/// coordinates, the exact simulator seed and the outcome — so any group
+/// regression can be bisected to a single reproducible cell.
+#[test]
+fn json_record_carries_per_cell_records() {
+    let plan = SweepPlan::smoke();
+    let report = SweepEngine::new(2).run(&plan);
+    let json = report.to_json();
+    assert!(json.contains("\"cells\": ["));
+    assert_eq!(
+        json.matches("\"cell_seed\": ").count(),
+        report.cells.len(),
+        "one seeded record per cell"
+    );
+    assert_eq!(
+        json.matches("\"outcome\": ").count(),
+        report.cells.len(),
+        "every cell records its outcome"
+    );
+    // The recorded seed is the exact seed run_cell derives, rendered as
+    // zero-padded hex.
+    let expected_seed = format!(
+        "\"cell_seed\": \"{:016x}\"",
+        plan.cells()[0].cell_seed(plan.plan_seed)
+    );
+    assert!(json.contains(&expected_seed), "bisectable seed recorded");
+    // The throughput section is absent unless explicitly attached — it
+    // is wall-clock and would break worker-count byte-identity.
+    assert!(!json.contains("\"desim_throughput\""));
+}
+
+/// Attaching a throughput measurement renders the host-dependent section
+/// without disturbing the deterministic remainder of the record.
+#[test]
+fn attached_throughput_measurement_is_rendered() {
+    let mut report = SweepEngine::new(1).run(&SweepPlan::smoke());
+    let deterministic = report.to_json();
+    report.throughput.push(sb_bench::ThroughputPoint {
+        workload: "ring",
+        modules: 1000,
+        events: 100_000,
+        baseline_events_per_sec: 1_000_000.0,
+        tuned_events_per_sec: 4_000_000.0,
+    });
+    let with_throughput = report.to_json();
+    assert!(with_throughput.contains("\"desim_throughput\": ["));
+    assert!(with_throughput.contains("\"speedup\": 4.00"));
+    assert!(with_throughput.starts_with(deterministic.trim_end_matches("  ]\n}\n")));
 }

@@ -47,19 +47,21 @@
 //!   acknowledges; both orders are indistinguishable to the rest of the
 //!   protocol.
 //! * "The Root selects randomly one block" ([`TieBreak::Random`]) is
-//!   implemented as an *exactly uniform per aggregation point* choice via
-//!   reservoir sampling: at every aggregation point the k-th candidate
-//!   tying the current best distance replaces it with probability 1/k
-//!   (`gen_ratio(1, k)`, with the ties-seen counter reset on strict
-//!   improvement).  The historical implementation flipped a fair coin per
-//!   tying merge, which biased even a single aggregation point towards
-//!   late-arriving candidates (the last of k tied with probability ½, the
-//!   first with only 1/2^(k−1)).  Across a multi-level `Ack` tree the
-//!   composite choice weights each *subtree*, not each candidate, equally
-//!   (an `Ack` carries one winner and no tie count), so candidates under
-//!   a son that aggregated many ties are individually less likely than a
-//!   candidate merged directly at the Root — global uniformity would need
-//!   a ties count in the `Ack` message and a weighted reservoir.
+//!   implemented as an **exactly uniform global** choice via *weighted*
+//!   reservoir sampling: every `Ack` carries, next to its winning
+//!   candidate, the number of candidates in the sender's subtree that tie
+//!   that distance (`ties`, an implementation addition to the paper's
+//!   message format).  An aggregation point merging a candidate of weight
+//!   `w` into a reservoir that has seen `k` tying candidates so far keeps
+//!   the incoming one with probability `w / (k + w)` (`gen_ratio(w, k+w)`,
+//!   with the counter reset to `w` on strict improvement), so by
+//!   induction every one of the `k + w` global candidates is the held
+//!   representative with probability `1 / (k + w)` exactly.  The
+//!   historical implementation flipped a fair coin per tying merge
+//!   (biasing even one aggregation point towards late arrivals), and its
+//!   first fix — an unweighted `gen_ratio(1, k)` reservoir — was uniform
+//!   per aggregation point but weighted *subtrees* rather than
+//!   candidates globally; the ties count closes that last deviation.
 //! * A `Select` that reaches an engaged block which neither is the winner
 //!   nor has recorded a best-candidate link (`best_via == None`) cannot
 //!   be forwarded — the routing state it needs never existed at this
@@ -84,9 +86,11 @@ pub enum TieBreak {
     LowestId,
     /// Choose uniformly among tying candidates (the paper: "the Root
     /// selects randomly one block"); applied at every aggregation point
-    /// by reservoir sampling — the `k`-th candidate at the current best
-    /// distance replaces the held one with probability `1/k`, so each of
-    /// the `k` is kept with probability `1/k` exactly.
+    /// by *weighted* reservoir sampling over the `ties` counts carried in
+    /// `Ack` messages — a merged candidate representing `w` tying
+    /// candidates displaces the held one with probability `w / total`,
+    /// so the Root's final choice is exactly uniform over every tying
+    /// candidate in the whole ensemble, not merely over subtrees.
     #[default]
     Random,
 }
@@ -228,9 +232,11 @@ pub struct ElectionCore {
     /// The son through which the best candidate was reported
     /// (`None` = this block itself).
     best_via: Option<BlockId>,
-    /// Number of candidates seen at the current best distance (reset to 1
-    /// on every strict improvement): the reservoir count behind the
-    /// uniform [`TieBreak::Random`].
+    /// Total number of candidates seen (weighted by the `ties` counts of
+    /// merged `Ack`s) at the current best distance, reset on every strict
+    /// improvement: the reservoir weight behind the globally uniform
+    /// [`TieBreak::Random`], and the `ties` value this block reports to
+    /// its own father.
     ties_seen: u32,
     /// Scratch buffer for the neighbour list of the current event (reused
     /// across events so the hot path performs no allocation after
@@ -302,8 +308,17 @@ impl ElectionCore {
                 iteration,
                 shortest_distance,
                 id_shortest,
+                ties,
                 ..
-            } => self.on_ack(from, iteration, shortest_distance, id_shortest, world, sink),
+            } => self.on_ack(
+                from,
+                iteration,
+                shortest_distance,
+                id_shortest,
+                ties,
+                world,
+                sink,
+            ),
             Msg::Select { iteration, elected } => self.on_select(iteration, elected, world, sink),
             Msg::SelectAck {
                 iteration,
@@ -339,6 +354,7 @@ impl ElectionCore {
                 distance: own,
                 id: self.me,
             },
+            1,
             None,
         );
         world.neighbors_into(self.me, &mut self.neighbors_scratch);
@@ -363,25 +379,31 @@ impl ElectionCore {
         }
     }
 
-    fn merge_candidate(&mut self, candidate: Candidate, via: Option<BlockId>) {
+    /// Merges one candidate — a uniformly chosen representative of
+    /// `weight` candidates tying its distance — into the reservoir.
+    fn merge_candidate(&mut self, candidate: Candidate, weight: u32, via: Option<BlockId>) {
         if candidate.distance.is_infinite() {
             return;
         }
+        // A finite candidate always represents at least itself; clamping
+        // keeps the deterministic policies unchanged if a peer ever sent
+        // a zero count.
+        let weight = weight.max(1);
         let replace = if candidate.strictly_better_than(&self.best) {
-            self.ties_seen = 1;
+            self.ties_seen = weight;
             true
         } else if candidate.distance == self.best.distance {
-            self.ties_seen += 1;
+            self.ties_seen += weight;
             match self.config.tie_break {
                 TieBreak::FirstSeen => false,
                 TieBreak::LowestId => candidate.id < self.best.id,
-                // Reservoir sampling: the k-th candidate at this distance
-                // displaces the held one with probability 1/k, leaving
-                // every tying candidate elected with probability 1/k
-                // exactly.  (The historical coin flip `gen_bool(0.5)`
-                // favoured late arrivals: the last of k tying candidates
-                // won with probability 1/2, the first with 1/2^(k-1).)
-                TieBreak::Random => self.rng.gen_ratio(1, self.ties_seen),
+                // Weighted reservoir sampling: a representative of
+                // `weight` tying candidates displaces the held one with
+                // probability weight/total, so by induction every one of
+                // the `total` candidates aggregated so far — across
+                // subtrees of any shape — is held with probability
+                // 1/total exactly.
+                TieBreak::Random => self.rng.gen_ratio(weight, self.ties_seen),
             }
         } else {
             false
@@ -424,6 +446,7 @@ impl ElectionCore {
                 distance: own,
                 id: self.me,
             },
+            1,
             None,
         );
         world.neighbors_into(self.me, &mut self.neighbors_scratch);
@@ -438,6 +461,7 @@ impl ElectionCore {
                     son: self.me,
                     shortest_distance: self.best.distance,
                     id_shortest: self.best.id,
+                    ties: self.ties_seen,
                 },
             );
             return;
@@ -455,16 +479,19 @@ impl ElectionCore {
                 son: self.me,
                 shortest_distance: Distance::INFINITE,
                 id_shortest: self.me,
+                ties: 0,
             },
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_ack(
         &mut self,
         from: BlockId,
         iteration: u32,
         shortest_distance: Distance,
         id_shortest: BlockId,
+        ties: u32,
         world: &mut SurfaceWorld,
         sink: &mut ActionSink,
     ) {
@@ -477,6 +504,7 @@ impl ElectionCore {
                 distance: shortest_distance,
                 id: id_shortest,
             },
+            ties,
             Some(from),
         );
         if self.pending_acks > 0 {
@@ -493,6 +521,7 @@ impl ElectionCore {
                     son: self.me,
                     shortest_distance: self.best.distance,
                     id_shortest: self.best.id,
+                    ties: self.ties_seen,
                 },
             );
         }
@@ -801,6 +830,7 @@ mod tests {
                 son: neighbors[0],
                 shortest_distance: Distance::finite(4),
                 id_shortest: BlockId(42),
+                ties: 1,
             },
             &mut world,
         );
@@ -813,6 +843,7 @@ mod tests {
                 son: neighbors[1],
                 shortest_distance: Distance::finite(3),
                 id_shortest: BlockId(43),
+                ties: 1,
             },
             &mut world,
         );
@@ -847,6 +878,7 @@ mod tests {
                     son: *n,
                     shortest_distance: Distance::INFINITE,
                     id_shortest: *n,
+                    ties: 0,
                 },
                 &mut world,
             );
@@ -918,6 +950,7 @@ mod tests {
                 son: BlockId(2),
                 shortest_distance: Distance::finite(1),
                 id_shortest: BlockId(2),
+                ties: 1,
             },
             &mut world,
         );
@@ -1033,6 +1066,7 @@ mod tests {
                         son,
                         shortest_distance: Distance::finite(3),
                         id_shortest: BlockId(42 + i as u32),
+                        ties: 1,
                     },
                     &mut world,
                 );
@@ -1052,6 +1086,75 @@ mod tests {
                 "candidate #{id} elected {won}/{trials}: not uniform ({counts:?})"
             );
         }
+    }
+
+    /// The satellite fix this PR pins down: `ties` counts in `Ack`s make
+    /// the random tie-break uniform over *candidates*, not subtrees.  A
+    /// son whose subtree aggregated two tying candidates must win the
+    /// root's reservoir ~2/3 of the time against a single direct
+    /// candidate — the unweighted reservoir gave each *subtree* 1/2.
+    #[test]
+    fn weighted_ties_make_the_global_choice_uniform_over_candidates() {
+        let trials = 1000u64;
+        let mut aggregated_son_wins = 0usize;
+        for trial in 0..trials {
+            let mut world = tiny_world();
+            let root = world.root_block().unwrap();
+            let neighbors = world.neighbors_of(root);
+            assert_eq!(neighbors.len(), 2, "the root needs two sons");
+            let mut core = ElectionCore::new(
+                root,
+                true,
+                AlgorithmConfig {
+                    tie_break: TieBreak::Random,
+                    seed: trial,
+                    ..AlgorithmConfig::default()
+                },
+            );
+            let _ = start(&mut core, &mut world);
+            // Son 0 reports a representative of TWO tying candidates,
+            // son 1 a single direct candidate at the same distance.
+            let _ = deliver(
+                &mut core,
+                neighbors[0],
+                Msg::Ack {
+                    iteration: 1,
+                    son: neighbors[0],
+                    shortest_distance: Distance::finite(3),
+                    id_shortest: BlockId(100),
+                    ties: 2,
+                },
+                &mut world,
+            );
+            let last = deliver(
+                &mut core,
+                neighbors[1],
+                Msg::Ack {
+                    iteration: 1,
+                    son: neighbors[1],
+                    shortest_distance: Distance::finite(3),
+                    id_shortest: BlockId(200),
+                    ties: 1,
+                },
+                &mut world,
+            );
+            match &last[0] {
+                Action::Send {
+                    msg: Msg::Select { elected, .. },
+                    ..
+                } => {
+                    if *elected == BlockId(100) {
+                        aggregated_son_wins += 1;
+                    }
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        // Expectation 2/3 ≈ 667 of 1000; a ±6% band is > 4 sigma wide.
+        assert!(
+            (600..=730).contains(&aggregated_son_wins),
+            "subtree of two candidates won {aggregated_son_wins}/{trials}: not candidate-uniform"
+        );
     }
 
     #[test]
@@ -1076,6 +1179,7 @@ mod tests {
                 son: neighbors[0],
                 shortest_distance: Distance::finite(3),
                 id_shortest: BlockId(50),
+                ties: 1,
             },
             &mut world,
         );
@@ -1087,6 +1191,7 @@ mod tests {
                 son: neighbors[1],
                 shortest_distance: Distance::finite(3),
                 id_shortest: BlockId(7),
+                ties: 1,
             },
             &mut world,
         );

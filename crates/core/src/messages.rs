@@ -126,6 +126,16 @@ pub enum Msg {
         shortest_distance: Distance,
         /// Identifier of the block with the shortest recorded distance.
         id_shortest: BlockId,
+        /// Number of candidates in the sender's subtree achieving
+        /// `shortest_distance` (an implementation addition to the paper's
+        /// `Ack [Son, Father, ShortestDistance, IDshortest]` format):
+        /// `id_shortest` is one uniformly chosen representative of `ties`
+        /// tying candidates, and carrying the count lets every upstream
+        /// aggregation point run a *weighted* reservoir, so
+        /// [`crate::election::TieBreak::Random`] is exactly uniform over
+        /// all global candidates rather than over subtrees.  Zero on a
+        /// decline (no candidate).
+        ties: u32,
     },
     /// Selection message routed from the Root down the father/son tree to
     /// the elected block.

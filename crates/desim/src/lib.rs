@@ -67,6 +67,7 @@ pub mod event;
 pub mod latency;
 pub mod module;
 pub mod network;
+pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -77,6 +78,7 @@ pub use event::EventKind;
 pub use latency::LatencyModel;
 pub use module::{BlockCode, Color, ModuleId};
 pub use network::NetworkModel;
+pub use queue::{CalendarQueue, QueueKind};
 pub use sim::{Context, Simulator};
 pub use stats::SimStats;
 pub use time::{Duration, SimTime};

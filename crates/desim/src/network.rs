@@ -155,6 +155,12 @@ impl NetworkState {
         self.model
     }
 
+    /// Borrowing accessor for the dispatch hot path (avoids copying the
+    /// enum per message send).
+    pub(crate) fn model_ref(&self) -> &NetworkModel {
+        &self.model
+    }
+
     /// Decides delivery of one message on the directed link `from → to`.
     pub(crate) fn route(&mut self, from: usize, to: usize) -> Route {
         let model = self.model;

@@ -1,16 +1,41 @@
 //! The discrete-event core: event queue, dispatcher and the block-code
 //! execution context.
+//!
+//! ## Scaling layout (PR 5)
+//!
+//! Two storage decisions make the dispatch loop scale past 10⁵ modules:
+//!
+//! * the pending-event store is a deterministic
+//!   [`CalendarQueue`](crate::queue::CalendarQueue) instead of one big
+//!   `BinaryHeap` — amortised O(1) per event instead of O(log n), with
+//!   identical pop order;
+//! * modules live in a **dense arena** `Vec<C>` where `C` is the concrete
+//!   block-code type: the hot loop monomorphizes (no `Box<dyn>` pointer
+//!   chase, no virtual dispatch) whenever the caller names `C`.  The
+//!   historical heterogeneous mode is still the default: with the `C`
+//!   parameter left at its `Box<dyn BlockCode<M, W>>` default,
+//!   [`Simulator::add_module`] type-erases each module exactly as before.
+//!
+//! Start-up callbacks are **batched**: registering a module no longer
+//! inserts a `Start` event into the queue.  The dispatcher instead keeps
+//! the registration order (with the `(time, seq)` key each start *would*
+//! have carried) in a plain FIFO and interleaves it with the event queue
+//! by key comparison, so the observable order — every start before any
+//! same-time message scheduled later, FIFO among equal keys — is
+//! bit-for-bit the historical one while registration drops from O(n log n)
+//! heap traffic to O(n) appends.
 
 use crate::event::{Event, EventKind};
 use crate::latency::LatencyModel;
 use crate::module::{BlockCode, Color, ModuleId};
 use crate::network::{NetworkModel, NetworkState};
+use crate::queue::{EventQueue, QueueKind};
 use crate::stats::SimStats;
 use crate::time::{Duration, SimTime};
 use crate::trace::{TraceBuffer, TraceEntry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Mutable simulator state shared between the dispatcher and the block
@@ -18,7 +43,10 @@ use std::time::Instant;
 /// that a module can be borrowed mutably while it manipulates the kernel.
 struct Kernel<M, W> {
     world: W,
-    queue: BinaryHeap<Event<M>>,
+    queue: EventQueue<M>,
+    /// Batched start-up callbacks not yet dispatched (maintained by the
+    /// simulator; mirrored here so queue-length statistics stay accurate).
+    pending_starts: usize,
     now: SimTime,
     seq: u64,
     network: NetworkState,
@@ -38,8 +66,17 @@ impl<M, W> Kernel<M, W> {
         };
         self.seq += 1;
         self.queue.push(event);
-        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        let pending = self.queue.len() + self.pending_starts;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(pending);
     }
+}
+
+/// A start-up callback waiting in the batched registration FIFO, carrying
+/// the `(time, seq)` key the equivalent `Start` event would have had.
+struct StartEntry {
+    time: SimTime,
+    seq: u64,
+    module: ModuleId,
 }
 
 /// The execution context handed to a block code while it processes an
@@ -135,8 +172,10 @@ impl<'a, M: Clone, W> Context<'a, M, W> {
         let from = self.me;
         // Fast path: a uniform network needs no per-link state — one
         // sample from the kernel RNG (the historical hot path), no link
-        // map lookup and no lazily grown per-link RNG streams.
-        if let NetworkModel::Uniform(latency) = self.kernel.network.model() {
+        // map lookup and no lazily grown per-link RNG streams.  The
+        // latency model is copied out (it is small) rather than the whole
+        // network enum.
+        if let &NetworkModel::Uniform(latency) = self.kernel.network.model_ref() {
             let delay = latency.sample(&mut self.kernel.rng);
             let time = self.kernel.now + delay;
             self.kernel
@@ -169,22 +208,36 @@ impl<'a, M: Clone, W> Context<'a, M, W> {
 
 /// The discrete-event simulator.
 ///
-/// `M` is the message type, `W` the user-defined shared world.
-pub struct Simulator<M, W> {
-    modules: Vec<Option<Box<dyn BlockCode<M, W>>>>,
+/// `M` is the message type, `W` the user-defined shared world, and `C`
+/// the concrete block-code type stored in the dense module arena.  `C`
+/// defaults to the type-erased `Box<dyn BlockCode<M, W>>`, which keeps
+/// the historical heterogeneous API ([`Simulator::add_module`]) intact;
+/// naming a concrete `C` and registering through [`Simulator::add`]
+/// monomorphizes the dispatch loop (no heap indirection, no virtual
+/// calls) — the mode the Smart Blocks election runs in.
+pub struct Simulator<M, W, C = Box<dyn BlockCode<M, W>>> {
+    modules: Vec<C>,
+    starts: VecDeque<StartEntry>,
+    /// Historical behaviour: schedule one `Start` event through the event
+    /// queue per registration instead of batching (kept constructible so
+    /// before/after benchmarks measure the real pre-batching baseline).
+    eager_starts: bool,
     kernel: Kernel<M, W>,
 }
 
-impl<M, W> Simulator<M, W> {
+impl<M, W, C: BlockCode<M, W>> Simulator<M, W, C> {
     /// Creates a simulator around the given world, with the default
     /// network model and a fixed RNG seed (runs are reproducible unless a
     /// different seed is supplied).
     pub fn new(world: W) -> Self {
         Simulator {
             modules: Vec::new(),
+            starts: VecDeque::new(),
+            eager_starts: false,
             kernel: Kernel {
                 world,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::calendar(),
+                pending_starts: 0,
                 now: SimTime::ZERO,
                 seq: 0,
                 network: NetworkState::new(NetworkModel::default(), network_seed(0xD15C0)),
@@ -218,20 +271,65 @@ impl<M, W> Simulator<M, W> {
         self
     }
 
+    /// Selects the pending-event backend (builder style): the adaptive
+    /// calendar queue (default), or the historical `BinaryHeap` baseline
+    /// kept measurable for before/after throughput comparisons.  Pending
+    /// events, if any, are transferred.
+    pub fn with_queue_kind(mut self, kind: QueueKind) -> Self {
+        if self.kernel.queue.kind() == kind {
+            return self;
+        }
+        // The placeholder is the cheapest queue (an empty heap never
+        // allocates); `rebuilt_as` replaces it with the real transfer.
+        let queue = std::mem::replace(&mut self.kernel.queue, EventQueue::heap());
+        self.kernel.queue = queue.rebuilt_as(kind);
+        self
+    }
+
+    /// The pending-event backend in use.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.kernel.queue.kind()
+    }
+
     /// Enables the trace buffer with the given capacity (builder style).
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.kernel.trace = TraceBuffer::with_capacity(capacity);
         self
     }
 
-    /// Registers a module and schedules its start-up callback at the
+    /// Schedules start-up callbacks as per-module `Start` events through
+    /// the event queue — the historical O(n log n) registration path —
+    /// instead of the batched FIFO (builder style; call before
+    /// registering modules).  Kept so the `desim_throughput` before/after
+    /// comparison can measure the real pre-batching baseline; dispatch
+    /// order is identical either way.
+    pub fn with_eager_starts(mut self) -> Self {
+        self.eager_starts = true;
+        self
+    }
+
+    /// Registers a module in the arena and queues its start-up callback
+    /// (batched: one FIFO append, not an event-queue insertion) at the
     /// current simulated time.
-    pub fn add_module(&mut self, code: impl BlockCode<M, W> + 'static) -> ModuleId {
+    pub fn add(&mut self, code: C) -> ModuleId {
         let id = ModuleId(self.modules.len());
-        self.modules.push(Some(Box::new(code)));
+        self.modules.push(code);
         self.kernel.colors.push(Color::GREY);
-        let now = self.kernel.now;
-        self.kernel.schedule(now, EventKind::Start { module: id });
+        if self.eager_starts {
+            let now = self.kernel.now;
+            self.kernel.schedule(now, EventKind::Start { module: id });
+            return id;
+        }
+        let seq = self.kernel.seq;
+        self.kernel.seq += 1;
+        self.starts.push_back(StartEntry {
+            time: self.kernel.now,
+            seq,
+            module: id,
+        });
+        self.kernel.pending_starts = self.starts.len();
+        let pending = self.kernel.queue.len() + self.starts.len();
+        self.kernel.stats.max_queue_len = self.kernel.stats.max_queue_len.max(pending);
         id
     }
 
@@ -281,15 +379,16 @@ impl<M, W> Simulator<M, W> {
         &self.kernel.trace
     }
 
-    /// Whether no event is pending.
+    /// Whether no event (start-up callbacks included) is pending.
     pub fn is_idle(&self) -> bool {
-        self.kernel.queue.is_empty()
+        self.kernel.queue.is_empty() && self.starts.is_empty()
     }
 
     /// Number of events still queued (events left behind by a stop
-    /// request, or scheduled past a `run_until` deadline).
+    /// request, or scheduled past a `run_until` deadline), including
+    /// undispatched start-up callbacks.
     pub fn pending_events(&self) -> usize {
-        self.kernel.queue.len()
+        self.kernel.queue.len() + self.starts.len()
     }
 
     /// Whether a block code requested the simulation to stop.
@@ -304,16 +403,54 @@ impl<M, W> Simulator<M, W> {
 
     /// Read access to a module's block code (e.g. to extract results
     /// after the run).  Returns `None` for out-of-range identifiers.
-    pub fn module(&self, id: ModuleId) -> Option<&dyn BlockCode<M, W>> {
-        self.modules
-            .get(id.index())
-            .and_then(|m| m.as_deref())
-            .map(|m| m as &dyn BlockCode<M, W>)
+    pub fn module(&self, id: ModuleId) -> Option<&C> {
+        self.modules.get(id.index())
+    }
+
+    /// `(time, seq)` key of the next event to dispatch: the minimum of
+    /// the batched-start FIFO head and the event queue.
+    fn next_key(&mut self) -> Option<(SimTime, u64)> {
+        let start = self.starts.front().map(|s| (s.time, s.seq));
+        let queued = self.kernel.queue.peek_key();
+        match (start, queued) {
+            (Some(s), Some(q)) => Some(s.min(q)),
+            (s, q) => s.or(q),
+        }
     }
 
     /// Processes the next event.  Returns `false` when the queue is empty
     /// (nothing was processed).
     pub fn step(&mut self) -> bool {
+        // Dispatch the next batched start-up callback when its key
+        // precedes everything in the event queue — the exact order the
+        // per-module `Start` events used to impose.  The FIFO is usually
+        // empty (starts drain first), so the hot path skips the queue
+        // peek entirely.
+        let start_is_next = match self.starts.front() {
+            None => false,
+            Some(s) => match self.kernel.queue.peek_key() {
+                Some(key) => (s.time, s.seq) <= key,
+                None => true,
+            },
+        };
+        if start_is_next {
+            let start = self.starts.pop_front().expect("a start entry is queued");
+            self.kernel.pending_starts = self.starts.len();
+            debug_assert!(start.time >= self.kernel.now, "time must not run backwards");
+            self.kernel.now = start.time;
+            self.kernel.stats.events_processed += 1;
+            self.kernel.stats.sim_time_end = start.time;
+            let code = self
+                .modules
+                .get_mut(start.module.index())
+                .expect("a start entry targets a registered module");
+            let mut ctx = Context {
+                kernel: &mut self.kernel,
+                me: start.module,
+            };
+            code.on_start(&mut ctx);
+            return true;
+        }
         let event = match self.kernel.queue.pop() {
             Some(e) => e,
             None => return false,
@@ -325,26 +462,21 @@ impl<M, W> Simulator<M, W> {
         let target = event.kind.target();
         // Messages addressed to unknown modules are dropped silently; this
         // cannot happen through the public API but keeps the kernel total.
-        let Some(slot) = self.modules.get_mut(target.index()) else {
+        let Some(code) = self.modules.get_mut(target.index()) else {
             return true;
         };
-        let Some(mut code) = slot.take() else {
-            return true;
+        // Arena and kernel are disjoint fields, so the module borrows
+        // mutably while the context borrows the kernel — no take/put-back
+        // option dance on the hot path.
+        let mut ctx = Context {
+            kernel: &mut self.kernel,
+            me: target,
         };
-        {
-            let mut ctx = Context {
-                kernel: &mut self.kernel,
-                me: target,
-            };
-            match event.kind {
-                EventKind::Start { .. } => code.on_start(&mut ctx),
-                EventKind::Message { from, payload, .. } => {
-                    code.on_message(from, payload, &mut ctx)
-                }
-                EventKind::Timer { tag, .. } => code.on_timer(tag, &mut ctx),
-            }
+        match event.kind {
+            EventKind::Start { .. } => code.on_start(&mut ctx),
+            EventKind::Message { from, payload, .. } => code.on_message(from, payload, &mut ctx),
+            EventKind::Timer { tag, .. } => code.on_timer(tag, &mut ctx),
         }
-        self.modules[target.index()] = Some(code);
         true
     }
 
@@ -362,8 +494,8 @@ impl<M, W> Simulator<M, W> {
     pub fn run_until(&mut self, deadline: SimTime) -> SimStats {
         let start = Instant::now();
         while !self.kernel.stop_requested {
-            match self.kernel.queue.peek() {
-                Some(e) if e.time <= deadline => {
+            match self.next_key() {
+                Some((time, _)) if time <= deadline => {
                     self.step();
                 }
                 _ => break,
@@ -389,6 +521,16 @@ impl<M, W> Simulator<M, W> {
         }
         self.kernel.stats.wall_elapsed += start.elapsed();
         done
+    }
+}
+
+impl<M, W> Simulator<M, W> {
+    /// Registers a module behind the type-erased `Box<dyn BlockCode>`
+    /// arena (the heterogeneous escape hatch: modules of different
+    /// concrete types in one simulation) and schedules its start-up
+    /// callback at the current simulated time.
+    pub fn add_module(&mut self, code: impl BlockCode<M, W> + 'static) -> ModuleId {
+        self.add(Box::new(code))
     }
 }
 
@@ -439,10 +581,10 @@ mod tests {
         }
     }
 
-    fn build_ring(n: usize, rounds: u32) -> Simulator<u32, Vec<ModuleId>> {
+    fn build_ring(n: usize, rounds: u32) -> Simulator<u32, Vec<ModuleId>, RingNode> {
         let mut sim = Simulator::new(Vec::new()).with_trace_capacity(64);
         for i in 0..n {
-            sim.add_module(RingNode {
+            sim.add(RingNode {
                 next: ModuleId((i + 1) % n),
                 is_initiator: i == 0,
                 remaining: rounds,
@@ -487,6 +629,8 @@ mod tests {
             let mut sim = build_ring(4, 20);
             sim = Simulator {
                 modules: sim.modules,
+                starts: sim.starts,
+                eager_starts: sim.eager_starts,
                 kernel: sim.kernel,
             }
             .with_seed(seed)
@@ -504,6 +648,32 @@ mod tests {
         // the end time: distinct sequences can coincidentally sum to the
         // same total (seeds 11 and 12 actually do).
         assert_ne!(run(11).2, run(12).2);
+    }
+
+    #[test]
+    fn queue_backends_produce_identical_runs() {
+        // The heap baseline and the calendar queue must be schedule-level
+        // indistinguishable: same deliveries at the same times.
+        let run = |kind| {
+            let mut sim = build_ring(4, 20);
+            sim = Simulator {
+                modules: sim.modules,
+                starts: sim.starts,
+                eager_starts: sim.eager_starts,
+                kernel: sim.kernel,
+            }
+            .with_seed(3)
+            .with_latency(LatencyModel::Uniform {
+                min: Duration::micros(1),
+                max: Duration::micros(100),
+            })
+            .with_queue_kind(kind);
+            assert_eq!(sim.queue_kind(), kind);
+            sim.run_until_idle();
+            let deliveries: Vec<SimTime> = sim.trace().entries().iter().map(|e| e.time).collect();
+            (sim.now(), sim.stats().events_processed, deliveries)
+        };
+        assert_eq!(run(QueueKind::Calendar), run(QueueKind::BinaryHeap));
     }
 
     #[test]
@@ -534,8 +704,12 @@ mod tests {
         let mut sim: Simulator<u32, Vec<u32>> = Simulator::new(Vec::new());
         let recorder = sim.add_module(Recorder);
         sim.add_module(Sender { target: recorder });
-        sim.run_until_idle();
+        let stats = sim.run_until_idle();
         assert_eq!(sim.world().as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        // Queue-length accounting stays accurate with batched starts: the
+        // high-water mark is the ten simultaneous in-flight messages (the
+        // two pending starts never coexist with them).
+        assert_eq!(stats.max_queue_len, 10);
     }
 
     #[test]
@@ -585,6 +759,8 @@ mod tests {
         let mut sim = build_ring(4, 8);
         sim = Simulator {
             modules: sim.modules,
+            starts: sim.starts,
+            eager_starts: sim.eager_starts,
             kernel: sim.kernel,
         }
         .with_latency(LatencyModel::Instant);
@@ -600,6 +776,8 @@ mod tests {
         let mut sim = build_ring(5, 12);
         sim = Simulator {
             modules: sim.modules,
+            starts: sim.starts,
+            eager_starts: sim.eager_starts,
             kernel: sim.kernel,
         }
         .with_network(NetworkModel::Lossy {
@@ -638,6 +816,8 @@ mod tests {
         sim.add_module(Sender { target: recorder });
         sim = Simulator {
             modules: sim.modules,
+            starts: sim.starts,
+            eager_starts: sim.eager_starts,
             kernel: sim.kernel,
         }
         .with_network(NetworkModel::Duplicating {
@@ -657,5 +837,17 @@ mod tests {
         assert!(!sim.step());
         let stats = sim.run_until_idle();
         assert_eq!(stats.events_processed, 0);
+    }
+
+    #[test]
+    fn arena_module_access_is_typed() {
+        // The monomorphic arena hands back the concrete type: no
+        // downcasting needed to read results after a run.
+        let mut sim = build_ring(3, 5);
+        sim.run_until_idle();
+        let received: u32 = (0..sim.module_count())
+            .map(|i| sim.module(ModuleId(i)).expect("registered").received)
+            .sum();
+        assert_eq!(received, 6, "hops 5..=0 delivered around the ring");
     }
 }

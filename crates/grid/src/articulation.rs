@@ -72,7 +72,7 @@ pub struct ConnectivityOracle {
     /// answering cut-vertex moves in O(1)
     /// (`ConnectivityOracle::cut_source_move_connects`).
     high: Vec<u32>,
-    /// Explicit DFS stack: `y << 19 | x << 3 | next_direction`.
+    /// Explicit DFS stack: `y << 33 | x << 3 | next_direction`.
     stack: Vec<u64>,
     /// Scratch for the BFS fallback.
     bfs: ConnectivityScratch,
@@ -269,12 +269,15 @@ impl ConnectivityOracle {
     /// fills `cut` and `components` for the grid's current epoch.
     fn rebuild(&mut self, grid: &OccupancyGrid) {
         let bounds = grid.bounds();
-        // Stack entries pack coordinates into 16-bit lanes (like the BFS
-        // queue of `is_connected_after`); fail loudly instead of silently
-        // mis-judging Remark 1 on oversized surfaces.
+        // Stack entries pack `y` (31 bits), `x` (30 bits) and the next
+        // direction (3 bits) into a u64 — wide enough for any `Bounds`
+        // whose area fits the u32 cell indices of `disc`/`parent`; fail
+        // loudly instead of silently mis-judging Remark 1 beyond that.
         assert!(
-            bounds.width <= u16::MAX as u32 && bounds.height <= u16::MAX as u32,
-            "connectivity oracle supports surfaces up to 65535x65535"
+            bounds.width < (1 << 30)
+                && bounds.height < (1 << 31)
+                && (bounds.area() as u64) < u64::from(u32::MAX),
+            "connectivity oracle supports surfaces whose area fits 32-bit cell indices"
         );
         let area = bounds.area();
         let words = grid.occupancy_words();
@@ -324,7 +327,7 @@ impl ConnectivityOracle {
             words[y as usize * words_per_row + (x as usize >> 6)] >> (x & 63) & 1 != 0
         };
         let index = |x: u32, y: u32| -> usize { y as usize * width as usize + x as usize };
-        let pack = |x: u32, y: u32| -> u64 { (y as u64) << 19 | (x as u64) << 3 };
+        let pack = |x: u32, y: u32| -> u64 { (y as u64) << 33 | (x as u64) << 3 };
 
         let root_idx = index(root_x, root_y);
         self.disc[root_idx] = *timer;
@@ -337,8 +340,8 @@ impl ConnectivityOracle {
 
         while let Some(&entry) = self.stack.last() {
             let dir = (entry & 0b111) as u32;
-            let x = (entry >> 3 & 0xFFFF) as u32;
-            let y = (entry >> 19) as u32;
+            let x = (entry >> 3 & 0x3FFF_FFFF) as u32;
+            let y = (entry >> 33) as u32;
             let u_idx = index(x, y);
             if dir < 4 {
                 *self.stack.last_mut().expect("non-empty") = entry + 1;
@@ -375,8 +378,8 @@ impl ConnectivityOracle {
                 // to the parent and apply the articulation criterion.
                 self.stack.pop();
                 if let Some(&p_entry) = self.stack.last() {
-                    let px = (p_entry >> 3 & 0xFFFF) as u32;
-                    let py = (p_entry >> 19) as u32;
+                    let px = (p_entry >> 3 & 0x3FFF_FFFF) as u32;
+                    let py = (p_entry >> 33) as u32;
                     let p_idx = index(px, py);
                     self.low[p_idx] = self.low[p_idx].min(self.low[u_idx]);
                     self.high[p_idx] = self.high[p_idx].max(self.high[u_idx]);

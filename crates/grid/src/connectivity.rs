@@ -165,12 +165,17 @@ pub fn articulation_points(grid: &OccupancyGrid) -> Vec<BlockId> {
 pub struct ConnectivityScratch {
     /// Visited bitset over cell indices.
     visited: Vec<u64>,
-    /// BFS frontier of cell indices.
-    queue: Vec<u32>,
-    /// Post-move occupancy bitboard (the grid's words with the batch's
-    /// source bits cleared and destination bits set), so the BFS probes
-    /// plain words instead of re-scanning the override sets per cell.
+    /// BFS frontier of packed `y << 32 | x` coordinates.
+    queue: Vec<u64>,
+    /// Post-move occupancy bitboard: a copy of the grid's words cached by
+    /// occupancy epoch, with the probe's source bits cleared and
+    /// destination bits set for the duration of one BFS and restored
+    /// afterwards.  Thousands of probes against one world state (one
+    /// election's distance computations) share a single O(area) copy
+    /// instead of paying one each.
     board: Vec<u64>,
+    /// The [`OccupancyGrid::epoch`] the cached `board` mirrors.
+    board_epoch: Option<u64>,
 }
 
 impl ConnectivityScratch {
@@ -190,6 +195,16 @@ impl ConnectivityScratch {
         // pushes never reallocate even when the scratch was warmed on a
         // smaller grid.
         self.queue.reserve(area);
+    }
+
+    /// Makes `board` mirror the grid's occupancy words, reusing the
+    /// cached copy when the occupancy epoch is unchanged.
+    fn refresh_board(&mut self, grid: &OccupancyGrid) {
+        if self.board_epoch != Some(grid.epoch()) {
+            self.board.clear();
+            self.board.extend_from_slice(grid.occupancy_words());
+            self.board_epoch = Some(grid.epoch());
+        }
     }
 }
 
@@ -215,27 +230,25 @@ pub fn is_connected_after(
     let bounds = grid.bounds();
     let (width, height) = (bounds.width, bounds.height);
     let words_per_row = grid.words_per_row();
-    // Queue entries pack coordinates into 16-bit lanes; a silent overflow
-    // would corrupt the BFS and mis-judge Remark 1, so oversized surfaces
-    // must fail loudly (a release-mode wrong answer is worse than a
-    // panic).
-    assert!(
-        width <= u16::MAX as u32 && height <= u16::MAX as u32,
-        "connectivity probes support surfaces up to 65535x65535"
-    );
+    // Queue entries pack coordinates into 32-bit lanes of a u64 (wide
+    // enough for the 10⁵-row scaling surfaces); a silent overflow would
+    // corrupt the BFS and mis-judge Remark 1, and `Bounds` stores u32
+    // dimensions, so the packing is total by construction.
     scratch.reset_for(bounds.area());
+    scratch.refresh_board(grid);
     let ConnectivityScratch {
         visited,
         queue,
         board,
+        ..
     } = scratch;
-    // Materialise the post-move board: clear every source bit, then set
-    // every destination bit (in that order — in a hand-over chain a cell
-    // is one move's source *and* another's destination, and the batch
-    // semantics refill it).  The BFS then probes plain words instead of
-    // re-scanning the override sets per cell.
-    board.clear();
-    board.extend_from_slice(grid.occupancy_words());
+    // Overlay the batch on the epoch-cached board: clear every source
+    // bit, then set every destination bit (in that order — in a hand-over
+    // chain a cell is one move's source *and* another's destination, and
+    // the batch semantics refill it).  The BFS then probes plain words
+    // instead of re-scanning the override sets per cell; the touched
+    // words are restored from the grid before returning so the cached
+    // copy stays faithful for the next probe.
     for &(from, _) in moves {
         let (w, b) = grid.word_bit(from);
         board[w] &= !(1u64 << b);
@@ -245,7 +258,7 @@ pub fn is_connected_after(
         board[w] |= 1u64 << b;
     }
     // Start from a cell guaranteed occupied after the batch, then BFS
-    // with packed `y << 16 | x` queue entries: neighbour stepping and
+    // with packed `y << 32 | x` queue entries: neighbour stepping and
     // occupancy probes need no division anywhere.
     let start = match moves.first() {
         Some(&(_, to)) => to,
@@ -254,46 +267,108 @@ pub fn is_connected_after(
             None => return true,
         },
     };
-    let board = &*board;
-    let occupied = |x: u32, y: u32| -> bool {
-        board[y as usize * words_per_row + (x as usize >> 6)] >> (x & 63) & 1 != 0
-    };
-    debug_assert!(occupied(start.x as u32, start.y as u32));
-    let start_idx = start.y as usize * width as usize + start.x as usize;
-    visited[start_idx >> 6] |= 1 << (start_idx & 63);
-    queue.push((start.y as u32) << 16 | start.x as u32);
-    let mut reached = 1usize;
-    let mut head = 0usize;
-    while head < queue.len() {
-        let packed = queue[head];
-        head += 1;
-        let (x, y) = (packed & 0xFFFF, packed >> 16);
-        let mut visit = |nx: u32, ny: u32| {
-            let idx = ny as usize * width as usize + nx as usize;
-            let (w, b) = (idx >> 6, idx & 63);
-            if occupied(nx, ny) && visited[w] >> b & 1 == 0 {
-                visited[w] |= 1 << b;
-                reached += 1;
-                queue.push(ny << 16 | nx);
-            }
+    let connected = {
+        let board = &*board;
+        let occupied = |x: u32, y: u32| -> bool {
+            board[y as usize * words_per_row + (x as usize >> 6)] >> (x & 63) & 1 != 0
         };
-        if x > 0 {
-            visit(x - 1, y);
+        debug_assert!(occupied(start.x as u32, start.y as u32));
+        let start_idx = start.y as usize * width as usize + start.x as usize;
+        visited[start_idx >> 6] |= 1 << (start_idx & 63);
+        queue.push((start.y as u64) << 32 | start.x as u64);
+        let mut reached = 1usize;
+        let mut head = 0usize;
+        while head < queue.len() && reached < n {
+            let packed = queue[head];
+            head += 1;
+            let (x, y) = ((packed & 0xFFFF_FFFF) as u32, (packed >> 32) as u32);
+            let mut visit = |nx: u32, ny: u32| {
+                let idx = ny as usize * width as usize + nx as usize;
+                let (w, b) = (idx >> 6, idx & 63);
+                if occupied(nx, ny) && visited[w] >> b & 1 == 0 {
+                    visited[w] |= 1 << b;
+                    reached += 1;
+                    queue.push((ny as u64) << 32 | nx as u64);
+                }
+            };
+            if x > 0 {
+                visit(x - 1, y);
+            }
+            if x + 1 < width {
+                visit(x + 1, y);
+            }
+            if y > 0 {
+                visit(x, y - 1);
+            }
+            if y + 1 < height {
+                visit(x, y + 1);
+            }
         }
-        if x + 1 < width {
-            visit(x + 1, y);
+        reached == n
+    };
+    // Restore the overlay so the cached board mirrors the grid again.
+    let words = grid.occupancy_words();
+    for &(from, to) in moves {
+        let (w, _) = grid.word_bit(from);
+        board[w] = words[w];
+        let (w, _) = grid.word_bit(to);
+        board[w] = words[w];
+    }
+    connected
+}
+
+#[cfg(test)]
+mod board_cache_tests {
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::grid::BlockId;
+
+    /// Places the same L-shaped blob on a small and a very large surface;
+    /// every probe must agree, including the disconnecting ones, and the
+    /// epoch-cached board (with its per-probe overlay + restore) must
+    /// keep answering correctly across repeated probes of one scratch.
+    #[test]
+    fn cached_board_probes_agree_across_surface_sizes_and_repeats() {
+        let blob = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)];
+        let small_bounds = Bounds::new(8, 8);
+        let large_bounds = Bounds::new(8, 4096);
+        let build = |bounds: Bounds| {
+            let mut g = OccupancyGrid::new(bounds);
+            for (i, &(x, y)) in blob.iter().enumerate() {
+                g.place(BlockId(i as u32 + 1), Pos::new(x, y)).unwrap();
+            }
+            g
+        };
+        let small = build(small_bounds);
+        let large = build(large_bounds);
+        let probes: Vec<Vec<(Pos, Pos)>> = vec![
+            vec![],
+            // Bridge block walks away: disconnects.
+            vec![(Pos::new(2, 0), Pos::new(3, 0))],
+            // End block slides along the blob: stays connected.
+            vec![(Pos::new(0, 0), Pos::new(0, 1))],
+            // Hand-over chain through a shared cell.
+            vec![
+                (Pos::new(0, 0), Pos::new(1, 1)),
+                (Pos::new(2, 2), Pos::new(1, 2)),
+            ],
+        ];
+        let mut scratch = ConnectivityScratch::new();
+        for moves in &probes {
+            let a = is_connected_after(&small, moves, &mut scratch);
+            let b = is_connected_after(&large, moves, &mut scratch);
+            assert_eq!(a, b, "paths disagree on {moves:?}");
         }
-        if y > 0 {
-            visit(x, y - 1);
-        }
-        if y + 1 < height {
-            visit(x, y + 1);
-        }
-        if reached == n {
-            return true;
+        // Repeated probes on the stamped path keep resetting correctly.
+        for _ in 0..3 {
+            assert!(!is_connected_after(
+                &large,
+                &[(Pos::new(2, 0), Pos::new(3, 0))],
+                &mut scratch
+            ));
+            assert!(is_connected_after(&large, &[], &mut scratch));
         }
     }
-    reached == n
 }
 
 /// Checks whether applying the given batch of simultaneous elementary
