@@ -4,6 +4,7 @@ use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Identifier of an actor in an [`crate::ActorSystem`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,11 +29,36 @@ impl fmt::Display for ActorId {
     }
 }
 
-/// A message envelope carried by the mailbox channels.
+/// One item carried by the mailbox channels: a peer message or an
+/// expired timer.  Timers share the mailbox so `on_message` and
+/// `on_timer` callbacks of one actor are serialised by construction,
+/// exactly like the simulator's event queue.
 #[derive(Debug)]
-pub(crate) struct Envelope<M> {
-    pub from: ActorId,
-    pub payload: M,
+pub(crate) enum MailItem<M> {
+    /// A message from another actor.
+    Message { from: ActorId, payload: M },
+    /// A timer armed through [`ActorContext::set_timer`] has expired.
+    Timer { tag: u64 },
+}
+
+/// Handle of a timer armed through [`ActorContext::set_timer`], usable
+/// to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+/// A request to the system's timer thread.
+#[derive(Debug)]
+pub(crate) enum TimerRequest {
+    /// Arm a timer: deliver `MailItem::Timer { tag }` to `actor` at
+    /// `deadline` unless cancelled first.
+    Arm {
+        actor: ActorId,
+        deadline: Instant,
+        tag: u64,
+        id: u64,
+    },
+    /// Best-effort cancellation of a previously armed timer.
+    Cancel { id: u64 },
 }
 
 /// An RGB visual state, mirroring `sb-desim`'s block colours (the
@@ -47,11 +73,15 @@ pub const VISUAL_NEUTRAL: VisualState = (128, 128, 128);
 /// State shared by every actor thread.
 pub(crate) struct Shared<M, W> {
     pub world: Mutex<W>,
-    pub mailboxes: Vec<Sender<Envelope<M>>>,
+    pub mailboxes: Vec<Sender<MailItem<M>>>,
     pub visuals: Mutex<Vec<VisualState>>,
     pub stop: AtomicBool,
     pub messages_sent: AtomicU64,
     pub messages_delivered: AtomicU64,
+    /// Requests to the system's timer thread.
+    pub timers: Sender<TimerRequest>,
+    /// Monotone source of [`TimerId`]s.
+    pub timer_seq: AtomicU64,
 }
 
 impl<M, W> Shared<M, W> {
@@ -76,6 +106,14 @@ pub trait Actor<M, W>: Send {
 
     /// Called for every message delivered to this actor's mailbox.
     fn on_message(&mut self, from: ActorId, msg: M, ctx: &mut ActorContext<'_, M, W>);
+
+    /// Called when a timer armed through [`ActorContext::set_timer`]
+    /// fires; `tag` is the value passed when the timer was armed.  The
+    /// callback runs on the actor's own thread, serialised with
+    /// `on_message` through the mailbox.
+    fn on_timer(&mut self, tag: u64, ctx: &mut ActorContext<'_, M, W>) {
+        let _ = (tag, ctx);
+    }
 
     /// Called when the system shuts down (stop requested or timeout), so
     /// the actor can record final state into the world.
@@ -109,10 +147,35 @@ impl<'a, M, W> ActorContext<'a, M, W> {
         self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
         // A send to a stopped/full mailbox is silently dropped; this only
         // happens during shutdown.
-        let _ = self.shared.mailboxes[to.index()].send(Envelope {
+        let _ = self.shared.mailboxes[to.index()].send(MailItem::Message {
             from: self.me,
             payload,
         });
+    }
+
+    /// Arms a one-shot timer: after `delay`, [`Actor::on_timer`] runs on
+    /// this actor with the given `tag`, mirroring the simulator's
+    /// `Context::set_timer`.  Timer deliveries go through the mailbox
+    /// (serialised with messages) and are *not* counted as messages.
+    pub fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
+        let id = self.shared.timer_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let _ = self.shared.timers.send(TimerRequest::Arm {
+            actor: self.me,
+            deadline: Instant::now() + delay,
+            tag,
+            id,
+        });
+        TimerId(id)
+    }
+
+    /// Best-effort cancellation of a pending timer.  A timer whose expiry
+    /// is already queued in the mailbox may still fire; callers needing
+    /// exact semantics should additionally guard by `tag` in `on_timer`.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        let _ = self
+            .shared
+            .timers
+            .send(TimerRequest::Cancel { id: timer.0 });
     }
 
     /// Runs a closure with exclusive access to the shared world and

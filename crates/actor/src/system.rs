@@ -1,8 +1,12 @@
 //! The actor system: thread spawning, shutdown and statistics.
 
-use crate::context::{Actor, ActorContext, ActorId, Envelope, Shared, VisualState, VISUAL_NEUTRAL};
+use crate::context::{
+    Actor, ActorContext, ActorId, MailItem, Shared, TimerRequest, VisualState, VISUAL_NEUTRAL,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -78,12 +82,13 @@ where
         } = self;
         let n = actors.len();
         let mut senders = Vec::with_capacity(n);
-        let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<MailItem<M>>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
             senders.push(tx);
             receivers.push(rx);
         }
+        let (timer_tx, timer_rx) = unbounded::<TimerRequest>();
         let shared = Shared {
             world: Mutex::new(world),
             mailboxes: senders,
@@ -91,6 +96,8 @@ where
             stop: AtomicBool::new(false),
             messages_sent: AtomicU64::new(0),
             messages_delivered: AtomicU64::new(0),
+            timers: timer_tx,
+            timer_seq: AtomicU64::new(0),
         };
         let start = Instant::now();
         let deadline_at = start + deadline;
@@ -126,6 +133,67 @@ where
                     }
                 });
             }
+            // Timer thread: a deadline-ordered min-heap serviced by one
+            // dedicated thread.  Expiries are delivered through the
+            // owner's mailbox (so they serialise with messages on the
+            // actor's own thread); cancellation is lazy — cancelled ids
+            // are skipped when they reach the top of the heap.  The
+            // thread retires with the same discipline as the watchdog:
+            // stop requested or every actor thread finished.
+            {
+                let shared_ref = &shared;
+                let live_actors = &live_actors;
+                scope.spawn(move |_| {
+                    let step = Duration::from_millis(1);
+                    let mut heap: BinaryHeap<Reverse<(Instant, u64, usize, u64)>> =
+                        BinaryHeap::new();
+                    let mut cancelled: HashSet<u64> = HashSet::new();
+                    loop {
+                        if shared_ref.stop_requested() || live_actors.load(Ordering::Acquire) == 0 {
+                            return;
+                        }
+                        // Fire everything due.
+                        let now = Instant::now();
+                        while let Some(&Reverse((deadline, id, actor, tag))) = heap.peek() {
+                            if deadline > now {
+                                break;
+                            }
+                            heap.pop();
+                            if cancelled.remove(&id) {
+                                continue;
+                            }
+                            // A send to a disconnected mailbox only
+                            // happens during shutdown; dropping the
+                            // expiry is correct then.
+                            let _ = shared_ref.mailboxes[actor].send(MailItem::Timer { tag });
+                        }
+                        // Sleep until the next deadline, the next arm or
+                        // cancel request, or the next stop-flag poll,
+                        // whichever comes first.
+                        let wait = match heap.peek() {
+                            Some(&Reverse((deadline, ..))) => {
+                                deadline.saturating_duration_since(Instant::now()).min(step)
+                            }
+                            None => step,
+                        };
+                        match timer_rx.recv_timeout(wait) {
+                            Ok(TimerRequest::Arm {
+                                actor,
+                                deadline,
+                                tag,
+                                id,
+                            }) => {
+                                heap.push(Reverse((deadline, id, actor.index(), tag)));
+                            }
+                            Ok(TimerRequest::Cancel { id }) => {
+                                cancelled.insert(id);
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => return,
+                        }
+                    }
+                });
+            }
             // One thread per actor.
             for (idx, (mut actor, rx)) in actors.into_iter().zip(receivers).enumerate() {
                 let shared_ref = &shared;
@@ -139,11 +207,16 @@ where
                     actor.on_start(&mut ctx);
                     loop {
                         match rx.recv_timeout(poll_interval) {
-                            Ok(envelope) => {
+                            Ok(MailItem::Message { from, payload }) => {
                                 shared_ref
                                     .messages_delivered
                                     .fetch_add(1, Ordering::Relaxed);
-                                actor.on_message(envelope.from, envelope.payload, &mut ctx);
+                                actor.on_message(from, payload, &mut ctx);
+                            }
+                            // Timer expiries are not messages: they leave
+                            // the sent/delivered counters untouched.
+                            Ok(MailItem::Timer { tag }) => {
+                                actor.on_timer(tag, &mut ctx);
                             }
                             Err(RecvTimeoutError::Timeout) => {
                                 if shared_ref.stop_requested() {
@@ -361,6 +434,104 @@ mod tests {
         assert!(
             report.elapsed < Duration::from_millis(100),
             "the watchdog must not burn the deadline: {:?}",
+            report.elapsed
+        );
+    }
+
+    #[test]
+    fn timers_fire_with_their_tag_and_do_not_count_as_messages() {
+        struct Timed;
+        impl Actor<(), Vec<u64>> for Timed {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                ctx.set_timer(Duration::from_millis(5), 7);
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), Vec<u64>>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                ctx.with_world(|w| w.push(tag));
+                ctx.request_stop();
+            }
+        }
+        let mut system = ActorSystem::new(Vec::new());
+        system.add_actor(Timed);
+        let report = system.run(Duration::from_secs(10));
+        assert!(report.stopped, "the timer callback stops the run");
+        assert_eq!(report.world, vec![7], "on_timer receives the armed tag");
+        assert_eq!(report.messages_sent, 0, "timer expiries are not messages");
+        assert_eq!(report.messages_delivered, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        struct Staggered;
+        impl Actor<(), Vec<u64>> for Staggered {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                // Armed out of order; must fire in deadline order.
+                ctx.set_timer(Duration::from_millis(60), 3);
+                ctx.set_timer(Duration::from_millis(20), 1);
+                ctx.set_timer(Duration::from_millis(40), 2);
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), Vec<u64>>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                let done = ctx.with_world(|w| {
+                    w.push(tag);
+                    w.len() == 3
+                });
+                if done {
+                    ctx.request_stop();
+                }
+            }
+        }
+        let mut system = ActorSystem::new(Vec::new());
+        system.add_actor(Staggered);
+        let report = system.run(Duration::from_secs(10));
+        assert!(report.stopped);
+        assert_eq!(report.world, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        struct Canceller;
+        impl Actor<(), Vec<u64>> for Canceller {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                // The cancel request reaches the timer thread long before
+                // the 200 ms deadline, so the suppression is reliable.
+                let doomed = ctx.set_timer(Duration::from_millis(200), 666);
+                ctx.cancel_timer(doomed);
+                ctx.set_timer(Duration::from_millis(300), 1);
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), Vec<u64>>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                ctx.with_world(|w| w.push(tag));
+                ctx.request_stop();
+            }
+        }
+        let mut system = ActorSystem::new(Vec::new());
+        system.add_actor(Canceller);
+        let report = system.run(Duration::from_secs(10));
+        assert!(report.stopped);
+        assert_eq!(report.world, vec![1], "the cancelled timer never fired");
+    }
+
+    #[test]
+    fn pending_timers_do_not_block_shutdown() {
+        // An actor arms a far-future timer and immediately stops the
+        // system: the timer thread must retire without waiting for the
+        // deadline.
+        struct Impatient;
+        impl Actor<(), ()> for Impatient {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), ()>) {
+                ctx.set_timer(Duration::from_secs(3600), 0);
+                ctx.request_stop();
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), ()>) {}
+        }
+        let mut system = ActorSystem::new(());
+        system.add_actor(Impatient);
+        let report = system.run(Duration::from_secs(10));
+        assert!(report.stopped);
+        assert!(
+            report.elapsed < Duration::from_secs(5),
+            "shutdown must not wait out pending timers: {:?}",
             report.elapsed
         );
     }

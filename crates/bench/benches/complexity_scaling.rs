@@ -12,7 +12,9 @@
 //! single-cell engine run per size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sb_bench::sweep::{run_cell, Family, FamilyPlan, NetworkSpec, SweepEngine, SweepPlan};
+use sb_bench::sweep::{
+    run_cell, Family, FamilyPlan, NetworkSpec, ReliabilitySpec, SweepEngine, SweepPlan,
+};
 use sb_bench::{fit_exponent, SCALING_SIZES};
 use sb_core::election::TieBreak;
 use sb_core::MotionModel;
@@ -29,6 +31,7 @@ fn column_plan(sizes: Vec<usize>) -> SweepPlan {
         networks: vec![NetworkSpec::fixed_10us()],
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
+        reliability: vec![ReliabilitySpec::off()],
     }
 }
 

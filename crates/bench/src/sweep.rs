@@ -1,15 +1,19 @@
 //! The parallel batch sweep engine.
 //!
 //! [`SweepEngine`] fans a cartesian [`SweepPlan`] — workload family ×
-//! ensemble size × seed × network model × tie-break × motion model — out
-//! across worker threads (via the vendored `crossbeam::scope`), runs every
-//! cell on the deterministic discrete-event runtime, and aggregates the
-//! per-cell counters into per-group summaries (mean/p50/p95 plus
-//! completion, stall and timeout rates).  The network axis covers both
-//! benign Assumption-3 regimes (fixed, jittered, heterogeneous/asymmetric
-//! per-link, heavy-tailed) and the explicit assumption-violation probes
-//! (i.i.d. drop and duplication), so stall and timeout rates under each
-//! transport are measured data rather than folklore.
+//! ensemble size × seed × network model × tie-break × motion model ×
+//! reliability — out across worker threads (via the vendored
+//! `crossbeam::scope`), runs every cell on the deterministic
+//! discrete-event runtime, and aggregates the per-cell counters into
+//! per-group summaries (mean/p50/p95 plus completion, stall and timeout
+//! rates).  The network axis covers both benign Assumption-3 regimes
+//! (fixed, jittered, heterogeneous/asymmetric per-link, heavy-tailed) and
+//! the explicit assumption-violation probes (i.i.d. drop and
+//! duplication); the reliability axis measures the same probes with the
+//! harness's ack/timeout/retransmit layer enabled, so both the damage
+//! (stall and timeout rates) and the cost of repairing it
+//! (retransmissions, delivery acks) are measured data rather than
+//! folklore.
 //!
 //! ## Determinism
 //!
@@ -23,23 +27,26 @@
 //! identical for any worker count**.  The regression test
 //! `crates/bench/tests/sweep_engine.rs` pins this property.
 //!
-//! ## JSON schema (version 4)
+//! ## JSON schema (version 5)
 //!
 //! [`SweepReport::to_json`] renders the versioned machine-readable record
 //! published by CI as `BENCH_planner.json`; the field-by-field schema is
-//! documented in `ROADMAP.md` ("Engine notes").  v4 adds the per-cell
+//! documented in `ROADMAP.md` ("Engine notes").  v4 added the per-cell
 //! `cells` array — identity coordinates, the exact per-cell simulator
 //! seed and the outcome/counters of every run — so a regression found in
 //! a group aggregate can be bisected to one reproducible cell without
 //! re-running the plan, plus an optional host-dependent
 //! `desim_throughput` section (attached by `examples/scaling_sweep.rs`,
 //! never by [`SweepEngine::run`] itself, so worker-count byte-identity is
-//! untouched).
+//! untouched).  v5 adds the reliability axis: a `reliability` identity
+//! field on every group and cell plus the per-cell reliable-delivery
+//! counters (`retransmissions`, `duplicates_suppressed`, `delivery_acks`,
+//! `delivery_failures`).
 
 use crate::throughput::ThroughputPoint;
 use sb_core::election::TieBreak;
 use sb_core::workloads;
-use sb_core::{MotionModel, ReconfigurationDriver};
+use sb_core::{MotionModel, ReconfigurationDriver, ReliabilityConfig};
 use sb_desim::network::{fnv1a64, splitmix64};
 use sb_desim::{Duration as SimDuration, LatencyModel, NetworkModel};
 use sb_grid::SurfaceConfig;
@@ -53,8 +60,10 @@ use std::time::Duration as WallDuration;
 /// v3 renamed the `latency` identity field to `network` when the global
 /// latency axis became the per-link [`NetworkModel`] axis; v4 added the
 /// per-cell `cells` records (identity + cell seed + outcome + counters)
-/// and the optional `desim_throughput` section.
-pub const SWEEP_SCHEMA_VERSION: u32 = 4;
+/// and the optional `desim_throughput` section; v5 added the reliability
+/// axis (a `reliability` identity field everywhere plus the per-cell
+/// retransmission/dedup/ack/failure counters).
+pub const SWEEP_SCHEMA_VERSION: u32 = 5;
 
 /// The scenario families the sweep can draw workloads from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -213,6 +222,65 @@ impl NetworkSpec {
             },
         }
     }
+
+    /// Harsher assumption-violation probe: 10% i.i.d. message drop —
+    /// raw elections deadlock almost immediately; with reliability on,
+    /// recovery costs a visible retransmission budget.
+    pub fn drop_10pct() -> Self {
+        NetworkSpec {
+            name: "drop_10pct",
+            model: NetworkModel::Lossy {
+                latency: LatencyModel::Fixed(SimDuration::micros(10)),
+                drop_permille: 100,
+            },
+        }
+    }
+
+    /// Combined regime: heavy-tailed (log-uniform) delays across four
+    /// decades with 1% drop and 1% duplication on top — loss recovery,
+    /// dedup and deep reordering all at once.
+    pub fn heavy_tail_drop() -> Self {
+        NetworkSpec {
+            name: "heavy_tail_drop",
+            model: NetworkModel::Faulty {
+                min: SimDuration::micros(1),
+                max: SimDuration::millis(10),
+                drop_permille: 10,
+                dup_permille: 10,
+            },
+        }
+    }
+}
+
+/// A reliable-delivery configuration together with the stable name it
+/// carries in the JSON record and (when enabled) the per-cell seed hash.
+#[derive(Clone, Copy, Debug)]
+pub struct ReliabilitySpec {
+    /// Stable identifier.
+    pub name: &'static str,
+    /// The configuration handed to every block harness.
+    pub config: ReliabilityConfig,
+}
+
+impl ReliabilitySpec {
+    /// Reliability off: messages travel as raw envelopes, exactly as
+    /// before the layer existed.  Cells under this spec keep their
+    /// historical seeds (the spec name is *not* hashed), so every pinned
+    /// pre-v5 measurement survives unchanged.
+    pub fn off() -> Self {
+        ReliabilitySpec {
+            name: "off",
+            config: ReliabilityConfig::off(),
+        }
+    }
+
+    /// The default ack/timeout/retransmit configuration.
+    pub fn on() -> Self {
+        ReliabilitySpec {
+            name: "on",
+            config: ReliabilityConfig::on(),
+        }
+    }
 }
 
 fn tie_break_name(t: TieBreak) -> &'static str {
@@ -258,6 +326,8 @@ pub struct SweepPlan {
     pub tie_breaks: Vec<TieBreak>,
     /// Motion models.
     pub motions: Vec<MotionModel>,
+    /// Reliable-delivery configurations.
+    pub reliability: Vec<ReliabilitySpec>,
 }
 
 impl SweepPlan {
@@ -302,15 +372,19 @@ impl SweepPlan {
             ],
             tie_breaks: vec![TieBreak::Random],
             motions: vec![MotionModel::RuleBased],
+            reliability: vec![ReliabilitySpec::off()],
         }
     }
 
     /// The assumption-violation plan: every family at small sizes under
-    /// jitter bursts, 1% i.i.d. drop and 1% i.i.d. duplication.  Stall
-    /// and timeout rates under these transports are the measurement — a
-    /// dropped election message deadlocks the diffusing computation
-    /// (timeout), a duplicated one can double-decrement an ack counter
-    /// (protocol anomaly, clean stall).
+    /// jitter bursts, i.i.d. drop at 1% and 10%, 1% i.i.d. duplication
+    /// and the combined heavy-tail+drop+dup regime, each with reliability
+    /// off and on.  With reliability off, stall and timeout rates under
+    /// these transports are the measurement — a dropped election message
+    /// deadlocks the diffusing computation (timeout).  With reliability
+    /// on, every probe group is expected to recover
+    /// (`completed_rate == 1.0`, gated by `examples/fault_recovery.rs`)
+    /// and the retransmission counters price the recovery.
     pub fn fault_probes() -> Self {
         SweepPlan {
             plan_seed: 11,
@@ -326,9 +400,12 @@ impl SweepPlan {
                 NetworkSpec::jitter_bursts(),
                 NetworkSpec::drop_1pct(),
                 NetworkSpec::dup_1pct(),
+                NetworkSpec::drop_10pct(),
+                NetworkSpec::heavy_tail_drop(),
             ],
             tie_breaks: vec![TieBreak::Random],
             motions: vec![MotionModel::RuleBased],
+            reliability: vec![ReliabilitySpec::off(), ReliabilitySpec::on()],
         }
     }
 
@@ -350,11 +427,13 @@ impl SweepPlan {
             networks: vec![NetworkSpec::fixed_10us()],
             tie_breaks: vec![TieBreak::LowestId],
             motions: vec![MotionModel::RuleBased],
+            reliability: vec![ReliabilitySpec::off()],
         }
     }
 
     /// Enumerates every cell of the cartesian product, seed axis
-    /// innermost.
+    /// innermost (so the seed repetitions of one parameter point stay
+    /// adjacent and aggregate into one group).
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::new();
         for fp in &self.families {
@@ -362,15 +441,18 @@ impl SweepPlan {
                 for &network in &self.networks {
                     for &tie_break in &self.tie_breaks {
                         for &motion in &self.motions {
-                            for &workload_seed in &self.seeds {
-                                cells.push(SweepCell {
-                                    family: fp.family,
-                                    blocks,
-                                    workload_seed,
-                                    network,
-                                    tie_break,
-                                    motion,
-                                });
+                            for &reliability in &self.reliability {
+                                for &workload_seed in &self.seeds {
+                                    cells.push(SweepCell {
+                                        family: fp.family,
+                                        blocks,
+                                        workload_seed,
+                                        network,
+                                        tie_break,
+                                        motion,
+                                        reliability,
+                                    });
+                                }
                             }
                         }
                     }
@@ -396,12 +478,17 @@ pub struct SweepCell {
     pub tie_break: TieBreak,
     /// Motion model.
     pub motion: MotionModel,
+    /// Reliable-delivery configuration.
+    pub reliability: ReliabilitySpec,
 }
 
 impl SweepCell {
     /// Deterministic per-cell seed: a stable hash of the cell's semantic
     /// coordinates mixed with the plan seed.  Independent of enumeration
-    /// order and of the worker that runs the cell.
+    /// order and of the worker that runs the cell.  The reliability name
+    /// is mixed in only when the layer is enabled, so every
+    /// reliability-off cell keeps the exact seed it had before the axis
+    /// existed and the pinned pre-v5 measurements survive byte-for-byte.
     pub fn cell_seed(&self, plan_seed: u64) -> u64 {
         let mut h = fnv1a64(self.family.name().as_bytes(), 0xcbf2_9ce4_8422_2325);
         h = fnv1a64(&(self.blocks as u64).to_le_bytes(), h);
@@ -409,6 +496,9 @@ impl SweepCell {
         h = fnv1a64(self.network.name.as_bytes(), h);
         h = fnv1a64(tie_break_name(self.tie_break).as_bytes(), h);
         h = fnv1a64(motion_name(self.motion).as_bytes(), h);
+        if self.reliability.config.enabled {
+            h = fnv1a64(self.reliability.name.as_bytes(), h);
+        }
         splitmix64(h ^ splitmix64(plan_seed))
     }
 }
@@ -442,6 +532,16 @@ pub struct CellMeasurement {
     /// fault-free network; a message-dropping [`NetworkSpec`] deadlocks
     /// the election, and the resulting timeouts are the measurement.
     pub timed_out: bool,
+    /// Payload retransmissions by the reliable delivery layer (zero when
+    /// reliability is off).
+    pub retransmissions: u64,
+    /// Received payload copies suppressed by the dedup window.
+    pub duplicates_suppressed: u64,
+    /// Transport-level delivery acks sent (the overhead of reliability;
+    /// not part of `messages`).
+    pub delivery_acks: u64,
+    /// Messages abandoned after exhausting the retry budget.
+    pub delivery_failures: u64,
     /// Wall-clock duration of the run (excluded from the JSON record,
     /// which must be deterministic).
     pub wall: WallDuration,
@@ -474,6 +574,7 @@ pub fn run_cell(cell: &SweepCell, plan_seed: u64) -> CellMeasurement {
     let mut driver = ReconfigurationDriver::new(config)
         .with_network(cell.network.model)
         .with_motion_model(cell.motion)
+        .with_reliability(cell.reliability.config)
         .with_seed(seed);
     let mut algorithm = *driver.algorithm();
     algorithm.tie_break = cell.tie_break;
@@ -493,6 +594,10 @@ pub fn run_cell(cell: &SweepCell, plan_seed: u64) -> CellMeasurement {
         completed: report.completed,
         stalled: report.stalled,
         timed_out: !report.completed && !report.stalled,
+        retransmissions: report.metrics.retransmissions,
+        duplicates_suppressed: report.metrics.duplicates_suppressed,
+        delivery_acks: report.metrics.delivery_acks,
+        delivery_failures: report.metrics.delivery_failures,
         wall: report.wall_time,
     }
 }
@@ -575,6 +680,8 @@ pub struct GroupSummary {
     pub tie_break: &'static str,
     /// Motion model name.
     pub motion: &'static str,
+    /// Reliable-delivery configuration name.
+    pub reliability: &'static str,
     /// Number of runs aggregated (the seed axis).
     pub runs: usize,
     /// Fraction of runs that completed.
@@ -595,6 +702,9 @@ pub struct GroupSummary {
     pub sim_time_us: Stats,
     /// Events per simulated second.
     pub events_per_sim_sec: Stats,
+    /// Reliable-delivery retransmissions per run (all-zero when the
+    /// group's reliability is off).
+    pub retransmissions: Stats,
 }
 
 /// Outcome of one sweep: per-cell measurements plus per-group aggregates.
@@ -651,16 +761,19 @@ impl SweepReport {
             let _ = write!(
                 out,
                 "    {{\"family\": \"{}\", \"n\": {}, \"network\": \"{}\", \
-                 \"tie_break\": \"{}\", \"motion\": \"{}\", \"runs\": {},\n     \
+                 \"tie_break\": \"{}\", \"motion\": \"{}\", \"reliability\": \"{}\", \
+                 \"runs\": {},\n     \
                  \"completed_rate\": {:.3}, \"stall_rate\": {:.3}, \"timeout_rate\": {:.3},\n     \
                  \"elections\": {}, \"messages\": {},\n     \
                  \"moves\": {}, \"distance_computations\": {},\n     \
-                 \"sim_time_us\": {}, \"events_per_sim_sec\": {}}}",
+                 \"sim_time_us\": {}, \"events_per_sim_sec\": {},\n     \
+                 \"retransmissions\": {}}}",
                 g.family.name(),
                 g.blocks,
                 g.network,
                 g.tie_break,
                 g.motion,
+                g.reliability,
                 g.runs,
                 g.completed_rate,
                 g.stall_rate,
@@ -671,6 +784,7 @@ impl SweepReport {
                 stats_json(&g.distance_computations),
                 stats_json(&g.sim_time_us),
                 stats_json(&g.events_per_sim_sec),
+                stats_json(&g.retransmissions),
             );
             out.push_str(if i + 1 < self.groups.len() {
                 ",\n"
@@ -687,16 +801,20 @@ impl SweepReport {
             let _ = write!(
                 out,
                 "    {{\"family\": \"{}\", \"n\": {}, \"workload_seed\": {}, \
-                 \"network\": \"{}\", \"tie_break\": \"{}\", \"motion\": \"{}\",\n     \
+                 \"network\": \"{}\", \"tie_break\": \"{}\", \"motion\": \"{}\", \
+                 \"reliability\": \"{}\",\n     \
                  \"cell_seed\": \"{:016x}\", \"outcome\": \"{}\",\n     \
                  \"elections\": {}, \"messages\": {}, \"moves\": {}, \
-                 \"distance_computations\": {}, \"sim_time_us\": {}, \"events\": {}}}",
+                 \"distance_computations\": {}, \"sim_time_us\": {}, \"events\": {},\n     \
+                 \"retransmissions\": {}, \"duplicates_suppressed\": {}, \
+                 \"delivery_acks\": {}, \"delivery_failures\": {}}}",
                 c.cell.family.name(),
                 c.cell.blocks,
                 c.cell.workload_seed,
                 c.cell.network.name,
                 tie_break_name(c.cell.tie_break),
                 motion_name(c.cell.motion),
+                c.cell.reliability.name,
                 c.cell.cell_seed(self.plan_seed),
                 c.outcome_name(),
                 c.elections,
@@ -705,6 +823,10 @@ impl SweepReport {
                 c.distance_computations,
                 c.sim_time_us,
                 c.events,
+                c.retransmissions,
+                c.duplicates_suppressed,
+                c.delivery_acks,
+                c.delivery_failures,
             );
             out.push_str(if i + 1 < self.cells.len() {
                 ",\n"
@@ -810,6 +932,7 @@ fn summarize_group(chunk: &[CellMeasurement]) -> GroupSummary {
         network: first.cell.network.name,
         tie_break: tie_break_name(first.cell.tie_break),
         motion: motion_name(first.cell.motion),
+        reliability: first.cell.reliability.name,
         runs: chunk.len(),
         completed_rate: rate(|c| c.completed),
         stall_rate: rate(|c| c.stalled),
@@ -820,6 +943,7 @@ fn summarize_group(chunk: &[CellMeasurement]) -> GroupSummary {
         distance_computations: stats(|c| c.distance_computations as f64),
         sim_time_us: stats(|c| c.sim_time_us as f64),
         events_per_sim_sec: stats(CellMeasurement::events_per_sim_sec),
+        retransmissions: stats(|c| c.retransmissions as f64),
     }
 }
 
@@ -853,8 +977,26 @@ mod tests {
             * plan.seeds.len()
             * plan.networks.len()
             * plan.tie_breaks.len()
-            * plan.motions.len();
+            * plan.motions.len()
+            * plan.reliability.len();
         assert_eq!(plan.cells().len(), expected);
+    }
+
+    #[test]
+    fn reliability_off_cells_keep_their_historical_seeds() {
+        // The reliability-off spec must hash to the exact seed the cell
+        // had before the axis existed, so every pinned pre-v5 sweep
+        // measurement survives; the enabled spec must move the seed.
+        let plan = SweepPlan::smoke();
+        let cell = plan.cells()[0];
+        let mut on = cell;
+        on.reliability = ReliabilitySpec::on();
+        assert_eq!(cell.reliability.name, "off");
+        assert_ne!(
+            cell.cell_seed(plan.plan_seed),
+            on.cell_seed(plan.plan_seed),
+            "enabling reliability must decorrelate the cell seed"
+        );
     }
 
     #[test]

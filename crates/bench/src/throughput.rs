@@ -27,6 +27,7 @@
 
 use crate::sweep::Family;
 use sb_core::election::{AlgorithmConfig, TieBreak};
+use sb_core::reliability::ReliabilityConfig;
 use sb_core::runtime::{build_des_simulation, build_des_simulation_baseline};
 use sb_core::world::SurfaceWorld;
 use sb_desim::{
@@ -175,11 +176,14 @@ pub fn measure_election(family: Family, blocks: usize, max_events: u64) -> Throu
     // is identical in both configurations and is kept outside.
     let world_a = build_world();
     let (baseline_events, baseline_secs) = timed(|| {
-        build_des_simulation_baseline(world_a, algorithm, network, 9).run_steps(max_events)
+        build_des_simulation_baseline(world_a, algorithm, network, 9, ReliabilityConfig::off())
+            .run_steps(max_events)
     });
     let world_b = build_world();
-    let (tuned_events, tuned_secs) =
-        timed(|| build_des_simulation(world_b, algorithm, network, 9).run_steps(max_events));
+    let (tuned_events, tuned_secs) = timed(|| {
+        build_des_simulation(world_b, algorithm, network, 9, ReliabilityConfig::off())
+            .run_steps(max_events)
+    });
     assert_eq!(
         baseline_events, tuned_events,
         "both engines dispatch the identical schedule"

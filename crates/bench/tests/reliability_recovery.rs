@@ -1,0 +1,94 @@
+//! Property test: the reliable delivery layer restores the fault-free
+//! outcome of every workload family under message loss, duplication and
+//! the combined heavy-tail regime.
+//!
+//! Without the layer these transports violate Assumption 3 and the
+//! Dijkstra-Scholten election deadlocks (a dropped message leaves the
+//! Root waiting forever) or corrupts its bookkeeping.  With the layer on,
+//! every run must reach the same outcome as the fault-free reference —
+//! `Completed` wherever the instance completes at all, the structural
+//! stall of the zero-spare family otherwise — at a bounded, measured
+//! retransmission cost and with the full retry budget never exhausted.
+
+use proptest::prelude::*;
+use sb_bench::sweep::Family;
+use sb_core::{ReconfigurationDriver, ReliabilityConfig};
+use sb_desim::{Duration as SimDuration, LatencyModel, NetworkModel};
+
+fn probe_networks() -> [NetworkModel; 3] {
+    [
+        NetworkModel::Lossy {
+            latency: LatencyModel::Fixed(SimDuration::micros(10)),
+            drop_permille: 10,
+        },
+        NetworkModel::Duplicating {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::micros(1),
+                max: SimDuration::micros(100),
+            },
+            dup_permille: 10,
+        },
+        NetworkModel::Faulty {
+            min: SimDuration::micros(1),
+            max: SimDuration::millis(10),
+            drop_permille: 10,
+            dup_permille: 10,
+        },
+    ]
+}
+
+proptest! {
+    // Every case is a full DES reconfiguration (reference + faulty run);
+    // 48 cases keep the test inside a few seconds while still sweeping
+    // all families and all three probe transports.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reliability_restores_the_fault_free_outcome(
+        family_idx in 0usize..Family::ALL.len(),
+        blocks in 8usize..=16,
+        workload_seed in 0u64..100,
+        net_idx in 0usize..3,
+        sim_seed in 1u64..1_000,
+    ) {
+        let family = Family::ALL[family_idx];
+        let network = probe_networks()[net_idx];
+        let config = family.build(blocks, workload_seed);
+
+        // Fault-free reference: what the instance does under a benign
+        // transport (the zero-spare family stalls structurally).
+        let reference = ReconfigurationDriver::new(config.clone()).run_des();
+        prop_assert!(reference.completed || reference.stalled);
+
+        let reliable = ReconfigurationDriver::new(config)
+            .with_network(network)
+            .with_reliability(ReliabilityConfig::on())
+            .with_seed(sim_seed)
+            .run_des();
+        prop_assert_eq!(
+            reliable.completed,
+            reference.completed,
+            "family {} n {} seed {}/{} net {}: reliability must restore the \
+             fault-free outcome\nreference: {}\nreliable: {}",
+            family.name(), blocks, workload_seed, sim_seed, net_idx,
+            reference, reliable
+        );
+        prop_assert!(
+            reliable.completed || reliable.stalled,
+            "the run must reach a reported outcome, never a silent hang"
+        );
+        // The retry budget is never exhausted at 1% loss (per-message
+        // failure needs 11 consecutive drops), and every retransmission
+        // is bounded by the budget per protocol message.
+        let budget = ReliabilityConfig::on();
+        prop_assert_eq!(reliable.metrics.delivery_failures, 0);
+        prop_assert!(
+            reliable.metrics.retransmissions
+                <= reliable.total_messages() * u64::from(budget.retry_limit),
+            "retransmissions {} exceed the per-message budget ({} messages x {})",
+            reliable.metrics.retransmissions,
+            reliable.total_messages(),
+            budget.retry_limit
+        );
+    }
+}

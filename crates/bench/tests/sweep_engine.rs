@@ -2,7 +2,7 @@
 //! determinism of the aggregate JSON, sanity of the aggregates, and the
 //! fault-injection (assumption-violation) network axis.
 
-use sb_bench::sweep::{Family, FamilyPlan, NetworkSpec, SweepEngine, SweepPlan};
+use sb_bench::sweep::{Family, FamilyPlan, NetworkSpec, ReliabilitySpec, SweepEngine, SweepPlan};
 use sb_core::election::TieBreak;
 use sb_core::MotionModel;
 
@@ -28,11 +28,15 @@ fn jittered_plan() -> SweepPlan {
         networks: vec![NetworkSpec::uniform_1_100us()],
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
+        reliability: vec![ReliabilitySpec::off()],
     }
 }
 
 /// A small plan exercising every fault-injecting network model: per-link
 /// heterogeneity, jitter bursts, i.i.d. drop and i.i.d. duplication.
+/// Reliability stays off — the measured degradation under raw delivery
+/// is the point (the recovery side lives in `reliability_recovery.rs`
+/// and `examples/fault_recovery.rs`).
 fn fault_plan() -> SweepPlan {
     SweepPlan {
         plan_seed: 5,
@@ -50,6 +54,7 @@ fn fault_plan() -> SweepPlan {
         ],
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
+        reliability: vec![ReliabilitySpec::off()],
     }
 }
 
@@ -96,6 +101,7 @@ fn plan_seed_reaches_the_cells() {
         networks: vec![NetworkSpec::uniform_1_100us()],
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
+        reliability: vec![ReliabilitySpec::off()],
     };
     let a = SweepEngine::new(2).run(&plan);
     plan.plan_seed = 2;
@@ -189,7 +195,8 @@ fn json_record_carries_schema_and_percentiles() {
     let report = SweepEngine::new(2).run(&SweepPlan::smoke());
     let json = report.to_json();
     assert!(json.contains("\"schema\": \"smart-surface-sweep\""));
-    assert!(json.contains("\"version\": 4"));
+    assert!(json.contains("\"version\": 5"));
+    assert!(json.contains("\"reliability\": \"off\""));
     assert!(json.contains("\"p50\""));
     assert!(json.contains("\"p95\""));
     assert!(json.contains("\"stall_rate\""));

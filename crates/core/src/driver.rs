@@ -9,6 +9,7 @@
 
 use crate::election::AlgorithmConfig;
 use crate::metrics::Metrics;
+use crate::reliability::ReliabilityConfig;
 use crate::runtime::{build_actor_system, build_des_simulation};
 use crate::world::{MotionModel, MoveRecord, MoveRule, Outcome, SurfaceWorld};
 use sb_desim::{Duration as SimDuration, LatencyModel, NetworkModel};
@@ -165,6 +166,7 @@ pub struct ReconfigurationDriver {
     catalog: RuleCatalog,
     motion_model: MotionModel,
     network: NetworkModel,
+    reliability: ReliabilityConfig,
     sim_seed: u64,
     record_frames: bool,
 }
@@ -193,6 +195,7 @@ impl ReconfigurationDriver {
             catalog: RuleCatalog::standard(),
             motion_model: MotionModel::RuleBased,
             network: NetworkModel::default(),
+            reliability: ReliabilityConfig::off(),
             sim_seed: 1,
             record_frames: false,
         }
@@ -228,6 +231,16 @@ impl ReconfigurationDriver {
     /// the drop/duplication assumption-violation probes).
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;
+        self
+    }
+
+    /// Enables (or re-configures) the reliable delivery layer in every
+    /// block harness: sequence-numbered envelopes, duplicate suppression
+    /// and timer-driven retransmission.  Off by default, in which case
+    /// messages travel as raw envelopes exactly as before the layer
+    /// existed.
+    pub fn with_reliability(mut self, reliability: ReliabilityConfig) -> Self {
+        self.reliability = reliability;
         self
     }
 
@@ -299,7 +312,13 @@ impl ReconfigurationDriver {
     /// terminates (or stalls).
     pub fn run_des(&self) -> ReconfigurationReport {
         let world = self.build_world();
-        let mut sim = build_des_simulation(world, self.algorithm, self.network, self.sim_seed);
+        let mut sim = build_des_simulation(
+            world,
+            self.algorithm,
+            self.network,
+            self.sim_seed,
+            self.reliability,
+        );
         let stats = sim.run_until_idle();
         let mut report =
             self.report_from_world(sim.world(), RuntimeKind::DiscreteEvent, stats.wall_elapsed);
@@ -313,7 +332,7 @@ impl ReconfigurationDriver {
     /// wall-clock deadline.
     pub fn run_actors(&self, deadline: WallDuration) -> ReconfigurationReport {
         let world = self.build_world();
-        let system = build_actor_system(world, self.algorithm);
+        let system = build_actor_system(world, self.algorithm, self.reliability);
         let run = system.run(deadline);
         let mut report = self.report_from_world(&run.world, RuntimeKind::Actors, run.elapsed);
         report.messages_delivered = Some(run.messages_delivered);

@@ -225,8 +225,17 @@ pub struct ElectionCore {
     engaged: bool,
     /// The neighbour that activated this block.
     father: Option<BlockId>,
-    /// Number of activation messages sent that have not been acknowledged.
-    pending_acks: usize,
+    /// The neighbours activated by this block whose acknowledgment is
+    /// still outstanding.  Tracking *who* owes an ack (rather than a bare
+    /// count, as the paper's Fig. 8 block memory suggests) is what makes
+    /// the handler idempotent: a replayed `Ack` from a neighbour that
+    /// already answered is rejected instead of double-decrementing the
+    /// pending count into a premature (and wrong) conclusion.
+    awaiting: Vec<BlockId>,
+    /// Memo of the hop performed for the current iteration's `Select`
+    /// (`reached_output`, `moved`): a replayed `Select` re-sends the same
+    /// `SelectAck` instead of hopping a second time.
+    hop_done: Option<(bool, bool)>,
     /// Best candidate of this block's subtree.
     best: Candidate,
     /// The son through which the best candidate was reported
@@ -255,7 +264,8 @@ impl ElectionCore {
             iteration: 0,
             engaged: false,
             father: None,
-            pending_acks: 0,
+            awaiting: Vec::new(),
+            hop_done: None,
             best: Candidate::none(me),
             best_via: None,
             ties_seen: 0,
@@ -335,7 +345,8 @@ impl ElectionCore {
         self.iteration = iteration;
         self.engaged = false;
         self.father = None;
-        self.pending_acks = 0;
+        self.awaiting.clear();
+        self.hop_done = None;
         self.best = Candidate::none(self.me);
         self.best_via = None;
         self.ties_seen = 0;
@@ -358,11 +369,12 @@ impl ElectionCore {
             None,
         );
         world.neighbors_into(self.me, &mut self.neighbors_scratch);
-        self.pending_acks = self.neighbors_scratch.len();
+        self.awaiting.clear();
+        self.awaiting.extend_from_slice(&self.neighbors_scratch);
         for &n in &self.neighbors_scratch {
             sink.send(n, self.activate_message(world));
         }
-        if self.pending_acks == 0 {
+        if self.awaiting.is_empty() {
             // A single isolated Root cannot build anything: stall.
             world.set_outcome(Outcome::Stalled);
             sink.stop();
@@ -451,8 +463,9 @@ impl ElectionCore {
         );
         world.neighbors_into(self.me, &mut self.neighbors_scratch);
         self.neighbors_scratch.retain(|&n| n != from);
-        self.pending_acks = self.neighbors_scratch.len();
-        if self.pending_acks == 0 {
+        self.awaiting.clear();
+        self.awaiting.extend_from_slice(&self.neighbors_scratch);
+        if self.awaiting.is_empty() {
             // Leaf: acknowledge right away with the subtree best (just us).
             sink.send(
                 from,
@@ -495,10 +508,26 @@ impl ElectionCore {
         world: &mut SurfaceWorld,
         sink: &mut ActionSink,
     ) {
-        if iteration != self.iteration || !self.engaged || self.pending_acks == 0 {
+        if iteration != self.iteration {
+            // Acks from a finished election arrive in normal fault-free
+            // runs (declined late activations echo the old iteration);
+            // they are not an anomaly, just ignored.
             return;
         }
-        self.pending_acks -= 1;
+        let position = if self.engaged {
+            self.awaiting.iter().position(|&b| b == from)
+        } else {
+            None
+        };
+        let Some(position) = position else {
+            // A current-iteration `Ack` from a neighbour that already
+            // answered (or that we never activated): counting it again
+            // would double-decrement the pending count and conclude the
+            // phase early with sons still unreported.  Reject and count.
+            world.metrics_mut().protocol_drops += 1;
+            return;
+        };
+        self.awaiting.swap_remove(position);
         self.merge_candidate(
             Candidate {
                 distance: shortest_distance,
@@ -507,7 +536,7 @@ impl ElectionCore {
             ties,
             Some(from),
         );
-        if self.pending_acks > 0 {
+        if !self.awaiting.is_empty() {
             return;
         }
         if self.is_root {
@@ -587,16 +616,30 @@ impl ElectionCore {
             return;
         }
         // We are the elected block: perform the hop, then acknowledge up
-        // the father chain.
-        let result = world.hop_towards_output(self.me, iteration);
+        // the father chain.  A replayed `Select` for an iteration whose
+        // hop was already performed must not hop a second time — it
+        // re-sends the identical `SelectAck` so a lost first answer still
+        // cannot hang the Root.
         let father = self.father.expect("elected block is not the Root");
+        let (reached_output, moved) = match self.hop_done {
+            Some(memo) => {
+                world.metrics_mut().protocol_drops += 1;
+                memo
+            }
+            None => {
+                let result = world.hop_towards_output(self.me, iteration);
+                let memo = (result.reached_output, result.moved);
+                self.hop_done = Some(memo);
+                memo
+            }
+        };
         sink.send(
             father,
             Msg::SelectAck {
                 iteration,
                 elected: self.me,
-                reached_output: result.reached_output,
-                moved: result.moved,
+                reached_output,
+                moved,
             },
         );
     }
@@ -1022,6 +1065,96 @@ mod tests {
             other => panic!("unexpected action {other:?}"),
         }
         assert_eq!(world.metrics().protocol_drops, 1);
+    }
+
+    #[test]
+    fn replayed_ack_is_rejected_instead_of_double_decrementing() {
+        // Pre-fix, `pending_acks` was a bare counter: a duplicated `Ack`
+        // decremented it twice and the Root concluded phase one with a son
+        // still unreported.  With the membership list the replay is
+        // rejected, counted, and the election still needs the real second
+        // ack to conclude.
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let neighbors = world.neighbors_of(root);
+        let mut core = ElectionCore::new(root, true, config_first_seen());
+        let _ = start(&mut core, &mut world);
+        let ack_from = |son: BlockId, d: u32| Msg::Ack {
+            iteration: 1,
+            son,
+            shortest_distance: Distance::finite(d),
+            id_shortest: son,
+            ties: 1,
+        };
+        let first = deliver(
+            &mut core,
+            neighbors[0],
+            ack_from(neighbors[0], 4),
+            &mut world,
+        );
+        assert!(first.is_empty(), "one son still outstanding");
+        // The same ack again — a network duplicate.
+        let replay = deliver(
+            &mut core,
+            neighbors[0],
+            ack_from(neighbors[0], 4),
+            &mut world,
+        );
+        assert!(replay.is_empty(), "the replay must not conclude the phase");
+        assert_eq!(world.metrics().protocol_drops, 1);
+        // The genuine second ack concludes the phase and routes the
+        // `Select` to the true minimum, unperturbed by the replay.
+        let second = deliver(
+            &mut core,
+            neighbors[1],
+            ack_from(neighbors[1], 3),
+            &mut world,
+        );
+        assert_eq!(second.len(), 1);
+        match &second[0] {
+            Action::Send {
+                to,
+                msg: Msg::Select { elected, .. },
+            } => {
+                assert_eq!(*to, neighbors[1]);
+                assert_eq!(*elected, neighbors[1]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replayed_select_reacks_without_hopping_twice() {
+        // A duplicated `Select` reaching the elected block must not move
+        // it a second cell; it re-sends the identical `SelectAck` (so a
+        // lost first answer cannot hang the Root) and counts the replay.
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let elected = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
+        let mut core = ElectionCore::new(elected, false, config_first_seen());
+        let _ = deliver(
+            &mut core,
+            root,
+            Msg::Activate {
+                iteration: 1,
+                father: root,
+                output: world.output(),
+                shortest_distance: Distance::INFINITE,
+                id_shortest: root,
+            },
+            &mut world,
+        );
+        let select = Msg::Select {
+            iteration: 1,
+            elected,
+        };
+        let first = deliver(&mut core, root, select.clone(), &mut world);
+        let after_first = world.position_of(elected).unwrap();
+        let replay = deliver(&mut core, root, select, &mut world);
+        assert_eq!(world.position_of(elected).unwrap(), after_first);
+        assert_eq!(world.metrics().elected_hops, 1, "exactly one hop");
+        assert_eq!(world.metrics().protocol_drops, 1);
+        assert_eq!(replay, first, "the re-ack is byte-identical");
     }
 
     #[test]

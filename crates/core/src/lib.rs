@@ -71,6 +71,7 @@ pub mod driver;
 pub mod election;
 pub mod messages;
 pub mod metrics;
+pub mod reliability;
 pub mod runtime;
 pub mod workloads;
 pub mod world;
@@ -81,6 +82,7 @@ pub mod prelude {
     pub use crate::election::{AlgorithmConfig, Termination, TieBreak};
     pub use crate::messages::{Distance, Msg};
     pub use crate::metrics::Metrics;
+    pub use crate::reliability::{Envelope, ReliabilityConfig};
     pub use crate::world::{MotionModel, MoveRule, SurfaceWorld};
 }
 

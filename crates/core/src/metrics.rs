@@ -37,10 +37,28 @@ pub struct Metrics {
     pub rule_checks: u64,
     /// Number of protocol messages that could not be handled by their
     /// recipient (e.g. a `Select` reaching an engaged block with no
-    /// recorded best-candidate link).  Such anomalies are answered so the
-    /// Root stalls cleanly instead of hanging; a non-zero count flags a
-    /// routing bug or message reordering worth investigating.
+    /// recorded best-candidate link, or a replayed `Ack` the idempotency
+    /// guards rejected).  Such anomalies are answered so the Root stalls
+    /// cleanly instead of hanging; a non-zero count flags a routing bug,
+    /// message duplication or reordering worth investigating.
     pub protocol_drops: u64,
+    /// Number of payload retransmissions performed by the reliable
+    /// delivery layer (zero when reliability is off or the network is
+    /// healthy enough that every first transmission is acked in time).
+    pub retransmissions: u64,
+    /// Number of received payload copies the reliability layer's
+    /// anti-replay window suppressed (network duplicates and
+    /// retransmissions whose original also arrived).
+    pub duplicates_suppressed: u64,
+    /// Number of transport-level `DeliveryAck`s sent by the reliable
+    /// delivery layer.  Not part of [`Metrics::total_messages`], which
+    /// counts protocol messages only — this is the measured *overhead*
+    /// of reliability.
+    pub delivery_acks: u64,
+    /// Number of messages abandoned after exhausting the retry budget;
+    /// each converts the run into a clean `Stalled` outcome instead of a
+    /// silent hang.
+    pub delivery_failures: u64,
 }
 
 impl Metrics {
@@ -72,6 +90,10 @@ impl Metrics {
         self.elected_hops += other.elected_hops;
         self.rule_checks += other.rule_checks;
         self.protocol_drops += other.protocol_drops;
+        self.retransmissions += other.retransmissions;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.delivery_acks += other.delivery_acks;
+        self.delivery_failures += other.delivery_failures;
     }
 }
 
@@ -93,6 +115,18 @@ impl fmt::Display for Metrics {
         )?;
         if self.protocol_drops > 0 {
             write!(f, " protocol-drops={}", self.protocol_drops)?;
+        }
+        if self.retransmissions > 0 {
+            write!(f, " retransmissions={}", self.retransmissions)?;
+        }
+        if self.duplicates_suppressed > 0 {
+            write!(f, " duplicates-suppressed={}", self.duplicates_suppressed)?;
+        }
+        if self.delivery_acks > 0 {
+            write!(f, " delivery-acks={}", self.delivery_acks)?;
+        }
+        if self.delivery_failures > 0 {
+            write!(f, " delivery-failures={}", self.delivery_failures)?;
         }
         Ok(())
     }

@@ -1,5 +1,5 @@
 //! The unified runtime harness: one election-to-runtime translation,
-//! pluggable transports.
+//! pluggable transports, opt-in reliable delivery.
 //!
 //! Historically the election state machine was adapted to each runtime by
 //! a dedicated block-code type (`DesBlockCode` for `sb-desim`,
@@ -7,15 +7,24 @@
 //! adapter silently lost the Root/elected/stopped colouring the simulator
 //! adapter performed.  There is now exactly **one** adapter:
 //!
-//! * [`Transport`] — the five-method capability surface a runtime must
-//!   offer (send to a module index, request a stop, set the visual state,
+//! * [`Transport`] — the capability surface a runtime must offer (send to
+//!   a module index, arm a timer, request a stop, set the visual state,
 //!   run a closure against the shared world), implemented by thin shims
 //!   over [`sb_desim::Context`] and [`sb_actor::ActorContext`];
-//! * [`BlockHarness`] — owns the [`ElectionCore`] plus a reusable
-//!   [`ActionSink`], and performs the election-to-runtime translation
-//!   (message-kind metrics, module-index lookup, Root RED / elected BLUE
-//!   / stopped GREEN colouring, stop propagation) once, generically over
-//!   `T: Transport`.
+//! * [`BlockHarness`] — owns the [`ElectionCore`], a reusable
+//!   [`ActionSink`] and the per-link [`crate::reliability`] state, and
+//!   performs the election-to-runtime translation (message-kind metrics,
+//!   module-index lookup, Root RED / elected BLUE / stopped GREEN
+//!   colouring, stop propagation) once, generically over `T: Transport`.
+//!
+//! Every message travels as an [`Envelope`].  With reliability disabled
+//! (the default) the envelope is [`Envelope::Raw`] and the behaviour —
+//! event schedule, RNG consumption, allocations — is byte-identical to
+//! the historical unwrapped dispatch.  With a
+//! [`ReliabilityConfig::on`]-style config, payloads are sequenced,
+//! acknowledged, deduplicated and retransmitted from timers, so
+//! elections survive the `Lossy`/`Duplicating`/`Faulty` network probes
+//! (see the [`crate::reliability`] module docs for the protocol).
 //!
 //! The harness implements both `sb_desim::BlockCode` and
 //! `sb_actor::Actor`, so the two build functions register the *same*
@@ -23,9 +32,12 @@
 
 use crate::election::{Action, ActionSink, AlgorithmConfig, ElectionCore};
 use crate::messages::Msg;
-use crate::world::SurfaceWorld;
+use crate::reliability::{
+    split_tag, timer_tag, Deliver, Envelope, ReliabilityConfig, ReliabilityState, TimerVerdict,
+};
+use crate::world::{Outcome, SurfaceWorld};
 use sb_actor::{Actor, ActorContext, ActorId, ActorSystem};
-use sb_desim::{BlockCode, Context, ModuleId, NetworkModel, Simulator};
+use sb_desim::{BlockCode, Context, Duration as SimDuration, ModuleId, NetworkModel, Simulator};
 
 pub use sb_desim::Color;
 
@@ -35,9 +47,14 @@ pub use sb_desim::Color;
 /// Implementations are thin, stateless shims over the runtime's native
 /// context; all protocol logic lives in the harness.
 pub trait Transport {
-    /// Sends `msg` to the module at index `target` (the world's
+    /// Sends `envelope` to the module at index `target` (the world's
     /// module ↔ block mapping translates identifiers).
-    fn send(&mut self, target: usize, msg: Msg);
+    fn send(&mut self, target: usize, envelope: Envelope);
+
+    /// Arms a one-shot timer that re-enters the harness through its
+    /// timer path after `delay_us` microseconds (simulated time on the
+    /// DES, wall-clock on the actor runtime), carrying `tag`.
+    fn set_timer(&mut self, delay_us: u64, tag: u64);
 
     /// Asks the whole runtime to stop dispatching.
     fn request_stop(&mut self);
@@ -52,18 +69,28 @@ pub trait Transport {
 }
 
 /// The per-block program, runtime-agnostic: election state machine +
-/// reusable action sink + the one dispatch loop.
+/// reusable action sink + reliable-delivery state + the one dispatch
+/// loop.
 pub struct BlockHarness {
     core: ElectionCore,
     sink: ActionSink,
+    reliability: ReliabilityState,
 }
 
 impl BlockHarness {
-    /// Wraps an election state machine.
+    /// Wraps an election state machine with reliability disabled (the
+    /// historical behaviour).
     pub fn new(core: ElectionCore) -> Self {
+        BlockHarness::with_reliability(core, ReliabilityConfig::off())
+    }
+
+    /// Wraps an election state machine with the given reliable-delivery
+    /// configuration.
+    pub fn with_reliability(core: ElectionCore, reliability: ReliabilityConfig) -> Self {
         BlockHarness {
             core,
             sink: ActionSink::new(),
+            reliability: ReliabilityState::new(reliability),
         }
     }
 
@@ -75,9 +102,12 @@ impl BlockHarness {
     /// Returns the wrapped state machine to its pre-start state while
     /// keeping every warmed buffer (the action sink and the core's
     /// scratch), so a driver can re-run elections without reallocating.
+    /// Link sequencing state is dropped too: a reset harness starts a
+    /// fresh reliability session.
     pub fn reset(&mut self) {
         self.core.reset_state();
         self.sink.clear();
+        self.reliability.reset();
     }
 
     /// Start-up: colour the Root and run the core's start handler.
@@ -85,18 +115,45 @@ impl BlockHarness {
         if self.core.is_root() {
             transport.set_visual_state(Color::RED);
         }
-        let BlockHarness { core, sink } = self;
+        let BlockHarness { core, sink, .. } = self;
         transport.with_world(|world| core.on_start(world, sink));
         self.dispatch(transport);
     }
 
-    /// Delivers one message from the module at index `from` and executes
+    /// Delivers one envelope from the module at index `from` and executes
     /// the requested effects.
-    pub fn deliver<T: Transport>(&mut self, from: usize, msg: Msg, transport: &mut T) {
+    ///
+    /// [`Envelope::Raw`] payloads go straight to the election core.
+    /// [`Envelope::Data`] is acknowledged unconditionally (the ack is
+    /// what stops the sender's retransmissions, so even a duplicate must
+    /// re-ack — its original ack may have been lost), then delivered or
+    /// suppressed by the link's receive window.
+    pub fn deliver<T: Transport>(&mut self, from: usize, envelope: Envelope, transport: &mut T) {
+        match envelope {
+            Envelope::Raw(msg) => self.deliver_msg(from, msg, transport),
+            Envelope::Data { seq, msg } => {
+                transport.with_world(|world| world.metrics_mut().delivery_acks += 1);
+                transport.send(from, Envelope::DeliveryAck { seq });
+                match self.reliability.on_data(from, seq) {
+                    Deliver::Fresh => self.deliver_msg(from, msg, transport),
+                    Deliver::Duplicate => {
+                        transport.with_world(|world| world.metrics_mut().duplicates_suppressed += 1)
+                    }
+                }
+            }
+            Envelope::DeliveryAck { seq } => {
+                self.reliability.on_delivery_ack(from, seq);
+            }
+        }
+    }
+
+    /// Hands one protocol message to the election core and dispatches the
+    /// resulting actions.
+    fn deliver_msg<T: Transport>(&mut self, from: usize, msg: Msg, transport: &mut T) {
         if matches!(msg, Msg::Select { elected, .. } if elected == self.core.id()) {
             transport.set_visual_state(Color::BLUE);
         }
-        let BlockHarness { core, sink } = self;
+        let BlockHarness { core, sink, .. } = self;
         transport.with_world(|world| {
             let from_block = world
                 .block_of_module(from)
@@ -106,10 +163,43 @@ impl BlockHarness {
         self.dispatch(transport);
     }
 
+    /// Timer path: drives retransmission of the in-flight message the
+    /// timer's tag refers to.  Timers for already-acknowledged sequences
+    /// are stale and ignored (they are never cancelled — cheap, and safe
+    /// on both runtimes).  A message that exhausts its retry budget is
+    /// counted as a `delivery_failure` and converts the run into a clean
+    /// `Stalled` outcome plus a stop request — never a silent hang.
+    pub fn timer<T: Transport>(&mut self, tag: u64, transport: &mut T) {
+        if !self.reliability.enabled() {
+            return;
+        }
+        let (peer, seq) = split_tag(tag);
+        let me = self.core.id().as_u32();
+        match self.reliability.on_timer(peer, seq, me) {
+            TimerVerdict::Stale => {}
+            TimerVerdict::Retransmit { msg, delay_us } => {
+                transport.with_world(|world| world.metrics_mut().retransmissions += 1);
+                transport.send(peer, Envelope::Data { seq, msg });
+                transport.set_timer(delay_us, tag);
+            }
+            TimerVerdict::Exhausted => {
+                transport.with_world(|world| {
+                    world.metrics_mut().delivery_failures += 1;
+                    if world.outcome().is_none() {
+                        world.set_outcome(Outcome::Stalled);
+                    }
+                });
+                transport.request_stop();
+            }
+        }
+    }
+
     /// The single election-to-runtime dispatch loop: drains the sink,
     /// counting sent messages per kind in the world's metrics, resolving
     /// destination blocks to module indices, and translating a stop into
-    /// the GREEN "finished" colour plus a runtime stop request.
+    /// the GREEN "finished" colour plus a runtime stop request.  With
+    /// reliability enabled, outgoing payloads are sequenced and get a
+    /// retransmission timer; otherwise they travel raw.
     fn dispatch<T: Transport>(&mut self, transport: &mut T) {
         for action in self.sink.drain() {
             match action {
@@ -121,7 +211,14 @@ impl BlockHarness {
                             .module_index_of(to)
                             .expect("destination block is registered")
                     });
-                    transport.send(target, msg);
+                    if self.reliability.enabled() {
+                        let me = self.core.id().as_u32();
+                        let (seq, delay_us) = self.reliability.register_send(target, &msg, me);
+                        transport.send(target, Envelope::Data { seq, msg });
+                        transport.set_timer(delay_us, timer_tag(target, seq));
+                    } else {
+                        transport.send(target, Envelope::Raw(msg));
+                    }
                 }
                 Action::Stop => {
                     transport.set_visual_state(Color::GREEN);
@@ -133,11 +230,15 @@ impl BlockHarness {
 }
 
 /// [`Transport`] shim over the discrete-event simulator's context.
-struct DesTransport<'a, 'k>(&'a mut Context<'k, Msg, SurfaceWorld>);
+struct DesTransport<'a, 'k>(&'a mut Context<'k, Envelope, SurfaceWorld>);
 
 impl Transport for DesTransport<'_, '_> {
-    fn send(&mut self, target: usize, msg: Msg) {
-        self.0.send(ModuleId(target), msg);
+    fn send(&mut self, target: usize, envelope: Envelope) {
+        self.0.send(ModuleId(target), envelope);
+    }
+
+    fn set_timer(&mut self, delay_us: u64, tag: u64) {
+        self.0.set_timer(SimDuration::micros(delay_us), tag);
     }
 
     fn request_stop(&mut self) {
@@ -153,22 +254,39 @@ impl Transport for DesTransport<'_, '_> {
     }
 }
 
-impl BlockCode<Msg, SurfaceWorld> for BlockHarness {
-    fn on_start(&mut self, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
+impl BlockCode<Envelope, SurfaceWorld> for BlockHarness {
+    fn on_start(&mut self, ctx: &mut Context<'_, Envelope, SurfaceWorld>) {
         self.start(&mut DesTransport(ctx));
     }
 
-    fn on_message(&mut self, from: ModuleId, msg: Msg, ctx: &mut Context<'_, Msg, SurfaceWorld>) {
+    fn on_message(
+        &mut self,
+        from: ModuleId,
+        msg: Envelope,
+        ctx: &mut Context<'_, Envelope, SurfaceWorld>,
+    ) {
         self.deliver(from.index(), msg, &mut DesTransport(ctx));
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Envelope, SurfaceWorld>) {
+        self.timer(tag, &mut DesTransport(ctx));
     }
 }
 
 /// [`Transport`] shim over the threaded actor runtime's context.
-struct ActorTransport<'a, 'k>(&'a mut ActorContext<'k, Msg, SurfaceWorld>);
+struct ActorTransport<'a, 'k>(&'a mut ActorContext<'k, Envelope, SurfaceWorld>);
 
 impl Transport for ActorTransport<'_, '_> {
-    fn send(&mut self, target: usize, msg: Msg) {
-        self.0.send(ActorId(target), msg);
+    fn send(&mut self, target: usize, envelope: Envelope) {
+        self.0.send(ActorId(target), envelope);
+    }
+
+    fn set_timer(&mut self, delay_us: u64, tag: u64) {
+        // The returned TimerId is dropped on purpose: the harness never
+        // cancels timers, it lets stale ones fire and ignores them.
+        let _ = self
+            .0
+            .set_timer(std::time::Duration::from_micros(delay_us), tag);
     }
 
     fn request_stop(&mut self) {
@@ -184,18 +302,22 @@ impl Transport for ActorTransport<'_, '_> {
     }
 }
 
-impl Actor<Msg, SurfaceWorld> for BlockHarness {
-    fn on_start(&mut self, ctx: &mut ActorContext<'_, Msg, SurfaceWorld>) {
+impl Actor<Envelope, SurfaceWorld> for BlockHarness {
+    fn on_start(&mut self, ctx: &mut ActorContext<'_, Envelope, SurfaceWorld>) {
         self.start(&mut ActorTransport(ctx));
     }
 
     fn on_message(
         &mut self,
         from: ActorId,
-        msg: Msg,
-        ctx: &mut ActorContext<'_, Msg, SurfaceWorld>,
+        msg: Envelope,
+        ctx: &mut ActorContext<'_, Envelope, SurfaceWorld>,
     ) {
         self.deliver(from.index(), msg, &mut ActorTransport(ctx));
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut ActorContext<'_, Envelope, SurfaceWorld>) {
+        self.timer(tag, &mut ActorTransport(ctx));
     }
 }
 
@@ -213,7 +335,8 @@ pub fn build_des_simulation(
     algorithm: AlgorithmConfig,
     network: NetworkModel,
     sim_seed: u64,
-) -> Simulator<Msg, SurfaceWorld, BlockHarness> {
+    reliability: ReliabilityConfig,
+) -> Simulator<Envelope, SurfaceWorld, BlockHarness> {
     let order = world.grid().block_ids_sorted();
     world.set_module_mapping(order.clone());
     let root = world
@@ -224,7 +347,7 @@ pub fn build_des_simulation(
         .with_seed(sim_seed);
     for block in order {
         let core = ElectionCore::new(block, block == root, algorithm);
-        sim.add(BlockHarness::new(core));
+        sim.add(BlockHarness::with_reliability(core, reliability));
     }
     sim
 }
@@ -239,7 +362,8 @@ pub fn build_des_simulation_boxed(
     algorithm: AlgorithmConfig,
     network: NetworkModel,
     sim_seed: u64,
-) -> Simulator<Msg, SurfaceWorld> {
+    reliability: ReliabilityConfig,
+) -> Simulator<Envelope, SurfaceWorld> {
     let order = world.grid().block_ids_sorted();
     world.set_module_mapping(order.clone());
     let root = world
@@ -250,7 +374,7 @@ pub fn build_des_simulation_boxed(
         .with_seed(sim_seed);
     for block in order {
         let core = ElectionCore::new(block, block == root, algorithm);
-        sim.add_module(BlockHarness::new(core));
+        sim.add_module(BlockHarness::with_reliability(core, reliability));
     }
     sim
 }
@@ -266,7 +390,8 @@ pub fn build_des_simulation_baseline(
     algorithm: AlgorithmConfig,
     network: NetworkModel,
     sim_seed: u64,
-) -> Simulator<Msg, SurfaceWorld> {
+    reliability: ReliabilityConfig,
+) -> Simulator<Envelope, SurfaceWorld> {
     let order = world.grid().block_ids_sorted();
     world.set_module_mapping(order.clone());
     let root = world
@@ -279,7 +404,7 @@ pub fn build_des_simulation_baseline(
         .with_eager_starts();
     for block in order {
         let core = ElectionCore::new(block, block == root, algorithm);
-        sim.add_module(BlockHarness::new(core));
+        sim.add_module(BlockHarness::with_reliability(core, reliability));
     }
     sim
 }
@@ -289,7 +414,8 @@ pub fn build_des_simulation_baseline(
 pub fn build_actor_system(
     mut world: SurfaceWorld,
     algorithm: AlgorithmConfig,
-) -> ActorSystem<Msg, SurfaceWorld> {
+    reliability: ReliabilityConfig,
+) -> ActorSystem<Envelope, SurfaceWorld> {
     let order = world.grid().block_ids_sorted();
     world.set_module_mapping(order.clone());
     let root = world
@@ -298,7 +424,7 @@ pub fn build_actor_system(
     let mut system = ActorSystem::new(world);
     for block in order {
         let core = ElectionCore::new(block, block == root, algorithm);
-        system.add_actor(BlockHarness::new(core));
+        system.add_actor(BlockHarness::with_reliability(core, reliability));
     }
     system
 }
@@ -308,6 +434,7 @@ mod tests {
     use super::*;
     use crate::election::TieBreak;
     use crate::world::Outcome;
+    use sb_desim::LatencyModel;
     use sb_grid::SurfaceConfig;
 
     fn small_config() -> SurfaceConfig {
@@ -330,6 +457,7 @@ mod tests {
             AlgorithmConfig::default(),
             NetworkModel::default(),
             7,
+            ReliabilityConfig::off(),
         );
         assert_eq!(sim.module_count(), 5);
         sim.run_until_idle();
@@ -341,7 +469,8 @@ mod tests {
     #[test]
     fn actor_system_builds_and_completes_on_a_small_instance() {
         let world = SurfaceWorld::standard(small_config());
-        let system = build_actor_system(world, AlgorithmConfig::default());
+        let system =
+            build_actor_system(world, AlgorithmConfig::default(), ReliabilityConfig::off());
         assert_eq!(system.actor_count(), 5);
         let report = system.run(std::time::Duration::from_secs(30));
         assert!(report.stopped, "algorithm must terminate, not time out");
@@ -358,8 +487,13 @@ mod tests {
             let world = SurfaceWorld::standard(small_config());
             let algorithm = AlgorithmConfig::default();
             if boxed {
-                let mut sim =
-                    build_des_simulation_boxed(world, algorithm, NetworkModel::default(), 7);
+                let mut sim = build_des_simulation_boxed(
+                    world,
+                    algorithm,
+                    NetworkModel::default(),
+                    7,
+                    ReliabilityConfig::off(),
+                );
                 let stats = sim.run_until_idle();
                 let colors: Vec<_> = (0..sim.module_count())
                     .map(|i| sim.color_of(ModuleId(i)))
@@ -371,7 +505,13 @@ mod tests {
                     colors,
                 )
             } else {
-                let mut sim = build_des_simulation(world, algorithm, NetworkModel::default(), 7);
+                let mut sim = build_des_simulation(
+                    world,
+                    algorithm,
+                    NetworkModel::default(),
+                    7,
+                    ReliabilityConfig::off(),
+                );
                 let stats = sim.run_until_idle();
                 let colors: Vec<_> = (0..sim.module_count())
                     .map(|i| sim.color_of(ModuleId(i)))
@@ -387,12 +527,12 @@ mod tests {
         assert_eq!(run(false), run(true));
     }
 
-    /// The satellite fix this PR pins down: the actor runtime used to
-    /// ignore the Root RED / elected BLUE / stopped GREEN colouring the
-    /// simulator performed.  With both runtimes routed through the one
-    /// harness, the final visual states must agree module-for-module (the
-    /// deterministic LowestId tie-break makes the elected sequence — and
-    /// therefore the BLUE set — runtime-independent).
+    /// The satellite fix of PR 4 this pins down: the actor runtime used
+    /// to ignore the Root RED / elected BLUE / stopped GREEN colouring
+    /// the simulator performed.  With both runtimes routed through the
+    /// one harness, the final visual states must agree module-for-module
+    /// (the deterministic LowestId tie-break makes the elected sequence —
+    /// and therefore the BLUE set — runtime-independent).
     #[test]
     fn visual_states_agree_between_runtimes() {
         let algorithm = AlgorithmConfig {
@@ -401,7 +541,13 @@ mod tests {
         };
 
         let world = SurfaceWorld::standard(small_config());
-        let mut sim = build_des_simulation(world, algorithm, NetworkModel::default(), 7);
+        let mut sim = build_des_simulation(
+            world,
+            algorithm,
+            NetworkModel::default(),
+            7,
+            ReliabilityConfig::off(),
+        );
         sim.run_until_idle();
         let des_colors: Vec<(u8, u8, u8)> = (0..sim.module_count())
             .map(|i| {
@@ -411,7 +557,7 @@ mod tests {
             .collect();
 
         let world = SurfaceWorld::standard(small_config());
-        let system = build_actor_system(world, algorithm);
+        let system = build_actor_system(world, algorithm, ReliabilityConfig::off());
         let report = system.run(std::time::Duration::from_secs(60));
         assert!(report.stopped);
 
@@ -425,5 +571,235 @@ mod tests {
         assert_eq!(des_colors.iter().filter(|&&c| c == green).count(), 1);
         assert!(des_colors.contains(&blue), "an elected block turned BLUE");
         assert!(!des_colors.contains(&red), "the Root recoloured on stop");
+    }
+
+    /// Reliability on, healthy network: the run completes with the same
+    /// final surface as the raw dispatch, pays acks but (with the RTO far
+    /// above the fixed latency) zero retransmissions, and never drops.
+    #[test]
+    fn reliability_on_a_healthy_network_completes_without_retransmissions() {
+        let run = |reliability: ReliabilityConfig| {
+            let world = SurfaceWorld::standard(small_config());
+            let mut sim = build_des_simulation(
+                world,
+                AlgorithmConfig::default(),
+                NetworkModel::default(),
+                7,
+                reliability,
+            );
+            sim.run_until_idle();
+            (
+                sim.world().outcome(),
+                sim.world().ascii(),
+                *sim.world().metrics(),
+            )
+        };
+        let (raw_outcome, raw_ascii, raw_metrics) = run(ReliabilityConfig::off());
+        let (rel_outcome, rel_ascii, rel_metrics) = run(ReliabilityConfig::on());
+        assert_eq!(raw_outcome, Some(Outcome::Completed));
+        assert_eq!(rel_outcome, Some(Outcome::Completed));
+        assert_eq!(raw_ascii, rel_ascii, "same final surface either way");
+        assert_eq!(raw_metrics.retransmissions, 0);
+        assert_eq!(rel_metrics.retransmissions, 0, "RTO ≫ fixed latency");
+        assert_eq!(rel_metrics.delivery_failures, 0);
+        assert_eq!(raw_metrics.delivery_acks, 0);
+        assert_eq!(
+            rel_metrics.delivery_acks,
+            rel_metrics.total_messages(),
+            "every sequenced payload is acked exactly once on a clean link"
+        );
+    }
+
+    /// Tentpole acceptance at unit scale: a lossy network deadlocks the
+    /// raw protocol (drained queue, no outcome) but completes with
+    /// reliability on, the recovery visible as a non-zero retransmission
+    /// count.
+    #[test]
+    fn reliability_recovers_an_election_from_heavy_loss() {
+        let lossy = NetworkModel::Lossy {
+            latency: LatencyModel::Fixed(SimDuration::micros(10)),
+            drop_permille: 200,
+        };
+        let world = SurfaceWorld::standard(small_config());
+        let mut raw = build_des_simulation(
+            world,
+            AlgorithmConfig::default(),
+            lossy,
+            3,
+            ReliabilityConfig::off(),
+        );
+        raw.run_until_idle();
+        assert_eq!(
+            raw.world().outcome(),
+            None,
+            "20% loss deadlocks the raw protocol on this seed"
+        );
+
+        let world = SurfaceWorld::standard(small_config());
+        let mut reliable = build_des_simulation(
+            world,
+            AlgorithmConfig::default(),
+            lossy,
+            3,
+            ReliabilityConfig::on(),
+        );
+        reliable.run_until_idle();
+        assert_eq!(reliable.world().outcome(), Some(Outcome::Completed));
+        assert!(reliable.world().path_complete());
+        assert!(
+            reliable.world().metrics().retransmissions > 0,
+            "recovery is visible in the metrics"
+        );
+        assert_eq!(reliable.world().metrics().delivery_failures, 0);
+    }
+
+    /// Satellite: the `Duplicating` overtake case.  The duplicate takes
+    /// an independently sampled delay, so it can arrive *before* the
+    /// original; the receive window must suppress whichever copy is
+    /// second, regardless of order.  At the harness level the two orders
+    /// are indistinguishable — both are two deliveries of the same
+    /// sequence number — which is exactly the point; this pins it
+    /// end-to-end through `deliver`.
+    #[test]
+    fn duplicate_suppression_is_order_independent() {
+        use std::collections::VecDeque;
+
+        struct NullTransport<'a> {
+            world: &'a mut SurfaceWorld,
+            sent: &'a mut VecDeque<(usize, Envelope)>,
+        }
+        impl Transport for NullTransport<'_> {
+            fn send(&mut self, target: usize, envelope: Envelope) {
+                self.sent.push_back((target, envelope));
+            }
+            fn set_timer(&mut self, _delay_us: u64, _tag: u64) {}
+            fn request_stop(&mut self) {}
+            fn set_visual_state(&mut self, _color: Color) {}
+            fn with_world<R>(&mut self, f: impl FnOnce(&mut SurfaceWorld) -> R) -> R {
+                f(self.world)
+            }
+        }
+
+        // Either delivery order of {original, duplicate}: the payload
+        // reaches the election core exactly once and the second copy
+        // bumps `duplicates_suppressed`.  An Ack into a non-engaged core
+        // is itself idempotently dropped, so the world metrics isolate
+        // the transport layer's behaviour.
+        let mut world = SurfaceWorld::standard(small_config());
+        let order = world.grid().block_ids_sorted();
+        world.set_module_mapping(order.clone());
+        let me = order[0];
+        let peer_index = 1usize;
+        let data = |msg: &Msg| Envelope::Data {
+            seq: 1,
+            msg: msg.clone(),
+        };
+        let msg = Msg::Ack {
+            iteration: 1,
+            son: order[peer_index],
+            shortest_distance: crate::messages::Distance::finite(3),
+            id_shortest: order[peer_index],
+            ties: 1,
+        };
+        for label in ["original-first", "duplicate-first"] {
+            let mut harness = BlockHarness::with_reliability(
+                ElectionCore::new(me, false, AlgorithmConfig::default()),
+                ReliabilityConfig::on(),
+            );
+            let mut sent = VecDeque::new();
+            let before = world.metrics().duplicates_suppressed;
+            // Two identical copies arrive; which one "is" the original is
+            // unknowable at the receiver, so both orders are this order.
+            harness.deliver(
+                peer_index,
+                data(&msg),
+                &mut NullTransport {
+                    world: &mut world,
+                    sent: &mut sent,
+                },
+            );
+            harness.deliver(
+                peer_index,
+                data(&msg),
+                &mut NullTransport {
+                    world: &mut world,
+                    sent: &mut sent,
+                },
+            );
+            assert_eq!(
+                world.metrics().duplicates_suppressed,
+                before + 1,
+                "{label}: exactly one copy suppressed"
+            );
+            // Both copies were acked (the duplicate re-acks in case the
+            // first ack was lost).
+            let acks = sent
+                .iter()
+                .filter(|(to, e)| {
+                    *to == peer_index && matches!(e, Envelope::DeliveryAck { seq: 1 })
+                })
+                .count();
+            assert_eq!(acks, 2, "{label}: every Data copy is acked");
+        }
+    }
+
+    /// End-to-end overtake coverage: a 100%-duplicating network with
+    /// independent per-copy delays (so copies overtake originals all the
+    /// time) completes with reliability on, and the suppression count
+    /// shows the window absorbed the copies.
+    #[test]
+    fn duplicating_network_with_overtakes_completes_under_reliability() {
+        let duplicating = NetworkModel::Duplicating {
+            latency: LatencyModel::Uniform {
+                min: SimDuration::micros(1),
+                max: SimDuration::micros(100),
+            },
+            dup_permille: 1000,
+        };
+        let world = SurfaceWorld::standard(small_config());
+        let mut sim = build_des_simulation(
+            world,
+            AlgorithmConfig::default(),
+            duplicating,
+            5,
+            ReliabilityConfig::on(),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.world().outcome(), Some(Outcome::Completed));
+        assert!(sim.world().path_complete());
+        assert!(
+            sim.world().metrics().duplicates_suppressed > 0,
+            "the window visibly absorbed duplicated copies"
+        );
+        assert_eq!(sim.world().metrics().delivery_failures, 0);
+    }
+
+    /// Retry-budget exhaustion is a clean, counted outcome: on a link
+    /// that drops everything, the sender runs out of retries, records a
+    /// `delivery_failure`, stalls the world and stops the run — the
+    /// simulation terminates by itself.
+    #[test]
+    fn retry_exhaustion_stalls_cleanly_instead_of_hanging() {
+        let black_hole = NetworkModel::Lossy {
+            latency: LatencyModel::Fixed(SimDuration::micros(10)),
+            drop_permille: 1000,
+        };
+        let world = SurfaceWorld::standard(small_config());
+        let mut sim = build_des_simulation(
+            world,
+            AlgorithmConfig::default(),
+            black_hole,
+            1,
+            ReliabilityConfig::on(),
+        );
+        sim.run_until_idle();
+        assert!(sim.is_stopped(), "the exhaustion path stops the run");
+        assert_eq!(sim.world().outcome(), Some(Outcome::Stalled));
+        assert!(sim.world().metrics().delivery_failures > 0);
+        assert_eq!(
+            sim.world().metrics().duplicates_suppressed,
+            0,
+            "nothing was ever delivered, let alone twice"
+        );
     }
 }

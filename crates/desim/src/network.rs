@@ -94,6 +94,23 @@ pub enum NetworkModel {
         /// Duplication probability in permille (0 ..= 1000).
         dup_permille: u16,
     },
+    /// Combined assumption-violation probe: heavy-tailed (log-uniform)
+    /// per-message latency, i.i.d. drop, and i.i.d. duplication on one
+    /// link — the harshest regime the fault probes sweep.  The drop draw
+    /// comes first; survivors may additionally be duplicated, the copy
+    /// delayed by an independent log-uniform sample (so it can overtake
+    /// the original).
+    Faulty {
+        /// Smallest delay (clamped to ≥ 1 µs).
+        min: Duration,
+        /// Largest delay.
+        max: Duration,
+        /// Drop probability in permille (0 ..= 1000).
+        drop_permille: u16,
+        /// Duplication probability in permille (0 ..= 1000), applied to
+        /// messages that were not dropped.
+        dup_permille: u16,
+    },
 }
 
 impl Default for NetworkModel {
@@ -234,6 +251,19 @@ impl NetworkState {
                 route.delivery = Some(latency.sample(&mut link.rng));
                 if link.rng.gen_ratio(u32::from(dup_permille.min(1000)), 1000) {
                     route.duplicate = Some(latency.sample(&mut link.rng));
+                }
+            }
+            NetworkModel::Faulty {
+                min,
+                max,
+                drop_permille,
+                dup_permille,
+            } => {
+                if !link.rng.gen_ratio(u32::from(drop_permille.min(1000)), 1000) {
+                    route.delivery = Some(log_uniform(&mut link.rng, min, max));
+                    if link.rng.gen_ratio(u32::from(dup_permille.min(1000)), 1000) {
+                        route.duplicate = Some(log_uniform(&mut link.rng, min, max));
+                    }
                 }
             }
         }
@@ -457,6 +487,70 @@ mod tests {
             }
         }
         assert!(overtakes > 0, "an independent copy sometimes overtakes");
+    }
+
+    #[test]
+    fn faulty_links_drop_duplicate_and_stay_in_latency_bounds() {
+        let model = NetworkModel::Faulty {
+            min: Duration::micros(1),
+            max: Duration::millis(10),
+            drop_permille: 300,
+            dup_permille: 300,
+        };
+        let mut net = NetworkState::new(model, 13);
+        let mut dropped = 0usize;
+        let mut duplicated = 0usize;
+        for _ in 0..2000 {
+            let route = net.route(0, 1);
+            match route.delivery {
+                None => {
+                    dropped += 1;
+                    assert!(route.duplicate.is_none(), "dropped messages cannot fork");
+                }
+                Some(delay) => {
+                    assert!((1..=10_000).contains(&delay.as_micros()));
+                    if let Some(copy) = route.duplicate {
+                        duplicated += 1;
+                        assert!((1..=10_000).contains(&copy.as_micros()));
+                    }
+                }
+            }
+        }
+        assert!(
+            (450..=750).contains(&dropped),
+            "~30% drop, got {dropped}/2000"
+        );
+        assert!(
+            duplicated > 250,
+            "survivors duplicate i.i.d., got {duplicated}"
+        );
+    }
+
+    #[test]
+    fn faulty_extremes_are_exact() {
+        let mut always_drop = NetworkState::new(
+            NetworkModel::Faulty {
+                min: Duration::micros(1),
+                max: Duration::micros(10),
+                drop_permille: 1000,
+                dup_permille: 1000,
+            },
+            1,
+        );
+        assert!((0..200).all(|_| always_drop.route(0, 1).delivery.is_none()));
+        let mut always_dup = NetworkState::new(
+            NetworkModel::Faulty {
+                min: Duration::micros(1),
+                max: Duration::micros(10),
+                drop_permille: 0,
+                dup_permille: 1000,
+            },
+            1,
+        );
+        assert!((0..200).all(|_| {
+            let r = always_dup.route(0, 1);
+            r.delivery.is_some() && r.duplicate.is_some()
+        }));
     }
 
     #[test]

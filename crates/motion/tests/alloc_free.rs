@@ -102,22 +102,26 @@ fn election_deliver_step_dispatch_allocates_nothing_after_warmup() {
     use sb_core::election::{AlgorithmConfig, ElectionCore, TieBreak};
     use sb_core::runtime::{BlockHarness, Color, Transport};
     use sb_core::workloads::column_instance;
-    use sb_core::{Msg, SurfaceWorld};
+    use sb_core::{Envelope, SurfaceWorld};
     use std::collections::VecDeque;
 
     /// A queue-backed test transport: sends append to a shared VecDeque,
     /// the stop flag is a bool — nothing allocates once the queue's
-    /// capacity is warm.
+    /// capacity is warm.  Reliability stays off, so every envelope is
+    /// `Raw` and no timers are ever armed.
     struct QueueTransport<'a> {
         world: &'a mut SurfaceWorld,
-        queue: &'a mut VecDeque<(usize, usize, Msg)>,
+        queue: &'a mut VecDeque<(usize, usize, Envelope)>,
         me: usize,
         stopped: &'a mut bool,
     }
 
     impl Transport for QueueTransport<'_> {
-        fn send(&mut self, target: usize, msg: Msg) {
-            self.queue.push_back((self.me, target, msg));
+        fn send(&mut self, target: usize, envelope: Envelope) {
+            self.queue.push_back((self.me, target, envelope));
+        }
+        fn set_timer(&mut self, _delay_us: u64, _tag: u64) {
+            unreachable!("reliability is off: the harness arms no timers");
         }
         fn request_stop(&mut self) {
             *self.stopped = true;
@@ -140,14 +144,14 @@ fn election_deliver_step_dispatch_allocates_nothing_after_warmup() {
         .iter()
         .map(|&b| BlockHarness::new(ElectionCore::new(b, b == root, algorithm)))
         .collect();
-    let mut queue: VecDeque<(usize, usize, Msg)> = VecDeque::new();
+    let mut queue: VecDeque<(usize, usize, Envelope)> = VecDeque::new();
     let mut stopped = false;
 
     // Runs one complete protocol execution (start + drain) and returns
     // the number of delivered messages.
     let run_round = |world: &mut SurfaceWorld,
                      harnesses: &mut Vec<BlockHarness>,
-                     queue: &mut VecDeque<(usize, usize, Msg)>,
+                     queue: &mut VecDeque<(usize, usize, Envelope)>,
                      stopped: &mut bool|
      -> usize {
         *stopped = false;
@@ -162,7 +166,7 @@ fn election_deliver_step_dispatch_allocates_nothing_after_warmup() {
             harness.start(&mut transport);
         }
         let mut delivered = 0usize;
-        while let Some((from, to, msg)) = queue.pop_front() {
+        while let Some((from, to, envelope)) = queue.pop_front() {
             delivered += 1;
             let mut transport = QueueTransport {
                 world,
@@ -170,7 +174,7 @@ fn election_deliver_step_dispatch_allocates_nothing_after_warmup() {
                 me: to,
                 stopped,
             };
-            harnesses[to].deliver(from, msg, &mut transport);
+            harnesses[to].deliver(from, envelope, &mut transport);
         }
         delivered
     };

@@ -1,0 +1,140 @@
+//! Fault-recovery gate: proves the reliable delivery layer repairs the
+//! assumption-violation probes, and fails the build if it does not.
+//!
+//! [`sb_bench::sweep::SweepPlan::fault_probes`] sweeps every workload
+//! family at small sizes across jitter bursts, i.i.d. drop at 1% and
+//! 10%, 1% i.i.d. duplication and the combined heavy-tail+drop+dup
+//! regime — each with reliability off (the measured damage) and on (the
+//! measured recovery).  This example runs the plan, prints both sides,
+//! writes the machine-readable `BENCH_fault_recovery.json` (sweep schema
+//! v5) and then **gates**: every reliability-on group must match the
+//! completion rate of its own benign reference (the jitter-bursts group
+//! of the same family and size, which respects Assumption 3).  For every
+//! group whose reference completes, that means `completed_rate == 1.0`
+//! on `drop_1pct` and `dup_1pct` — and on the harsher probes too;
+//! families that stall structurally at these sizes (zero-spare
+//! `minimal`, the thin `sparse_wide`/`high_aspect` shapes) stall under
+//! the benign reference as well, and the gate pins that the stall stays
+//! structural rather than becoming a loss-induced timeout.
+//!
+//! ```text
+//! cargo run --release --example fault_recovery
+//! ```
+
+use sb_bench::sweep::{Family, GroupSummary, SweepEngine, SweepPlan};
+
+fn print_groups(report: &sb_bench::sweep::SweepReport) {
+    println!(
+        "\n{:>11} {:>4} {:>17} {:>5} {:>9} {:>6} {:>8} {:>13} {:>13}",
+        "family",
+        "N",
+        "network",
+        "rel",
+        "complete",
+        "stall",
+        "timeout",
+        "messages p50",
+        "retrans p50"
+    );
+    for g in &report.groups {
+        println!(
+            "{:>11} {:>4} {:>17} {:>5} {:>8.0}% {:>5.0}% {:>7.0}% {:>13.0} {:>13.0}",
+            g.family.name(),
+            g.blocks,
+            g.network,
+            g.reliability,
+            g.completed_rate * 100.0,
+            g.stall_rate * 100.0,
+            g.timeout_rate * 100.0,
+            g.messages.p50,
+            g.retransmissions.p50,
+        );
+    }
+}
+
+fn main() {
+    let plan = SweepPlan::fault_probes();
+    let engine = SweepEngine::with_available_parallelism();
+    println!(
+        "fault-recovery gate: {} cells across {} workers…",
+        plan.cells().len(),
+        engine.workers()
+    );
+    let report = engine.run(&plan);
+    print_groups(&report);
+
+    let json = report.to_json();
+    match std::fs::write("BENCH_fault_recovery.json", &json) {
+        Ok(()) => println!(
+            "\nwrote BENCH_fault_recovery.json ({} groups, {} cells)",
+            report.groups.len(),
+            report.cells.len()
+        ),
+        Err(e) => eprintln!("\ncould not write BENCH_fault_recovery.json: {e}"),
+    }
+
+    // The benign reference per (family, N): jitter bursts respect
+    // Assumption 3, so this group's completion rate is what the instance
+    // does when no message is ever lost or duplicated.
+    let reference = |family: Family, blocks: usize| -> &GroupSummary {
+        report
+            .groups
+            .iter()
+            .find(|g| {
+                g.family == family
+                    && g.blocks == blocks
+                    && g.network == "jitter_bursts"
+                    && g.reliability == "on"
+            })
+            .expect("the fault-probe plan sweeps a benign reference group")
+    };
+
+    let mut failures = 0usize;
+    let mut completing_references = 0usize;
+    for g in &report.groups {
+        if g.reliability != "on" || g.network == "jitter_bursts" {
+            continue;
+        }
+        let expected = reference(g.family, g.blocks).completed_rate;
+        completing_references += usize::from(expected == 1.0);
+        if g.completed_rate != expected {
+            failures += 1;
+            eprintln!(
+                "GATE FAILURE: {} N={} {} (reliability on): completed_rate {:.3}, \
+                 benign reference {:.3}",
+                g.family.name(),
+                g.blocks,
+                g.network,
+                g.completed_rate,
+                expected
+            );
+        }
+        // Reliability-on runs must always reach a reported outcome — a
+        // timeout here would mean a message was silently lost for good,
+        // the exact hang the layer exists to eliminate.
+        if g.timeout_rate != 0.0 {
+            failures += 1;
+            eprintln!(
+                "GATE FAILURE: {} N={} {} (reliability on): timeout_rate {:.3} != 0",
+                g.family.name(),
+                g.blocks,
+                g.network,
+                g.timeout_rate
+            );
+        }
+    }
+    // The gate must not pass vacuously: the plan has to contain groups
+    // whose benign reference completes (the column and serpentine
+    // families do at these sizes), so `completed_rate == 1.0` is really
+    // being demanded of the drop/dup probes somewhere.
+    if completing_references == 0 {
+        failures += 1;
+        eprintln!("GATE FAILURE: no probe group has a completing benign reference");
+    }
+
+    if failures > 0 {
+        eprintln!("\nfault-recovery gate: {failures} group(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nfault-recovery gate: every reliability-on probe group recovered");
+}

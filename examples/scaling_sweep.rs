@@ -17,15 +17,19 @@
 //! engine's before/after throughput (`BinaryHeap` + boxed + eager-start
 //! baseline vs calendar queue + monomorphic arena, ring and election
 //! workloads up to N = 10⁵), and writes the versioned machine-readable
-//! `BENCH_planner.json` (schema v4, see `ROADMAP.md`) — per-group
+//! `BENCH_planner.json` (schema v5, see `ROADMAP.md`) — per-group
 //! aggregates, bisectable per-cell records, and the attached
 //! (host-dependent) throughput section — so the performance trajectory
 //! can be tracked across changes.
 //!
-//! It then smoke-runs the **fault-probe plan** — jitter bursts, 1% i.i.d.
-//! drop, 1% i.i.d. duplication — so the assumption-violation transport
-//! path executes on every CI run and its stall/timeout rates are printed
-//! as measured data.
+//! It then smoke-runs the **fault-probe plan** — jitter bursts, i.i.d.
+//! drop at 1% and 10%, 1% i.i.d. duplication and the combined
+//! heavy-tail+drop regime, each with the reliable delivery layer off and
+//! on — so the assumption-violation transport path and the
+//! ack/timeout/retransmit recovery path both execute on every CI run and
+//! their stall/timeout rates are printed as measured data.  The hard
+//! recovery *gate* (reliability on must restore the fault-free outcome)
+//! lives in `examples/fault_recovery.rs`.
 //!
 //! ```text
 //! cargo run --release --example scaling_sweep
@@ -155,12 +159,15 @@ fn main() {
     );
 
     // Assumption-violation probes: jitter bursts respect Assumption 3
-    // (finite time) and must still complete; i.i.d. drop deadlocks
-    // elections (timeouts), i.i.d. duplication perturbs ack counting
-    // (clean stalls).  These rates are the measurement.
+    // (finite time) and must still complete; i.i.d. drop deadlocks raw
+    // elections (timeouts), i.i.d. duplication perturbs raw ack counting
+    // (clean stalls) — and the reliability-on half of the plan repairs
+    // both.  These rates are the measurement; the hard recovery gate is
+    // `examples/fault_recovery.rs`.
     let fault_plan = SweepPlan::fault_probes();
     println!(
-        "\nfault probes: {} cells (jitter bursts, 1% drop, 1% duplication)…",
+        "\nfault probes: {} cells (jitter bursts, 1%/10% drop, 1% duplication, \
+         heavy-tail combined; reliability off/on)…",
         fault_plan.cells().len()
     );
     let fault_report = engine.run(&fault_plan);

@@ -8,7 +8,7 @@
 use sb_bench::sweep::Family;
 use smart_surface::core::election::AlgorithmConfig;
 use smart_surface::core::workloads::{column_instance, fig10_instance};
-use smart_surface::core::{ReconfigurationDriver, Termination, TieBreak};
+use smart_surface::core::{ReconfigurationDriver, ReliabilityConfig, Termination, TieBreak};
 use smart_surface::desim::{Duration as SimDuration, LatencyModel, NetworkModel};
 use std::time::Duration;
 
@@ -164,6 +164,39 @@ fn heterogeneous_and_bursty_networks_do_not_break_termination() {
             assert!(report.completed, "{network:?} seed {seed}: {report}");
             assert!(report.path_complete, "{network:?} seed {seed}");
         }
+    }
+}
+
+#[test]
+fn runtimes_agree_with_the_reliable_delivery_layer_enabled() {
+    // With reliability on, every send arms a retransmission timer: on the
+    // DES it fires as a simulated event, on the actor runtime through the
+    // timer thread (actor runs take far longer than the 1 ms base RTO, so
+    // wall-clock timers genuinely fire — usually finding their payload
+    // already acked, occasionally retransmitting after a scheduling
+    // hiccup, which the dedup window then absorbs).  The election logic
+    // sees exactly-once delivery either way, so under the deterministic
+    // LowestId tie-break both runtimes must agree on the hop sequence and
+    // final occupancy.
+    let algo = AlgorithmConfig {
+        tie_break: TieBreak::LowestId,
+        ..Default::default()
+    };
+    let driver = ReconfigurationDriver::new(column_instance(8, 0))
+        .with_algorithm(algo)
+        .with_reliability(ReliabilityConfig::on());
+    let des = driver.run_des();
+    let actors = driver.run_actors(Duration::from_secs(120));
+    assert!(des.completed, "{des}");
+    assert!(actors.completed, "{actors}");
+    assert!(actors.stopped && !actors.timed_out);
+    assert_eq!(des.final_ascii, actors.final_ascii);
+    assert_eq!(des.elementary_moves(), actors.elementary_moves());
+    // The layer was genuinely active on both runtimes: every payload was
+    // transport-acked, and no retry budget was ever exhausted.
+    for report in [&des, &actors] {
+        assert!(report.metrics.delivery_acks > 0, "{report}");
+        assert_eq!(report.metrics.delivery_failures, 0, "{report}");
     }
 }
 
