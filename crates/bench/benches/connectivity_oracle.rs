@@ -13,6 +13,15 @@
 //! sustain **at least 5×** the BFS throughput on these single-block
 //! probes (the PR 3 acceptance bar — the two must return identical
 //! verdicts, which the harness asserts).
+//!
+//! PR 7 adds the **carrying** probe set: the two-move batches the
+//! catalogue's carrying rules emit — hand-over chains `[(a, d), (b, a)]`
+//! (net effect: one block relocates) and genuine two-cell vacates
+//! `[(a, d1), (b, d2)]` (a separating-pair question on the block-cut
+//! tree).  Before PR 7 every such batch fell through to the BFS; now the
+//! harness asserts batch-for-batch verdict identity *and* pins the
+//! fallback-probe count for hand-over chains on connected instances to
+//! zero, then times `bfs_per_carrying_batch` against `oracle_carrying`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sb_bench::sweep::Family;
@@ -43,6 +52,41 @@ fn probe_set(cfg: &SurfaceConfig) -> Vec<(Pos, Pos)> {
         }
     }
     probes
+}
+
+/// The carrying probe set of one world state: for every occupied
+/// adjacent pair `(a, b)`, the hand-over chains `[(a, d), (b, a)]` (the
+/// carried block steps into the carrier's cell — every carrying rule in
+/// the catalogue has this shape) plus the genuine two-cell vacates
+/// `[(a, d1), (b, d2)]` with both destinations free (the separating-pair
+/// question).  Destination fan-out is capped so the set stays
+/// O(blocks)-sized across families.
+fn carrying_set(cfg: &SurfaceConfig) -> Vec<[(Pos, Pos); 2]> {
+    let grid = cfg.grid();
+    let mut batches = Vec::new();
+    for (_, a) in grid.blocks() {
+        for b in a.neighbors4() {
+            if !grid.is_occupied(b) {
+                continue;
+            }
+            let free_near = |c: Pos| {
+                c.neighbors4()
+                    .into_iter()
+                    .filter(|&d| d != a && d != b && grid.is_free(d))
+            };
+            // Hand-over chains: a vacates to d, b refills a's cell.
+            for d in free_near(a).take(2) {
+                batches.push([(a, d), (b, a)]);
+            }
+            // Two-cell vacates: a and b leave simultaneously.
+            for d1 in free_near(a).take(1) {
+                for d2 in free_near(b).filter(|&d2| d2 != d1).take(2) {
+                    batches.push([(a, d1), (b, d2)]);
+                }
+            }
+        }
+    }
+    batches
 }
 
 fn bench_connectivity_oracle(c: &mut Criterion) {
@@ -103,6 +147,73 @@ fn bench_connectivity_oracle(c: &mut Criterion) {
                     let mut admitted = 0usize;
                     for &(from, to) in probes {
                         admitted += usize::from(oracle.preserves_connectivity(grid, &[(from, to)]));
+                    }
+                    black_box(admitted)
+                })
+            },
+        );
+
+        let batches = carrying_set(&cfg);
+        assert!(
+            !batches.is_empty(),
+            "{}: no carrying batches",
+            family.name()
+        );
+
+        // Batch-for-batch agreement first, and — on connected instances —
+        // the PR 7 pin: hand-over chains never reach the BFS (the
+        // net-effect reduction answers them from the block-cut tree).
+        {
+            let mut oracle = ConnectivityOracle::new();
+            let mut scratch = ConnectivityScratch::new();
+            let connected = is_connected_after(grid, &[], &mut scratch);
+            for batch in &batches {
+                assert_eq!(
+                    oracle.preserves_connectivity(grid, batch),
+                    is_connected_after(grid, batch, &mut scratch),
+                    "{}: carrying verdict mismatch on {:?}",
+                    family.name(),
+                    batch
+                );
+            }
+            if connected {
+                let before = oracle.fallback_probes();
+                for batch in batches.iter().filter(|b| b[1].1 == b[0].0) {
+                    oracle.preserves_connectivity(grid, batch);
+                }
+                assert_eq!(
+                    oracle.fallback_probes(),
+                    before,
+                    "{}: a hand-over chain fell back to the BFS",
+                    family.name()
+                );
+            }
+        }
+
+        let mut scratch = ConnectivityScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("bfs_per_carrying_batch", family.name()),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut admitted = 0usize;
+                    for batch in batches {
+                        admitted += usize::from(is_connected_after(grid, batch, &mut scratch));
+                    }
+                    black_box(admitted)
+                })
+            },
+        );
+
+        let mut oracle = ConnectivityOracle::new();
+        group.bench_with_input(
+            BenchmarkId::new("oracle_carrying", family.name()),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut admitted = 0usize;
+                    for batch in batches {
+                        admitted += usize::from(oracle.preserves_connectivity(grid, batch));
                     }
                     black_box(admitted)
                 })

@@ -27,7 +27,7 @@
 //! identical for any worker count**.  The regression test
 //! `crates/bench/tests/sweep_engine.rs` pins this property.
 //!
-//! ## JSON schema (version 5)
+//! ## JSON schema (version 6)
 //!
 //! [`SweepReport::to_json`] renders the versioned machine-readable record
 //! published by CI as `BENCH_planner.json`; the field-by-field schema is
@@ -41,7 +41,12 @@
 //! untouched).  v5 adds the reliability axis: a `reliability` identity
 //! field on every group and cell plus the per-cell reliable-delivery
 //! counters (`retransmissions`, `duplicates_suppressed`, `delivery_acks`,
-//! `delivery_failures`).
+//! `delivery_failures`).  v6 adds the connectivity-oracle observability
+//! counters (`connectivity_rebuilds` and `connectivity_fallback_probes`
+//! per cell, fallback stats per group) so the O(1) carrying-batch probe
+//! guarantee is measured data; the counters are outputs only and do
+//! **not** enter [`SweepCell::cell_seed`], so every v5 cell seed
+//! survives unchanged.
 
 use crate::throughput::ThroughputPoint;
 use sb_core::election::TieBreak;
@@ -62,8 +67,10 @@ use std::time::Duration as WallDuration;
 /// per-cell `cells` records (identity + cell seed + outcome + counters)
 /// and the optional `desim_throughput` section; v5 added the reliability
 /// axis (a `reliability` identity field everywhere plus the per-cell
-/// retransmission/dedup/ack/failure counters).
-pub const SWEEP_SCHEMA_VERSION: u32 = 5;
+/// retransmission/dedup/ack/failure counters); v6 added the
+/// connectivity-oracle counters (per-cell rebuild/fallback, per-group
+/// fallback stats) without touching the cell-seed hash.
+pub const SWEEP_SCHEMA_VERSION: u32 = 6;
 
 /// The scenario families the sweep can draw workloads from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -542,6 +549,12 @@ pub struct CellMeasurement {
     pub delivery_acks: u64,
     /// Messages abandoned after exhausting the retry budget.
     pub delivery_failures: u64,
+    /// Full Tarjan passes run by the world's connectivity oracle.
+    pub connectivity_rebuilds: u64,
+    /// Remark 1 probes that left the O(1) block-cut-tree path for the
+    /// O(N) scratch BFS — ~0 on the standard families, so any growth is
+    /// a fast-path regression visible in `BENCH_planner.json`.
+    pub connectivity_fallback_probes: u64,
     /// Wall-clock duration of the run (excluded from the JSON record,
     /// which must be deterministic).
     pub wall: WallDuration,
@@ -598,6 +611,8 @@ pub fn run_cell(cell: &SweepCell, plan_seed: u64) -> CellMeasurement {
         duplicates_suppressed: report.metrics.duplicates_suppressed,
         delivery_acks: report.metrics.delivery_acks,
         delivery_failures: report.metrics.delivery_failures,
+        connectivity_rebuilds: report.metrics.connectivity_rebuilds,
+        connectivity_fallback_probes: report.metrics.connectivity_fallback_probes,
         wall: report.wall_time,
     }
 }
@@ -705,6 +720,10 @@ pub struct GroupSummary {
     /// Reliable-delivery retransmissions per run (all-zero when the
     /// group's reliability is off).
     pub retransmissions: Stats,
+    /// Connectivity-oracle BFS fallbacks per run (~0 on the standard
+    /// families: every carrying batch reduces to an O(1) block-cut-tree
+    /// probe, so growth here flags a fast-path regression).
+    pub connectivity_fallback_probes: Stats,
 }
 
 /// Outcome of one sweep: per-cell measurements plus per-group aggregates.
@@ -767,7 +786,7 @@ impl SweepReport {
                  \"elections\": {}, \"messages\": {},\n     \
                  \"moves\": {}, \"distance_computations\": {},\n     \
                  \"sim_time_us\": {}, \"events_per_sim_sec\": {},\n     \
-                 \"retransmissions\": {}}}",
+                 \"retransmissions\": {}, \"connectivity_fallback_probes\": {}}}",
                 g.family.name(),
                 g.blocks,
                 g.network,
@@ -785,6 +804,7 @@ impl SweepReport {
                 stats_json(&g.sim_time_us),
                 stats_json(&g.events_per_sim_sec),
                 stats_json(&g.retransmissions),
+                stats_json(&g.connectivity_fallback_probes),
             );
             out.push_str(if i + 1 < self.groups.len() {
                 ",\n"
@@ -807,7 +827,8 @@ impl SweepReport {
                  \"elections\": {}, \"messages\": {}, \"moves\": {}, \
                  \"distance_computations\": {}, \"sim_time_us\": {}, \"events\": {},\n     \
                  \"retransmissions\": {}, \"duplicates_suppressed\": {}, \
-                 \"delivery_acks\": {}, \"delivery_failures\": {}}}",
+                 \"delivery_acks\": {}, \"delivery_failures\": {},\n     \
+                 \"connectivity_rebuilds\": {}, \"connectivity_fallback_probes\": {}}}",
                 c.cell.family.name(),
                 c.cell.blocks,
                 c.cell.workload_seed,
@@ -827,6 +848,8 @@ impl SweepReport {
                 c.duplicates_suppressed,
                 c.delivery_acks,
                 c.delivery_failures,
+                c.connectivity_rebuilds,
+                c.connectivity_fallback_probes,
             );
             out.push_str(if i + 1 < self.cells.len() {
                 ",\n"
@@ -944,6 +967,7 @@ fn summarize_group(chunk: &[CellMeasurement]) -> GroupSummary {
         sim_time_us: stats(|c| c.sim_time_us as f64),
         events_per_sim_sec: stats(CellMeasurement::events_per_sim_sec),
         retransmissions: stats(|c| c.retransmissions as f64),
+        connectivity_fallback_probes: stats(|c| c.connectivity_fallback_probes as f64),
     }
 }
 
@@ -997,6 +1021,29 @@ mod tests {
             on.cell_seed(plan.plan_seed),
             "enabling reliability must decorrelate the cell seed"
         );
+    }
+
+    #[test]
+    fn standard_family_cells_report_zero_connectivity_fallbacks() {
+        // The v6 observability counters, end to end: a full DES run on a
+        // standard-plan cell must answer every Remark 1 probe — single
+        // moves and carrying batches alike — from the O(1) block-cut-tree
+        // path, and the measurement must surface that as data.
+        let plan = SweepPlan::smoke();
+        for cell in plan.cells().iter().take(2) {
+            let m = run_cell(cell, plan.plan_seed);
+            assert!(
+                m.connectivity_rebuilds > 0,
+                "{}: the run must have probed the oracle",
+                cell.family.name()
+            );
+            assert_eq!(
+                m.connectivity_fallback_probes,
+                0,
+                "{}: a probe left the O(1) block-cut-tree path",
+                cell.family.name()
+            );
+        }
     }
 
     #[test]

@@ -288,7 +288,7 @@ impl ReconfigurationDriver {
             stalled: world.outcome() == Some(Outcome::Stalled),
             path_complete: world.path_complete(),
             output_occupied: world.output_occupied(),
-            metrics: *world.metrics(),
+            metrics: world.metrics_with_connectivity(),
             move_log: world.move_log().to_vec(),
             rule_names: world
                 .planner()

@@ -59,6 +59,15 @@ pub struct Metrics {
     /// each converts the run into a clean `Stalled` outcome instead of a
     /// silent hang.
     pub delivery_failures: u64,
+    /// Number of full Tarjan passes the world's connectivity oracle ran
+    /// (one per world state whose occupancy delta could not be absorbed
+    /// by an incremental block-cut-tree patch).
+    pub connectivity_rebuilds: u64,
+    /// Number of Remark 1 admission probes the world's connectivity
+    /// oracle could *not* answer in O(1) from its block-cut-tree state
+    /// and routed to the O(N) scratch BFS.  ~0 on the standard families:
+    /// the regression signal that a probe shape fell off the fast path.
+    pub connectivity_fallback_probes: u64,
 }
 
 impl Metrics {
@@ -94,6 +103,8 @@ impl Metrics {
         self.duplicates_suppressed += other.duplicates_suppressed;
         self.delivery_acks += other.delivery_acks;
         self.delivery_failures += other.delivery_failures;
+        self.connectivity_rebuilds += other.connectivity_rebuilds;
+        self.connectivity_fallback_probes += other.connectivity_fallback_probes;
     }
 }
 
@@ -127,6 +138,16 @@ impl fmt::Display for Metrics {
         }
         if self.delivery_failures > 0 {
             write!(f, " delivery-failures={}", self.delivery_failures)?;
+        }
+        if self.connectivity_rebuilds > 0 {
+            write!(f, " connectivity-rebuilds={}", self.connectivity_rebuilds)?;
+        }
+        if self.connectivity_fallback_probes > 0 {
+            write!(
+                f,
+                " connectivity-fallback-probes={}",
+                self.connectivity_fallback_probes
+            )?;
         }
         Ok(())
     }

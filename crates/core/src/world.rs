@@ -571,6 +571,20 @@ impl SurfaceWorld {
         &self.metrics
     }
 
+    /// A copy of the accumulated metrics with the connectivity oracle's
+    /// lifetime counters folded in — the rebuild count and the number of
+    /// Remark 1 probes that had to leave the O(1) block-cut-tree path
+    /// for the scratch BFS.  The oracle lives in the world's occupancy
+    /// cache rather than in `Metrics` (its counters advance inside
+    /// immutable probes), so reporting snapshots them on demand.
+    pub fn metrics_with_connectivity(&self) -> Metrics {
+        let cache = self.cache.borrow();
+        let mut metrics = self.metrics;
+        metrics.connectivity_rebuilds = cache.oracle.rebuilds();
+        metrics.connectivity_fallback_probes = cache.oracle.fallback_probes();
+        metrics
+    }
+
     /// Mutable access to the metrics (used by the runtimes to count
     /// messages).
     pub fn metrics_mut(&mut self) -> &mut Metrics {

@@ -19,23 +19,59 @@
 //! L-corner block sliding diagonally around its own corner), and the DFS
 //! tree's preorder intervals decide exactly whether the destination
 //! touches every piece (`ConnectivityOracle::cut_source_move_connects`).
-//! The probes the mask genuinely cannot decide fall back to the scratch
-//! BFS, so the oracle is **bit-for-bit equivalent** to
+//!
+//! ## The batch (carrying) probe contract
+//!
+//! Multi-block batches are decided by the same block-cut-tree machinery
+//! via a **net-effect reduction**: the post-move board is
+//! `(occupancy \ sources) ∪ destinations`, so a cell both vacated and
+//! refilled by the batch (the hand-over cells of every catalogue carrying
+//! chain) cancels out of the overlay.  What remains is the batch's *net*
+//! vacated/filled set:
+//!
+//! * net-empty batches answer from the memoised component count;
+//! * a single net pair — **every** catalogue carrying rule reduces to
+//!   one, because their moves chain head-to-tail — routes through the
+//!   same O(1) single-move verdict as a plain move;
+//! * a genuine two-cell vacate is decided by separating-pair reasoning on
+//!   the DFS tree when the pair is a tree edge
+//!   (`ConnectivityOracle::pair_vacate_verdict`): removing adjacent `u`
+//!   (parent) and `v` (child) shatters the graph into the tree children
+//!   of both plus the remainder above `u`, each child subtree attaching
+//!   to the remainder iff `low < disc[u]` — back edges from those
+//!   subtrees can only land on `u`, `v`, inside themselves, or strictly
+//!   above `u` — and a ≤9-element union-find over those pieces plus the
+//!   two destinations settles connectivity exactly.
+//!
+//! The probes the structure genuinely cannot decide — already
+//! disconnected states, back-edge vacated pairs, net effects wider than
+//! two cells — fall back to the scratch BFS, so the oracle is
+//! **bit-for-bit equivalent** to
 //! [`crate::connectivity::is_connected_after`] on every geometrically
-//! valid batch:
+//! valid batch.
 //!
-//! * multi-block (carrying) batches — vacating two cells at once is not
-//!   captured by single-vertex removal;
-//! * states that are already disconnected (the mask describes components,
-//!   not how a move might merge them).
-//!
-//! ## Invalidation
+//! ## Invalidation and incremental updates
 //!
 //! The oracle is keyed by [`OccupancyGrid::epoch`], the grid's globally
-//! unique occupancy version: the first probe after any mutation rebuilds
-//! the mask, later probes reuse it.  There is no subscription or manual
-//! invalidation — holding one oracle and probing many different grids is
-//! safe (each rebuild is tagged with the grid's own epoch).
+//! unique occupancy version: the first probe after any mutation refreshes
+//! the structure, later probes reuse it.  There is no subscription or
+//! manual invalidation — holding one oracle and probing many different
+//! grids is safe (each refresh is tagged with the grid's own epoch).
+//!
+//! A refresh is **incremental** when the occupancy diff against the
+//! previous build's snapshot is a leaf relocation: a non-root tree leaf
+//! vacated and/or a cell landing with exactly one occupied neighbour.
+//! Leaf removal never influenced any ancestor's low-link, so only the
+//! support's cut bit is recomputed (O(1)); a landed leaf `t` on support
+//! `r` is grafted as `parent[t] = r`, `disc[t] = low[t] = high[t] =
+//! disc[r]` — sharing the support's preorder stamp keeps every interval
+//! test exact, because `t`'s piece is `r`'s piece under any removal that
+//! is not `r` itself, and under `s = r` the stamp forms `t`'s own
+//! degenerate split interval.  At most one such aliased leaf may hang per
+//! support and aliased leaves never serve as supports (both guards force
+//! a rebuild), so stamp collisions stay unambiguous.  Everything else —
+//! wider diffs, interior vacates, root removals — rebuilds the full DFS,
+//! exactly as before.
 //!
 //! All buffers are retained across rebuilds, so after one warm-up rebuild
 //! per grid size the oracle performs **no heap allocation** (asserted by
@@ -74,10 +110,18 @@ pub struct ConnectivityOracle {
     high: Vec<u32>,
     /// Explicit DFS stack: `y << 33 | x << 3 | next_direction`.
     stack: Vec<u64>,
+    /// Occupancy snapshot of the state the tree above describes (word
+    /// layout identical to the grid's): diffed against the live board on
+    /// an epoch change to patch leaf relocations without a full rebuild.
+    board: Vec<u64>,
+    /// `(width, height)` of the snapshot's surface — a dimension change
+    /// makes the word layout incomparable and forces a rebuild.
+    board_dims: (u32, u32),
     /// Scratch for the BFS fallback.
     bfs: ConnectivityScratch,
     /// Lifetime counters (observability for benches and tests).
     rebuilds: u64,
+    incremental_updates: u64,
     fast_probes: u64,
     fallback_probes: u64,
 }
@@ -93,51 +137,70 @@ impl ConnectivityOracle {
     /// [`connectivity::is_connected_after`] (the batch must already be
     /// geometrically valid), with identical answers.
     ///
-    /// Single-block batches whose source is not a cut vertex are answered
-    /// in O(1) from the memoised mask; everything else falls back to the
-    /// scratch BFS.
+    /// The batch is first reduced to its *net* vacated/filled cells
+    /// (overlay semantics cancel a cell both vacated and refilled, which
+    /// covers every catalogue carrying chain); net-empty, net-single and
+    /// tree-edge net-pair batches are answered in O(1) from the memoised
+    /// block-cut-tree state, everything else falls back to the scratch
+    /// BFS (see the module docs for the exact contract).
     pub fn preserves_connectivity(&mut self, grid: &OccupancyGrid, moves: &[(Pos, Pos)]) -> bool {
         if grid.block_count() <= 1 {
             return true;
         }
-        match moves {
-            [] => {
-                // Empty batch: the post-move board is the current board.
-                self.ensure_fresh(grid);
-                self.fast_probes += 1;
-                return self.components <= 1;
-            }
-            &[(from, to)] => {
-                self.ensure_fresh(grid);
-                if self.components == 1 {
-                    if from == to {
-                        // Vacated and refilled in the same batch: no-op.
-                        self.fast_probes += 1;
-                        return true;
-                    }
-                    if !self.cut_bit(grid, from) {
-                        // Removing a non-cut block keeps the rest in one
-                        // piece; the mover stays attached iff its
-                        // destination touches any block it is not itself
-                        // vacating.
-                        self.fast_probes += 1;
-                        return to
-                            .neighbors4()
-                            .iter()
-                            .any(|&q| q != from && grid.is_occupied(q));
-                    }
-                    // Cut-vertex source: still O(1) — removing `from`
-                    // splits the rest into known pieces (the split DFS
-                    // subtrees plus the remainder), and the move keeps
-                    // everything connected iff the destination touches
-                    // all of them.
-                    if let Some(verdict) = self.cut_source_move_connects(grid, from, to) {
-                        self.fast_probes += 1;
-                        return verdict;
+        self.ensure_fresh(grid);
+        // Net-effect reduction.  The post-move board is
+        // `(occupancy \ sources) ∪ destinations`, so only cells vacated
+        // and never refilled (respectively filled and never vacated)
+        // change occupancy; a batch is connectivity-preserving iff its
+        // net relocation is.  Catalogue batches hold at most a handful
+        // of moves — anything wider skips straight to the BFS.
+        const MAX_NET: usize = 8;
+        if moves.len() <= MAX_NET {
+            let zero = Pos::new(0, 0);
+            let mut vacated = [zero; MAX_NET];
+            let mut filled = [zero; MAX_NET];
+            let (mut nv, mut nf) = (0usize, 0usize);
+            'sources: for &(s, _) in moves {
+                for &(_, d) in moves {
+                    if d == s {
+                        continue 'sources;
                     }
                 }
+                if !vacated[..nv].contains(&s) {
+                    vacated[nv] = s;
+                    nv += 1;
+                }
             }
-            _ => {}
+            'destinations: for &(_, d) in moves {
+                for &(s, _) in moves {
+                    if s == d {
+                        continue 'destinations;
+                    }
+                }
+                if !filled[..nf].contains(&d) {
+                    filled[nf] = d;
+                    nf += 1;
+                }
+            }
+            let verdict = match (nv, nf) {
+                // The net-empty batch leaves the board as it stands.
+                (0, 0) => Some(self.components <= 1),
+                // One net cell out, one in: exactly the single-move
+                // shape, whether or not the two are adjacent.
+                (1, 1) if self.components == 1 => {
+                    self.single_move_verdict(grid, vacated[0], filled[0])
+                }
+                // A genuine pair vacate: separating-pair reasoning on
+                // the DFS tree.
+                (2, 2) => {
+                    self.pair_vacate_verdict(grid, (vacated[0], vacated[1]), (filled[0], filled[1]))
+                }
+                _ => None,
+            };
+            if let Some(connected) = verdict {
+                self.fast_probes += 1;
+                return connected;
+            }
         }
         self.fallback_probes += 1;
         connectivity::is_connected_after(grid, moves, &mut self.bfs)
@@ -164,10 +227,16 @@ impl ConnectivityOracle {
         &self.cut[..grid.occupancy_words().len()]
     }
 
-    /// How many times the Tarjan pass ran (once per distinct world state
-    /// probed).
+    /// How many times the full Tarjan pass ran (once per probed world
+    /// state whose delta could not be absorbed incrementally).
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds
+    }
+
+    /// Epoch changes absorbed by an O(1) incremental patch (leaf
+    /// relocations and occupancy-identical clones) instead of a rebuild.
+    pub fn incremental_updates(&self) -> u64 {
+        self.incremental_updates
     }
 
     /// Probes answered in O(1) from the mask.
@@ -184,6 +253,158 @@ impl ConnectivityOracle {
     fn cut_bit(&self, grid: &OccupancyGrid, pos: Pos) -> bool {
         let (w, b) = grid.word_bit(pos);
         self.cut[w] >> b & 1 != 0
+    }
+
+    /// O(1) verdict for a net single-cell relocation `from → to` on a
+    /// connected ensemble (`from` occupied, `to` free, `from != to`).
+    /// `None` only on the defensive inconsistency paths of
+    /// [`ConnectivityOracle::cut_source_move_connects`].
+    fn single_move_verdict(&self, grid: &OccupancyGrid, from: Pos, to: Pos) -> Option<bool> {
+        if !self.cut_bit(grid, from) {
+            // Removing a non-cut block keeps the rest in one piece; the
+            // mover stays attached iff its destination touches any block
+            // it is not itself vacating.
+            return Some(
+                to.neighbors4()
+                    .iter()
+                    .any(|&q| q != from && grid.is_occupied(q)),
+            );
+        }
+        // Cut-vertex source: removing `from` splits the rest into known
+        // pieces (the split DFS subtrees plus the remainder), and the
+        // move keeps everything connected iff the destination touches
+        // all of them.
+        self.cut_source_move_connects(grid, from, to)
+    }
+
+    /// Exact O(1) verdict for a batch whose net effect vacates the two
+    /// cells of `pair` and fills the two cells of `dests`, provided the
+    /// vacated pair is a **tree edge** of the DFS (parent `u`, child `v`).
+    ///
+    /// Removing `u` and `v` together shatters the component into the tree
+    /// children of `v`, the other tree children of `u`, and — for a
+    /// non-root `u` — the remainder above `u`.  Grid DFS trees have no
+    /// cross edges, so a back edge escaping one of those child subtrees
+    /// can only land on `u`, `v` or a proper ancestor of `u`: the subtree
+    /// reattaches to the remainder iff `low < disc[u]`, and is otherwise
+    /// an isolated piece.  A ≤9-element union-find over the pieces, the
+    /// remainder and the two destinations then decides connectivity; a
+    /// neighbour's piece is found by interval membership against the
+    /// `[disc, high]` preorder stamps.
+    ///
+    /// `None` routes to the BFS: disconnected states, back-edge pairs
+    /// (where low-links alone cannot place the middle region), occupancy
+    /// mismatches, or stale-state inconsistencies.
+    fn pair_vacate_verdict(
+        &self,
+        grid: &OccupancyGrid,
+        pair: (Pos, Pos),
+        dests: (Pos, Pos),
+    ) -> Option<bool> {
+        if self.components != 1 {
+            return None;
+        }
+        let (a, b) = pair;
+        let (d1, d2) = dests;
+        if !grid.is_occupied(a) || !grid.is_occupied(b) || !grid.is_free(d1) || !grid.is_free(d2) {
+            // A net pair of a geometrically valid batch vacates occupied
+            // cells and fills free ones; anything else is exact only
+            // under the overlay semantics of the BFS.
+            return None;
+        }
+        let width = grid.bounds().width as usize;
+        let index = |p: Pos| p.y as usize * width + p.x as usize;
+        // Orient the pair along its tree edge: `v` a direct child of `u`.
+        let (u, v) = if self.parent[index(b)] == index(a) as u32 {
+            (a, b)
+        } else if self.parent[index(a)] == index(b) as u32 {
+            (b, a)
+        } else {
+            return None;
+        };
+        let (u_idx, v_idx) = (index(u), index(v));
+        let u_is_root = self.parent[u_idx] == NO_PARENT;
+        let (u_disc, u_high) = (self.disc[u_idx], self.high[u_idx]);
+
+        // Child pieces: `(disc, high, attaches to the remainder)`.  At
+        // most three per vacated cell (one neighbour slot is the tree
+        // edge between them).
+        let mut pieces = [(0u32, 0u32, false); 6];
+        let mut k = 0usize;
+        for (centre, centre_idx, skip) in [(v, v_idx, u), (u, u_idx, v)] {
+            for c in centre.neighbors4() {
+                if c == skip || !grid.is_occupied(c) {
+                    continue;
+                }
+                let c_idx = index(c);
+                if self.parent[c_idx] == centre_idx as u32 {
+                    pieces[k] = (self.disc[c_idx], self.high[c_idx], self.low[c_idx] < u_disc);
+                    k += 1;
+                }
+            }
+        }
+
+        // Union-find ids: `0..k` child pieces, `k` the remainder above
+        // `u`, `k + 1` / `k + 2` the destinations.
+        let remainder = k;
+        let (d1_id, d2_id) = (k + 1, k + 2);
+        let mut dsu: [u8; 9] = [0, 1, 2, 3, 4, 5, 6, 7, 8];
+        fn find(dsu: &mut [u8; 9], mut i: usize) -> usize {
+            while dsu[i] as usize != i {
+                dsu[i] = dsu[dsu[i] as usize];
+                i = dsu[i] as usize;
+            }
+            i
+        }
+        fn union(dsu: &mut [u8; 9], i: usize, j: usize) {
+            let (ri, rj) = (find(dsu, i), find(dsu, j));
+            dsu[ri] = rj as u8;
+        }
+        for (i, &(_, _, attached)) in pieces[..k].iter().enumerate() {
+            if attached {
+                if u_is_root {
+                    // The root holds the minimum preorder stamp of its
+                    // component: nothing can attach above it.
+                    return None;
+                }
+                union(&mut dsu, i, remainder);
+            }
+        }
+        // Piece of an occupied neighbour `q ∉ {u, v}`.
+        let classify = |q: Pos| -> Option<usize> {
+            let dq = self.disc[index(q)];
+            if !(u_disc..=u_high).contains(&dq) {
+                return if u_is_root { None } else { Some(remainder) };
+            }
+            pieces[..k]
+                .iter()
+                .position(|&(lo, hi, _)| (lo..=hi).contains(&dq))
+        };
+        for (d, d_id) in [(d1, d1_id), (d2, d2_id)] {
+            for q in d.neighbors4() {
+                if q == d1 || q == d2 {
+                    // A destination's neighbour equal to the *other*
+                    // destination links the two movers directly.
+                    union(&mut dsu, d1_id, d2_id);
+                    continue;
+                }
+                if q == u || q == v || !grid.is_occupied(q) {
+                    continue;
+                }
+                union(&mut dsu, d_id, classify(q)?);
+            }
+        }
+        // Connected iff every live piece shares one union-find root.
+        let reference = find(&mut dsu, d1_id);
+        for i in 0..k {
+            if find(&mut dsu, i) != reference {
+                return Some(false);
+            }
+        }
+        if !u_is_root && find(&mut dsu, remainder) != reference {
+            return Some(false);
+        }
+        Some(find(&mut dsu, d2_id) == reference)
     }
 
     /// Exact verdict for a single-block move whose source `s` **is** a cut
@@ -260,8 +481,210 @@ impl ConnectivityOracle {
 
     #[inline]
     fn ensure_fresh(&mut self, grid: &OccupancyGrid) {
-        if self.built_epoch != Some(grid.epoch()) {
+        let epoch = grid.epoch();
+        if self.built_epoch == Some(epoch) {
+            return;
+        }
+        if self.built_epoch.is_some() && self.try_incremental(grid) {
+            self.built_epoch = Some(epoch);
+            self.incremental_updates += 1;
+        } else {
             self.rebuild(grid);
+        }
+    }
+
+    /// Attempts to absorb the occupancy delta against the snapshot of the
+    /// previous build without re-running the DFS.  Succeeds exactly when
+    /// the diff is empty (an occupancy-identical grid under a new epoch)
+    /// or a leaf relocation patchable in O(1) (see
+    /// [`ConnectivityOracle::patch_leaf_delta`]).
+    fn try_incremental(&mut self, grid: &OccupancyGrid) -> bool {
+        let bounds = grid.bounds();
+        let words = grid.occupancy_words();
+        if self.board_dims != (bounds.width, bounds.height) || self.board.len() != words.len() {
+            return false;
+        }
+        let words_per_row = grid.words_per_row();
+        let mut vacated: Option<Pos> = None;
+        let mut landed: Option<Pos> = None;
+        for (w, (&now, &then)) in words.iter().zip(self.board.iter()).enumerate() {
+            let mut diff = now ^ then;
+            while diff != 0 {
+                let bit = diff.trailing_zeros();
+                diff &= diff - 1;
+                let pos = Pos::new(
+                    ((w % words_per_row) * 64) as i32 + bit as i32,
+                    (w / words_per_row) as i32,
+                );
+                let slot = if now >> bit & 1 != 0 {
+                    &mut landed
+                } else {
+                    &mut vacated
+                };
+                if slot.is_some() {
+                    // Wider than a single relocation: rebuild.
+                    return false;
+                }
+                *slot = Some(pos);
+            }
+        }
+        match (vacated, landed) {
+            (None, None) => true,
+            (f, t) => self.patch_leaf_delta(grid, f, t),
+        }
+    }
+
+    /// O(1) structural patch for a leaf relocation: `f` (if any) vacated,
+    /// `t` (if any) landed, relative to the snapshot in `self.board`.
+    ///
+    /// The patch applies exactly when the vacated cell was a **non-root
+    /// tree leaf** (its one old neighbour is its DFS parent — such a leaf
+    /// never influenced any ancestor's low-link, so only its support's
+    /// cut bit needs recomputing) and the landed cell is a **leaf in the
+    /// new state** whose single neighbour `r` is a genuine (non-aliased,
+    /// not-yet-aliasing) support: `t` is grafted with `parent[t] = r` and
+    /// `disc[t] = low[t] = high[t] = disc[r]`, which keeps every preorder
+    /// interval test exact (module docs).  Any other shape returns
+    /// `false` and the caller rebuilds.  Component count is invariant
+    /// under both half-patches.
+    fn patch_leaf_delta(&mut self, grid: &OccupancyGrid, f: Option<Pos>, t: Option<Pos>) -> bool {
+        let bounds = grid.bounds();
+        let width = bounds.width as usize;
+        let index = |p: Pos| p.y as usize * width + p.x as usize;
+        let old_occupied = |p: Pos| -> bool {
+            bounds.contains(p) && {
+                let (w, b) = grid.word_bit(p);
+                self.board[w] >> b & 1 != 0
+            }
+        };
+
+        // Feasibility of the vacate half: `f` must hang as a non-root
+        // tree leaf on its unique old neighbour.
+        let vacate = if let Some(f) = f {
+            let f_idx = index(f);
+            if self.parent[f_idx] == NO_PARENT {
+                return false;
+            }
+            let mut support = None;
+            for n in f.neighbors4() {
+                if old_occupied(n) {
+                    if support.is_some() {
+                        return false;
+                    }
+                    support = Some(n);
+                }
+            }
+            let Some(q) = support else { return false };
+            if self.parent[f_idx] != index(q) as u32 {
+                // The single neighbour is `f`'s *child*: not a leaf.
+                return false;
+            }
+            Some((f, q))
+        } else {
+            None
+        };
+        // Feasibility of the landing half: `t` must have exactly one
+        // occupied neighbour `r` in the new state, and `r` must be a
+        // genuine support carrying no aliased leaf yet.
+        let land = if let Some(t) = t {
+            let mut support = None;
+            for n in t.neighbors4() {
+                if grid.is_occupied(n) {
+                    if support.is_some() {
+                        return false;
+                    }
+                    support = Some(n);
+                }
+            }
+            let Some(r) = support else { return false };
+            let r_idx = index(r);
+            let r_parent = self.parent[r_idx];
+            if r_parent != NO_PARENT && self.disc[r_idx] == self.disc[r_parent as usize] {
+                // `r` is itself an aliased leaf: grafting under it would
+                // stack ambiguous stamps.
+                return false;
+            }
+            for c in r.neighbors4() {
+                if c == t || !grid.is_occupied(c) {
+                    continue;
+                }
+                let c_idx = index(c);
+                if self.parent[c_idx] == r_idx as u32 && self.disc[c_idx] == self.disc[r_idx] {
+                    // One aliased leaf per support keeps interval
+                    // classification unambiguous.
+                    return false;
+                }
+            }
+            Some((t, r))
+        } else {
+            None
+        };
+
+        // Apply: graft `t` first so the vacate half's cut recomputation
+        // sees live tree data for it.
+        if let Some((t, r)) = land {
+            let (t_idx, r_idx) = (index(t), index(r));
+            let stamp = self.disc[r_idx];
+            self.disc[t_idx] = stamp;
+            self.low[t_idx] = stamp;
+            self.high[t_idx] = stamp;
+            self.parent[t_idx] = r_idx as u32;
+        }
+        if let Some((f, q)) = vacate {
+            let (w, b) = grid.word_bit(f);
+            self.cut[w] &= !(1u64 << b);
+            self.recompute_cut_bit(grid, q);
+        }
+        if let Some((t, r)) = land {
+            let (w, b) = grid.word_bit(t);
+            self.cut[w] &= !(1u64 << b);
+            if grid.block_count() >= 3 {
+                // Any third block makes `r` a cut vertex: the new state
+                // minus `r` strands the grafted leaf.
+                let (w, b) = grid.word_bit(r);
+                self.cut[w] |= 1u64 << b;
+            }
+        }
+        // Mirror the delta into the snapshot.
+        if let Some((f, _)) = vacate {
+            let (w, b) = grid.word_bit(f);
+            self.board[w] &= !(1u64 << b);
+        }
+        if let Some((t, _)) = land {
+            let (w, b) = grid.word_bit(t);
+            self.board[w] |= 1u64 << b;
+        }
+        true
+    }
+
+    /// Recomputes one cell's articulation bit from its tree children
+    /// (O(1)): a non-root `q` is cut iff some child's subtree cannot
+    /// reach above `q`; a root is cut iff it kept at least two children.
+    fn recompute_cut_bit(&mut self, grid: &OccupancyGrid, q: Pos) {
+        let width = grid.bounds().width as usize;
+        let index = |p: Pos| p.y as usize * width + p.x as usize;
+        let q_idx = index(q);
+        let cut = if self.parent[q_idx] == NO_PARENT {
+            let mut children = 0u32;
+            for c in q.neighbors4() {
+                if grid.is_occupied(c) && self.parent[index(c)] == q_idx as u32 {
+                    children += 1;
+                }
+            }
+            children > 1
+        } else {
+            q.neighbors4().iter().any(|&c| {
+                grid.is_occupied(c) && {
+                    let c_idx = index(c);
+                    self.parent[c_idx] == q_idx as u32 && self.low[c_idx] >= self.disc[q_idx]
+                }
+            })
+        };
+        let (w, b) = grid.word_bit(q);
+        if cut {
+            self.cut[w] |= 1u64 << b;
+        } else {
+            self.cut[w] &= !(1u64 << b);
         }
     }
 
@@ -312,6 +735,12 @@ impl ConnectivityOracle {
                 self.dfs_component(grid, x, y, &mut timer);
             }
         }
+        // Snapshot the occupancy this build describes, for the
+        // incremental diff of the next epoch change (allocation-free once
+        // the capacity is warm).
+        self.board.clear();
+        self.board.extend_from_slice(words);
+        self.board_dims = (bounds.width, bounds.height);
         self.built_epoch = Some(grid.epoch());
         self.rebuilds += 1;
     }
@@ -539,8 +968,9 @@ mod tests {
     }
 
     #[test]
-    fn multi_block_batches_use_the_bfs() {
-        // A carrying chain on a supported pair: exact answers required.
+    fn carrying_chains_are_answered_without_the_bfs() {
+        // A hand-over chain on a supported pair reduces to a single net
+        // relocation: exact answers, no BFS.
         let g = grid_from(&[(0, 1), (1, 1), (1, 0), (2, 0)]);
         let mut oracle = ConnectivityOracle::new();
         let carry = [
@@ -549,6 +979,155 @@ mod tests {
         ];
         let expected = is_connected_after(&g, &carry, &mut ConnectivityScratch::new());
         assert_eq!(oracle.preserves_connectivity(&g, &carry), expected);
-        assert_eq!(oracle.fallback_probes(), 1);
+        assert_eq!(oracle.fallback_probes(), 0, "hand-over chains stay O(1)");
+        // A chain that abandons the support instead must be rejected —
+        // still without the BFS.
+        let stranding = [
+            (Pos::new(1, 1), Pos::new(1, 2)),
+            (Pos::new(0, 1), Pos::new(0, 2)),
+        ];
+        assert_eq!(
+            oracle.preserves_connectivity(&g, &stranding),
+            is_connected_after(&g, &stranding, &mut ConnectivityScratch::new()),
+        );
+    }
+
+    #[test]
+    fn pair_vacates_agree_with_bfs_on_random_batches() {
+        // Genuine two-cell vacates (no hand-over cancellation): the
+        // tree-edge separating-pair path must agree with the BFS
+        // bit-for-bit, and back-edge pairs must reach the same answer
+        // through the fallback.
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut oracle = ConnectivityOracle::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut checked = 0usize;
+        for _ in 0..40 {
+            let g = random_blob(&mut rng, 14);
+            let blocks: Vec<Pos> = g.blocks().map(|(_, p)| p).collect();
+            for &a in &blocks {
+                for b in a.neighbors4() {
+                    if !g.is_occupied(b) {
+                        continue;
+                    }
+                    let frees: Vec<Pos> = blocks
+                        .iter()
+                        .flat_map(|p| p.neighbors4())
+                        .filter(|&p| g.is_free(p) && p != a && p != b)
+                        .collect();
+                    for (i, &d1) in frees.iter().enumerate() {
+                        // A few destination pairs per vacated pair keep
+                        // the quadratic enumeration in check.
+                        for &d2 in frees[i + 1..].iter().take(3) {
+                            let moves = [(a, d1), (b, d2)];
+                            assert_eq!(
+                                oracle.preserves_connectivity(&g, &moves),
+                                is_connected_after(&g, &moves, &mut scratch),
+                                "pair vacate {a},{b} -> {d1},{d2}"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 500, "workload too small: {checked}");
+        assert!(oracle.fast_probes() > 0, "separating-pair path never taken");
+    }
+
+    #[test]
+    fn incremental_patch_absorbs_leaf_relocations() {
+        // A leaf hopping along a line: every epoch is a leaf relocation,
+        // so after the first build no rebuild may happen — and the
+        // patched structure must keep agreeing with the from-scratch
+        // Tarjan listing and the BFS.
+        let mut g = grid_from(&[(0, 0), (1, 0), (2, 0), (3, 0), (3, 1)]);
+        let mut oracle = ConnectivityOracle::new();
+        assert!(oracle.preserves_connectivity(&g, &[(Pos::new(3, 1), Pos::new(2, 1))]));
+        assert_eq!(oracle.rebuilds(), 1);
+
+        let hops = [
+            (Pos::new(3, 1), Pos::new(2, 1)),
+            (Pos::new(2, 1), Pos::new(1, 1)),
+            (Pos::new(1, 1), Pos::new(0, 1)),
+            (Pos::new(0, 1), Pos::new(1, 1)),
+        ];
+        for (from, to) in hops {
+            g.move_block(from, to).unwrap();
+            let expected = articulation_points(&g);
+            for (id, p) in g.blocks() {
+                assert_eq!(
+                    oracle.is_cut_vertex(&g, p),
+                    expected.contains(&id),
+                    "after {from} -> {to}: block {id} at {p}"
+                );
+            }
+            assert_eq!(oracle.component_count(&g), 1);
+            let mut scratch = ConnectivityScratch::new();
+            for (_, s) in g.blocks() {
+                for d in s.neighbors4() {
+                    if g.is_free(d) {
+                        let moves = [(s, d)];
+                        assert_eq!(
+                            oracle.preserves_connectivity(&g, &moves),
+                            is_connected_after(&g, &moves, &mut scratch),
+                            "after {from} -> {to}: move {s} -> {d}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(oracle.rebuilds(), 1, "leaf hops must patch, not rebuild");
+        assert_eq!(oracle.incremental_updates(), hops.len() as u64);
+    }
+
+    #[test]
+    fn incremental_patches_agree_with_full_rebuilds_on_random_walks() {
+        // Random single-block moves on random blobs: whenever the oracle
+        // chooses the incremental path its mask, component count and
+        // probe answers must be indistinguishable from a fresh build's.
+        let mut rng = SmallRng::seed_from_u64(47);
+        let mut patched = 0u64;
+        for round in 0..30 {
+            let mut g = random_blob(&mut rng, 12);
+            let mut oracle = ConnectivityOracle::new();
+            let mut scratch = ConnectivityScratch::new();
+            for step in 0..24 {
+                let movers: Vec<(Pos, Pos)> = g
+                    .blocks()
+                    .flat_map(|(_, s)| s.neighbors4().map(|d| (s, d)))
+                    .filter(|&(s, d)| {
+                        g.is_free(d) && is_connected_after(&g, &[(s, d)], &mut scratch)
+                    })
+                    .collect();
+                if movers.is_empty() {
+                    break;
+                }
+                let (s, d) = movers[rng.gen_range(0..movers.len())];
+                g.move_block(s, d).unwrap();
+                let expected = articulation_points(&g);
+                for (id, p) in g.blocks() {
+                    assert_eq!(
+                        oracle.is_cut_vertex(&g, p),
+                        expected.contains(&id),
+                        "round {round} step {step}: block {id} at {p}"
+                    );
+                }
+                for (_, from) in g.blocks() {
+                    for to in from.neighbors4() {
+                        if g.is_free(to) {
+                            let moves = [(from, to)];
+                            assert_eq!(
+                                oracle.preserves_connectivity(&g, &moves),
+                                is_connected_after(&g, &moves, &mut scratch),
+                                "round {round} step {step}: move {from} -> {to}"
+                            );
+                        }
+                    }
+                }
+            }
+            patched += oracle.incremental_updates();
+        }
+        assert!(patched > 0, "the walks never exercised the patch path");
     }
 }

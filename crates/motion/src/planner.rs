@@ -90,9 +90,14 @@ impl fmt::Display for PlannedMotion {
 ///
 /// Applicability checks run against the catalogue's precompiled rule
 /// masks and the grid's occupancy bitboard; the Remark 1 admission filter
-/// goes through a [`ConnectivityOracle`] (cut-vertex mask computed once
-/// per world state, O(1) single-block probes, BFS fallback for carrying
-/// batches); and the boolean feasibility queries
+/// goes through a [`ConnectivityOracle`] (block-cut-tree state computed
+/// per world state and patched incrementally across leaf relocations,
+/// answering single-block probes **and** the catalogue's carrying
+/// batches in O(1) — every carrying chain reduces to a net single move,
+/// and genuine two-cell vacates are settled by separating-pair reasoning
+/// on the DFS tree, with the scratch BFS only as the exactness backstop
+/// for the shapes the tree cannot decide); and the boolean feasibility
+/// queries
 /// ([`MotionPlanner::can_move_towards`] and friends) additionally
 /// short-circuit at the first admissible motion and reuse internal
 /// scratch buffers, performing **zero heap allocations after warm-up**.

@@ -251,7 +251,7 @@ fn connectivity_oracle_allocates_nothing_after_warmup() {
                     // fallback)...
                     admitted += usize::from(oracle.preserves_connectivity(grid, &[(from, to)]));
                     // ...and a hand-over chain through the vacated cell
-                    // (multi-block BFS fallback).
+                    // (net-effect reduction to a single move: O(1)).
                     for helper in from.neighbors4() {
                         if grid.is_occupied(helper) {
                             let chain = [(from, to), (helper, from)];
@@ -289,5 +289,73 @@ fn connectivity_oracle_allocates_nothing_after_warmup() {
         after - before,
         0,
         "ConnectivityOracle allocated after warm-up (probe or rebuild path)"
+    );
+}
+
+#[test]
+fn connectivity_oracle_incremental_updates_allocate_nothing() {
+    // A leaf block shuttling between two pendant cells: every epoch is a
+    // single-move delta the oracle absorbs with its O(1) leaf patch, so
+    // the measured pass must perform no rebuild and no allocation while
+    // the probes (single moves, hand-over chains, pair vacates) keep
+    // answering from the patched block-cut-tree state.
+    use sb_grid::{BlockId, Bounds, OccupancyGrid, Pos};
+
+    let mut grid = OccupancyGrid::new(Bounds::new(12, 6));
+    for x in 0..8 {
+        grid.place(BlockId(x as u32 + 1), Pos::new(x, 2)).unwrap();
+    }
+    grid.place(BlockId(9), Pos::new(3, 3)).unwrap();
+    let mut oracle = ConnectivityOracle::new();
+
+    let probe_round = |oracle: &mut ConnectivityOracle, grid: &mut OccupancyGrid| -> usize {
+        let mut admitted = 0usize;
+        // The shuttle: (3,3) -> (4,3) and back, one epoch per hop.
+        for (from, to) in [
+            (Pos::new(3, 3), Pos::new(4, 3)),
+            (Pos::new(4, 3), Pos::new(3, 3)),
+        ] {
+            grid.move_block(from, to).unwrap();
+            admitted += usize::from(oracle.preserves_connectivity(grid, &[(to, from)]));
+            let chain = [(to, from), (Pos::new(3, 2), to)];
+            admitted += usize::from(oracle.preserves_connectivity(grid, &chain));
+            let pair = [
+                (Pos::new(0, 2), Pos::new(0, 3)),
+                (Pos::new(1, 2), Pos::new(1, 3)),
+            ];
+            admitted += usize::from(oracle.preserves_connectivity(grid, &pair));
+        }
+        admitted
+    };
+
+    // Warm-up: first build plus both patched states.
+    let warm = probe_round(&mut oracle, &mut grid);
+    assert!(warm > 0, "the workload must admit some motions");
+    let warm_rebuilds = oracle.rebuilds();
+    let warm_patches = oracle.incremental_updates();
+
+    COUNT_THIS_THREAD.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut admitted = 0usize;
+    for _ in 0..8 {
+        admitted += probe_round(&mut oracle, &mut grid);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|flag| flag.set(false));
+
+    assert_eq!(admitted, warm * 8, "probes must stay deterministic");
+    assert_eq!(
+        oracle.rebuilds(),
+        warm_rebuilds,
+        "leaf relocations must patch incrementally, never rebuild"
+    );
+    assert!(
+        oracle.incremental_updates() > warm_patches,
+        "the measured pass must exercise the incremental path"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "the incremental update path allocated after warm-up"
     );
 }

@@ -1,15 +1,17 @@
-//! Differential property tests for the cut-vertex connectivity oracle:
-//! [`ConnectivityOracle::preserves_connectivity`] must be bit-for-bit
-//! identical to the scratch-BFS [`is_connected_after`] on every
-//! geometrically valid batch — random single-block moves (adjacent hops
-//! and longer repositionings), the carrying batches the rule catalogue
-//! actually produces, and the cut-vertex chains of the `sparse_wide`
-//! geometry where the fast path's articulation reasoning is most at risk.
+//! Differential property tests for the block-cut-tree connectivity
+//! oracle: [`ConnectivityOracle::preserves_connectivity`] must be
+//! bit-for-bit identical to the scratch-BFS [`is_connected_after`] on
+//! every geometrically valid batch — random single-block moves (adjacent
+//! hops and longer repositionings), the carrying batches the rule
+//! catalogue actually produces, genuine two-cell vacates on cut-vertex
+//! chains and ribbon turns (the separating-pair path), and the
+//! `sparse_wide` geometry where the articulation reasoning is most at
+//! risk.
 
 use proptest::prelude::*;
 use sb_grid::connectivity::{is_connected_after, ConnectivityScratch};
 use sb_grid::gen::{random_connected_config, random_flat_config, InstanceSpec};
-use sb_grid::{Bounds, ConnectivityOracle, Pos, SurfaceConfig};
+use sb_grid::{BlockId, Bounds, ConnectivityOracle, OccupancyGrid, Pos, SurfaceConfig};
 use sb_motion::MotionPlanner;
 
 /// The `sparse_wide` workload geometry (flat strip, thickness ≤ 3): thins
@@ -93,6 +95,107 @@ proptest! {
         // The same oracle kept probing one state must have amortised to
         // the fast path at least once on these workloads.
         prop_assert!(oracle.fast_probes() > 0);
+    }
+
+    /// Carrying-batch-heavy geometries: supported pairs marching along
+    /// cut-vertex chains and around 2-thick ribbon turns — the
+    /// separating-pair decision's hardest substrate, where the vacated
+    /// pair is sometimes a tree edge (O(1) path) and sometimes a back
+    /// edge across a turn (BFS fallback), and both must match the BFS
+    /// bit-for-bit.  Catalogue-style hand-over chains must additionally
+    /// never touch the BFS on these connected states.
+    #[test]
+    fn pair_batches_agree_with_bfs_on_chains_and_ribbons(
+        rows in 2usize..5,
+        width in 3usize..7,
+        thick in any::<bool>(),
+    ) {
+        // A serpentine ribbon: `rows` west↔east runs (1- or 2-thick)
+        // joined by single-cell elbows at alternating ends.
+        let stride = if thick { 3 } else { 2 };
+        let mut cells: Vec<Pos> = Vec::new();
+        for r in 0..rows {
+            let y0 = (r * stride) as i32;
+            for x in 0..width {
+                cells.push(Pos::new(x as i32, y0));
+                if thick {
+                    cells.push(Pos::new(x as i32, y0 + 1));
+                }
+            }
+            if r + 1 < rows {
+                let elbow_x = if r % 2 == 0 { width as i32 - 1 } else { 0 };
+                cells.push(Pos::new(elbow_x, y0 + stride as i32 - 1));
+            }
+        }
+        let bounds = Bounds::new(width as u32 + 4, (rows * stride) as u32 + 4);
+        let mut grid = OccupancyGrid::new(bounds);
+        for (i, &p) in cells.iter().enumerate() {
+            grid.place(BlockId(i as u32 + 1), p).unwrap();
+        }
+        let mut oracle = ConnectivityOracle::new();
+        let mut scratch = ConnectivityScratch::new();
+
+        // Free landing cells within a radius-2 diamond of the pair.
+        let landings = |grid: &OccupancyGrid, around: Pos| -> Vec<Pos> {
+            let mut out = Vec::new();
+            for dx in -2i32..=2 {
+                for dy in -2i32..=2 {
+                    if (dx, dy) == (0, 0) || dx.abs() + dy.abs() > 2 {
+                        continue;
+                    }
+                    let to = around.offset(dx, dy);
+                    if grid.is_free(to) {
+                        out.push(to);
+                    }
+                }
+            }
+            out
+        };
+
+        // Genuine two-cell vacates on every laterally adjacent pair.
+        for &a in &cells {
+            for b in a.neighbors4() {
+                if !grid.is_occupied(b) {
+                    continue;
+                }
+                let dests = landings(&grid, a);
+                for (i, &d1) in dests.iter().enumerate() {
+                    for &d2 in dests[i + 1..].iter().take(3) {
+                        let moves = [(a, d1), (b, d2)];
+                        prop_assert_eq!(
+                            oracle.preserves_connectivity(&grid, &moves),
+                            is_connected_after(&grid, &moves, &mut scratch),
+                            "pair vacate {},{} -> {},{} (thick={})", a, b, d1, d2, thick
+                        );
+                    }
+                }
+            }
+        }
+
+        // Hand-over carrying chains (the catalogue shape: the helper
+        // refills the leader's cell) reduce to a net single move and
+        // must never reach the BFS while the ensemble is connected.
+        let fallbacks_before = oracle.fallback_probes();
+        for &a in &cells {
+            for b in a.neighbors4() {
+                if !grid.is_occupied(b) {
+                    continue;
+                }
+                for &d in landings(&grid, a).iter().take(3) {
+                    let chain = [(a, d), (b, a)];
+                    prop_assert_eq!(
+                        oracle.preserves_connectivity(&grid, &chain),
+                        is_connected_after(&grid, &chain, &mut scratch),
+                        "hand-over chain {},{} -> {} (thick={})", a, b, d, thick
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(
+            oracle.fallback_probes(),
+            fallbacks_before,
+            "hand-over chains must stay on the O(1) path"
+        );
     }
 
     /// On the planner's own output the oracle-backed filter reports

@@ -20,6 +20,45 @@
 //! ```
 
 use sb_bench::{measure_election, measure_ring, Family, ThroughputPoint};
+use sb_core::ReconfigurationDriver;
+
+/// Regression ceiling for connectivity fallback probes on a standard
+/// election plan: the PR 7 block-cut-tree oracle answers every probe the
+/// column and serpentine reconfigurations emit — single supported moves
+/// and hand-over carrying chains — without touching the O(N) BFS, so any
+/// non-zero count means a probe shape fell off the fast path.
+const FALLBACK_PROBE_CEILING: u64 = 0;
+
+/// Runs the full reconfiguration (not the bounded throughput slice) on
+/// each election family and fails if the world's connectivity oracle
+/// reported more BFS fallbacks than the pinned ceiling.
+fn gate_fallback_probes() {
+    println!("\nconnectivity fallback gate (ceiling: {FALLBACK_PROBE_CEILING} BFS probes)");
+    for (family, blocks) in [(Family::Column, 64usize), (Family::Serpentine, 48)] {
+        let report = ReconfigurationDriver::new(family.build(blocks, 1))
+            .with_seed(9)
+            .run_des();
+        assert!(
+            report.completed,
+            "{} N={blocks}: reconfiguration did not complete",
+            family.name()
+        );
+        let fallbacks = report.metrics.connectivity_fallback_probes;
+        let rebuilds = report.metrics.connectivity_rebuilds;
+        println!(
+            "{:>10} {:>9} rebuilds={rebuilds} fallback-probes={fallbacks}",
+            family.name(),
+            blocks,
+        );
+        if fallbacks > FALLBACK_PROBE_CEILING {
+            panic!(
+                "{} N={blocks}: {fallbacks} connectivity probes fell back to the BFS \
+                 (ceiling: {FALLBACK_PROBE_CEILING})",
+                family.name()
+            );
+        }
+    }
+}
 
 fn print_header() {
     println!(
@@ -58,9 +97,11 @@ fn main() {
     // Ring budgets scale with N (registration + starts + messages, the
     // seed bench's envelope); election budgets are the startup sweep plus
     // a bounded slice of the first diffusing computation — its per-event
-    // cost is dominated by the O(N) carrying-rule connectivity probes of
-    // the *world* (identical in both engines, see ROADMAP open items),
-    // so an unbounded run would measure that, not the kernel.
+    // cost now includes the O(1) block-cut-tree connectivity probes of
+    // the *world* (identical in both engines; the old O(N)-per-probe BFS
+    // is a pinned fallback the gate below keeps at zero), so the bounded
+    // slice measures kernel + world dispatch rather than an unbounded
+    // reconfiguration.
     if quick {
         points.push(measure_ring(100_000, 400_000));
         points.push(measure_election(Family::Column, 100_000, 130_000));
@@ -87,9 +128,13 @@ fn main() {
     {
         println!(
             "\nkernel-bound (ring) speedup at N >= 1e4: up to {best:.1}x over the BinaryHeap + \
-             boxed-module + eager-start baseline (target: >= 3x; the election points are \
-             world-bound, see ROADMAP open items)"
+             boxed-module + eager-start baseline (target: >= 3x; the election points carry the \
+             shared-world work on top — O(1) block-cut-tree probes since PR 7)"
         );
     }
     println!("(The paper reports VisibleSim at ~650k events/sec with 2M nodes.)");
+
+    // Regression gate: full elections on the standard families must stay
+    // on the oracle's O(1) fast path (runs in CI via the QUICK smoke).
+    gate_fallback_probes();
 }

@@ -17,7 +17,7 @@
 //! engine's before/after throughput (`BinaryHeap` + boxed + eager-start
 //! baseline vs calendar queue + monomorphic arena, ring and election
 //! workloads up to N = 10⁵), and writes the versioned machine-readable
-//! `BENCH_planner.json` (schema v5, see `ROADMAP.md`) — per-group
+//! `BENCH_planner.json` (schema v6, see `ROADMAP.md`) — per-group
 //! aggregates, bisectable per-cell records, and the attached
 //! (host-dependent) throughput section — so the performance trajectory
 //! can be tracked across changes.
