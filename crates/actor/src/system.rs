@@ -6,7 +6,7 @@ use crate::context::{
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -147,7 +147,7 @@ where
                     let step = Duration::from_millis(1);
                     let mut heap: BinaryHeap<Reverse<(Instant, u64, usize, u64)>> =
                         BinaryHeap::new();
-                    let mut cancelled: HashSet<u64> = HashSet::new();
+                    let mut cancelled: BTreeSet<u64> = BTreeSet::new();
                     loop {
                         if shared_ref.stop_requested() || live_actors.load(Ordering::Acquire) == 0 {
                             return;
@@ -377,7 +377,7 @@ mod tests {
         struct Painter;
         impl Actor<(), ()> for Painter {
             fn on_start(&mut self, ctx: &mut ActorContext<'_, (), ()>) {
-                let me = ctx.self_id().index() as u8;
+                let me = u8::try_from(ctx.self_id().index()).expect("test spawns < 256 actors");
                 ctx.set_visual((me, 0, 0));
                 if ctx.self_id() == ActorId(0) {
                     ctx.request_stop();

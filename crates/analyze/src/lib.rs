@@ -1,0 +1,56 @@
+//! `sb-analyze` — the workspace determinism linter.
+//!
+//! Every load-bearing guarantee in this reproduction (byte-identical
+//! sweep records across worker counts, DES pop-order pins, semantic
+//! per-cell seeding, DES ≡ actor agreement) is a determinism property.
+//! This crate is the static pass that keeps the *source* honest about
+//! them: a hand-rolled lossless token [`scanner`] (no registry deps, per
+//! the offline-vendor rule) feeds a pluggable [`lints`] framework with
+//! project-specific determinism lints, suppressible only by an inline
+//! reasoned `// sb-allow: <lint> — <reason>` marker or by the committed
+//! ratchet [`baseline`] (`analyze-baseline.toml`), whose grandfathered
+//! counts may only decrease.
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run --release -p sb-analyze            # gate: byte-exact baseline
+//! cargo run --release -p sb-analyze -- --list  # every finding, grandfathered included
+//! cargo run --release -p sb-analyze -- --write-baseline   # shrink the ratchet
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lints;
+pub mod scanner;
+pub mod workspace;
+
+use lints::Finding;
+use std::io;
+use std::path::Path;
+
+/// Scans and lints one in-memory source, classified as `path` would be.
+/// This is the fixture-test entry point.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    let file = scanner::ScannedFile::scan(path, src);
+    let ctx = workspace::classify(path);
+    let mut out = Vec::new();
+    lints::check_file(&file, &ctx, &mut out);
+    out
+}
+
+/// Runs the full analysis over the workspace rooted at `root`: every
+/// owned `.rs` file, all lints, inline suppression applied.  Findings
+/// come back sorted by (path, line, lint).
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, abs) in workspace::collect_sources(root)? {
+        let src = std::fs::read_to_string(&abs)?;
+        findings.extend(analyze_source(&rel, &src));
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
+    Ok(findings)
+}

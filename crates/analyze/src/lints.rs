@@ -1,0 +1,357 @@
+//! The determinism lint set and the suppression machinery.
+//!
+//! Every guarantee this reproduction leans on — byte-identical sweep
+//! records across worker counts, DES pop-order pins, semantic per-cell
+//! seeding, DES ≡ actor agreement — is a *determinism* property.  These
+//! lints make the source-level discipline behind those properties
+//! checkable instead of tribal:
+//!
+//! | lint | fires on |
+//! |------|----------|
+//! | `nondet-iteration` | `HashMap` / `HashSet` identifiers (iteration order can escape into reports, wire messages or scheduling) |
+//! | `wall-clock-in-sim` | `Instant::now` / `SystemTime` outside the actor runtime |
+//! | `unseeded-rng` | `thread_rng` / `from_entropy` / `OsRng` (any RNG not derived from a recorded seed) |
+//! | `truncating-cast` | `as u8/u16/u32/i8/i16/i32` — narrowing casts of the shape that bit the 16-bit BFS lanes in PR 5 |
+//! | `float-in-state` | `f32` / `f64` identifiers in sim-state crates |
+//! | `forbid-unsafe-missing` | crate roots without `#![forbid(unsafe_code)]` |
+//!
+//! A finding is suppressed by an inline marker
+//! `// sb-allow: <lint> — <reason>` on the same or the preceding line
+//! (reason mandatory), or by the committed ratchet baseline
+//! (`analyze-baseline.toml`, see [`crate::baseline`]).  Malformed or
+//! unknown markers are themselves reported under [`BAD_ALLOW_MARKER`] so
+//! a typo can never silently un-suppress.
+
+use crate::scanner::{ScannedFile, Token, TokenKind};
+use crate::workspace::{CrateKind, FileContext};
+
+/// Framework-level pseudo-lint for broken suppression markers.
+pub const BAD_ALLOW_MARKER: &str = "bad-allow-marker";
+
+/// One lint violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (registry name or [`BAD_ALLOW_MARKER`]).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// A determinism lint: a named check over one scanned file.
+pub trait Lint {
+    /// Registry name, also the name used in `sb-allow` markers and
+    /// baseline sections.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Emits findings for `file` into `out`.  Suppression is applied by
+    /// the framework afterwards — lints report unconditionally.
+    fn check(&self, file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Finding>);
+}
+
+/// The registered lint set, in report order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(NondetIteration),
+        Box::new(WallClockInSim),
+        Box::new(UnseededRng),
+        Box::new(TruncatingCast),
+        Box::new(FloatInState),
+        Box::new(ForbidUnsafeMissing),
+    ]
+}
+
+/// Runs every registered lint over `file`, applies `sb-allow`
+/// suppression, and validates the markers themselves.
+pub fn check_file(file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    let lints = registry();
+    let known: Vec<&'static str> = lints.iter().map(|l| l.name()).collect();
+
+    let mut raw = Vec::new();
+    for lint in &lints {
+        lint.check(file, ctx, &mut raw);
+    }
+
+    // A well-formed marker suppresses findings of its lint on the
+    // marker's own line and the line directly below (so it can trail the
+    // code or sit above it).
+    for f in raw {
+        let suppressed = file.allows.iter().any(|m| {
+            m.has_reason && m.lint == f.lint && (m.line == f.line || m.line + 1 == f.line)
+        });
+        if !suppressed {
+            out.push(f);
+        }
+    }
+
+    for m in &file.allows {
+        if !m.has_reason {
+            out.push(Finding {
+                lint: BAD_ALLOW_MARKER,
+                path: file.path.clone(),
+                line: m.line,
+                message: format!(
+                    "sb-allow marker for `{}` has no reason; use \
+                     `// sb-allow: <lint> — <reason>`",
+                    m.lint
+                ),
+            });
+        } else if !known.contains(&m.lint.as_str()) && m.lint != BAD_ALLOW_MARKER {
+            out.push(Finding {
+                lint: BAD_ALLOW_MARKER,
+                path: file.path.clone(),
+                line: m.line,
+                message: format!("sb-allow marker names unknown lint `{}`", m.lint),
+            });
+        }
+    }
+}
+
+fn finding(lint: &'static str, file: &ScannedFile, tok: &Token, message: String) -> Finding {
+    Finding {
+        lint,
+        path: file.path.clone(),
+        line: tok.line,
+        message,
+    }
+}
+
+/// `HashMap` / `HashSet` anywhere in workspace code.  Hash iteration
+/// order is seeded per process; the moment it escapes into a report, a
+/// wire message or an event schedule, byte-identity dies.  Keyed-only
+/// uses are fine — but must say so with a reasoned `sb-allow`.
+struct NondetIteration;
+
+impl Lint for NondetIteration {
+    fn name(&self) -> &'static str {
+        "nondet-iteration"
+    }
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet whose iteration order can escape into reports, \
+         wire messages, or scheduling"
+    }
+    fn check(&self, file: &ScannedFile, _ctx: &FileContext, out: &mut Vec<Finding>) {
+        for tok in file.code_tokens() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text(tok);
+            if text == "HashMap" || text == "HashSet" {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    tok,
+                    format!(
+                        "`{text}` iteration order is nondeterministic; use \
+                         BTreeMap/BTreeSet (or sort before draining), or \
+                         sb-allow with the reason order cannot escape"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `Instant::now` / `SystemTime` outside the actor runtime.  Simulated
+/// time is event-driven; host wall-clock readings feeding anything but
+/// stdout reporting desynchronize DES runs.
+struct WallClockInSim;
+
+impl Lint for WallClockInSim {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-sim"
+    }
+    fn description(&self) -> &'static str {
+        "Instant::now/SystemTime outside the actor runtime and \
+         stdout-only timing"
+    }
+    fn check(&self, file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.kind == CrateKind::Runtime {
+            return;
+        }
+        let toks: Vec<&Token> = file.code_tokens().collect();
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            match file.text(tok) {
+                "SystemTime" => out.push(finding(
+                    self.name(),
+                    file,
+                    tok,
+                    "`SystemTime` is host wall-clock; simulated time must be \
+                     event-driven"
+                        .to_string(),
+                )),
+                // `Instant :: now` as three consecutive code tokens.
+                "Instant"
+                    if matches!(toks.get(i + 1), Some(t) if file.text(t) == ":")
+                        && matches!(toks.get(i + 2), Some(t) if file.text(t) == ":")
+                        && matches!(toks.get(i + 3), Some(t) if file.text(t) == "now") =>
+                {
+                    out.push(finding(
+                        self.name(),
+                        file,
+                        tok,
+                        "`Instant::now` is host wall-clock; keep it out of \
+                         simulation state (stdout-only timing needs a \
+                         reasoned sb-allow)"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// RNGs not derived from a recorded seed: `thread_rng`, `from_entropy`,
+/// `OsRng`.  Every random draw in this workspace must trace back to a
+/// semantic seed hash, or reruns stop reproducing.
+struct UnseededRng;
+
+impl Lint for UnseededRng {
+    fn name(&self) -> &'static str {
+        "unseeded-rng"
+    }
+    fn description(&self) -> &'static str {
+        "thread_rng/from_entropy/OsRng: randomness not derived from a \
+         recorded seed"
+    }
+    fn check(&self, file: &ScannedFile, _ctx: &FileContext, out: &mut Vec<Finding>) {
+        for tok in file.code_tokens() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text(tok);
+            if matches!(text, "thread_rng" | "from_entropy" | "OsRng") {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    tok,
+                    format!(
+                        "`{text}` draws entropy outside the semantic-seed \
+                         discipline; derive the RNG from a recorded seed \
+                         (FNV-1a + splitmix64 of semantic coordinates)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Narrowing `as` casts.  `as` silently truncates; on coordinate/index
+/// math a 10⁵-scale surface overflows exactly the way the 16-bit BFS
+/// lanes did before PR 5 widened them.  Widen, `try_into().expect(…)`,
+/// or annotate the provably-safe remainder.
+struct TruncatingCast;
+
+impl Lint for TruncatingCast {
+    fn name(&self) -> &'static str {
+        "truncating-cast"
+    }
+    fn description(&self) -> &'static str {
+        "narrowing `as` cast (to u8/u16/u32/i8/i16/i32) on potentially \
+         10^5-scale values"
+    }
+    fn check(&self, file: &ScannedFile, _ctx: &FileContext, out: &mut Vec<Finding>) {
+        let toks: Vec<&Token> = file.code_tokens().collect();
+        for pair in toks.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.kind == TokenKind::Ident
+                && file.text(a) == "as"
+                && b.kind == TokenKind::Ident
+                && NARROW_TARGETS.contains(&file.text(b))
+            {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    a,
+                    format!(
+                        "`as {}` truncates silently; widen the type, use \
+                         try_into().expect(…), or sb-allow with the bound \
+                         that makes it safe",
+                        file.text(b)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `f32` / `f64` in sim-state crates.  Float state invites
+/// platform-dependent rounding (libm, FMA contraction) into the
+/// simulation; derived *outputs* are fine but must say so.
+struct FloatInState;
+
+impl Lint for FloatInState {
+    fn name(&self) -> &'static str {
+        "float-in-state"
+    }
+    fn description(&self) -> &'static str {
+        "f32/f64 in simulation state (sim-state crates only)"
+    }
+    fn check(&self, file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.kind != CrateKind::SimState {
+            return;
+        }
+        for tok in file.code_tokens() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text(tok);
+            if text == "f32" || text == "f64" {
+                out.push(finding(
+                    self.name(),
+                    file,
+                    tok,
+                    format!(
+                        "`{text}` in a sim-state crate; keep simulation \
+                         state integral (derived display/report values \
+                         need a reasoned sb-allow)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Crate roots must carry `#![forbid(unsafe_code)]`: unsafe code could
+/// smuggle in uninitialized (nondeterministic) reads.
+struct ForbidUnsafeMissing;
+
+impl Lint for ForbidUnsafeMissing {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe-missing"
+    }
+    fn description(&self) -> &'static str {
+        "crate root without #![forbid(unsafe_code)]"
+    }
+    fn check(&self, file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if !ctx.is_crate_root {
+            return;
+        }
+        // `# ! [ forbid ( unsafe_code ) ]` as consecutive code tokens.
+        let toks: Vec<&Token> = file.code_tokens().collect();
+        let pattern = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+        let found = toks.windows(pattern.len()).any(|w| {
+            w.iter()
+                .zip(pattern.iter())
+                .all(|(t, p)| file.text(t) == *p)
+        });
+        if !found {
+            out.push(Finding {
+                lint: self.name(),
+                path: file.path.clone(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+}

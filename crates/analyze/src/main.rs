@@ -1,0 +1,180 @@
+//! CLI driver for the determinism linter — see the library docs for the
+//! lint set and the ratchet contract.
+
+#![forbid(unsafe_code)]
+
+use sb_analyze::baseline::{Baseline, BASELINE_FILE};
+use sb_analyze::{analyze_workspace, lints, workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sb-analyze — workspace determinism linter with a ratcheted baseline
+
+USAGE:
+    sb-analyze [--list | --write-baseline [--allow-growth] | --help]
+
+Default mode (no flags) is the CI gate: analyze the workspace, apply
+inline `sb-allow` suppressions, and require the committed
+analyze-baseline.toml to be byte-exact against a fresh run.  Exit 0 on
+match; exit 1 listing new violations (counts above baseline) or stale
+entries (counts below — regenerate to ratchet down).
+
+    --list            print every finding, grandfathered ones included
+    --write-baseline  regenerate analyze-baseline.toml; refuses to let
+                      any per-(lint, file) count grow
+    --allow-growth    with --write-baseline: permit growth (for
+                      deliberately grandfathering a new lint's findings)
+    --help            this text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut list = false;
+    let mut write = false;
+    let mut allow_growth = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--write-baseline" => write = true,
+            "--allow-growth" => allow_growth = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sb-analyze: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sb-analyze: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = workspace::find_root(&cwd) else {
+        eprintln!(
+            "sb-analyze: no workspace Cargo.toml found above {}",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let findings = match analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sb-analyze: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if list {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.lint, f.message);
+        }
+        println!(
+            "{} finding(s) before baseline grandfathering",
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Markers that are malformed or name unknown lints must fail
+    // immediately — they are never grandfatherable, otherwise a typo'd
+    // allow could ride the baseline forever.
+    let broken: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == lints::BAD_ALLOW_MARKER)
+        .collect();
+    if !broken.is_empty() {
+        for f in &broken {
+            eprintln!("{}:{}: {}", f.path, f.line, f.message);
+        }
+        eprintln!("sb-analyze: {} broken sb-allow marker(s)", broken.len());
+        return ExitCode::FAILURE;
+    }
+
+    let fresh = Baseline::from_findings(&findings);
+    let baseline_path: PathBuf = root.join(BASELINE_FILE);
+    let committed_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+
+    if write {
+        let committed = match Baseline::parse(&committed_text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "sb-analyze: committed {BASELINE_FILE} is unreadable ({e}); \
+                           refusing to overwrite without --allow-growth"
+                );
+                if !allow_growth {
+                    return ExitCode::FAILURE;
+                }
+                Baseline::default()
+            }
+        };
+        let grown = committed.diff(&fresh, true);
+        if !grown.is_empty() && !allow_growth {
+            eprintln!("sb-analyze: refusing to grow the ratchet baseline:");
+            for (lint, path, old, new) in &grown {
+                eprintln!("    [{lint}] {path}: {old} -> {new}");
+            }
+            eprintln!(
+                "fix the findings (or sb-allow them with a reason); \
+                       --allow-growth only for grandfathering a new lint"
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&baseline_path, fresh.render()) {
+            eprintln!("sb-analyze: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("sb-analyze: wrote {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // CI gate: byte-exact match between committed and fresh baseline.
+    let fresh_text = fresh.render();
+    if committed_text == fresh_text {
+        let total: usize = fresh.counts.values().flat_map(|m| m.values()).sum();
+        println!(
+            "sb-analyze: clean — {} grandfathered finding(s), baseline exact",
+            total
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let committed = Baseline::parse(&committed_text).unwrap_or_default();
+    let grown = committed.diff(&fresh, true);
+    let shrunk = committed.diff(&fresh, false);
+    if !grown.is_empty() {
+        eprintln!("sb-analyze: NEW violations above the ratchet baseline:");
+        for (lint, path, old, new) in &grown {
+            eprintln!("    [{lint}] {path}: baseline {old}, found {new}");
+            for f in findings
+                .iter()
+                .filter(|f| f.lint == *lint && f.path == *path)
+            {
+                eprintln!("        {}:{}: {}", f.path, f.line, f.message);
+            }
+        }
+        eprintln!("fix them, or suppress with `// sb-allow: <lint> — <reason>`");
+    }
+    if !shrunk.is_empty() {
+        eprintln!("sb-analyze: STALE baseline (findings fixed — ratchet down):");
+        for (lint, path, old, new) in &shrunk {
+            eprintln!("    [{lint}] {path}: baseline {old}, found {new}");
+        }
+        eprintln!("regenerate with `cargo run --release -p sb-analyze -- --write-baseline`");
+    }
+    if grown.is_empty() && shrunk.is_empty() {
+        eprintln!(
+            "sb-analyze: {BASELINE_FILE} differs from a fresh render \
+             (formatting/ordering drift); regenerate with --write-baseline"
+        );
+    }
+    ExitCode::FAILURE
+}

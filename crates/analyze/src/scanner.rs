@@ -1,0 +1,388 @@
+//! Lossless token scanner for Rust sources.
+//!
+//! The lints in this crate only need a faithful *lexical* view of a
+//! source file: which byte ranges are code, which are comments or string
+//! data, and where each code identifier sits.  A full parser would be
+//! overkill (and unavailable — this workspace builds offline with no
+//! registry deps), so the scanner hand-rolls exactly the lexical grammar
+//! that matters for not producing false positives:
+//!
+//! - line comments (`//`, `///`, `//!`) and *nested* block comments,
+//! - string literals with escapes, byte strings, raw (byte) strings with
+//!   arbitrary `#` guards,
+//! - char literals vs. lifetimes (`'a'` vs `'a`, including `'\''`),
+//! - raw identifiers (`r#match`) vs. raw strings (`r#"…"#`),
+//! - numeric literals, so `1u32` never yields a phantom `u32` identifier.
+//!
+//! Comment *text* is retained because the suppression mechanism — the
+//! `// sb-allow: <lint> — <reason>` marker — lives in line comments; see
+//! [`AllowMarker`].
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `as`, `r#match`, …).
+    Ident,
+    /// Numeric literal, suffix included (`1u32`, `0x3F`, `1.0e-3`).
+    Number,
+    /// Lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String, byte-string, raw-string or raw-byte-string literal.
+    StrLit,
+    /// Line or block comment, text included.
+    Comment,
+    /// Any other single code character (`#`, `[`, `::` pieces, …).
+    Punct,
+}
+
+/// One lexical token with its position (1-based line, byte span).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// 1-based source line the token *starts* on.
+    pub line: usize,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+/// An `sb-allow` suppression marker parsed out of a line comment.
+///
+/// Syntax: `// sb-allow: <lint> — <reason>` (an ASCII `--` or `-` is
+/// accepted in place of the em dash).  The reason is mandatory: a marker
+/// without one does not suppress anything and is itself reported (see
+/// `lints::BAD_ALLOW_MARKER`).  A marker suppresses findings of the named
+/// lint on its own line and on the line directly below it, so it can
+/// either trail the offending code or sit on its own line above it.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    /// The lint name as written (validated against the registry later).
+    pub lint: String,
+    /// Whether a non-empty reason followed the separator.
+    pub has_reason: bool,
+    /// 1-based line the marker's comment starts on.
+    pub line: usize,
+}
+
+/// A scanned source file: the raw text plus its token stream and markers.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path with forward slashes (stable across OSes).
+    pub path: String,
+    /// The raw source text tokens index into.
+    pub src: String,
+    /// The full lossless token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Every `sb-allow` marker found in line comments.
+    pub allows: Vec<AllowMarker>,
+}
+
+impl ScannedFile {
+    /// Scans `src`, attributing tokens to `path` (used only for reports).
+    pub fn scan(path: &str, src: &str) -> ScannedFile {
+        let mut file = ScannedFile {
+            path: path.to_string(),
+            src: src.to_string(),
+            tokens: Vec::new(),
+            allows: Vec::new(),
+        };
+        Scanner::new(src).run(&mut file);
+        file
+    }
+
+    /// The token's text.
+    pub fn text(&self, tok: &Token) -> &str {
+        &self.src[tok.start..tok.end]
+    }
+
+    /// Iterator over code tokens (comments stripped) — the view most
+    /// lints match against.
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| t.kind != TokenKind::Comment)
+    }
+}
+
+struct Scanner<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'s> Scanner<'s> {
+    fn new(src: &'s str) -> Scanner<'s> {
+        Scanner {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(&mut self, out: &mut ScannedFile) {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.peek(0);
+            let kind = match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == b'/' => {
+                    self.line_comment();
+                    self.emit_marker(out, start, line);
+                    TokenKind::Comment
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment();
+                    TokenKind::Comment
+                }
+                b'"' => {
+                    self.string(b'"');
+                    TokenKind::StrLit
+                }
+                b'\'' => self.quote(),
+                b'r' if self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string();
+                    TokenKind::StrLit
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.string(b'"');
+                    TokenKind::StrLit
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.char_literal();
+                    TokenKind::CharLit
+                }
+                b'b' if self.peek(1) == b'r' && self.raw_string_ahead(2) => {
+                    self.bump_n(2);
+                    self.raw_string();
+                    TokenKind::StrLit
+                }
+                b'r' if self.peek(1) == b'#' && is_ident_start(self.peek(2)) => {
+                    // Raw identifier r#ident.
+                    self.bump_n(2);
+                    self.ident();
+                    TokenKind::Ident
+                }
+                _ if is_ident_start(c) => {
+                    self.ident();
+                    TokenKind::Ident
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    TokenKind::Number
+                }
+                _ => {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            };
+            out.tokens.push(Token {
+                kind,
+                line,
+                start,
+                end: self.pos,
+            });
+        }
+    }
+
+    /// Whether `r` at offset `ahead - 1` starts a raw string: zero or
+    /// more `#` followed by `"`.
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"…"`-style literal (the opening delimiter is next).
+    fn string(&mut self, delim: u8) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                c if c == delim => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `r` (and any `b`) already consumed: `#…#"…"#…#`.
+    fn raw_string(&mut self) {
+        let mut guards = 0usize;
+        while self.peek(0) == b'#' {
+            guards += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                let mut closed = 0usize;
+                while closed < guards && self.peek(1 + closed) == b'#' {
+                    closed += 1;
+                }
+                if closed == guards {
+                    self.bump_n(1 + guards);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'` between a char literal and a lifetime.
+    fn quote(&mut self) -> TokenKind {
+        if self.peek(1) == b'\\' {
+            self.char_literal();
+            return TokenKind::CharLit;
+        }
+        // `'a'` is a char literal; `'a` / `'ab` (no closing quote after
+        // one ident char run) is a lifetime.  Multi-byte UTF-8 chars in a
+        // literal (`'é'`) take the literal path via the closing-quote
+        // scan, since they are not ASCII ident bytes.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // the quote
+            self.ident();
+            return TokenKind::Lifetime;
+        }
+        self.char_literal();
+        TokenKind::CharLit
+    }
+
+    /// Consumes a char literal whose opening `'` is next.
+    fn char_literal(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                b'\n' => return, // unterminated; don't swallow the file
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+    }
+
+    fn number(&mut self) {
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            if is_ident_continue(c) {
+                // Exponent sign: `1e-3`, `2E+5`.
+                if (c == b'e' || c == b'E')
+                    && matches!(self.peek(1), b'+' | b'-')
+                    && self.peek(2).is_ascii_digit()
+                {
+                    self.bump_n(2);
+                    continue;
+                }
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // Decimal point — but never eat `..` range syntax.
+                self.bump();
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Parses an `sb-allow` marker out of the just-consumed line comment
+    /// spanning `start..self.pos`.
+    fn emit_marker(&mut self, out: &mut ScannedFile, start: usize, line: usize) {
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let Some(at) = text.find("sb-allow:") else {
+            return;
+        };
+        let rest = text[at + "sb-allow:".len()..].trim_start();
+        let lint: String = rest.chars().take_while(|c| !c.is_whitespace()).collect();
+        // A plausible lint name is kebab-case ASCII.  Anything else is
+        // prose *about* the marker syntax (`<lint>` placeholders in
+        // docs), not a marker — real typos still match this charset and
+        // are caught by the unknown-lint validation instead.
+        if lint.is_empty()
+            || !lint
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            return;
+        }
+        let after = rest[lint.len()..].trim_start();
+        // Separator: em dash, `--`, or `-`; the reason follows it.
+        let reason = after
+            .strip_prefix('\u{2014}')
+            .or_else(|| after.strip_prefix("--"))
+            .or_else(|| after.strip_prefix('-'));
+        let has_reason = matches!(reason, Some(r) if !r.trim().is_empty());
+        out.allows.push(AllowMarker {
+            lint,
+            has_reason,
+            line,
+        });
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}

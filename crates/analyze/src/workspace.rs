@@ -1,0 +1,116 @@
+//! Workspace discovery and file classification.
+//!
+//! The analyzer scans the workspace's *own* sources: `src/`, `crates/`,
+//! `examples/` and `tests/` under the workspace root.  `vendor/` (offline
+//! stand-ins for registry crates — foreign code with its own idioms) and
+//! `target/` are excluded.  Classification is by path prefix, and decides
+//! which lints apply where (see [`crate::lints`]).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Coarse role of the crate a file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrateKind {
+    /// Crates whose state feeds the simulation itself (`sb-grid`,
+    /// `sb-motion`, `sb-desim`, `sb-core`): strictest rules — floats in
+    /// state are flagged here.
+    SimState,
+    /// The real-time actor runtime (`sb-actor`): wall-clock use is its
+    /// job, so `wall-clock-in-sim` is off; everything else applies.
+    Runtime,
+    /// Benches, examples, integration tests, the facade and the analyzer
+    /// itself: still checked for nondeterminism (bench output is the
+    /// byte-identity surface!) but floats are legitimate aggregation.
+    Tooling,
+}
+
+/// Per-file lint context.
+#[derive(Clone, Copy, Debug)]
+pub struct FileContext {
+    /// Role of the owning crate (decides which lints apply).
+    pub kind: CrateKind,
+    /// Whether the file is a crate root (`src/lib.rs` / `src/main.rs`)
+    /// that must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(path: &str) -> FileContext {
+    let kind = if path.starts_with("crates/actor/") {
+        CrateKind::Runtime
+    } else if path.starts_with("crates/grid/src/")
+        || path.starts_with("crates/motion/src/")
+        || path.starts_with("crates/desim/src/")
+        || path.starts_with("crates/core/src/")
+    {
+        CrateKind::SimState
+    } else {
+        CrateKind::Tooling
+    };
+    let is_crate_root = matches!(path, "src/lib.rs" | "src/main.rs")
+        || (path.starts_with("crates/")
+            && (path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs")));
+    FileContext {
+        kind,
+        is_crate_root,
+    }
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` section is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects every workspace-owned `.rs` file under `root`, sorted by
+/// workspace-relative path so reports and baselines are stable no matter
+/// what order the OS returns directory entries in.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for top in ["src", "crates", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

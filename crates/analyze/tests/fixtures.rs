@@ -1,0 +1,289 @@
+//! Fixture tests for the determinism lints, the scanner's
+//! false-positive guards, the suppression machinery, and the ratchet
+//! baseline (including the committed-file self-test).
+//!
+//! Every fixture source lives inside a string literal, which is itself a
+//! regression test: when `sb-analyze` lints this file in CI, none of the
+//! `HashMap`/`Instant::now`/`thread_rng` spellings below may fire.
+
+use sb_analyze::analyze_source;
+use sb_analyze::baseline::{Baseline, BASELINE_FILE};
+use sb_analyze::lints::Finding;
+
+/// Lint names of the findings for `src` analyzed under `path`.
+fn lints_at(path: &str, src: &str) -> Vec<&'static str> {
+    analyze_source(path, src).iter().map(|f| f.lint).collect()
+}
+
+const SIM_STATE: &str = "crates/core/src/fixture.rs";
+const TOOLING: &str = "crates/bench/src/fixture.rs";
+const RUNTIME: &str = "crates/actor/src/fixture.rs";
+
+// ---------------------------------------------------------------- lints
+
+#[test]
+fn nondet_iteration_fires_on_hash_collections() {
+    let src = "use std::collections::HashMap;\nfn f(s: HashSet<u64>) {}\n";
+    assert_eq!(
+        lints_at(TOOLING, src),
+        vec!["nondet-iteration", "nondet-iteration"]
+    );
+}
+
+#[test]
+fn nondet_iteration_silent_on_btree() {
+    let src = "use std::collections::{BTreeMap, BTreeSet};\n";
+    assert!(lints_at(TOOLING, src).is_empty());
+}
+
+#[test]
+fn wall_clock_fires_outside_runtime() {
+    let src = "fn f() { let t = Instant::now(); }\n";
+    assert_eq!(lints_at(SIM_STATE, src), vec!["wall-clock-in-sim"]);
+    assert_eq!(lints_at(TOOLING, src), vec!["wall-clock-in-sim"]);
+}
+
+#[test]
+fn wall_clock_fires_on_system_time() {
+    let src = "fn f() -> SystemTime { SystemTime::now() }\n";
+    assert_eq!(
+        lints_at(SIM_STATE, src),
+        vec!["wall-clock-in-sim", "wall-clock-in-sim"]
+    );
+}
+
+#[test]
+fn wall_clock_exempts_actor_runtime() {
+    let src = "fn f() { let t = Instant::now(); }\n";
+    assert!(lints_at(RUNTIME, src).is_empty());
+}
+
+#[test]
+fn wall_clock_ignores_bare_instant_ident() {
+    // `use std::time::Instant;` must not fire — only `Instant::now`.
+    let src = "use std::time::Instant;\nfn f(_t: Instant) {}\n";
+    assert!(lints_at(SIM_STATE, src).is_empty());
+}
+
+#[test]
+fn unseeded_rng_fires_everywhere() {
+    let src = "fn f() { let mut rng = thread_rng(); }\n";
+    assert_eq!(lints_at(SIM_STATE, src), vec!["unseeded-rng"]);
+    assert_eq!(lints_at(RUNTIME, src), vec!["unseeded-rng"]);
+    let src = "fn g() { let r = SmallRng::from_entropy(); let o = OsRng; }\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["unseeded-rng", "unseeded-rng"]);
+}
+
+#[test]
+fn truncating_cast_fires_on_narrowing_only() {
+    let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["truncating-cast"]);
+    // Widening / size-preserving targets are fine.
+    let src = "fn f(x: u32) -> u64 { x as u64 }\nfn g(x: u32) -> usize { x as usize }\n";
+    assert!(lints_at(TOOLING, src).is_empty());
+}
+
+#[test]
+fn float_in_state_fires_only_in_sim_state_crates() {
+    let src = "pub struct S { pub ratio: f64, pub small: f32 }\n";
+    assert_eq!(
+        lints_at(SIM_STATE, src),
+        vec!["float-in-state", "float-in-state"]
+    );
+    assert!(lints_at(TOOLING, src).is_empty());
+}
+
+#[test]
+fn float_in_state_ignores_method_names() {
+    // `as_secs_f64` is one identifier, not an `f64` token.
+    let src = "fn f(d: Duration) -> u64 { d.as_secs_f64; 0 }\n";
+    assert!(lints_at(SIM_STATE, src).is_empty());
+}
+
+#[test]
+fn forbid_unsafe_missing_fires_on_bare_crate_root() {
+    let src = "//! Docs.\npub fn f() {}\n";
+    assert_eq!(
+        lints_at("crates/core/src/lib.rs", src),
+        vec!["forbid-unsafe-missing"]
+    );
+    // Present → silent.
+    let src = "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(lints_at("crates/core/src/lib.rs", src).is_empty());
+    // Non-root modules are not checked.
+    let src = "pub fn f() {}\n";
+    assert!(lints_at("crates/core/src/module.rs", src).is_empty());
+}
+
+// -------------------------------------------------------------- scanner
+
+#[test]
+fn no_fires_inside_line_or_block_comments() {
+    let src = "// HashMap Instant::now() thread_rng()\n\
+               /* HashMap /* nested SystemTime */ still comment f64 */\n\
+               fn f() {}\n";
+    assert!(lints_at(SIM_STATE, src).is_empty());
+}
+
+#[test]
+fn no_fires_inside_string_literals() {
+    let src = "fn f() -> &'static str { \"HashMap and Instant::now()\" }\n";
+    assert!(lints_at(TOOLING, src).is_empty());
+}
+
+#[test]
+fn no_fires_inside_raw_strings() {
+    let src = "fn f() -> &'static str { r#\"thread_rng \"quoted\" HashMap\"# }\n\
+               fn g() -> &'static [u8] { br##\"SystemTime \"# still inside\"## }\n";
+    assert!(lints_at(TOOLING, src).is_empty());
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    // A lifetime must not start a char literal that swallows code up to
+    // the next quote — the HashMap after it must still fire.
+    let src = "fn f<'a>(x: &'a u8) -> char { let m: HashMap<u8, u8>; 'x' }\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["nondet-iteration"]);
+    // And an escaped-quote char literal must not leak its contents.
+    let src = "fn g() -> char { '\\'' }\nfn h() { let m = HashMap::new(); }\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["nondet-iteration"]);
+}
+
+#[test]
+fn numeric_suffixes_are_not_identifiers() {
+    // `1u32` must not produce a phantom `u32` ident after an `as`-less
+    // context, and `0f64` must not fire float-in-state.
+    let src = "fn f() -> u64 { let x = 1u32; let y = 0f64; 1e-3; x as u64 }\n";
+    assert!(lints_at(SIM_STATE, src).is_empty());
+}
+
+#[test]
+fn raw_identifiers_are_scanned() {
+    let src = "fn f() { let r#type = HashMap::new(); }\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["nondet-iteration"]);
+}
+
+// ---------------------------------------------------------- suppression
+
+#[test]
+fn allow_marker_suppresses_same_line_and_next() {
+    let trailing =
+        "fn f() { let m = HashMap::new(); } // sb-allow: nondet-iteration — keyed access only\n";
+    assert!(lints_at(TOOLING, trailing).is_empty());
+    let above = "// sb-allow: nondet-iteration — keyed access only\n\
+                 fn f() { let m = HashMap::new(); }\n";
+    assert!(lints_at(TOOLING, above).is_empty());
+}
+
+#[test]
+fn allow_marker_does_not_reach_two_lines_down() {
+    let src = "// sb-allow: nondet-iteration — keyed access only\n\
+               \n\
+               fn f() { let m = HashMap::new(); }\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["nondet-iteration"]);
+}
+
+#[test]
+fn allow_marker_requires_reason() {
+    let src = "fn f() { let m = HashMap::new(); } // sb-allow: nondet-iteration\n";
+    let lints = lints_at(TOOLING, src);
+    assert!(lints.contains(&"nondet-iteration"), "not suppressed");
+    assert!(lints.contains(&"bad-allow-marker"), "marker reported");
+}
+
+#[test]
+fn allow_marker_rejects_unknown_lint() {
+    let src = "// sb-allow: nondet-iterationn — typo in the lint name\nfn f() {}\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["bad-allow-marker"]);
+}
+
+#[test]
+fn allow_marker_is_lint_specific() {
+    // A wall-clock allow does not excuse a HashMap on the same line.
+    let src = "// sb-allow: wall-clock-in-sim — stdout-only timing\n\
+               fn f() { let m = HashMap::new(); let t = Instant::now(); }\n";
+    assert_eq!(lints_at(TOOLING, src), vec!["nondet-iteration"]);
+}
+
+#[test]
+fn allow_marker_accepts_ascii_separators() {
+    let src = "fn f() { let m = HashMap::new(); } // sb-allow: nondet-iteration -- keyed only\n";
+    assert!(lints_at(TOOLING, src).is_empty());
+    let src = "fn f() { let m = HashMap::new(); } // sb-allow: nondet-iteration - keyed only\n";
+    assert!(lints_at(TOOLING, src).is_empty());
+}
+
+#[test]
+fn syntax_prose_is_not_a_marker() {
+    // Doc text spelling out `// sb-allow: <lint> — <reason>` must not be
+    // parsed as a marker for a lint literally named `<lint>`.
+    let src = "// suppress with `sb-allow: <lint> — <reason>` markers\nfn f() {}\n";
+    assert!(lints_at(TOOLING, src).is_empty());
+}
+
+// ------------------------------------------------------------- baseline
+
+#[test]
+fn baseline_render_parse_roundtrip() {
+    let findings = vec![
+        Finding {
+            lint: "truncating-cast",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            message: String::new(),
+        },
+        Finding {
+            lint: "truncating-cast",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 9,
+            message: String::new(),
+        },
+        Finding {
+            lint: "nondet-iteration",
+            path: "crates/x/src/b.rs".to_string(),
+            line: 1,
+            message: String::new(),
+        },
+    ];
+    let base = Baseline::from_findings(&findings);
+    let parsed = Baseline::parse(&base.render()).expect("parse own rendering");
+    assert_eq!(parsed, base);
+    // Rendering is canonical: a second render of the parse is byte-exact.
+    assert_eq!(parsed.render(), base.render());
+}
+
+#[test]
+fn baseline_diff_separates_growth_and_shrink() {
+    let old = Baseline::parse("[l]\n\"a.rs\" = 2\n\"b.rs\" = 1\n").expect("old");
+    let new = Baseline::parse("[l]\n\"a.rs\" = 3\n").expect("new");
+    assert_eq!(old.diff(&new, true), vec![("l", "a.rs", 2, 3)]);
+    assert_eq!(old.diff(&new, false), vec![("l", "b.rs", 1, 0)]);
+}
+
+/// The committed baseline must be byte-exact against a fresh analysis of
+/// the workspace — the same check the CI gate performs.
+#[test]
+fn committed_baseline_matches_fresh_run() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = sb_analyze::analyze_workspace(&root).expect("analyze workspace");
+    assert!(
+        !findings.iter().any(|f| f.lint == "bad-allow-marker"),
+        "malformed sb-allow markers in the tree: {:?}",
+        findings
+            .iter()
+            .filter(|f| f.lint == "bad-allow-marker")
+            .collect::<Vec<_>>()
+    );
+    let fresh = Baseline::from_findings(&findings).render();
+    let committed =
+        std::fs::read_to_string(root.join(BASELINE_FILE)).expect("committed baseline exists");
+    assert_eq!(
+        committed, fresh,
+        "analyze-baseline.toml is not byte-exact against a fresh run; \
+         regenerate with `cargo run --release -p sb-analyze -- --write-baseline`"
+    );
+}

@@ -3,7 +3,20 @@
 //! The actual benchmark targets live in `benches/`; this library holds the
 //! parallel [`sweep::SweepEngine`] plus the workload construction helpers
 //! shared between the benches and the report examples at the workspace
-//! root.
+//! root:
+//!
+//! - [`sweep`] — the cartesian sweep plan/engine with semantic per-cell
+//!   seeding and the versioned `BENCH_planner.json` schema, byte-identical
+//!   across worker counts;
+//! - [`throughput`] — the DES kernel throughput harness comparing the
+//!   calendar-queue/arena engine against the seed baseline;
+//! - [`workloads`] — shared scenario construction for benches and
+//!   examples.
+//!
+//! Everything the sweep writes is part of the byte-identity surface, so
+//! this crate is linted by `sb-analyze` like the sim-state crates are.
+
+#![forbid(unsafe_code)]
 
 pub mod sweep;
 pub mod throughput;

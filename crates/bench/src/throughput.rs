@@ -101,6 +101,7 @@ fn ring_node(i: usize, modules: usize, tokens: u32) -> RingNode {
 }
 
 fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    // sb-allow: wall-clock-in-sim — stdout-only throughput timing; flagged host-dependent in the JSON section
     let start = Instant::now();
     let r = f();
     (r, start.elapsed().as_secs_f64().max(1e-9))
@@ -111,7 +112,8 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// so the criterion bench times the exact same workload the
 /// [`measure_ring`] table reports.
 pub fn run_ring_arena(modules: usize, max_events: u64) -> u64 {
-    let tokens = ((max_events / u64::from(RING_HOPS)).max(1)) as u32;
+    let tokens = u32::try_from((max_events / u64::from(RING_HOPS)).max(1))
+        .expect("ring token count must fit u32");
     let mut sim: Simulator<u32, (), RingNode> = Simulator::new(())
         .with_latency(LatencyModel::Fixed(Duration::micros(3)))
         .with_seed(5);
@@ -125,7 +127,8 @@ pub fn run_ring_arena(modules: usize, max_events: u64) -> u64 {
 /// (`BinaryHeap` queue, boxed modules, eager per-module starts); returns
 /// events processed.
 pub fn run_ring_boxed_heap(modules: usize, max_events: u64) -> u64 {
-    let tokens = ((max_events / u64::from(RING_HOPS)).max(1)) as u32;
+    let tokens = u32::try_from((max_events / u64::from(RING_HOPS)).max(1))
+        .expect("ring token count must fit u32");
     let mut sim: Simulator<u32, ()> = Simulator::new(())
         .with_latency(LatencyModel::Fixed(Duration::micros(3)))
         .with_seed(5)

@@ -137,6 +137,7 @@ pub struct RunSummary {
     /// Per-block travel.
     pub travel: BlockTravel,
     /// Average messages per election.
+    // sb-allow: float-in-state — derived summary statistic; reports only, never re-enters the sim
     pub messages_per_election: f64,
 }
 
@@ -157,6 +158,7 @@ impl RunSummary {
             messages_per_election: if elections == 0 {
                 0.0
             } else {
+                // sb-allow: float-in-state — derived summary as above
                 report.total_messages() as f64 / elections as f64
             },
         }

@@ -54,7 +54,7 @@ pub fn centralized_bound(config: &SurfaceConfig) -> CentralizedBound {
     let path_cells = path.len();
     let already_occupied = path.iter().filter(|&&c| grid.is_occupied(c)).count();
 
-    let path_set: std::collections::HashSet<Pos> = path.iter().copied().collect();
+    let path_set: std::collections::BTreeSet<Pos> = path.iter().copied().collect();
     let mut available: Vec<Pos> = grid
         .blocks()
         .map(|(_, p)| p)

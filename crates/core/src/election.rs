@@ -1164,8 +1164,8 @@ mod tests {
         // the three tying candidates must be elected about 1/3 of the
         // time — the pre-fix coin-flip merge gave the last-reported
         // candidate probability 1/2 and the first only 1/4.
-        use std::collections::HashMap;
-        let mut counts: HashMap<BlockId, usize> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<BlockId, usize> = BTreeMap::new();
         let trials = 1000u64;
         for trial in 0..trials {
             let cfg = SurfaceConfig::from_ascii(

@@ -300,6 +300,7 @@ pub(crate) fn timer_tag(peer: usize, seq: u32) -> u64 {
 
 /// Inverse of [`timer_tag`].
 pub(crate) fn split_tag(tag: u64) -> (usize, u32) {
+    // sb-allow: truncating-cast — intentional low-32 extraction; the tag packs (peer << 32) | seq
     ((tag >> 32) as usize, tag as u32)
 }
 

@@ -14,7 +14,6 @@ use sb_grid::graph::{OrientedGraph, UNREACHABLE};
 use sb_grid::{BlockId, ConnectivityOracle, OccupancyGrid, Pos, SurfaceConfig};
 use sb_motion::{MotionPlanner, PlannedMotion, RuleCatalog, RuleId};
 use std::cell::{Ref, RefCell};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Which motion feasibility model the world enforces.
@@ -90,7 +89,10 @@ pub struct SurfaceWorld {
     motion_model: MotionModel,
     metrics: Metrics,
     move_log: Vec<MoveRecord>,
-    module_of: HashMap<BlockId, usize>,
+    /// Module index per block id (dense: slot `id.as_u32()`): block ids
+    /// are small and dense, so a flat vector beats a hash map on the
+    /// per-message lookup path and iterates deterministically.
+    module_of: Vec<Option<usize>>,
     block_of: Vec<BlockId>,
     outcome: Option<Outcome>,
     frames: Vec<String>,
@@ -137,7 +139,7 @@ impl SurfaceWorld {
             motion_model,
             metrics: Metrics::default(),
             move_log: Vec::new(),
-            module_of: HashMap::new(),
+            module_of: Vec::new(),
             block_of: Vec::new(),
             outcome: None,
             frames: Vec::new(),
@@ -163,13 +165,24 @@ impl SurfaceWorld {
     /// Declares the module ↔ block mapping used by the runtimes: module
     /// index `i` runs the block code of `blocks[i]`.
     pub fn set_module_mapping(&mut self, blocks: Vec<BlockId>) {
-        self.module_of = blocks.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let slots = blocks
+            .iter()
+            .map(|b| b.as_u32() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        self.module_of = vec![None; slots];
+        for (i, &b) in blocks.iter().enumerate() {
+            self.module_of[b.as_u32() as usize] = Some(i);
+        }
         self.block_of = blocks;
     }
 
     /// Module index hosting a block.
     pub fn module_index_of(&self, block: BlockId) -> Option<usize> {
-        self.module_of.get(&block).copied()
+        self.module_of
+            .get(block.as_u32() as usize)
+            .copied()
+            .flatten()
     }
 
     /// Block hosted by a module index.

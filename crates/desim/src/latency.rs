@@ -86,7 +86,7 @@ mod tests {
             .map(|_| model.sample(&mut rng).as_micros())
             .collect();
         assert!(samples.iter().all(|&s| (5..=50).contains(&s)));
-        let distinct: std::collections::HashSet<u64> = samples.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u64> = samples.iter().copied().collect();
         assert!(distinct.len() > 5, "jitter should produce varied delays");
         assert_eq!(model.upper_bound(), Duration::micros(50));
     }

@@ -26,7 +26,7 @@ use crate::latency::LatencyModel;
 use crate::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashMap;
+use std::collections::HashMap; // sb-allow: nondet-iteration — keyed access only (see NetworkState::links)
 
 /// How the transport treats each directed link between two modules.
 ///
@@ -144,6 +144,11 @@ struct LinkState {
 pub(crate) struct NetworkState {
     model: NetworkModel,
     seed: u64,
+    /// Per-directed-link state, looked up by key on every message send.
+    /// Never iterated: each link's RNG stream is seeded from its own
+    /// endpoints, so map order cannot reach delays, records, or wire
+    /// traffic.
+    // sb-allow: nondet-iteration — keyed-only hot-path lookup; order never escapes
     links: HashMap<(usize, usize), LinkState>,
 }
 
@@ -152,7 +157,7 @@ impl NetworkState {
         NetworkState {
             model,
             seed,
-            links: HashMap::new(),
+            links: HashMap::new(), // sb-allow: nondet-iteration — keyed-only; see field docs
         }
     }
 
@@ -312,7 +317,13 @@ fn log_uniform(rng: &mut SmallRng, min: Duration, max: Duration) -> Duration {
         return Duration::micros(lo);
     }
     // 53 random mantissa bits: the standard uniform-in-[0,1) recipe.
+    // The f64 math below is deterministic per platform (IEEE 754 mul /
+    // round; powf via the platform libm) and its output is immediately
+    // quantized to integral microseconds, so records stay byte-identical
+    // across runs on one platform — the surface every identity pin uses.
+    // sb-allow: float-in-state — log-uniform sampling, quantized to integer µs on the next line
     let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    // sb-allow: float-in-state — log-uniform sampling as above; quantized to integer µs here
     let micros = (lo as f64 * (hi as f64 / lo as f64).powf(u)).round() as u64;
     Duration::micros(micros.clamp(lo, hi))
 }

@@ -483,6 +483,7 @@ impl<M, W, C: BlockCode<M, W>> Simulator<M, W, C> {
     /// Runs until the queue drains or a block code requests a stop.
     /// Returns the cumulative statistics.
     pub fn run_until_idle(&mut self) -> SimStats {
+        // sb-allow: wall-clock-in-sim — feeds only SimStats::wall_elapsed (host-side stdout reporting; excluded from sweep JSON)
         let start = Instant::now();
         while !self.kernel.stop_requested && self.step() {}
         self.kernel.stats.wall_elapsed += start.elapsed();
@@ -492,6 +493,7 @@ impl<M, W, C: BlockCode<M, W>> Simulator<M, W, C> {
     /// Runs until the queue drains, a stop is requested, or simulated time
     /// would exceed `deadline` (events after the deadline stay queued).
     pub fn run_until(&mut self, deadline: SimTime) -> SimStats {
+        // sb-allow: wall-clock-in-sim — feeds only SimStats::wall_elapsed (host-side stdout reporting; excluded from sweep JSON)
         let start = Instant::now();
         while !self.kernel.stop_requested {
             match self.next_key() {
@@ -514,6 +516,7 @@ impl<M, W, C: BlockCode<M, W>> Simulator<M, W, C> {
     /// Processes at most `n` events (used by drivers that interleave
     /// simulation with external checks).
     pub fn run_steps(&mut self, n: u64) -> u64 {
+        // sb-allow: wall-clock-in-sim — feeds only SimStats::wall_elapsed (host-side stdout reporting; excluded from sweep JSON)
         let start = Instant::now();
         let mut done = 0;
         while done < n && !self.kernel.stop_requested && self.step() {

@@ -31,11 +31,13 @@ pub struct SimStats {
 
 impl SimStats {
     /// Events processed per wall-clock second (0 when nothing ran).
+    // sb-allow: float-in-state — derived host-side throughput figure; never feeds simulation state
     pub fn events_per_second(&self) -> f64 {
         let secs = self.wall_elapsed.as_secs_f64();
         if secs <= 0.0 {
             0.0
         } else {
+            // sb-allow: float-in-state — same derived output as above
             self.events_processed as f64 / secs
         }
     }

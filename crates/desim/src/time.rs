@@ -26,7 +26,9 @@ impl SimTime {
     }
 
     /// Time expressed in (fractional) milliseconds.
+    // sb-allow: float-in-state — display-only conversion; sim time stays integral microseconds
     pub fn as_millis_f64(self) -> f64 {
+        // sb-allow: float-in-state — display-only conversion as above
         self.0 as f64 / 1_000.0
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::grid::{BlockId, OccupancyGrid};
 use crate::pos::Pos;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Whether the set of occupied cells forms a single 4-connected component.
 /// The empty set and singletons are connected by convention.
@@ -24,7 +24,7 @@ pub fn is_connected(grid: &OccupancyGrid) -> bool {
 
 /// Number of 4-connected components of the occupied cells.
 pub fn connected_components(grid: &OccupancyGrid) -> usize {
-    let mut seen: HashSet<Pos> = HashSet::new();
+    let mut seen: BTreeSet<Pos> = BTreeSet::new();
     let mut components = 0;
     let mut all: Vec<Pos> = grid.blocks().map(|(_, p)| p).collect();
     all.sort();
@@ -42,8 +42,9 @@ pub fn connected_components(grid: &OccupancyGrid) -> usize {
 
 /// The occupied positions reachable from `start` through occupied cells,
 /// optionally pretending that `skip` is empty (used to test articulation).
-pub fn reachable_from(grid: &OccupancyGrid, start: Pos, skip: Option<Pos>) -> HashSet<Pos> {
-    let mut seen = HashSet::new();
+/// The ordered set keeps every consumer's iteration deterministic.
+pub fn reachable_from(grid: &OccupancyGrid, start: Pos, skip: Option<Pos>) -> BTreeSet<Pos> {
+    let mut seen = BTreeSet::new();
     if Some(start) == skip || !grid.is_occupied(start) {
         return seen;
     }
@@ -93,7 +94,7 @@ pub fn articulation_points(grid: &OccupancyGrid) -> Vec<BlockId> {
     if positions.len() < 3 {
         return Vec::new();
     }
-    let index_of: HashMap<Pos, usize> =
+    let index_of: BTreeMap<Pos, usize> =
         positions.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let n = positions.len();
     let mut disc = vec![usize::MAX; n];
@@ -281,6 +282,7 @@ pub fn is_connected_after(
         while head < queue.len() && reached < n {
             let packed = queue[head];
             head += 1;
+            // sb-allow: truncating-cast — intentional unpack of the 32-bit coordinate lanes built above
             let (x, y) = ((packed & 0xFFFF_FFFF) as u32, (packed >> 32) as u32);
             let mut visit = |nx: u32, ny: u32| {
                 let idx = ny as usize * width as usize + nx as usize;

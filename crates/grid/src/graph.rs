@@ -8,7 +8,7 @@
 use crate::bounds::Bounds;
 use crate::grid::OccupancyGrid;
 use crate::pos::Pos;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Summary of the shortest path between `I` and `O`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -141,7 +141,7 @@ impl OrientedGraph {
 
     /// BFS distance (in hops of `G`, i.e. following oriented links only)
     /// from `I` to every node of `Br`.
-    pub fn distances_from_input(&self) -> HashMap<Pos, u32> {
+    pub fn distances_from_input(&self) -> BTreeMap<Pos, u32> {
         self.distance_field()
             .iter()
             .enumerate()
@@ -213,7 +213,7 @@ impl OrientedGraph {
             return None;
         }
         // BFS through occupied cells following oriented links.
-        let mut prev: HashMap<Pos, Pos> = HashMap::new();
+        let mut prev: BTreeMap<Pos, Pos> = BTreeMap::new();
         let mut queue = VecDeque::new();
         queue.push_back(self.input);
         prev.insert(self.input, self.input);
@@ -330,7 +330,7 @@ mod tests {
         let g = graph_10x7();
         // Independent oracle: a literal BFS over `successors()`, the
         // definition the closed-form `distance_field` must reproduce.
-        let mut bfs: HashMap<Pos, u32> = HashMap::new();
+        let mut bfs: BTreeMap<Pos, u32> = BTreeMap::new();
         bfs.insert(g.input(), 0);
         let mut queue = VecDeque::from([g.input()]);
         while let Some(p) = queue.pop_front() {

@@ -9,7 +9,7 @@ use crate::compiled::{CompiledRule, RuleId};
 use crate::rule::MotionRule;
 use crate::rules;
 use crate::transform::Transform;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A collection of motion rules.
@@ -200,10 +200,8 @@ impl RuleCatalog {
 
     /// The set of distinct window sizes used by the rules.
     pub fn window_sizes(&self) -> Vec<usize> {
-        let sizes: HashSet<usize> = self.rules.iter().map(|r| r.size()).collect();
-        let mut v: Vec<usize> = sizes.into_iter().collect();
-        v.sort();
-        v
+        let sizes: BTreeSet<usize> = self.rules.iter().map(|r| r.size()).collect();
+        sizes.into_iter().collect()
     }
 }
 

@@ -78,6 +78,7 @@ fn main() {
         plan.cells().len(),
         engine.workers()
     );
+    // sb-allow: wall-clock-in-sim — stdout-only wall timing of the sweep itself
     let start = std::time::Instant::now();
     let mut report = engine.run(&plan);
     let wall = start.elapsed();
