@@ -195,10 +195,11 @@ fn json_record_carries_schema_and_percentiles() {
     let report = SweepEngine::new(2).run(&SweepPlan::smoke());
     let json = report.to_json();
     assert!(json.contains("\"schema\": \"smart-surface-sweep\""));
-    assert!(json.contains("\"version\": 6"));
+    assert!(json.contains("\"version\": 7"));
     assert!(json.contains("\"reliability\": \"off\""));
     assert!(json.contains("\"connectivity_rebuilds\""));
     assert!(json.contains("\"connectivity_fallback_probes\""));
+    assert!(json.contains("\"connectivity_incremental_updates\""));
     assert!(json.contains("\"p50\""));
     assert!(json.contains("\"p95\""));
     assert!(json.contains("\"stall_rate\""));

@@ -68,6 +68,11 @@ pub struct Metrics {
     /// and routed to the O(N) scratch BFS.  ~0 on the standard families:
     /// the regression signal that a probe shape fell off the fast path.
     pub connectivity_fallback_probes: u64,
+    /// Number of occupancy epochs the world's connectivity oracle
+    /// absorbed incrementally (O(1) light-layer sync or leaf patch)
+    /// instead of rebuilding.  Together with `connectivity_rebuilds`
+    /// this accounts for every synchronised epoch.
+    pub connectivity_incremental_updates: u64,
 }
 
 impl Metrics {
@@ -105,6 +110,7 @@ impl Metrics {
         self.delivery_failures += other.delivery_failures;
         self.connectivity_rebuilds += other.connectivity_rebuilds;
         self.connectivity_fallback_probes += other.connectivity_fallback_probes;
+        self.connectivity_incremental_updates += other.connectivity_incremental_updates;
     }
 }
 
@@ -147,6 +153,13 @@ impl fmt::Display for Metrics {
                 f,
                 " connectivity-fallback-probes={}",
                 self.connectivity_fallback_probes
+            )?;
+        }
+        if self.connectivity_incremental_updates > 0 {
+            write!(
+                f,
+                " connectivity-incremental-updates={}",
+                self.connectivity_incremental_updates
             )?;
         }
         Ok(())

@@ -585,16 +585,18 @@ impl SurfaceWorld {
     }
 
     /// A copy of the accumulated metrics with the connectivity oracle's
-    /// lifetime counters folded in — the rebuild count and the number of
-    /// Remark 1 probes that had to leave the O(1) block-cut-tree path
-    /// for the scratch BFS.  The oracle lives in the world's occupancy
-    /// cache rather than in `Metrics` (its counters advance inside
-    /// immutable probes), so reporting snapshots them on demand.
+    /// lifetime counters folded in — the rebuild and incremental-update
+    /// counts and the number of Remark 1 probes that had to leave the
+    /// O(1) block-cut-tree path for the scratch BFS.  The oracle lives in
+    /// the world's occupancy cache rather than in `Metrics` (its counters
+    /// advance inside immutable probes), so reporting snapshots them on
+    /// demand.
     pub fn metrics_with_connectivity(&self) -> Metrics {
         let cache = self.cache.borrow();
         let mut metrics = self.metrics;
         metrics.connectivity_rebuilds = cache.oracle.rebuilds();
         metrics.connectivity_fallback_probes = cache.oracle.fallback_probes();
+        metrics.connectivity_incremental_updates = cache.oracle.incremental_updates();
         metrics
     }
 

@@ -34,19 +34,30 @@
 //!   one, because their moves chain head-to-tail — routes through the
 //!   same O(1) single-move verdict as a plain move;
 //! * a genuine two-cell vacate is decided by separating-pair reasoning on
-//!   the DFS tree when the pair is a tree edge
-//!   (`ConnectivityOracle::pair_vacate_verdict`): removing adjacent `u`
-//!   (parent) and `v` (child) shatters the graph into the tree children
-//!   of both plus the remainder above `u`, each child subtree attaching
-//!   to the remainder iff `low < disc[u]` — back edges from those
-//!   subtrees can only land on `u`, `v`, inside themselves, or strictly
-//!   above `u` — and a ≤9-element union-find over those pieces plus the
-//!   two destinations settles connectivity exactly.
+//!   the DFS tree (`ConnectivityOracle::pair_vacate_verdict`).  When the
+//!   pair is a **tree edge** — adjacent `u` (parent) and `v` (child) —
+//!   removal shatters the graph into the tree children of both plus the
+//!   remainder above `u`, each child subtree attaching to the remainder
+//!   iff `low < disc[u]` — back edges from those subtrees can only land
+//!   on `u`, `v`, inside themselves, or strictly above `u` — and a
+//!   ≤9-element union-find over those pieces plus the two destinations
+//!   settles connectivity exactly.  When the adjacent pair is instead a
+//!   **back edge** (`ConnectivityOracle::back_edge_pair_verdict`), `u` is
+//!   a proper ancestor of `v` along a tree path: the pieces are `v`'s
+//!   child subtrees, `u`'s off-path child subtrees, the *middle* (the
+//!   tree path strictly between them plus everything hanging off it) and
+//!   the remainder above `u`.  Low-links classify most attachments
+//!   exactly; the ones a single `low` value can mask (a child of `v`
+//!   whose only escape might be the vacated back edge itself, or a middle
+//!   whose remainder link might run through `v`) are bracketed by running
+//!   the union-find twice — once assuming every maskable link absent,
+//!   once assuming all present.  When both brackets agree that answer is
+//!   exact; a disagreement falls back to the BFS.
 //!
 //! The probes the structure genuinely cannot decide — already
-//! disconnected states, back-edge vacated pairs, net effects wider than
-//! two cells — fall back to the scratch BFS, so the oracle is
-//! **bit-for-bit equivalent** to
+//! disconnected states, non-adjacent vacated pairs, bracket disagreements,
+//! net effects wider than two cells — fall back to the scratch BFS, so
+//! the oracle is **bit-for-bit equivalent** to
 //! [`crate::connectivity::is_connected_after`] on every geometrically
 //! valid batch.
 //!
@@ -58,20 +69,75 @@
 //! manual invalidation — holding one oracle and probing many different
 //! grids is safe (each refresh is tagged with the grid's own epoch).
 //!
-//! A refresh is **incremental** when the occupancy diff against the
-//! previous build's snapshot is a leaf relocation: a non-root tree leaf
-//! vacated and/or a cell landing with exactly one occupied neighbour.
-//! Leaf removal never influenced any ancestor's low-link, so only the
-//! support's cut bit is recomputed (O(1)); a landed leaf `t` on support
-//! `r` is grafted as `parent[t] = r`, `disc[t] = low[t] = high[t] =
-//! disc[r]` — sharing the support's preorder stamp keeps every interval
-//! test exact, because `t`'s piece is `r`'s piece under any removal that
-//! is not `r` itself, and under `s = r` the stamp forms `t`'s own
-//! degenerate split interval.  At most one such aliased leaf may hang per
-//! support and aliased leaves never serve as supports (both guards force
-//! a rebuild), so stamp collisions stay unambiguous.  Everything else —
-//! wider diffs, interior vacates, root removals — rebuilds the full DFS,
-//! exactly as before.
+//! State is maintained in **two layers** so a reconfiguration's worth of
+//! epochs costs O(1) each, amortised:
+//!
+//! * The **light layer** — occupancy snapshot, component count, and the
+//!   *pendant mover* — resynchronises on every epoch.  A net single-cell
+//!   relocation `f → t` is absorbed when `f` is provably removable, by
+//!   any of three O(1) witnesses: `f` is the pendant mover (the cell
+//!   landed by the previous epoch; while the same block keeps hopping,
+//!   `occupancy \ {mover}` is a set invariant, so its connectedness
+//!   carries over by induction), the **ring certificate** (all of `f`'s
+//!   occupied cardinal neighbours lie in one maximal occupied arc of its
+//!   8-cell ring, so every path through `f` reroutes around it — sound,
+//!   locally checkable, and complete for the corner/surface departures
+//!   reconfigurations actually produce), or a fresh forest's cut bit.  A
+//!   net two-cell vacate is absorbed when the analogous **pair
+//!   certificate** (ring certificates chained over both orders of
+//!   removal) proves the vacated pair harmless.  Deltas with no O(1)
+//!   witness rebuild.
+//! * The **forest layer** — Tarjan arrays, preorder stamps, cut mask —
+//!   is kept usable across general single-move epochs by a bounded,
+//!   chronological **edit log** instead of being rebuilt.  Each absorbed
+//!   epoch appends up to two ring-certified single-cell entries: a
+//!   `Ghost` (vacated on the live board, still present in the forest)
+//!   and a `Missing` (landed on the live board, absent from the forest);
+//!   the forest plus the log thus describe a *historical* board
+//!   `B_old = live ∪ ghosts ∖ missings`.  The soundness frame is the
+//!   **chronological-apply invariant**: every pending entry's ring
+//!   certificate must stay valid on the board obtained by applying the
+//!   entries older than it — appends never disturb older entries (the
+//!   new cell is younger than everything pending), a mover stepping back
+//!   onto its own freshest `Missing` is absorbed by popping the tail,
+//!   and base mutations (leaf grafts) are admitted only when they sit
+//!   diagonal to every pending ring, because a diagonal addition merely
+//!   merges occupied arcs and can never break a certificate.  Where the
+//!   certificates hold, removing a certified cell merges and splits
+//!   nothing, so cut bits and preorder intervals in `B_old` answer
+//!   verdicts about the live board exactly.
+//!
+//!   A probe consults the forest only after two hazard checks
+//!   (`ConnectivityOracle::ensure_forest_for`): **garbage stamps** — a
+//!   pending `Missing` on or laterally adjacent to a scanned anchor
+//!   would be read as forest structure it does not have
+//!   (`ConnectivityOracle::missing_blind`) — and **broken
+//!   certificates** — hypothetically removing a probe's vacated cells
+//!   from a pending entry's ring can break the occupied arc its
+//!   certificate rerouted through, re-checked per entry over the ring
+//!   occupancy *at that entry's apply time*
+//!   (`ConnectivityOracle::certs_survive`).  Either hazard, an
+//!   un-certifiable delta, or an edit log at capacity (`MAX_EDITS`)
+//!   rebuilds; measured on the catalogue reconfigurations this costs
+//!   about one rebuild per mover journey (the rule-check probe of a
+//!   back-edge wall cell right beside the active trail), against
+//!   ~N²/4 occupancy epochs total.
+//!
+//! The forest additionally patches **leaf relocations** eagerly: a
+//! non-root tree leaf vacated and/or a cell landing with exactly one
+//! occupied neighbour.  Leaf removal never influenced any ancestor's
+//! low-link, so only the support's cut bit is recomputed (O(1)); a landed
+//! leaf `t` on support `r` is grafted as `parent[t] = r`, `disc[t] =
+//! low[t] = high[t] = disc[r]` — sharing the support's preorder stamp
+//! keeps every interval test exact, because `t`'s piece is `r`'s piece
+//! under any removal that is not `r` itself, and under `s = r` the stamp
+//! forms `t`'s own degenerate split interval.  At most one such aliased
+//! leaf may hang per support, aliased leaves never serve as supports, and
+//! back-edge pair endpoints must be genuine (all three guards force a
+//! rebuild or a fallback), so stamp collisions stay unambiguous.  O(N)
+//! forest surgery — re-rooting, interior splice-outs — is deliberately
+//! *not* attempted: the edit log absorbs those deltas as overlay entries
+//! and lets the rare hazard-triggered rebuild pay once instead.
 //!
 //! All buffers are retained across rebuilds, so after one warm-up rebuild
 //! per grid size the oracle performs **no heap allocation** (asserted by
@@ -84,6 +150,21 @@ use crate::pos::Pos;
 const UNVISITED: u32 = u32::MAX;
 /// Sentinel parent index for DFS roots.
 const NO_PARENT: u32 = u32::MAX;
+/// Upper bound on the pending edit log (`ConnectivityOracle::edits`);
+/// hazard checks scan the log linearly, so it stays small, and hitting
+/// the cap simply forces the next synchronisation to rebuild.
+const MAX_EDITS: usize = 32;
+
+/// One entry of the oracle's pending edit log: how the forest occupancy
+/// differs from the live board at one cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EditKind {
+    /// Tombstone: vacated on the live board, still in the forest.
+    Ghost,
+    /// Dual tombstone: landed on the live board, absent from the forest
+    /// (its Tarjan stamps are garbage and must never be read).
+    Missing,
+}
 
 /// Cut-vertex connectivity oracle (see the module docs).
 ///
@@ -91,8 +172,24 @@ const NO_PARENT: u32 = u32::MAX;
 /// tracks grid epochs internally and rebuilds its cut-vertex mask lazily.
 #[derive(Clone, Debug, Default)]
 pub struct ConnectivityOracle {
-    /// Epoch of the grid the mask below was computed for.
+    /// Epoch of the grid the *light* state below (`board`, `components`,
+    /// `sat`, `sat_removable`) was synchronised to.
     built_epoch: Option<u64>,
+    /// Whether the Tarjan arrays and `cut` mask describe the same
+    /// occupancy as `board`.  Light synchronisation keeps `board` current
+    /// on every epoch but lets the forest go stale when a delta is not
+    /// leaf-patchable; the forest is then rebuilt lazily, on the first
+    /// probe that actually needs preorder stamps.
+    forest_synced: bool,
+    /// The pendant mover: the cell most recently landed by a net
+    /// single-cell relocation.  While the same block keeps hopping, the
+    /// set `occupancy \ {sat}` is invariant, so its connectivity — the
+    /// only global fact a hop verdict needs — carries over epochs
+    /// unchanged (`sat_removable`).
+    sat: Option<Pos>,
+    /// Whether `occupancy \ {sat}` is connected (meaningful only while
+    /// `sat` is `Some` and the ensemble itself is connected).
+    sat_removable: bool,
     /// Cut-vertex bitboard, word layout identical to the occupancy board
     /// (bit set ⇔ the cell holds a block whose removal splits the rest).
     cut: Vec<u64>,
@@ -110,10 +207,26 @@ pub struct ConnectivityOracle {
     high: Vec<u32>,
     /// Explicit DFS stack: `y << 33 | x << 3 | next_direction`.
     stack: Vec<u64>,
-    /// Occupancy snapshot of the state the tree above describes (word
-    /// layout identical to the grid's): diffed against the live board on
-    /// an epoch change to patch leaf relocations without a full rebuild.
+    /// Occupancy snapshot of the *live* board (word layout identical to
+    /// the grid's): diffed against the live board on an epoch change to
+    /// patch leaf relocations without a full rebuild.  The forest may
+    /// describe a slightly different occupancy — see `edits`.
     board: Vec<u64>,
+    /// The pending **edit log**: ring-certified single-cell differences
+    /// between the occupancy the forest describes and the live board, in
+    /// chronological order.  A `Ghost` entry is a tombstone — the cell
+    /// was vacated from the live board but keeps its Tarjan stamps; a
+    /// `Missing` entry is the dual — the cell landed on the live board
+    /// without entering the forest.  Each entry held the ring certificate
+    /// over the live board when it was logged, so applying the log in
+    /// order transforms the forest occupancy into the live one without
+    /// ever merging or splitting a component; cut status and piece
+    /// structure therefore agree between the two occupancies everywhere
+    /// outside the edits' 8-rings (the *poisoned* halo).  Probes anchored
+    /// inside the halo rebuild, the leaf patch declines poisoned cells
+    /// (a removal there could delete an arc cell a certificate depends
+    /// on), and the log is bounded by `MAX_EDITS` and cleared on rebuild.
+    edits: Vec<(Pos, EditKind)>,
     /// `(width, height)` of the snapshot's surface — a dimension change
     /// makes the word layout incomparable and forces a rebuild.
     board_dims: (u32, u32),
@@ -147,7 +260,7 @@ impl ConnectivityOracle {
         if grid.block_count() <= 1 {
             return true;
         }
-        self.ensure_fresh(grid);
+        self.ensure_light(grid);
         // Net-effect reduction.  The post-move board is
         // `(occupancy \ sources) ∪ destinations`, so only cells vacated
         // and never refilled (respectively filled and never vacated)
@@ -186,14 +299,30 @@ impl ConnectivityOracle {
                 // The net-empty batch leaves the board as it stands.
                 (0, 0) => Some(self.components <= 1),
                 // One net cell out, one in: exactly the single-move
-                // shape, whether or not the two are adjacent.
+                // shape, whether or not the two are adjacent.  The
+                // forest-free fast path (pendant mover or local bypass
+                // certificate) decides the dominant case; only a miss
+                // consults — and if necessary lazily rebuilds — the DFS
+                // forest.
                 (1, 1) if self.components == 1 => {
-                    self.single_move_verdict(grid, vacated[0], filled[0])
+                    let (f, t) = (vacated[0], filled[0]);
+                    if let Some(connected) = self.single_move_fast(grid, f, t) {
+                        Some(connected)
+                    } else {
+                        self.ensure_forest_for(grid, &[f], &[t]);
+                        self.single_move_verdict(grid, f, t)
+                    }
                 }
-                // A genuine pair vacate: separating-pair reasoning on
-                // the DFS tree.
+                // A genuine pair vacate: certificate first, then
+                // separating-pair reasoning on the DFS tree.
                 (2, 2) => {
-                    self.pair_vacate_verdict(grid, (vacated[0], vacated[1]), (filled[0], filled[1]))
+                    let (pair, dests) = ((vacated[0], vacated[1]), (filled[0], filled[1]));
+                    if let Some(connected) = self.pair_fast(grid, pair, dests) {
+                        Some(connected)
+                    } else {
+                        self.ensure_forest_for(grid, &[pair.0, pair.1], &[dests.0, dests.1]);
+                        self.pair_vacate_verdict(grid, pair, dests)
+                    }
                 }
                 _ => None,
             };
@@ -210,20 +339,25 @@ impl ConnectivityOracle {
     /// configuration (false for empty or off-surface cells), from the
     /// memoised mask.
     pub fn is_cut_vertex(&mut self, grid: &OccupancyGrid, pos: Pos) -> bool {
-        self.ensure_fresh(grid);
+        self.ensure_forest_for(grid, &[pos], &[]);
         grid.bounds().contains(pos) && self.cut_bit(grid, pos)
     }
 
     /// Number of 4-connected components of the occupied cells.
     pub fn component_count(&mut self, grid: &OccupancyGrid) -> u32 {
-        self.ensure_fresh(grid);
+        self.ensure_light(grid);
         self.components
     }
 
     /// The cut-vertex bitboard for `grid` (same word layout as
     /// [`OccupancyGrid::occupancy_words`]), rebuilt if stale.
     pub fn cut_mask(&mut self, grid: &OccupancyGrid) -> &[u64] {
-        self.ensure_fresh(grid);
+        self.ensure_forest(grid);
+        if !self.edits.is_empty() {
+            // Pending edits keep the mask exact only outside their halos;
+            // the mask contract is live-exact everywhere, so flush them.
+            self.rebuild(grid);
+        }
         &self.cut[..grid.occupancy_words().len()]
     }
 
@@ -320,7 +454,9 @@ impl ConnectivityOracle {
         } else if self.parent[index(a)] == index(b) as u32 {
             (b, a)
         } else {
-            return None;
+            // Not a tree edge: an adjacent occupied pair whose edge the
+            // DFS classified as a back edge — separate piece reasoning.
+            return self.back_edge_pair_verdict(grid, a, b, (d1, d2));
         };
         let (u_idx, v_idx) = (index(u), index(v));
         let u_is_root = self.parent[u_idx] == NO_PARENT;
@@ -407,6 +543,204 @@ impl ConnectivityOracle {
         Some(find(&mut dsu, d2_id) == reference)
     }
 
+    /// Exact O(1) verdict for a vacated adjacent pair whose edge is a
+    /// **back edge** of the DFS: `u` a proper ancestor of `v`, connected
+    /// in the tree through an intermediate path of length ≥ 2.
+    ///
+    /// Removing both shatters the component into the remainder above a
+    /// non-root `u` (`R`), the **middle** — the subtree of `u`'s child
+    /// `a₀` on the tree path towards `v`, minus `v`'s own subtree (`M`) —
+    /// plus the tree children of `v` and the other tree children of `u`.
+    /// Low-links place most attachments exactly: a piece reaches `R` iff
+    /// it holds a back edge strictly above `u` (`low < disc[u]`), and a
+    /// child of `v` reaches `M` iff it lands strictly between `u` and `v`
+    /// (`disc[u] < low < disc[v]` — targets in that preorder range are
+    /// necessarily tree-path vertices).  A minimum *can* mask a second,
+    /// higher back edge (`low ≤ disc[u]` says nothing about additional
+    /// middle landings), so the verdict is evaluated twice — once without
+    /// the maskable links (pessimistic) and once with all of them
+    /// (optimistic).  Agreement means the answer is exact either way;
+    /// disagreement routes to the BFS (`None`), as do aliased stamps on
+    /// the pair.
+    fn back_edge_pair_verdict(
+        &self,
+        grid: &OccupancyGrid,
+        a: Pos,
+        b: Pos,
+        dests: (Pos, Pos),
+    ) -> Option<bool> {
+        let width = grid.bounds().width as usize;
+        let index = |p: Pos| p.y as usize * width + p.x as usize;
+        if (a.x - b.x).abs() + (a.y - b.y).abs() != 1 {
+            // Disjoint vacates have no shared tree structure to reason
+            // over; only the BFS is exact.
+            return None;
+        }
+        let aliased = |idx: usize| {
+            let p = self.parent[idx];
+            p != NO_PARENT && self.disc[idx] == self.disc[p as usize]
+        };
+        let (a_idx, b_idx) = (index(a), index(b));
+        if aliased(a_idx) || aliased(b_idx) {
+            // A grafted pendant's edge to its second neighbour is not in
+            // the stamp structure at all.
+            return None;
+        }
+        // Orient `u` the ancestor: grid DFS trees have no cross edges, so
+        // the non-tree edge connects interval-nested vertices.
+        let (u, v) = if self.disc[a_idx] < self.disc[b_idx] {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let (u_idx, v_idx) = (index(u), index(v));
+        let (u_disc, u_high) = (self.disc[u_idx], self.high[u_idx]);
+        let (v_disc, v_high) = (self.disc[v_idx], self.high[v_idx]);
+        if !(u_disc..=u_high).contains(&v_disc) {
+            return None;
+        }
+        let u_is_root = self.parent[u_idx] == NO_PARENT;
+        // Tree children of `v`, then the off-path tree children of `u`;
+        // `a₀` is `u`'s child whose subtree interval covers `v`.
+        let mut pieces = [(0u32, 0u32, 0u32); 6];
+        let mut kc = 0usize;
+        for c in v.neighbors4() {
+            if c == u || !grid.is_occupied(c) {
+                continue;
+            }
+            let c_idx = index(c);
+            if self.parent[c_idx] == v_idx as u32 {
+                pieces[kc] = (self.disc[c_idx], self.high[c_idx], self.low[c_idx]);
+                kc += 1;
+            }
+        }
+        let mut k = kc;
+        let mut a0: Option<usize> = None;
+        for c in u.neighbors4() {
+            if c == v || !grid.is_occupied(c) {
+                continue;
+            }
+            let c_idx = index(c);
+            if self.parent[c_idx] != u_idx as u32 {
+                continue;
+            }
+            if (self.disc[c_idx]..=self.high[c_idx]).contains(&v_disc) {
+                a0 = Some(c_idx);
+            } else {
+                pieces[k] = (self.disc[c_idx], self.high[c_idx], self.low[c_idx]);
+                k += 1;
+            }
+        }
+        // `v` is a proper descendant, so the path child must exist.
+        let a0_idx = a0?;
+        let (a0_lo, a0_hi, a0_low) = (self.disc[a0_idx], self.high[a0_idx], self.low[a0_idx]);
+        let v_low = self.low[v_idx];
+
+        // Union-find ids: `0..kc` children of `v`, `kc..k` off-path
+        // children of `u`, then the middle, the remainder and the two
+        // destinations.
+        let middle = k;
+        let remainder = k + 1;
+        let (d1_id, d2_id) = (k + 2, k + 3);
+        let (d1, d2) = dests;
+        fn find(dsu: &mut [u8; 12], mut i: usize) -> usize {
+            while dsu[i] as usize != i {
+                dsu[i] = dsu[dsu[i] as usize];
+                i = dsu[i] as usize;
+            }
+            i
+        }
+        fn union(dsu: &mut [u8; 12], i: usize, j: usize) {
+            let (ri, rj) = (find(dsu, i), find(dsu, j));
+            dsu[ri] = rj as u8;
+        }
+        // Piece of an occupied neighbour `q ∉ {u, v}` of a destination.
+        let classify = |q: Pos| -> Option<usize> {
+            let dq = self.disc[index(q)];
+            if !(u_disc..=u_high).contains(&dq) {
+                return if u_is_root { None } else { Some(remainder) };
+            }
+            if (v_disc..=v_high).contains(&dq) {
+                return pieces[..kc]
+                    .iter()
+                    .position(|&(lo, hi, _)| (lo..=hi).contains(&dq));
+            }
+            if (a0_lo..=a0_hi).contains(&dq) {
+                return Some(middle);
+            }
+            pieces[kc..k]
+                .iter()
+                .position(|&(lo, hi, _)| (lo..=hi).contains(&dq))
+                .map(|i| kc + i)
+        };
+        let verdict = |optimistic: bool| -> Option<bool> {
+            let mut dsu: [u8; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+            for (i, &(_, _, low)) in pieces[..kc].iter().enumerate() {
+                if low < u_disc {
+                    if u_is_root {
+                        return None;
+                    }
+                    union(&mut dsu, i, remainder);
+                }
+                if u_disc < low && low < v_disc {
+                    // Strictly-between landings are tree-path vertices.
+                    union(&mut dsu, i, middle);
+                } else if optimistic && low <= u_disc {
+                    // The minimum may mask an additional middle landing.
+                    union(&mut dsu, i, middle);
+                }
+            }
+            for (j, &(_, _, low)) in pieces[kc..k].iter().enumerate() {
+                // Off-path subtrees of `u` see only `u` and above as
+                // ancestors: no middle ambiguity.
+                if low < u_disc {
+                    if u_is_root {
+                        return None;
+                    }
+                    union(&mut dsu, kc + j, remainder);
+                }
+            }
+            if a0_low < u_disc {
+                if u_is_root {
+                    return None;
+                }
+                if v_low >= u_disc {
+                    // The sub-`u` witness is outside `v`'s subtree, i.e.
+                    // in the middle itself: certain attachment.
+                    union(&mut dsu, middle, remainder);
+                } else if optimistic {
+                    union(&mut dsu, middle, remainder);
+                }
+            }
+            for (d, d_id) in [(d1, d1_id), (d2, d2_id)] {
+                for q in d.neighbors4() {
+                    if q == d1 || q == d2 {
+                        union(&mut dsu, d1_id, d2_id);
+                        continue;
+                    }
+                    if q == u || q == v || !grid.is_occupied(q) {
+                        continue;
+                    }
+                    union(&mut dsu, d_id, classify(q)?);
+                }
+            }
+            let reference = find(&mut dsu, d1_id);
+            for i in 0..=middle {
+                if find(&mut dsu, i) != reference {
+                    return Some(false);
+                }
+            }
+            if !u_is_root && find(&mut dsu, remainder) != reference {
+                return Some(false);
+            }
+            Some(find(&mut dsu, d2_id) == reference)
+        };
+        match (verdict(false)?, verdict(true)?) {
+            (pessimistic, optimistic) if pessimistic == optimistic => Some(pessimistic),
+            _ => None,
+        }
+    }
+
     /// Exact verdict for a single-block move whose source `s` **is** a cut
     /// vertex of the (connected) ensemble, in O(1).
     ///
@@ -479,8 +813,12 @@ impl ConnectivityOracle {
         Some(distinct == pieces)
     }
 
+    /// Synchronises the light state (`board`, `components`, `sat`,
+    /// `sat_removable`) to the grid's current epoch.  O(1) for every
+    /// single-move and carrying-pair delta whose admissibility the local
+    /// certificates can prove; anything else rebuilds in full.
     #[inline]
-    fn ensure_fresh(&mut self, grid: &OccupancyGrid) {
+    fn ensure_light(&mut self, grid: &OccupancyGrid) {
         let epoch = grid.epoch();
         if self.built_epoch == Some(epoch) {
             return;
@@ -493,11 +831,108 @@ impl ConnectivityOracle {
         }
     }
 
-    /// Attempts to absorb the occupancy delta against the snapshot of the
-    /// previous build without re-running the DFS.  Succeeds exactly when
-    /// the diff is empty (an occupancy-identical grid under a new epoch)
-    /// or a leaf relocation patchable in O(1) (see
-    /// [`ConnectivityOracle::patch_leaf_delta`]).
+    /// Synchronises the DFS forest (Tarjan arrays and cut mask) to the
+    /// grid's current epoch, rebuilding it if light updates let it lapse.
+    #[inline]
+    fn ensure_forest(&mut self, grid: &OccupancyGrid) {
+        self.ensure_light(grid);
+        if !self.forest_synced {
+            self.rebuild(grid);
+        }
+    }
+
+    /// Synchronises the forest for a probe that hypothetically *removes*
+    /// the `vacated` cells and *adds* the `landed` cells: like
+    /// [`ConnectivityOracle::ensure_forest`], but additionally rebuilds
+    /// when a pending edit could falsify the verdict — outside those
+    /// situations the edited forest answers exactly.
+    ///
+    /// Two hazards exist.  **Garbage stamps**: a pending `Missing` cell
+    /// is live but absent from the forest, so the split-piece scan of a
+    /// vacated anchor and the junction scan of a landed anchor must not
+    /// find one among the cells whose stamps they read (the anchor and
+    /// its lateral neighbours).  **Broken certificates**: removing a
+    /// cell on a pending entry's ring can break the occupied arc its
+    /// certificate rerouted through, which is re-checked per entry by
+    /// [`ConnectivityOracle::certs_survive`]; an *addition* never breaks
+    /// an arc, so landed anchors need no certificate check.  Ghost
+    /// stamps are never read — piece scans walk live cells only.
+    #[inline]
+    fn ensure_forest_for(&mut self, grid: &OccupancyGrid, vacated: &[Pos], landed: &[Pos]) {
+        self.ensure_light(grid);
+        if !self.forest_synced
+            || vacated.iter().any(|&p| self.missing_blind(p))
+            || landed.iter().any(|&p| self.missing_blind(p))
+            || !self.certs_survive(&|q| grid.is_occupied(q), vacated)
+        {
+            self.rebuild(grid);
+        }
+    }
+
+    /// Whether `p` lies on or laterally adjacent to a pending entry —
+    /// the forest's adjacency at `p` then differs from the live board's
+    /// (a lateral ghost is a forest edge the live board lacks, a lateral
+    /// `Missing` a live edge the forest lacks), so shape reasoning at
+    /// `p` is off limits.  O(len(edits)), and the log is short by
+    /// construction.
+    #[inline]
+    fn lateral_pending(&self, p: Pos) -> bool {
+        self.edits
+            .iter()
+            .any(|&(e, _)| (e.x - p.x).abs() + (e.y - p.y).abs() <= 1)
+    }
+
+    /// Whether a pending `Missing` entry sits on or laterally adjacent
+    /// to `p` — the cells whose stamps a scan anchored at `p` would
+    /// read (a `Missing` cell is live but absent from the forest, its
+    /// stamps garbage).
+    #[inline]
+    fn missing_blind(&self, p: Pos) -> bool {
+        self.edits
+            .iter()
+            .any(|&(e, k)| k == EditKind::Missing && (e.x - p.x).abs() + (e.y - p.y).abs() <= 1)
+    }
+
+    /// Whether every pending entry's ring certificate survives removing
+    /// the `removed` cells.  Each entry `e` whose ring meets a removed
+    /// cell is re-certified over its ring occupancy *at apply time*:
+    /// `occ` rewound through the entries younger than `e` (a cell a
+    /// younger `Ghost` tombstones was still occupied when `e` applies, a
+    /// younger `Missing` had not landed yet), minus the removed cells.
+    /// When this holds, peeling the log stays merge-free and split-free
+    /// on the board the verdict reasons about, so pieces and cut bits
+    /// keep corresponding exactly even inside the log's halos.
+    fn certs_survive(&self, occ: &dyn Fn(Pos) -> bool, removed: &[Pos]) -> bool {
+        (0..self.edits.len()).all(|i| {
+            let (e, _) = self.edits[i];
+            if !removed
+                .iter()
+                .any(|&p| p != e && (e.x - p.x).abs() <= 1 && (e.y - p.y).abs() <= 1)
+            {
+                // Entries whose ring the removal misses keep their
+                // certificate; a removed cell *equal* to an entry (a
+                // pending `Missing` vacating) is the stamp checks' job.
+                return true;
+            }
+            let younger = &self.edits[i + 1..];
+            let at_apply = |q: Pos| -> bool {
+                if removed.contains(&q) {
+                    return false;
+                }
+                match younger.iter().find(|&&(y, _)| y == q) {
+                    Some(&(_, k)) => k == EditKind::Ghost,
+                    None => occ(q),
+                }
+            };
+            ring_certificate(&at_apply, e)
+        })
+    }
+
+    /// Attempts to absorb the occupancy delta against the board snapshot
+    /// without re-running the DFS.  Succeeds when the diff is empty (an
+    /// occupancy-identical grid under a new epoch), a single relocation
+    /// the light layer can certify, a carrying pair the pair certificate
+    /// can certify, or a pure place/remove the leaf patch absorbs.
     fn try_incremental(&mut self, grid: &OccupancyGrid) -> bool {
         let bounds = grid.bounds();
         let words = grid.occupancy_words();
@@ -505,8 +940,10 @@ impl ConnectivityOracle {
             return false;
         }
         let words_per_row = grid.words_per_row();
-        let mut vacated: Option<Pos> = None;
-        let mut landed: Option<Pos> = None;
+        let zero = Pos::new(0, 0);
+        let mut vacated = [zero; 2];
+        let mut landed = [zero; 2];
+        let (mut nv, mut nl) = (0usize, 0usize);
         for (w, (&now, &then)) in words.iter().zip(self.board.iter()).enumerate() {
             let mut diff = now ^ then;
             while diff != 0 {
@@ -516,22 +953,321 @@ impl ConnectivityOracle {
                     ((w % words_per_row) * 64) as i32 + bit as i32,
                     (w / words_per_row) as i32,
                 );
-                let slot = if now >> bit & 1 != 0 {
-                    &mut landed
+                if now >> bit & 1 != 0 {
+                    if nl == 2 {
+                        return false;
+                    }
+                    landed[nl] = pos;
+                    nl += 1;
                 } else {
-                    &mut vacated
-                };
-                if slot.is_some() {
-                    // Wider than a single relocation: rebuild.
-                    return false;
+                    if nv == 2 {
+                        return false;
+                    }
+                    vacated[nv] = pos;
+                    nv += 1;
                 }
-                *slot = Some(pos);
             }
         }
-        match (vacated, landed) {
-            (None, None) => true,
-            (f, t) => self.patch_leaf_delta(grid, f, t),
+        match (nv, nl) {
+            (0, 0) => true,
+            (1, 1) => self.light_single_sync(grid, vacated[0], landed[0]),
+            (2, 2) => self.light_pair_sync(grid, vacated, landed),
+            // A pure place or remove: only the narrow leaf patch keeps
+            // both layers exact, and the pendant invariant is dropped.
+            (v, l) if v + l == 1 => {
+                let f = (v == 1).then_some(vacated[0]);
+                let t = (l == 1).then_some(landed[0]);
+                if self.forest_synced && self.patch_leaf_delta(grid, f, t) {
+                    self.sat = None;
+                    self.sat_removable = false;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
         }
+    }
+
+    /// O(1) light absorption of a net single relocation `f → t`.
+    ///
+    /// Admissible when the pre-state is connected, `f` is provably
+    /// removable — it is the pendant mover, the ring certificate proves a
+    /// local bypass, or a still-synced forest holds its cut bit clear —
+    /// and `t` lands adjacent to the remaining ensemble.  On success the
+    /// ensemble is still connected, `t` is the new pendant mover, and the
+    /// forest either absorbed the delta (leaf patch, or ghost tombstone
+    /// for a ring-certified interior vacate) or goes stale (to be rebuilt
+    /// lazily).  Returns `false` to request a rebuild.
+    fn light_single_sync(&mut self, grid: &OccupancyGrid, f: Pos, t: Pos) -> bool {
+        if self.components != 1 {
+            return false;
+        }
+        let bounds = grid.bounds();
+        let board = &self.board;
+        let old_occupied = |p: Pos| -> bool {
+            bounds.contains(p) && {
+                let (w, b) = grid.word_bit(p);
+                board[w] >> b & 1 != 0
+            }
+        };
+        let removable = (self.sat == Some(f) && self.sat_removable)
+            || ring_certificate(&old_occupied, f)
+            || (self.forest_synced
+                && old_occupied(f)
+                && !self.missing_blind(f)
+                && self.certs_survive(&old_occupied, &[f])
+                && !self.cut_bit(grid, f));
+        if !removable {
+            return false;
+        }
+        let attached = t.neighbors4().iter().any(|&q| q != f && old_occupied(q));
+        if !attached {
+            return false;
+        }
+        if self.forest_synced {
+            if !self.patch_leaf_delta(grid, Some(f), Some(t)) && !self.edit_absorb(grid, f, t) {
+                self.forest_synced = false;
+                self.mirror(grid, f, false);
+                self.mirror(grid, t, true);
+            }
+        } else {
+            self.mirror(grid, f, false);
+            self.mirror(grid, t, true);
+        }
+        self.sat = Some(t);
+        self.sat_removable = true;
+        true
+    }
+
+    /// Absorbs a single relocation `f → t` that the leaf patch declined,
+    /// by logging ring-certified **edits** instead of performing forest
+    /// surgery: the vacated `f` becomes a `Ghost` tombstone (or cancels
+    /// its own pending `Missing` entry, when the mover leaves a cell the
+    /// forest never knew), and the landing `t` is either grafted as an
+    /// aliased leaf or logged as `Missing`.  Every logged entry held the
+    /// ring certificate over the live board at logging time, which makes
+    /// the log a chronological sequence of merge-free, split-free
+    /// single-cell deltas between the forest occupancy and the live one;
+    /// the forest keeps answering exactly outside the log's poisoned
+    /// halo (struct docs).  Returns `false` to let the forest go stale
+    /// instead.
+    fn edit_absorb(&mut self, grid: &OccupancyGrid, f: Pos, t: Pos) -> bool {
+        let bounds = grid.bounds();
+        let width = bounds.width as usize;
+        let index = |p: Pos| p.y as usize * width + p.x as usize;
+
+        // Vacate side.  Popping is only sound for the *newest* entry (no
+        // later certificate can depend on it); `f` matching an older
+        // entry would cancel mid-log, so it rebuilds instead.
+        let pop_missing = self.edits.last() == Some(&(f, EditKind::Missing));
+        if !pop_missing {
+            if self.edits.iter().any(|&(e, _)| e == f) {
+                return false;
+            }
+            // The reroute witness over the live pre-state: every path
+            // through `f` bends around its occupied arc, so removing `f`
+            // when this entry is applied merges and splits nothing.
+            // Pending ghosts are not on the live board and thus cannot
+            // serve as arc cells — correctly so, since they are peeled
+            // before this newer entry.
+            let board = &self.board;
+            let old_occupied = |p: Pos| -> bool {
+                bounds.contains(p) && {
+                    let (w, b) = grid.word_bit(p);
+                    board[w] >> b & 1 != 0
+                }
+            };
+            if !ring_certificate(&old_occupied, f) {
+                return false;
+            }
+        }
+
+        // Landing side, fully decided before any mutation, and judged
+        // against the log as it will stand *after* the vacate: a popped
+        // `Missing` no longer poisons its own next landing (otherwise a
+        // single `Missing` would cascade down the mover's whole trail),
+        // while a freshly pushed tombstone at `f` does poison it.
+        // Re-landing on a tombstoned cell is *not* a cancellation — the
+        // pair rides the log as remove + certified re-add — but the
+        // graft path must be skipped (the forest already holds the
+        // cell's genuine stamps, which a pending entry may still rely
+        // on).
+        let kept = &self.edits[..self.edits.len() - usize::from(pop_missing)];
+        // Grafting writes `t` into the forest base, which every pending
+        // entry's certificate applies on top of: `t` landing *laterally*
+        // on a pending ring adds an occupied cardinal its certificate
+        // never saw (and a lateral ghost denies `t` forest-leaf shape),
+        // so only the `Missing` path may take it.  Diagonal contact
+        // merely merges ring arcs and keeps every certificate intact.
+        // The tombstone about to be pushed at `f` counts; a popped
+        // `Missing` at `f` does not (otherwise one `Missing` would
+        // cascade down the mover's whole trail).
+        let lateral_kept = |p: Pos| {
+            kept.iter()
+                .any(|&(e, _)| (e.x - p.x).abs() + (e.y - p.y).abs() <= 1)
+                || (!pop_missing && (f.x - p.x).abs() + (f.y - p.y).abs() <= 1)
+        };
+        let reland = match kept.iter().rev().find(|&&(e, _)| e == t) {
+            Some(&(_, EditKind::Ghost)) => true,
+            // A pending `Missing` at a free cell is inconsistent.
+            Some(&(_, EditKind::Missing)) => return false,
+            None => false,
+        };
+        let graft = if reland || lateral_kept(t) {
+            None
+        } else {
+            let mut support = None;
+            for n in t.neighbors4() {
+                if grid.is_occupied(n) {
+                    if support.is_some() {
+                        support = None;
+                        break;
+                    }
+                    support = Some(n);
+                }
+            }
+            support.filter(|&r| {
+                let r_idx = index(r);
+                let r_parent = self.parent[r_idx];
+                if r_parent != NO_PARENT && self.disc[r_idx] == self.disc[r_parent as usize] {
+                    // `r` is itself an aliased leaf.
+                    return false;
+                }
+                // One aliased leaf per support.
+                r.neighbors4().iter().all(|&c| {
+                    c == t || !grid.is_occupied(c) || {
+                        let c_idx = index(c);
+                        self.parent[c_idx] != r_idx as u32 || self.disc[c_idx] != self.disc[r_idx]
+                    }
+                })
+            })
+        };
+        let pushes = usize::from(!pop_missing) + usize::from(graft.is_none());
+        if self.edits.len() + pushes > MAX_EDITS {
+            return false;
+        }
+        if graft.is_none() {
+            // `t` enters the live board only: certify the insertion by
+            // the same ring reasoning — all its occupied cardinals
+            // already sit on one occupied arc, so attaching `t` creates
+            // no connectivity its ring did not already have.
+            if !ring_certificate(&|p: Pos| grid.is_occupied(p), t) {
+                return false;
+            }
+        }
+
+        // Apply.  Logged edits leave the forest untouched; only the live
+        // mirror and (for a graft) the aliased-leaf stamps move.
+        if pop_missing {
+            self.edits.pop();
+        } else {
+            self.edits.push((f, EditKind::Ghost));
+        }
+        self.mirror(grid, f, false);
+        if let Some(r) = graft {
+            let (t_idx, r_idx) = (index(t), index(r));
+            let stamp = self.disc[r_idx];
+            self.disc[t_idx] = stamp;
+            self.low[t_idx] = stamp;
+            self.high[t_idx] = stamp;
+            self.parent[t_idx] = r_idx as u32;
+            let (w, b) = grid.word_bit(t);
+            self.cut[w] &= !(1u64 << b);
+            if grid.block_count() >= 3 {
+                // Any third block makes `r` a cut vertex: the new state
+                // minus `r` strands the grafted leaf.
+                let (w, b) = grid.word_bit(r);
+                self.cut[w] |= 1u64 << b;
+            }
+        } else {
+            self.edits.push((t, EditKind::Missing));
+        }
+        self.mirror(grid, t, true);
+        true
+    }
+
+    /// O(1) light absorption of a carrying pair: two net vacates and two
+    /// net landings in one epoch.  Admissible when the pair certificate
+    /// proves the post-state connected; the forest always goes stale and
+    /// the pendant invariant is dropped (the next single move re-arms it).
+    fn light_pair_sync(
+        &mut self,
+        grid: &OccupancyGrid,
+        vacated: [Pos; 2],
+        landed: [Pos; 2],
+    ) -> bool {
+        if self.components != 1 {
+            return false;
+        }
+        let bounds = grid.bounds();
+        let board = &self.board;
+        let old_occupied = |p: Pos| -> bool {
+            bounds.contains(p) && {
+                let (w, b) = grid.word_bit(p);
+                board[w] >> b & 1 != 0
+            }
+        };
+        if pair_certificate_verdict(&old_occupied, grid.block_count(), vacated, landed)
+            != Some(true)
+        {
+            return false;
+        }
+        self.forest_synced = false;
+        for f in vacated {
+            self.mirror(grid, f, false);
+        }
+        for t in landed {
+            self.mirror(grid, t, true);
+        }
+        self.sat = None;
+        self.sat_removable = false;
+        true
+    }
+
+    /// Sets or clears one cell's bit in the board snapshot.
+    #[inline]
+    fn mirror(&mut self, grid: &OccupancyGrid, p: Pos, occupied: bool) {
+        let (w, b) = grid.word_bit(p);
+        if occupied {
+            self.board[w] |= 1u64 << b;
+        } else {
+            self.board[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Forest-free O(1) verdict for a net single relocation on a
+    /// connected ensemble: the pendant-mover invariant or the ring
+    /// certificate proves `occupancy \ {f}` connected, after which the
+    /// move preserves connectivity iff `t` touches a block other than the
+    /// mover.  `None` when neither applies (the forest decides).
+    fn single_move_fast(&self, grid: &OccupancyGrid, f: Pos, t: Pos) -> Option<bool> {
+        let removable = (self.sat == Some(f) && self.sat_removable)
+            || ring_certificate(&|p: Pos| grid.is_occupied(p), f);
+        removable.then(|| {
+            t.neighbors4()
+                .iter()
+                .any(|&q| q != f && grid.is_occupied(q))
+        })
+    }
+
+    /// Forest-free O(1) verdict for a genuine pair vacate, via the pair
+    /// certificate.  `None` when the certificate cannot decide.
+    fn pair_fast(&self, grid: &OccupancyGrid, pair: (Pos, Pos), dests: (Pos, Pos)) -> Option<bool> {
+        if self.components != 1 {
+            return None;
+        }
+        let (a, b) = pair;
+        let (d1, d2) = dests;
+        if !grid.is_occupied(a) || !grid.is_occupied(b) || !grid.is_free(d1) || !grid.is_free(d2) {
+            return None;
+        }
+        pair_certificate_verdict(
+            &|p: Pos| grid.is_occupied(p),
+            grid.block_count(),
+            [a, b],
+            [d1, d2],
+        )
     }
 
     /// O(1) structural patch for a leaf relocation: `f` (if any) vacated,
@@ -561,6 +1297,13 @@ impl ConnectivityOracle {
         // Feasibility of the vacate half: `f` must hang as a non-root
         // tree leaf on its unique old neighbour.
         let vacate = if let Some(f) = f {
+            if self.lateral_pending(f) || !self.certs_survive(&old_occupied, &[f]) {
+                // A lateral pending entry means `f`'s forest adjacency
+                // differs from its live one (the leaf-shape scan below
+                // would lie), and excising a cell on a pending ring may
+                // only proceed if every certificate survives it.
+                return false;
+            }
             let f_idx = index(f);
             if self.parent[f_idx] == NO_PARENT {
                 return false;
@@ -579,6 +1322,12 @@ impl ConnectivityOracle {
                 // The single neighbour is `f`'s *child*: not a leaf.
                 return false;
             }
+            if self.lateral_pending(q) {
+                // `q`'s cut bit is recomputed from its live tree
+                // children, which only matches the forest board when no
+                // pending entry sits on `q`'s lateral ring.
+                return false;
+            }
             Some((f, q))
         } else {
             None
@@ -587,6 +1336,13 @@ impl ConnectivityOracle {
         // occupied neighbour `r` in the new state, and `r` must be a
         // genuine support carrying no aliased leaf yet.
         let land = if let Some(t) = t {
+            if self.lateral_pending(t) {
+                // A lateral ghost denies `t` forest-leaf shape, and a
+                // lateral landing would add an occupied cardinal a
+                // pending ring certificate never saw; diagonal contact
+                // only merges ring arcs and is safe.
+                return false;
+            }
             let mut support = None;
             for n in t.neighbors4() {
                 if grid.is_occupied(n) {
@@ -715,6 +1471,10 @@ impl ConnectivityOracle {
             self.cut.resize(words.len(), 0);
         }
         self.cut[..words.len()].fill(0);
+        self.edits.clear();
+        if self.edits.capacity() < MAX_EDITS {
+            self.edits.reserve(MAX_EDITS);
+        }
         self.stack.clear();
         self.stack.reserve(grid.block_count());
         self.components = 0;
@@ -742,6 +1502,10 @@ impl ConnectivityOracle {
         self.board.extend_from_slice(words);
         self.board_dims = (bounds.width, bounds.height);
         self.built_epoch = Some(grid.epoch());
+        self.forest_synced = true;
+        // The pendant invariant re-arms on the next certified relocation.
+        self.sat = None;
+        self.sat_removable = false;
         self.rebuilds += 1;
     }
 
@@ -824,6 +1588,111 @@ impl ConnectivityOracle {
             self.cut[w] |= 1u64 << b;
         }
     }
+}
+
+/// The **ring certificate**: proves `occupancy \ {f}` keeps the component
+/// structure of `occupancy`, using only the eight cells surrounding `f`.
+///
+/// The eight surrounding cells form a cycle in the grid graph (each is
+/// laterally adjacent to exactly its two circular neighbours), and every
+/// path through `f` enters and leaves through two of the four cardinal
+/// cells.  If all occupied cardinal neighbours of `f` lie in one arc of
+/// consecutive *occupied* ring cells, any such path reroutes around `f`
+/// inside the ring, so removing `f` merges or splits nothing — in
+/// particular a connected ensemble stays connected.  The check is sound
+/// but not complete (a far-away bypass is invisible to it); a `false`
+/// only means "the ring alone cannot tell".
+fn ring_certificate(occupied: &impl Fn(Pos) -> bool, f: Pos) -> bool {
+    // Circular order; cardinal neighbours at even indices.
+    const RING: [(i32, i32); 8] = [
+        (1, 0),
+        (1, 1),
+        (0, 1),
+        (-1, 1),
+        (-1, 0),
+        (-1, -1),
+        (0, -1),
+        (1, -1),
+    ];
+    let mut occ = [false; 8];
+    let mut cardinals = 0u32;
+    for (i, &(dx, dy)) in RING.iter().enumerate() {
+        occ[i] = occupied(Pos::new(f.x + dx, f.y + dy));
+        if i % 2 == 0 && occ[i] {
+            cardinals += 1;
+        }
+    }
+    if cardinals <= 1 {
+        // A pendant cell certifies trivially; an isolated one cannot
+        // certify (the ensemble minus `f` is the ensemble minus one
+        // component, which only the caller's invariants can judge).
+        return cardinals == 1;
+    }
+    let Some(start) = occ.iter().position(|&o| !o) else {
+        // The full ring is one occupied arc.
+        return true;
+    };
+    // Walk once around from a free cell, numbering maximal occupied runs;
+    // the certificate holds iff every occupied cardinal shares one run.
+    let mut run = 0u32;
+    let mut seen: Option<u32> = None;
+    let mut prev = false;
+    for step in 1..=8usize {
+        let i = (start + step) % 8;
+        if occ[i] {
+            if !prev {
+                run += 1;
+            }
+            if i % 2 == 0 {
+                match seen {
+                    None => seen = Some(run),
+                    Some(r) if r == run => {}
+                    Some(_) => return false,
+                }
+            }
+        }
+        prev = occ[i];
+    }
+    true
+}
+
+/// The **pair certificate**: exact verdict for a batch that vacates two
+/// cells and fills two, decided without the DFS forest.
+///
+/// Removability of the pair is proven by chaining the ring certificate —
+/// `occ \ {a}` keeps the structure of `occ`, then `occ \ {a, b}` keeps
+/// the structure of `occ \ {a}` (either order may work; both are tried).
+/// For a pre-connected ensemble the remainder is then a single component,
+/// and the verdict reduces to how the two destinations attach: each must
+/// reach the remainder directly or through the other destination.
+/// `None` when neither chaining order certifies.
+fn pair_certificate_verdict(
+    occupied: &impl Fn(Pos) -> bool,
+    block_count: usize,
+    vacated: [Pos; 2],
+    landed: [Pos; 2],
+) -> Option<bool> {
+    let [a, b] = vacated;
+    let [t0, t1] = landed;
+    let adjacent = |p: Pos, q: Pos| (p.x - q.x).abs() + (p.y - q.y).abs() == 1;
+    if block_count == 2 {
+        // Nothing remains but the two landed movers.
+        return Some(adjacent(t0, t1));
+    }
+    let chain = |first: Pos, second: Pos| -> bool {
+        ring_certificate(occupied, first)
+            && ring_certificate(&|p: Pos| p != first && occupied(p), second)
+    };
+    if !chain(a, b) && !chain(b, a) {
+        return None;
+    }
+    let touches_rest = |d: Pos| {
+        d.neighbors4()
+            .iter()
+            .any(|&q| q != a && q != b && occupied(q))
+    };
+    let (m0, m1) = (touches_rest(t0), touches_rest(t1));
+    Some((m0 && m1) || (adjacent(t0, t1) && (m0 || m1)))
 }
 
 #[cfg(test)]
@@ -1129,5 +1998,91 @@ mod tests {
             patched += oracle.incremental_updates();
         }
         assert!(patched > 0, "the walks never exercised the patch path");
+    }
+
+    #[test]
+    fn back_edge_pairs_are_answered_without_the_bfs() {
+        // Perimeter ring of a 3x3 box (centre free) with a pendant on
+        // (0,2): the DFS tree is a path around the ring, so the closing
+        // edge (1,1)-(1,2) is a back edge. Vacating that pair fragments
+        // both cells' neighbour rings, the pair certificate cannot
+        // decide, and the probe must route through the back-edge
+        // separating-pair verdict — never the BFS.
+        let g = grid_from(&[
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (3, 2),
+            (3, 3),
+            (2, 3),
+            (1, 3),
+            (1, 2),
+            (0, 2),
+        ]);
+        let mut oracle = ConnectivityOracle::new();
+        let mut scratch = ConnectivityScratch::new();
+        let pair = (Pos::new(1, 1), Pos::new(1, 2));
+        // Accepted: the destinations stitch the pendant, the middle arc
+        // and each other back together.
+        let good = [(pair.0, Pos::new(2, 2)), (pair.1, Pos::new(0, 3))];
+        // Rejected: the pendant plus (0,1) split off from the middle arc.
+        let bad = [(pair.0, Pos::new(0, 1)), (pair.1, Pos::new(4, 2))];
+        for moves in [good, bad] {
+            assert_eq!(
+                oracle.preserves_connectivity(&g, &moves),
+                is_connected_after(&g, &moves, &mut scratch),
+                "back-edge pair {moves:?}"
+            );
+        }
+        assert_eq!(oracle.fallback_probes(), 0, "back-edge pairs stay O(1)");
+        assert!(oracle.preserves_connectivity(&g, &good));
+        assert!(!oracle.preserves_connectivity(&g, &bad));
+    }
+
+    #[test]
+    fn corner_departures_and_hops_never_rebuild() {
+        // The reconfiguration peel pattern: movers depart the corner of a
+        // two-wide slab (an interior, degree-2 vacate the old leaf patch
+        // could never express) and hop along a free column before
+        // parking. The ring certificate plus the pendant-mover invariant
+        // must absorb every epoch after the initial build.
+        let mut g = OccupancyGrid::new(Bounds::new(8, 8));
+        let mut id = 1u32;
+        for y in 0..6 {
+            for x in 0..2 {
+                g.place(BlockId(id), Pos::new(x, y)).unwrap();
+                id += 1;
+            }
+        }
+        let mut oracle = ConnectivityOracle::new();
+        let mut scratch = ConnectivityScratch::new();
+        let mut epochs = 0u64;
+        for journey in 0..3i32 {
+            // Journey j departs the slab corner (1, 5 - j), hops down the
+            // x = 2 column hugging the slab and parks at (2, j) on top of
+            // the previously parked movers.
+            let mut from = Pos::new(1, 5 - journey);
+            for y in (journey..=(4 - journey)).rev() {
+                let to = Pos::new(2, y);
+                let moves = [(from, to)];
+                assert_eq!(
+                    oracle.preserves_connectivity(&g, &moves),
+                    is_connected_after(&g, &moves, &mut scratch),
+                    "journey {journey}: {from} -> {to}"
+                );
+                g.move_block(from, to).unwrap();
+                from = to;
+                epochs += 1;
+            }
+        }
+        // One last sync for the final epoch, then audit the counters.
+        assert_eq!(oracle.component_count(&g), 1);
+        assert_eq!(
+            oracle.rebuilds(),
+            1,
+            "corner departures and hops must all patch"
+        );
+        assert_eq!(oracle.incremental_updates(), epochs);
+        assert_eq!(oracle.fallback_probes(), 0);
     }
 }

@@ -293,6 +293,84 @@ fn connectivity_oracle_allocates_nothing_after_warmup() {
 }
 
 #[test]
+fn connectivity_oracle_edit_log_shuttle_allocates_nothing() {
+    // A 2-thick slab with a ledge block at (0,2) and a mover shuttling
+    // (1,2) ↔ (2,2): every vacate leaves TWO occupied neighbours merged
+    // into one ring arc, so the epochs are absorbed by the PR 9
+    // ring-certificate edit log (ghost push, graft, tail-pop) rather
+    // than the pendant or leaf patches.  Probes stay on the far side of
+    // the slab — single moves answered by the stateless certificate and
+    // pair vacates answered on the edited forest — so the pending trail
+    // never forces a rebuild, and none of it may allocate after warm-up.
+    use sb_grid::{BlockId, Bounds, OccupancyGrid, Pos};
+
+    let mut grid = OccupancyGrid::new(Bounds::new(12, 6));
+    let mut id = 1u32;
+    for x in 0..8 {
+        for y in 0..2 {
+            grid.place(BlockId(id), Pos::new(x, y)).unwrap();
+            id += 1;
+        }
+    }
+    grid.place(BlockId(id), Pos::new(0, 2)).unwrap();
+    grid.place(BlockId(id + 1), Pos::new(1, 2)).unwrap();
+    let mut oracle = ConnectivityOracle::new();
+
+    let probe_round = |oracle: &mut ConnectivityOracle, grid: &mut OccupancyGrid| -> usize {
+        let mut admitted = 0usize;
+        for (from, to) in [
+            (Pos::new(1, 2), Pos::new(2, 2)),
+            (Pos::new(2, 2), Pos::new(1, 2)),
+        ] {
+            grid.move_block(from, to).unwrap();
+            // Far-side single move: ring-certified without the forest.
+            admitted += usize::from(
+                oracle.preserves_connectivity(grid, &[(Pos::new(7, 1), Pos::new(6, 2))]),
+            );
+            // Far-side pair vacate: separating-pair reasoning on the
+            // edited forest (the trail is nowhere near the pair).
+            let pair = [
+                (Pos::new(6, 1), Pos::new(5, 2)),
+                (Pos::new(7, 1), Pos::new(6, 2)),
+            ];
+            admitted += usize::from(oracle.preserves_connectivity(grid, &pair));
+        }
+        admitted
+    };
+
+    // Warm-up: first build plus both shuttle phases.
+    let warm = probe_round(&mut oracle, &mut grid);
+    assert!(warm > 0, "the workload must admit some motions");
+    let warm_rebuilds = oracle.rebuilds();
+    let warm_patches = oracle.incremental_updates();
+
+    COUNT_THIS_THREAD.with(|flag| flag.set(true));
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut admitted = 0usize;
+    for _ in 0..8 {
+        admitted += probe_round(&mut oracle, &mut grid);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|flag| flag.set(false));
+
+    assert_eq!(admitted, warm * 8, "probes must stay deterministic");
+    assert_eq!(
+        oracle.rebuilds(),
+        warm_rebuilds,
+        "the shuttle must ride the edit log, never rebuild"
+    );
+    assert!(
+        oracle.incremental_updates() > warm_patches,
+        "the measured pass must exercise the edit-log absorb path"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "the edit-log maintenance path allocated after warm-up"
+    );
+}
+
+#[test]
 fn connectivity_oracle_incremental_updates_allocate_nothing() {
     // A leaf block shuttling between two pendant cells: every epoch is a
     // single-move delta the oracle absorbs with its O(1) leaf patch, so

@@ -214,3 +214,168 @@ proptest! {
         }
     }
 }
+
+/// Long random-walk full-state differential over every sweep family: one
+/// oracle is dragged through hundreds of occupancy epochs — the edit-log
+/// regime the PR 9 incremental maintenance lives in, with a journeying
+/// mover leaving a ghost/missing trail behind it — and must, at every
+/// epoch, agree bit-for-bit with the scratch BFS on every single-move
+/// verdict and on pair vacates around the mover, and, at checkpoints,
+/// agree with a freshly built oracle on the complete articulation state
+/// (component count, per-block cut verdicts and the raw cut mask).
+#[test]
+fn random_walk_differential_over_all_families() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use sb_core::workloads;
+    use sb_grid::connectivity::articulation_points;
+
+    type FamilyBuild = fn(usize, u64) -> SurfaceConfig;
+    let families: [(&str, FamilyBuild); 5] = [
+        ("column", workloads::column_instance),
+        ("serpentine", workloads::serpentine_instance),
+        ("sparse_wide", workloads::sparse_wide_instance),
+        ("minimal", workloads::minimal_instance),
+        ("high_aspect", workloads::high_aspect_instance),
+    ];
+    for (name, build) in families {
+        for walk_seed in [1u64, 5] {
+            let cfg = build(18, walk_seed);
+            let mut grid = cfg.grid().clone();
+            let mut oracle = ConnectivityOracle::new();
+            let mut scratch = ConnectivityScratch::new();
+            let mut rng = SmallRng::seed_from_u64(walk_seed.wrapping_mul(1009).wrapping_add(9));
+            let mut mover: Option<Pos> = None;
+
+            // A surface step `from -> to`: free destination within the
+            // radius-2 diamond (adjacent hops plus the diagonal surface
+            // rolls the catalogue emits), supported by a block other
+            // than the mover, connectivity preserved.
+            let valid_steps =
+                |grid: &OccupancyGrid, from: Pos, scratch: &mut ConnectivityScratch| {
+                    let mut out: Vec<Pos> = Vec::new();
+                    for dx in -2i32..=2 {
+                        for dy in -2i32..=2 {
+                            if (dx, dy) == (0, 0) || dx.abs() + dy.abs() > 2 {
+                                continue;
+                            }
+                            let to = from.offset(dx, dy);
+                            if grid.is_free(to)
+                                && to
+                                    .neighbors4()
+                                    .iter()
+                                    .any(|&q| q != from && grid.is_occupied(q))
+                                && is_connected_after(grid, &[(from, to)], scratch)
+                            {
+                                out.push(to);
+                            }
+                        }
+                    }
+                    out
+                };
+
+            let mut steps_taken = 0usize;
+            for step in 0..200usize {
+                // Walk: continue the active mover's journey when it can
+                // move (the driver's trail-building shape), otherwise
+                // start a fresh journey from a random movable block.
+                let from = match mover {
+                    Some(f)
+                        if rng.gen_range(0..8) != 0
+                            && !valid_steps(&grid, f, &mut scratch).is_empty() =>
+                    {
+                        f
+                    }
+                    _ => {
+                        let movable: Vec<Pos> = grid
+                            .blocks()
+                            .map(|(_, p)| p)
+                            .filter(|&p| !valid_steps(&grid, p, &mut scratch).is_empty())
+                            .collect();
+                        if movable.is_empty() {
+                            break;
+                        }
+                        movable[rng.gen_range(0..movable.len())]
+                    }
+                };
+                let steps = valid_steps(&grid, from, &mut scratch);
+                let to = steps[rng.gen_range(0..steps.len())];
+                grid.move_block(from, to).unwrap();
+                mover = Some(to);
+                steps_taken += 1;
+
+                // Every single-move verdict of the new state, patched
+                // oracle against scratch BFS.
+                for (_, f) in grid.blocks() {
+                    for t in f.neighbors4() {
+                        if !grid.is_free(t) {
+                            continue;
+                        }
+                        let moves = [(f, t)];
+                        assert_eq!(
+                            oracle.preserves_connectivity(&grid, &moves),
+                            is_connected_after(&grid, &moves, &mut scratch),
+                            "{name} seed={walk_seed} step={step}: single {f} -> {t}"
+                        );
+                    }
+                }
+                // Pair vacates around the mover (separating-pair path
+                // with the pending trail nearby).
+                for b in to.neighbors4() {
+                    if !grid.is_occupied(b) {
+                        continue;
+                    }
+                    let dests: Vec<Pos> = to
+                        .neighbors8()
+                        .into_iter()
+                        .chain(b.neighbors8())
+                        .filter(|&d| grid.is_free(d))
+                        .collect();
+                    for (i, &d1) in dests.iter().enumerate().take(3) {
+                        for &d2 in dests[i + 1..].iter().take(2) {
+                            let moves = [(to, d1), (b, d2)];
+                            assert_eq!(
+                                oracle.preserves_connectivity(&grid, &moves),
+                                is_connected_after(&grid, &moves, &mut scratch),
+                                "{name} seed={walk_seed} step={step}: pair {to},{b} -> {d1},{d2}"
+                            );
+                        }
+                    }
+                }
+
+                // Checkpoint: the patched state must equal a fresh
+                // rebuild exactly — components, every cut verdict, and
+                // the raw cut mask.
+                if step % 50 == 49 {
+                    let mut fresh = ConnectivityOracle::new();
+                    assert_eq!(
+                        oracle.component_count(&grid),
+                        fresh.component_count(&grid),
+                        "{name} seed={walk_seed} step={step}: component count"
+                    );
+                    let cuts = articulation_points(&grid);
+                    for (id, p) in grid.blocks() {
+                        assert_eq!(
+                            oracle.is_cut_vertex(&grid, p),
+                            cuts.contains(&id),
+                            "{name} seed={walk_seed} step={step}: cut verdict at {p}"
+                        );
+                    }
+                    assert_eq!(
+                        oracle.cut_mask(&grid),
+                        fresh.cut_mask(&grid),
+                        "{name} seed={walk_seed} step={step}: cut mask"
+                    );
+                }
+            }
+            assert_eq!(
+                steps_taken, 200,
+                "{name} seed={walk_seed}: the walk stalled early"
+            );
+            assert!(
+                oracle.incremental_updates() > 0,
+                "{name} seed={walk_seed}: the walk never exercised the incremental path"
+            );
+        }
+    }
+}
