@@ -187,6 +187,23 @@ where
                             }
                             Ok(TimerRequest::Cancel { id }) => {
                                 cancelled.insert(id);
+                                // Compaction: lazy cancellation lets dead
+                                // entries pile up in the heap (a workload
+                                // that arms and cancels in a tight loop —
+                                // e.g. retransmission timers under a
+                                // healthy network — would otherwise grow
+                                // it without bound).  When more than half
+                                // the heap is cancelled, rebuild it
+                                // without the corpses; amortised O(1) per
+                                // cancel.
+                                if cancelled.len() > heap.len() / 2 {
+                                    let mut entries = std::mem::take(&mut heap).into_vec();
+                                    entries.retain(|Reverse((_, id, _, _))| !cancelled.remove(id));
+                                    heap = BinaryHeap::from(entries);
+                                    // Ids left in `cancelled` were already
+                                    // popped or never armed; forget them.
+                                    cancelled.clear();
+                                }
                             }
                             Err(RecvTimeoutError::Timeout) => {}
                             Err(RecvTimeoutError::Disconnected) => return,
@@ -510,6 +527,47 @@ mod tests {
         let report = system.run(Duration::from_secs(10));
         assert!(report.stopped);
         assert_eq!(report.world, vec![1], "the cancelled timer never fired");
+    }
+
+    #[test]
+    fn heap_compaction_preserves_survivors_after_mass_cancellation() {
+        // Arms a burst of far-future timers and cancels them all: the
+        // cancel burst trips the compaction rebuild (cancelled ids
+        // outnumber half the heap) while two live timers sit in the heap.
+        // They must survive the rebuild and still fire in deadline order.
+        struct Churner;
+        impl Actor<(), Vec<u64>> for Churner {
+            fn on_start(&mut self, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                let doomed: Vec<_> = (0..48u64)
+                    .map(|i| ctx.set_timer(Duration::from_secs(600 + i), 1000 + i))
+                    .collect();
+                ctx.set_timer(Duration::from_millis(120), 2);
+                ctx.set_timer(Duration::from_millis(60), 1);
+                for id in doomed {
+                    ctx.cancel_timer(id);
+                }
+            }
+            fn on_message(&mut self, _: ActorId, _: (), _: &mut ActorContext<'_, (), Vec<u64>>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut ActorContext<'_, (), Vec<u64>>) {
+                let done = ctx.with_world(|w| {
+                    w.push(tag);
+                    w.len() == 2
+                });
+                if done {
+                    ctx.request_stop();
+                }
+            }
+        }
+        let mut system = ActorSystem::new(Vec::new());
+        system.add_actor(Churner);
+        let report = system.run(Duration::from_secs(10));
+        assert!(report.stopped);
+        assert_eq!(report.world, vec![1, 2], "survivors outlive the rebuild");
+        assert!(
+            report.elapsed < Duration::from_secs(5),
+            "no cancelled far-future timer may be waited out: {:?}",
+            report.elapsed
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sb_bench::sweep::{
-    run_cell, Family, FamilyPlan, NetworkSpec, ReliabilitySpec, SweepEngine, SweepPlan,
+    run_cell, Family, FamilyPlan, FaultSpec, NetworkSpec, ReliabilitySpec, SweepEngine, SweepPlan,
 };
 use sb_bench::{fit_exponent, SCALING_SIZES};
 use sb_core::election::TieBreak;
@@ -32,6 +32,7 @@ fn column_plan(sizes: Vec<usize>) -> SweepPlan {
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
         reliability: vec![ReliabilitySpec::off()],
+        faults: vec![FaultSpec::none()],
     }
 }
 

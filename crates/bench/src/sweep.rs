@@ -50,12 +50,22 @@
 //! `connectivity_incremental_updates` counter (the epochs absorbed
 //! without a rebuild, now that the oracle maintains its state in
 //! amortised O(1)); like v6's counters it is output-only, so v5/v6 cell
-//! seeds survive unchanged.
+//! seeds survive unchanged.  v8 adds the crash/rejoin fault axis
+//! ([`FaultSpec`]: a scheduled module crash with optional rejoin plus
+//! the round-structured re-election configuration that measures the
+//! recovery) — a `fault` identity field on every group and cell, and
+//! the per-cell recovery counters (`rounds_started`, `round_skips`,
+//! `crashes_injected`, `rejoins`).  The fault name enters the cell-seed
+//! hash only when the spec actually injects a fault or enables rounds,
+//! so every fault-free cell keeps its pre-v8 seed byte-for-byte.
 
 use crate::throughput::ThroughputPoint;
-use sb_core::election::TieBreak;
+use sb_core::election::{RoundsConfig, TieBreak};
 use sb_core::workloads;
-use sb_core::{MotionModel, ReconfigurationDriver, ReliabilityConfig};
+use sb_core::{
+    FaultInjection, FaultSchedule, FaultVictim, MotionModel, ReconfigurationDriver,
+    ReliabilityConfig,
+};
 use sb_desim::network::{fnv1a64, splitmix64};
 use sb_desim::{Duration as SimDuration, LatencyModel, NetworkModel};
 use sb_grid::SurfaceConfig;
@@ -75,8 +85,11 @@ use std::time::Duration as WallDuration;
 /// connectivity-oracle counters (per-cell rebuild/fallback, per-group
 /// fallback stats) without touching the cell-seed hash; v7 added the
 /// per-cell `connectivity_incremental_updates` counter, also outside
-/// the cell-seed hash.
-pub const SWEEP_SCHEMA_VERSION: u32 = 7;
+/// the cell-seed hash; v8 added the crash/rejoin fault axis (a `fault`
+/// identity field everywhere plus the per-cell `rounds_started` /
+/// `round_skips` / `crashes_injected` / `rejoins` recovery counters),
+/// hashed into the cell seed only when the spec is active.
+pub const SWEEP_SCHEMA_VERSION: u32 = 8;
 
 /// The scenario families the sweep can draw workloads from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -294,6 +307,124 @@ impl ReliabilitySpec {
             config: ReliabilityConfig::on(),
         }
     }
+
+    /// An aggressive ack/timeout/retransmit configuration tuned for the
+    /// crash probes: a tight RTO so retry exhaustion (the failure
+    /// detector feeding the round machinery) fires well inside the
+    /// round-skip deadline, and a small retry budget so a dead peer is
+    /// declared unreachable after ~(0.5 + 1 + 2 + 2 + 2) ms instead of
+    /// the default layer's multi-round-trip budget.
+    pub fn on_fast() -> Self {
+        ReliabilitySpec {
+            name: "on_fast",
+            config: ReliabilityConfig {
+                enabled: true,
+                base_rto_us: 500,
+                max_rto_us: 2_000,
+                retry_limit: 4,
+            },
+        }
+    }
+}
+
+/// A crash/rejoin scenario together with the round-structured
+/// re-election configuration that measures its recovery, and the stable
+/// name both carry in the JSON record and (when active) the per-cell
+/// seed hash.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// Stable identifier.
+    pub name: &'static str,
+    /// The scheduled crash (and optional rejoin), `None` for fault-free
+    /// cells.
+    pub injection: Option<FaultInjection>,
+    /// Round configuration handed to every block's election core.
+    pub rounds: RoundsConfig,
+}
+
+impl FaultSpec {
+    /// No fault, rounds off: byte-identical to the pre-v8 behaviour.
+    /// Cells under this spec keep their historical seeds (the spec name
+    /// is *not* hashed), so every pinned pre-v8 measurement survives.
+    pub fn none() -> Self {
+        FaultSpec {
+            name: "none",
+            injection: None,
+            rounds: RoundsConfig::off(),
+        }
+    }
+
+    /// Round configuration shared by the crash probes: a 20 ms skip
+    /// deadline sits above [`ReliabilitySpec::on_fast`]'s worst-case
+    /// retry exhaustion (~7.5 ms), so the failure detector resolves dead
+    /// peers before the watchdog has to abandon a round.
+    fn probe_rounds() -> RoundsConfig {
+        RoundsConfig {
+            enabled: true,
+            skip_timeout_us: 20_000,
+            ..RoundsConfig::on()
+        }
+    }
+
+    /// Leader death and handover: the Root crashes at 1 ms — mid-flood
+    /// on every family at the probe sizes — and rejoins at 4 ms one
+    /// round *past* its crash-time snapshot.  Round chronology is the
+    /// Root's alone to advance, so no survivor outran it while it was
+    /// dead and the re-flood reaches everyone as a fresh round.
+    pub fn root_crash_rejoin() -> Self {
+        FaultSpec {
+            name: "root_crash_rejoin",
+            injection: Some(FaultInjection {
+                victim: FaultVictim::Root,
+                schedule: FaultSchedule {
+                    crash_at_us: 1_000,
+                    rejoin_at_us: Some(4_000),
+                },
+            }),
+            rounds: Self::probe_rounds(),
+        }
+    }
+
+    /// Relay death mid-round: a seeded non-Root block (possibly a cut
+    /// vertex of the election tree) crashes at 800 µs and rejoins at
+    /// 3.8 ms.
+    pub fn relay_crash_rejoin() -> Self {
+        FaultSpec {
+            name: "relay_crash_rejoin",
+            injection: Some(FaultInjection {
+                victim: FaultVictim::SeededRelay,
+                schedule: FaultSchedule {
+                    crash_at_us: 800,
+                    rejoin_at_us: Some(3_800),
+                },
+            }),
+            rounds: Self::probe_rounds(),
+        }
+    }
+
+    /// Permanent relay death: the seeded non-Root block crashes at 1 ms
+    /// and never returns.  Completion is not demanded (losing a path
+    /// block can make the instance unsolvable); terminating with *some*
+    /// outcome instead of hanging is the gate.
+    pub fn relay_crash() -> Self {
+        FaultSpec {
+            name: "relay_crash",
+            injection: Some(FaultInjection {
+                victim: FaultVictim::SeededRelay,
+                schedule: FaultSchedule {
+                    crash_at_us: 1_000,
+                    rejoin_at_us: None,
+                },
+            }),
+            rounds: Self::probe_rounds(),
+        }
+    }
+
+    /// Whether the spec perturbs the run at all (and therefore whether
+    /// its name participates in the cell-seed hash).
+    pub fn is_active(&self) -> bool {
+        self.injection.is_some() || self.rounds.enabled
+    }
 }
 
 fn tie_break_name(t: TieBreak) -> &'static str {
@@ -341,6 +472,9 @@ pub struct SweepPlan {
     pub motions: Vec<MotionModel>,
     /// Reliable-delivery configurations.
     pub reliability: Vec<ReliabilitySpec>,
+    /// Crash/rejoin fault scenarios (use `vec![FaultSpec::none()]` for a
+    /// fault-free plan).
+    pub faults: Vec<FaultSpec>,
 }
 
 impl SweepPlan {
@@ -386,6 +520,7 @@ impl SweepPlan {
             tie_breaks: vec![TieBreak::Random],
             motions: vec![MotionModel::RuleBased],
             reliability: vec![ReliabilitySpec::off()],
+            faults: vec![FaultSpec::none()],
         }
     }
 
@@ -419,6 +554,39 @@ impl SweepPlan {
             tie_breaks: vec![TieBreak::Random],
             motions: vec![MotionModel::RuleBased],
             reliability: vec![ReliabilitySpec::off(), ReliabilitySpec::on()],
+            faults: vec![FaultSpec::none()],
+        }
+    }
+
+    /// The crash/rejoin plan: every family at small sizes, benign and
+    /// 10%-drop transports, reliability tuned for fast failure detection
+    /// ([`ReliabilitySpec::on_fast`]), three crash scenarios — Root
+    /// crash/rejoin (leader handover), relay crash/rejoin, and permanent
+    /// relay crash — each under round-structured re-election.  Gated by
+    /// `examples/fault_recovery.rs`: the rejoin scenarios must restore
+    /// the benign completion rate, and no crash scenario may ever hang
+    /// (timeout).  Shares `fault_probes`' plan seed so the two reports
+    /// merge into one `BENCH_fault_recovery.json` record.
+    pub fn fault_probes_crash() -> Self {
+        SweepPlan {
+            plan_seed: 11,
+            families: Family::ALL
+                .iter()
+                .map(|&family| FamilyPlan {
+                    family,
+                    sizes: vec![8, 16],
+                })
+                .collect(),
+            seeds: vec![1, 2, 3],
+            networks: vec![NetworkSpec::fixed_10us(), NetworkSpec::drop_10pct()],
+            tie_breaks: vec![TieBreak::Random],
+            motions: vec![MotionModel::RuleBased],
+            reliability: vec![ReliabilitySpec::on_fast()],
+            faults: vec![
+                FaultSpec::root_crash_rejoin(),
+                FaultSpec::relay_crash_rejoin(),
+                FaultSpec::relay_crash(),
+            ],
         }
     }
 
@@ -441,6 +609,7 @@ impl SweepPlan {
             tie_breaks: vec![TieBreak::LowestId],
             motions: vec![MotionModel::RuleBased],
             reliability: vec![ReliabilitySpec::off()],
+            faults: vec![FaultSpec::none()],
         }
     }
 
@@ -455,16 +624,19 @@ impl SweepPlan {
                     for &tie_break in &self.tie_breaks {
                         for &motion in &self.motions {
                             for &reliability in &self.reliability {
-                                for &workload_seed in &self.seeds {
-                                    cells.push(SweepCell {
-                                        family: fp.family,
-                                        blocks,
-                                        workload_seed,
-                                        network,
-                                        tie_break,
-                                        motion,
-                                        reliability,
-                                    });
+                                for &fault in &self.faults {
+                                    for &workload_seed in &self.seeds {
+                                        cells.push(SweepCell {
+                                            family: fp.family,
+                                            blocks,
+                                            workload_seed,
+                                            network,
+                                            tie_break,
+                                            motion,
+                                            reliability,
+                                            fault,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -493,15 +665,19 @@ pub struct SweepCell {
     pub motion: MotionModel,
     /// Reliable-delivery configuration.
     pub reliability: ReliabilitySpec,
+    /// Crash/rejoin fault scenario (and round configuration).
+    pub fault: FaultSpec,
 }
 
 impl SweepCell {
     /// Deterministic per-cell seed: a stable hash of the cell's semantic
     /// coordinates mixed with the plan seed.  Independent of enumeration
     /// order and of the worker that runs the cell.  The reliability name
-    /// is mixed in only when the layer is enabled, so every
-    /// reliability-off cell keeps the exact seed it had before the axis
-    /// existed and the pinned pre-v5 measurements survive byte-for-byte.
+    /// is mixed in only when the layer is enabled, and the fault name
+    /// only when the spec injects a fault or enables rounds, so every
+    /// reliability-off fault-free cell keeps the exact seed it had
+    /// before those axes existed and the pinned historical measurements
+    /// survive byte-for-byte.
     pub fn cell_seed(&self, plan_seed: u64) -> u64 {
         let mut h = fnv1a64(self.family.name().as_bytes(), 0xcbf2_9ce4_8422_2325);
         h = fnv1a64(&(self.blocks as u64).to_le_bytes(), h);
@@ -511,6 +687,9 @@ impl SweepCell {
         h = fnv1a64(motion_name(self.motion).as_bytes(), h);
         if self.reliability.config.enabled {
             h = fnv1a64(self.reliability.name.as_bytes(), h);
+        }
+        if self.fault.is_active() {
+            h = fnv1a64(self.fault.name.as_bytes(), h);
         }
         splitmix64(h ^ splitmix64(plan_seed))
     }
@@ -564,6 +743,15 @@ pub struct CellMeasurement {
     /// Occupancy epochs the oracle absorbed incrementally instead of
     /// rebuilding — the measured amortised-O(1) maintenance claim.
     pub connectivity_incremental_updates: u64,
+    /// Election rounds entered (1 for an undisturbed rounds-on run, 0
+    /// with rounds off).
+    pub rounds_started: u64,
+    /// Rounds abandoned by the skip watchdog.
+    pub round_skips: u64,
+    /// Module crashes injected by the cell's [`FaultSpec`].
+    pub crashes_injected: u64,
+    /// Crashed modules that rejoined.
+    pub rejoins: u64,
     /// Wall-clock duration of the run (excluded from the JSON record,
     /// which must be deterministic).
     pub wall: WallDuration,
@@ -603,7 +791,10 @@ pub fn run_cell(cell: &SweepCell, plan_seed: u64) -> CellMeasurement {
     // Separate stream for the tie-break RNG so it does not correlate with
     // the latency sampling.
     algorithm.seed = splitmix64(seed);
-    driver = driver.with_algorithm(algorithm);
+    algorithm.rounds = cell.fault.rounds;
+    driver = driver
+        .with_algorithm(algorithm)
+        .with_faults(cell.fault.injection);
     let report = driver.run_des();
     CellMeasurement {
         cell: *cell,
@@ -623,6 +814,10 @@ pub fn run_cell(cell: &SweepCell, plan_seed: u64) -> CellMeasurement {
         connectivity_rebuilds: report.metrics.connectivity_rebuilds,
         connectivity_fallback_probes: report.metrics.connectivity_fallback_probes,
         connectivity_incremental_updates: report.metrics.connectivity_incremental_updates,
+        rounds_started: report.metrics.rounds_started,
+        round_skips: report.metrics.round_skips,
+        crashes_injected: report.metrics.crashes_injected,
+        rejoins: report.metrics.rejoins,
         wall: report.wall_time,
     }
 }
@@ -707,6 +902,8 @@ pub struct GroupSummary {
     pub motion: &'static str,
     /// Reliable-delivery configuration name.
     pub reliability: &'static str,
+    /// Crash/rejoin fault scenario name (`"none"` for fault-free).
+    pub fault: &'static str,
     /// Number of runs aggregated (the seed axis).
     pub runs: usize,
     /// Fraction of runs that completed.
@@ -734,6 +931,9 @@ pub struct GroupSummary {
     /// families: every carrying batch reduces to an O(1) block-cut-tree
     /// probe, so growth here flags a fast-path regression).
     pub connectivity_fallback_probes: Stats,
+    /// Rounds abandoned by the skip watchdog per run (all-zero with
+    /// rounds off; the price of crash recovery otherwise).
+    pub round_skips: Stats,
 }
 
 /// Outcome of one sweep: per-cell measurements plus per-group aggregates.
@@ -791,18 +991,20 @@ impl SweepReport {
                 out,
                 "    {{\"family\": \"{}\", \"n\": {}, \"network\": \"{}\", \
                  \"tie_break\": \"{}\", \"motion\": \"{}\", \"reliability\": \"{}\", \
-                 \"runs\": {},\n     \
+                 \"fault\": \"{}\", \"runs\": {},\n     \
                  \"completed_rate\": {:.3}, \"stall_rate\": {:.3}, \"timeout_rate\": {:.3},\n     \
                  \"elections\": {}, \"messages\": {},\n     \
                  \"moves\": {}, \"distance_computations\": {},\n     \
                  \"sim_time_us\": {}, \"events_per_sim_sec\": {},\n     \
-                 \"retransmissions\": {}, \"connectivity_fallback_probes\": {}}}",
+                 \"retransmissions\": {}, \"connectivity_fallback_probes\": {}, \
+                 \"round_skips\": {}}}",
                 g.family.name(),
                 g.blocks,
                 g.network,
                 g.tie_break,
                 g.motion,
                 g.reliability,
+                g.fault,
                 g.runs,
                 g.completed_rate,
                 g.stall_rate,
@@ -815,6 +1017,7 @@ impl SweepReport {
                 stats_json(&g.events_per_sim_sec),
                 stats_json(&g.retransmissions),
                 stats_json(&g.connectivity_fallback_probes),
+                stats_json(&g.round_skips),
             );
             out.push_str(if i + 1 < self.groups.len() {
                 ",\n"
@@ -832,14 +1035,16 @@ impl SweepReport {
                 out,
                 "    {{\"family\": \"{}\", \"n\": {}, \"workload_seed\": {}, \
                  \"network\": \"{}\", \"tie_break\": \"{}\", \"motion\": \"{}\", \
-                 \"reliability\": \"{}\",\n     \
+                 \"reliability\": \"{}\", \"fault\": \"{}\",\n     \
                  \"cell_seed\": \"{:016x}\", \"outcome\": \"{}\",\n     \
                  \"elections\": {}, \"messages\": {}, \"moves\": {}, \
                  \"distance_computations\": {}, \"sim_time_us\": {}, \"events\": {},\n     \
                  \"retransmissions\": {}, \"duplicates_suppressed\": {}, \
                  \"delivery_acks\": {}, \"delivery_failures\": {},\n     \
                  \"connectivity_rebuilds\": {}, \"connectivity_fallback_probes\": {}, \
-                 \"connectivity_incremental_updates\": {}}}",
+                 \"connectivity_incremental_updates\": {},\n     \
+                 \"rounds_started\": {}, \"round_skips\": {}, \
+                 \"crashes_injected\": {}, \"rejoins\": {}}}",
                 c.cell.family.name(),
                 c.cell.blocks,
                 c.cell.workload_seed,
@@ -847,6 +1052,7 @@ impl SweepReport {
                 tie_break_name(c.cell.tie_break),
                 motion_name(c.cell.motion),
                 c.cell.reliability.name,
+                c.cell.fault.name,
                 c.cell.cell_seed(self.plan_seed),
                 c.outcome_name(),
                 c.elections,
@@ -862,6 +1068,10 @@ impl SweepReport {
                 c.connectivity_rebuilds,
                 c.connectivity_fallback_probes,
                 c.connectivity_incremental_updates,
+                c.rounds_started,
+                c.round_skips,
+                c.crashes_injected,
+                c.rejoins,
             );
             out.push_str(if i + 1 < self.cells.len() {
                 ",\n"
@@ -968,6 +1178,7 @@ fn summarize_group(chunk: &[CellMeasurement]) -> GroupSummary {
         tie_break: tie_break_name(first.cell.tie_break),
         motion: motion_name(first.cell.motion),
         reliability: first.cell.reliability.name,
+        fault: first.cell.fault.name,
         runs: chunk.len(),
         completed_rate: rate(|c| c.completed),
         stall_rate: rate(|c| c.stalled),
@@ -980,6 +1191,7 @@ fn summarize_group(chunk: &[CellMeasurement]) -> GroupSummary {
         events_per_sim_sec: stats(CellMeasurement::events_per_sim_sec),
         retransmissions: stats(|c| c.retransmissions as f64),
         connectivity_fallback_probes: stats(|c| c.connectivity_fallback_probes as f64),
+        round_skips: stats(|c| c.round_skips as f64),
     }
 }
 
@@ -1070,6 +1282,54 @@ mod tests {
                 m.connectivity_incremental_updates
             );
         }
+    }
+
+    #[test]
+    fn fault_free_cells_keep_their_historical_seeds() {
+        // The fault-none spec must hash to the exact seed the cell had
+        // before the v8 axis existed; an active crash spec must move it.
+        let plan = SweepPlan::smoke();
+        let cell = plan.cells()[0];
+        assert_eq!(cell.fault.name, "none");
+        assert!(!cell.fault.is_active());
+        let mut crashed = cell;
+        crashed.fault = FaultSpec::root_crash_rejoin();
+        assert_ne!(
+            cell.cell_seed(plan.plan_seed),
+            crashed.cell_seed(plan.plan_seed),
+            "an active fault spec must decorrelate the cell seed"
+        );
+        // The three crash scenarios are mutually decorrelated too.
+        let mut relay = cell;
+        relay.fault = FaultSpec::relay_crash_rejoin();
+        assert_ne!(
+            crashed.cell_seed(plan.plan_seed),
+            relay.cell_seed(plan.plan_seed)
+        );
+    }
+
+    #[test]
+    fn crash_probe_cell_measures_recovery_end_to_end() {
+        // One representative cell of the crash plan, run for real: the
+        // Root dies mid-election, rejoins, and the round machinery
+        // carries the run to a clean conclusion with the recovery
+        // counters as measured data.
+        let plan = SweepPlan::fault_probes_crash();
+        let cell = plan
+            .cells()
+            .into_iter()
+            .find(|c| {
+                c.family == Family::Column
+                    && c.blocks == 8
+                    && c.network.name == "fixed_10us"
+                    && c.fault.name == "root_crash_rejoin"
+            })
+            .expect("the crash plan sweeps a column root-crash cell");
+        let m = run_cell(&cell, plan.plan_seed);
+        assert_eq!(m.crashes_injected, 1, "exactly one scheduled crash");
+        assert_eq!(m.rejoins, 1, "the victim rejoined");
+        assert!(m.rounds_started >= 1, "rounds were live");
+        assert!(!m.timed_out, "crash recovery must not hang the run");
     }
 
     #[test]

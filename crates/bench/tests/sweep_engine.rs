@@ -2,7 +2,9 @@
 //! determinism of the aggregate JSON, sanity of the aggregates, and the
 //! fault-injection (assumption-violation) network axis.
 
-use sb_bench::sweep::{Family, FamilyPlan, NetworkSpec, ReliabilitySpec, SweepEngine, SweepPlan};
+use sb_bench::sweep::{
+    Family, FamilyPlan, FaultSpec, NetworkSpec, ReliabilitySpec, SweepEngine, SweepPlan,
+};
 use sb_core::election::TieBreak;
 use sb_core::MotionModel;
 
@@ -29,6 +31,7 @@ fn jittered_plan() -> SweepPlan {
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
         reliability: vec![ReliabilitySpec::off()],
+        faults: vec![FaultSpec::none()],
     }
 }
 
@@ -55,6 +58,7 @@ fn fault_plan() -> SweepPlan {
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
         reliability: vec![ReliabilitySpec::off()],
+        faults: vec![FaultSpec::none()],
     }
 }
 
@@ -102,6 +106,7 @@ fn plan_seed_reaches_the_cells() {
         tie_breaks: vec![TieBreak::Random],
         motions: vec![MotionModel::RuleBased],
         reliability: vec![ReliabilitySpec::off()],
+        faults: vec![FaultSpec::none()],
     };
     let a = SweepEngine::new(2).run(&plan);
     plan.plan_seed = 2;
@@ -195,8 +200,13 @@ fn json_record_carries_schema_and_percentiles() {
     let report = SweepEngine::new(2).run(&SweepPlan::smoke());
     let json = report.to_json();
     assert!(json.contains("\"schema\": \"smart-surface-sweep\""));
-    assert!(json.contains("\"version\": 7"));
+    assert!(json.contains("\"version\": 8"));
     assert!(json.contains("\"reliability\": \"off\""));
+    assert!(json.contains("\"fault\": \"none\""));
+    assert!(json.contains("\"rounds_started\""));
+    assert!(json.contains("\"round_skips\""));
+    assert!(json.contains("\"crashes_injected\""));
+    assert!(json.contains("\"rejoins\""));
     assert!(json.contains("\"connectivity_rebuilds\""));
     assert!(json.contains("\"connectivity_fallback_probes\""));
     assert!(json.contains("\"connectivity_incremental_updates\""));

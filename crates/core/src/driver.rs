@@ -10,7 +10,9 @@
 use crate::election::AlgorithmConfig;
 use crate::metrics::Metrics;
 use crate::reliability::ReliabilityConfig;
-use crate::runtime::{build_actor_system, build_des_simulation};
+use crate::runtime::{
+    build_actor_system_with_faults, build_des_simulation_with_faults, FaultInjection,
+};
 use crate::world::{MotionModel, MoveRecord, MoveRule, Outcome, SurfaceWorld};
 use sb_desim::{Duration as SimDuration, LatencyModel, NetworkModel};
 use sb_grid::SurfaceConfig;
@@ -169,6 +171,7 @@ pub struct ReconfigurationDriver {
     reliability: ReliabilityConfig,
     sim_seed: u64,
     record_frames: bool,
+    faults: Option<FaultInjection>,
 }
 
 impl ReconfigurationDriver {
@@ -198,6 +201,7 @@ impl ReconfigurationDriver {
             reliability: ReliabilityConfig::off(),
             sim_seed: 1,
             record_frames: false,
+            faults: None,
         }
     }
 
@@ -247,6 +251,20 @@ impl ReconfigurationDriver {
     /// Overrides the simulator seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.sim_seed = seed;
+        self
+    }
+
+    /// Injects a crash/rejoin fault scenario (`None` disables the
+    /// injection again).  The victim is resolved deterministically from
+    /// the world and the simulator seed, so a given
+    /// (instance, seed, scenario) triple kills the same module on every
+    /// run and both runtimes.  Crash recovery additionally needs the
+    /// round layer ([`crate::election::RoundsConfig`]) and usually the
+    /// reliable delivery layer; without them a mid-election crash
+    /// deadlocks by design (that contrast is what the fault sweeps
+    /// measure).
+    pub fn with_faults(mut self, faults: Option<FaultInjection>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -312,12 +330,13 @@ impl ReconfigurationDriver {
     /// terminates (or stalls).
     pub fn run_des(&self) -> ReconfigurationReport {
         let world = self.build_world();
-        let mut sim = build_des_simulation(
+        let mut sim = build_des_simulation_with_faults(
             world,
             self.algorithm,
             self.network,
             self.sim_seed,
             self.reliability,
+            self.faults,
         );
         let stats = sim.run_until_idle();
         let mut report =
@@ -332,7 +351,13 @@ impl ReconfigurationDriver {
     /// wall-clock deadline.
     pub fn run_actors(&self, deadline: WallDuration) -> ReconfigurationReport {
         let world = self.build_world();
-        let system = build_actor_system(world, self.algorithm, self.reliability);
+        let system = build_actor_system_with_faults(
+            world,
+            self.algorithm,
+            self.reliability,
+            self.sim_seed,
+            self.faults,
+        );
         let run = system.run(deadline);
         let mut report = self.report_from_world(&run.world, RuntimeKind::Actors, run.elapsed);
         report.messages_delivered = Some(run.messages_delivered);

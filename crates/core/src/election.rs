@@ -70,6 +70,50 @@
 //!   `metrics.protocol_drops` and answers its father with
 //!   `SelectAck { moved: false, .. }`, so the Root concludes the
 //!   iteration as a clean stall rather than hanging.
+//!
+//! ## Rounds: deadline-driven re-election (opt-in)
+//!
+//! The paper's election silently assumes every module survives to the
+//! end; one crashed relay leaves the Root waiting forever.  With
+//! [`RoundsConfig::on`]-style configuration the core wraps iterations in
+//! explicit **rounds**, borrowing the `Round`/`Step` state-machine shape
+//! of deadline-driven BFT protocols (Tendermint): every message carries
+//! the sender's round next to the iteration, and three chronology rules
+//! make message handling total over rounds —
+//!
+//! * **stale rounds are silent**: a message from a round below the
+//!   receiver's is dropped without effect (its election was abandoned);
+//! * **future rounds are cached**: a non-`Activate` message from a round
+//!   above the receiver's is held in a *bounded* cache
+//!   ([`RoundsConfig::cache_cap`], oldest entry evicted and counted in
+//!   `metrics.round_cache_evictions` on overflow) and replayed when the
+//!   receiver enters that round; a future-round `Activate` makes the
+//!   receiver enter the round immediately (reset, adopt, engage);
+//! * **the current round runs the unchanged iteration discipline**.
+//!
+//! **Round-skip invariant**: the runtime harness arms a deadline
+//! ([`RoundsConfig::skip_timeout_us`]) whenever a block participates in
+//! an election; if the deadline expires and the block's `progress`
+//! counter — bumped once per accepted current-round message — has not
+//! moved, the round is declared stalled.  Round chronology is
+//! **single-writer**: only the *Root* reacts by abandoning the round
+//! ([`ElectionCore::skip_round`]) — the round number increments and the
+//! Root re-floods the *same* iteration in the new round
+//! (`metrics.round_skips`, `metrics.rounds_started`) — while a quiet
+//! non-Root merely lets its watchdog lapse and waits for the next flood
+//! (were it to skip on a private deadline, quiet blocks would drift
+//! permanently ahead of the Root and every re-flood would arrive
+//! stale).  Because the world (occupancy, hops already performed)
+//! persists across rounds, a spurious skip merely re-runs an election
+//! over unchanged state and elects the same winner; liveness is bounded
+//! by [`RoundsConfig::max_rounds`], past which the Root concludes a
+//! clean `Stalled` — never a hang.  Rounds are totally ordered by the
+//! single Root's chronology; a rejoining or lagging Root is pulled
+//! forward by `RoundSync` replies to its stale `Activate`s.
+//!
+//! With rounds disabled (the default) every message carries round 0, no
+//! deadline is armed, and the protocol is bit-for-bit the historical
+//! single-round behaviour.
 
 use crate::messages::{Candidate, Distance, Msg};
 use crate::world::{Outcome, SurfaceWorld};
@@ -108,6 +152,60 @@ pub enum Termination {
     PathComplete,
 }
 
+/// Configuration of the round-structured re-election layer (see the
+/// module docs).  Disabled by default: the historical single-round
+/// protocol, bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundsConfig {
+    /// Whether rounds (and the harness round-skip watchdog) are active.
+    pub enabled: bool,
+    /// Round-skip deadline in microseconds (simulated time on the DES,
+    /// wall-clock on the actor runtime): a participating block that sees
+    /// no accepted message for this long abandons the round.  Must sit
+    /// above the reliable-delivery layer's worst-case recovery time or
+    /// rounds will preempt retransmissions that were about to succeed
+    /// (harmless for correctness — the re-election still converges — but
+    /// wasteful).
+    pub skip_timeout_us: u64,
+    /// Bound on the per-block out-of-order future-round message cache;
+    /// on overflow the oldest entry is evicted and counted
+    /// (`metrics.round_cache_evictions`), so a late-message flood
+    /// degrades to counted drops, never unbounded memory.
+    pub cache_cap: usize,
+    /// Safety valve: a skip past this round concludes the run as a clean
+    /// `Stalled` instead of re-electing forever.
+    pub max_rounds: u32,
+}
+
+impl RoundsConfig {
+    /// Rounds disabled: the historical single-round behaviour.
+    pub const fn off() -> Self {
+        RoundsConfig {
+            enabled: false,
+            skip_timeout_us: 10_000,
+            cache_cap: 32,
+            max_rounds: 64,
+        }
+    }
+
+    /// Rounds enabled with the default policy: a 10 ms skip deadline
+    /// (far above every benign per-message latency the sweep uses, and
+    /// above a healthy link's retransmission recovery), a 32-entry
+    /// future-round cache and a 64-round liveness valve.
+    pub const fn on() -> Self {
+        RoundsConfig {
+            enabled: true,
+            ..RoundsConfig::off()
+        }
+    }
+}
+
+impl Default for RoundsConfig {
+    fn default() -> Self {
+        RoundsConfig::off()
+    }
+}
+
 /// Tunable parameters of the algorithm.
 #[derive(Clone, Copy, Debug)]
 pub struct AlgorithmConfig {
@@ -119,6 +217,8 @@ pub struct AlgorithmConfig {
     pub max_iterations: u32,
     /// Seed for the per-block RNG used by the random tie-break.
     pub seed: u64,
+    /// Round-structured re-election (off by default).
+    pub rounds: RoundsConfig,
 }
 
 impl Default for AlgorithmConfig {
@@ -128,6 +228,7 @@ impl Default for AlgorithmConfig {
             termination: Termination::default(),
             max_iterations: 1_000_000,
             seed: 0xB10C,
+            rounds: RoundsConfig::off(),
         }
     }
 }
@@ -251,6 +352,16 @@ pub struct ElectionCore {
     /// across events so the hot path performs no allocation after
     /// warm-up).
     neighbors_scratch: Vec<BlockId>,
+    /// Current re-election round (0 with rounds disabled; survives
+    /// iteration resets, advances only through skips and round entries).
+    round: u32,
+    /// Accepted-message counter the harness round-skip watchdog compares
+    /// against its snapshot: unchanged across a deadline means the round
+    /// stalled.  Only bumped with rounds enabled.
+    progress: u64,
+    /// Bounded cache of messages from rounds above the current one,
+    /// replayed on round entry (oldest evicted and counted on overflow).
+    future_cache: Vec<(BlockId, Msg)>,
 }
 
 impl ElectionCore {
@@ -270,15 +381,22 @@ impl ElectionCore {
             best_via: None,
             ties_seen: 0,
             neighbors_scratch: Vec::new(),
+            round: 0,
+            progress: 0,
+            future_cache: Vec::new(),
         }
     }
 
     /// Returns the state machine to its pre-start state (iteration 0,
-    /// disengaged), keeping the block identity, configuration, RNG stream
-    /// position and warmed scratch buffers.  Lets a harness re-run
-    /// elections on the same world without reallocating anything.
+    /// round 0, disengaged, future-round cache empty), keeping the block
+    /// identity, configuration, RNG stream position and warmed scratch
+    /// buffers.  Lets a harness re-run elections on the same world
+    /// without reallocating anything.
     pub fn reset_state(&mut self) {
         self.reset_for(0);
+        self.round = 0;
+        self.progress = 0;
+        self.future_cache.clear();
     }
 
     /// The block this state machine belongs to.
@@ -296,10 +414,34 @@ impl ElectionCore {
         self.iteration
     }
 
+    /// The current re-election round (0 with rounds disabled).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Whether this block is engaged in the current iteration's election.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// The accepted-message counter the harness round-skip watchdog
+    /// snapshots; unchanged across a deadline means the round stalled.
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// The configured round layer.
+    pub fn rounds(&self) -> RoundsConfig {
+        self.config.rounds
+    }
+
     /// Start-up handler: the Root launches the first election.  Requested
     /// effects are appended to `sink`.
     pub fn on_start(&mut self, world: &mut SurfaceWorld, sink: &mut ActionSink) {
         if self.is_root {
+            if self.config.rounds.enabled {
+                world.metrics_mut().rounds_started += 1;
+            }
             self.start_iteration(1, world, sink);
         }
     }
@@ -312,6 +454,42 @@ impl ElectionCore {
         world: &mut SurfaceWorld,
         sink: &mut ActionSink,
     ) {
+        if self.config.rounds.enabled {
+            if let Msg::RoundSync { round } = msg {
+                // Catch-up notification: a peer already reached a higher
+                // round.  Jump forward (a Root re-floods there); at or
+                // below our round it carries no information.
+                if round > self.round {
+                    self.progress = self.progress.wrapping_add(1);
+                    self.enter_round(round, world, sink);
+                    self.replay_cached(world, sink);
+                }
+                return;
+            }
+            let msg_round = msg.round();
+            if msg_round < self.round {
+                // Stale round: its election was abandoned; silent — except
+                // that a stale *Activate* reveals a Root lagging behind
+                // (typically one that rejoined after a crash while the
+                // survivors kept skipping rounds).  Tell it where we are,
+                // or its floods would be dropped here forever.
+                if matches!(msg, Msg::Activate { .. }) {
+                    sink.send(from, Msg::RoundSync { round: self.round });
+                }
+                return;
+            }
+            if msg_round > self.round {
+                if matches!(msg, Msg::Activate { .. }) {
+                    // A Root already moved on: enter its round and handle
+                    // the activation there.
+                    self.enter_round(msg_round, world, sink);
+                } else {
+                    self.cache_future(from, msg, world);
+                    return;
+                }
+            }
+            self.progress = self.progress.wrapping_add(1);
+        }
         match msg {
             Msg::Activate { iteration, .. } => self.on_activate(from, iteration, world, sink),
             Msg::Ack {
@@ -329,13 +507,147 @@ impl ElectionCore {
                 world,
                 sink,
             ),
-            Msg::Select { iteration, elected } => self.on_select(iteration, elected, world, sink),
+            Msg::Select {
+                iteration, elected, ..
+            } => self.on_select(iteration, elected, world, sink),
             Msg::SelectAck {
                 iteration,
                 elected,
                 reached_output,
                 moved,
+                ..
             } => self.on_select_ack(iteration, elected, reached_output, moved, world, sink),
+            // Handled (or ignored, with rounds off) before the dispatch.
+            Msg::RoundSync { .. } => return,
+        }
+        if self.config.rounds.enabled {
+            self.replay_cached(world, sink);
+        }
+    }
+
+    // ----- round bookkeeping ---------------------------------------------------
+
+    /// Watchdog expiry at the *Root*: the harness observed no progress
+    /// for a full skip deadline.  Abandons the stalled round and
+    /// re-floods the same iteration in the next one; past
+    /// [`RoundsConfig::max_rounds`] the run concludes as a clean
+    /// `Stalled` — the liveness valve that guarantees zero hangs.  The
+    /// harness never calls this at a non-Root (round chronology is the
+    /// Root's alone to advance; a quiet non-Root just lets its watchdog
+    /// lapse), but a direct call there advances the local round and
+    /// turns the block passive until a round ≥ its own re-activates it.
+    pub fn skip_round(&mut self, world: &mut SurfaceWorld, sink: &mut ActionSink) {
+        if !self.config.rounds.enabled {
+            return;
+        }
+        world.metrics_mut().round_skips += 1;
+        let next = self.round.saturating_add(1);
+        if next > self.config.rounds.max_rounds {
+            if world.outcome().is_none() {
+                world.set_outcome(Outcome::Stalled);
+            }
+            sink.stop();
+            return;
+        }
+        self.enter_round(next, world, sink);
+        self.replay_cached(world, sink);
+    }
+
+    /// Re-entry after a crash: full state reset, then resume at the given
+    /// round and iteration (the harness restores both from its
+    /// crash-time snapshot — the equivalent of the paper's persistent
+    /// block memory).  A rejoining Root re-announces by starting an
+    /// election in that round; a non-Root waits passively for the next
+    /// round's activation flood to reach it.
+    pub fn rejoin_at(
+        &mut self,
+        round: u32,
+        iteration: u32,
+        world: &mut SurfaceWorld,
+        sink: &mut ActionSink,
+    ) {
+        self.reset_state();
+        self.iteration = iteration;
+        if self.config.rounds.enabled {
+            self.enter_round(round, world, sink);
+        } else if self.is_root {
+            // Without rounds there is no re-election chronology; restart
+            // the current iteration and let the engaged peers' declines
+            // conclude it (typically as a clean stall).
+            self.start_iteration(iteration.max(1), world, sink);
+        }
+    }
+
+    /// Failure-detector verdict from the transport: `peer` exhausted its
+    /// retry budget and is presumed crashed.  With rounds enabled, a
+    /// pending wait on that peer is resolved by synthesising the decline
+    /// it can no longer send (an `Ack` with infinite distance), so the
+    /// fold completes over the surviving subtree instead of hanging until
+    /// the round-skip deadline.  Without rounds (or when not waiting on
+    /// `peer`) this is a no-op — the harness keeps the historical
+    /// exhaustion-means-stall behaviour there.
+    pub fn on_peer_unreachable(
+        &mut self,
+        peer: BlockId,
+        world: &mut SurfaceWorld,
+        sink: &mut ActionSink,
+    ) {
+        if !self.config.rounds.enabled || !self.engaged {
+            return;
+        }
+        if !self.awaiting.contains(&peer) {
+            return;
+        }
+        self.progress = self.progress.wrapping_add(1);
+        self.on_ack(
+            peer,
+            self.iteration,
+            Distance::INFINITE,
+            peer,
+            0,
+            world,
+            sink,
+        );
+    }
+
+    /// Enters `round`: adopts the number, disengages from the abandoned
+    /// round's election (the iteration number survives — rounds re-run
+    /// the *same* iteration), and, at the Root, re-floods it.
+    fn enter_round(&mut self, round: u32, world: &mut SurfaceWorld, sink: &mut ActionSink) {
+        self.round = round;
+        let iteration = self.iteration.max(1);
+        self.reset_for(iteration);
+        if self.is_root {
+            world.metrics_mut().rounds_started += 1;
+            self.start_iteration(iteration, world, sink);
+        }
+    }
+
+    /// Appends one future-round message to the bounded cache, evicting
+    /// (and counting) the oldest entry on overflow.
+    fn cache_future(&mut self, from: BlockId, msg: Msg, world: &mut SurfaceWorld) {
+        let cap = self.config.rounds.cache_cap.max(1);
+        if self.future_cache.len() >= cap {
+            self.future_cache.remove(0);
+            world.metrics_mut().round_cache_evictions += 1;
+        }
+        self.future_cache.push((from, msg));
+    }
+
+    /// Replays cached messages that became current (and silently drops
+    /// those that became stale).  Each pass removes at least one entry
+    /// and replay can only cache messages from *strictly higher* rounds,
+    /// so the re-entrant walk terminates.
+    fn replay_cached(&mut self, world: &mut SurfaceWorld, sink: &mut ActionSink) {
+        while let Some(i) = self
+            .future_cache
+            .iter()
+            .position(|(_, m)| m.round() <= self.round)
+        {
+            let (from, msg) = self.future_cache.remove(i);
+            if msg.round() == self.round {
+                self.on_message(from, msg, world, sink);
+            }
         }
     }
 
@@ -383,6 +695,7 @@ impl ElectionCore {
 
     fn activate_message(&self, world: &SurfaceWorld) -> Msg {
         Msg::Activate {
+            round: self.round,
             iteration: self.iteration,
             father: self.me,
             output: world.output(),
@@ -470,6 +783,7 @@ impl ElectionCore {
             sink.send(
                 from,
                 Msg::Ack {
+                    round: self.round,
                     iteration,
                     son: self.me,
                     shortest_distance: self.best.distance,
@@ -488,6 +802,7 @@ impl ElectionCore {
         Action::Send {
             to,
             msg: Msg::Ack {
+                round: self.round,
                 iteration,
                 son: self.me,
                 shortest_distance: Distance::INFINITE,
@@ -546,6 +861,7 @@ impl ElectionCore {
             sink.send(
                 father,
                 Msg::Ack {
+                    round: self.round,
                     iteration,
                     son: self.me,
                     shortest_distance: self.best.distance,
@@ -559,13 +875,19 @@ impl ElectionCore {
     fn conclude_phase_one(&mut self, world: &mut SurfaceWorld, sink: &mut ActionSink) {
         if self.best.distance.is_infinite() || self.best.id == self.me {
             // No block can move towards the output anymore.
-            let outcome = if self.goal_reached(true, world) {
-                Outcome::Completed
+            if self.goal_reached(true, world) {
+                world.set_outcome(Outcome::Completed);
+                sink.stop();
+            } else if self.config.rounds.enabled {
+                // With rounds on, "no candidate" may be transient: a
+                // crashed subtree was declined away (synthesised or real
+                // declines) and may yet rejoin.  Stay engaged and let the
+                // round-skip deadline re-elect; `max_rounds` bounds the
+                // wait, after which the valve concludes `Stalled` anyway.
             } else {
-                Outcome::Stalled
-            };
-            world.set_outcome(outcome);
-            sink.stop();
+                world.set_outcome(Outcome::Stalled);
+                sink.stop();
+            }
             return;
         }
         let via = self
@@ -574,6 +896,7 @@ impl ElectionCore {
         sink.send(
             via,
             Msg::Select {
+                round: self.round,
                 iteration: self.iteration,
                 elected: self.best.id,
             },
@@ -593,7 +916,14 @@ impl ElectionCore {
         if elected != self.me {
             // Forward along the recorded best-candidate link.
             if let Some(via) = self.best_via {
-                sink.send(via, Msg::Select { iteration, elected });
+                sink.send(
+                    via,
+                    Msg::Select {
+                        round: self.round,
+                        iteration,
+                        elected,
+                    },
+                );
                 return;
             }
             // Mis-routed selection: we are not the winner and recorded no
@@ -606,6 +936,7 @@ impl ElectionCore {
                 sink.send(
                     father,
                     Msg::SelectAck {
+                        round: self.round,
                         iteration,
                         elected,
                         reached_output: false,
@@ -636,6 +967,7 @@ impl ElectionCore {
         sink.send(
             father,
             Msg::SelectAck {
+                round: self.round,
                 iteration,
                 elected: self.me,
                 reached_output,
@@ -664,6 +996,7 @@ impl ElectionCore {
             sink.send(
                 father,
                 Msg::SelectAck {
+                    round: self.round,
                     iteration,
                     elected,
                     reached_output,
@@ -757,7 +1090,10 @@ mod tests {
                 Action::Send {
                     msg:
                         Msg::Activate {
-                            iteration, father, ..
+                            round: 0,
+                            iteration,
+                            father,
+                            ..
                         },
                     ..
                 } => {
@@ -795,6 +1131,7 @@ mod tests {
             &mut core,
             root,
             Msg::Activate {
+                round: 0,
                 iteration: 1,
                 father: root,
                 output: world.output(),
@@ -834,6 +1171,7 @@ mod tests {
         let mut core = ElectionCore::new(leaf, false, config_first_seen());
         let output = world.output();
         let activate = |father: BlockId| Msg::Activate {
+            round: 0,
             iteration: 1,
             father,
             output,
@@ -869,6 +1207,7 @@ mod tests {
             &mut core,
             neighbors[0],
             Msg::Ack {
+                round: 0,
                 iteration: 1,
                 son: neighbors[0],
                 shortest_distance: Distance::finite(4),
@@ -882,6 +1221,7 @@ mod tests {
             &mut core,
             neighbors[1],
             Msg::Ack {
+                round: 0,
                 iteration: 1,
                 son: neighbors[1],
                 shortest_distance: Distance::finite(3),
@@ -894,7 +1234,9 @@ mod tests {
         match &a1[0] {
             Action::Send {
                 to,
-                msg: Msg::Select { elected, iteration },
+                msg: Msg::Select {
+                    elected, iteration, ..
+                },
             } => {
                 assert_eq!(*iteration, 1);
                 assert_eq!(*elected, BlockId(43));
@@ -917,6 +1259,7 @@ mod tests {
                 &mut core,
                 *n,
                 Msg::Ack {
+                    round: 0,
                     iteration: 1,
                     son: *n,
                     shortest_distance: Distance::INFINITE,
@@ -941,6 +1284,7 @@ mod tests {
             &mut core,
             root,
             Msg::Activate {
+                round: 0,
                 iteration: 1,
                 father: root,
                 output: world.output(),
@@ -954,6 +1298,7 @@ mod tests {
             &mut core,
             root,
             Msg::Select {
+                round: 0,
                 iteration: 1,
                 elected,
             },
@@ -989,6 +1334,7 @@ mod tests {
             &mut core,
             BlockId(2),
             Msg::Ack {
+                round: 0,
                 iteration: 7,
                 son: BlockId(2),
                 shortest_distance: Distance::finite(1),
@@ -1003,6 +1349,7 @@ mod tests {
             &mut core,
             BlockId(2),
             Msg::Select {
+                round: 0,
                 iteration: 7,
                 elected: root,
             },
@@ -1026,6 +1373,7 @@ mod tests {
             &mut core,
             root,
             Msg::Activate {
+                round: 0,
                 iteration: 1,
                 father: root,
                 output: world.output(),
@@ -1039,6 +1387,7 @@ mod tests {
             &mut core,
             root,
             Msg::Select {
+                round: 0,
                 iteration: 1,
                 elected: stray,
             },
@@ -1050,6 +1399,7 @@ mod tests {
                 to,
                 msg:
                     Msg::SelectAck {
+                        round: 0,
                         iteration,
                         elected,
                         reached_output,
@@ -1080,6 +1430,7 @@ mod tests {
         let mut core = ElectionCore::new(root, true, config_first_seen());
         let _ = start(&mut core, &mut world);
         let ack_from = |son: BlockId, d: u32| Msg::Ack {
+            round: 0,
             iteration: 1,
             son,
             shortest_distance: Distance::finite(d),
@@ -1136,6 +1487,7 @@ mod tests {
             &mut core,
             root,
             Msg::Activate {
+                round: 0,
                 iteration: 1,
                 father: root,
                 output: world.output(),
@@ -1145,6 +1497,7 @@ mod tests {
             &mut world,
         );
         let select = Msg::Select {
+            round: 0,
             iteration: 1,
             elected,
         };
@@ -1195,6 +1548,7 @@ mod tests {
                     &mut core,
                     son,
                     Msg::Ack {
+                        round: 0,
                         iteration: 1,
                         son,
                         shortest_distance: Distance::finite(3),
@@ -1251,6 +1605,7 @@ mod tests {
                 &mut core,
                 neighbors[0],
                 Msg::Ack {
+                    round: 0,
                     iteration: 1,
                     son: neighbors[0],
                     shortest_distance: Distance::finite(3),
@@ -1263,6 +1618,7 @@ mod tests {
                 &mut core,
                 neighbors[1],
                 Msg::Ack {
+                    round: 0,
                     iteration: 1,
                     son: neighbors[1],
                     shortest_distance: Distance::finite(3),
@@ -1308,6 +1664,7 @@ mod tests {
             &mut core,
             neighbors[0],
             Msg::Ack {
+                round: 0,
                 iteration: 1,
                 son: neighbors[0],
                 shortest_distance: Distance::finite(3),
@@ -1320,6 +1677,7 @@ mod tests {
             &mut core,
             neighbors[1],
             Msg::Ack {
+                round: 0,
                 iteration: 1,
                 son: neighbors[1],
                 shortest_distance: Distance::finite(3),
@@ -1337,5 +1695,204 @@ mod tests {
             }
             other => panic!("unexpected action {other:?}"),
         }
+    }
+
+    // ----- round machinery (PR 10) ---------------------------------------------
+
+    fn config_rounds_on() -> AlgorithmConfig {
+        AlgorithmConfig {
+            tie_break: TieBreak::FirstSeen,
+            rounds: RoundsConfig::on(),
+            ..AlgorithmConfig::default()
+        }
+    }
+
+    /// Test shorthand: reports a peer as unreachable through a throwaway
+    /// sink and returns the emitted actions.
+    fn unreachable(
+        core: &mut ElectionCore,
+        peer: BlockId,
+        world: &mut SurfaceWorld,
+    ) -> Vec<Action> {
+        let mut sink = ActionSink::new();
+        core.on_peer_unreachable(peer, world, &mut sink);
+        sink.drain().collect()
+    }
+
+    #[test]
+    fn stale_activate_is_answered_with_round_sync() {
+        // A non-Root that already advanced to round 2 receives an
+        // `Activate` from round 0 — typically a Root that rejoined after
+        // a crash and restarted behind the survivors.  Silence would drop
+        // its floods forever; instead the receiver points it forward.
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let leaf = world.grid().block_at(sb_grid::Pos::new(2, 0)).unwrap();
+        let mut core = ElectionCore::new(leaf, false, config_rounds_on());
+        let none = deliver(&mut core, root, Msg::RoundSync { round: 2 }, &mut world);
+        assert!(none.is_empty(), "a non-Root catches up silently");
+        assert_eq!(core.round(), 2);
+        let actions = deliver(
+            &mut core,
+            root,
+            Msg::Activate {
+                round: 0,
+                iteration: 1,
+                father: root,
+                output: world.output(),
+                shortest_distance: Distance::INFINITE,
+                id_shortest: root,
+            },
+            &mut world,
+        );
+        assert_eq!(
+            actions,
+            vec![Action::Send {
+                to: root,
+                msg: Msg::RoundSync { round: 2 },
+            }],
+            "the stale flood is answered with a catch-up notification"
+        );
+    }
+
+    #[test]
+    fn round_sync_pulls_a_lagging_root_forward_and_refloods() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let mut core = ElectionCore::new(root, true, config_rounds_on());
+        let _ = start(&mut core, &mut world);
+        assert_eq!(core.round(), 0);
+        let actions = deliver(
+            &mut core,
+            world.neighbors_of(root)[0],
+            Msg::RoundSync { round: 3 },
+            &mut world,
+        );
+        assert_eq!(core.round(), 3);
+        assert_eq!(
+            world.metrics().rounds_started,
+            2,
+            "round 0 plus the jump to 3"
+        );
+        assert_eq!(actions.len(), 2, "the Root re-floods in the new round");
+        for a in &actions {
+            match a {
+                Action::Send {
+                    msg:
+                        Msg::Activate {
+                            round, iteration, ..
+                        },
+                    ..
+                } => {
+                    assert_eq!(*round, 3);
+                    assert_eq!(*iteration, 1, "rounds re-run the same iteration");
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_peer_resolves_the_fold_with_a_synthetic_decline() {
+        // The transport's failure detector (retry exhaustion) reports one
+        // son as crashed; the Root folds the phase over the survivor
+        // instead of hanging until the round-skip deadline.
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let neighbors = world.neighbors_of(root);
+        let mut core = ElectionCore::new(root, true, config_rounds_on());
+        let _ = start(&mut core, &mut world);
+        let partial = unreachable(&mut core, neighbors[0], &mut world);
+        assert!(partial.is_empty(), "the other son is still outstanding");
+        let actions = deliver(
+            &mut core,
+            neighbors[1],
+            Msg::Ack {
+                round: 0,
+                iteration: 1,
+                son: neighbors[1],
+                shortest_distance: Distance::finite(3),
+                id_shortest: neighbors[1],
+                ties: 1,
+            },
+            &mut world,
+        );
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Send {
+                to,
+                msg: Msg::Select { elected, .. },
+            } => {
+                assert_eq!(*to, neighbors[1]);
+                assert_eq!(*elected, neighbors[1], "the survivor wins");
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_peer_is_a_no_op_with_rounds_off() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let neighbors = world.neighbors_of(root);
+        let mut core = ElectionCore::new(root, true, config_first_seen());
+        let _ = start(&mut core, &mut world);
+        assert!(unreachable(&mut core, neighbors[0], &mut world).is_empty());
+        assert!(unreachable(&mut core, neighbors[1], &mut world).is_empty());
+        assert_eq!(world.outcome(), None, "no synthetic fold without rounds");
+    }
+
+    #[test]
+    fn all_infinite_acks_defer_the_stall_when_rounds_are_on() {
+        // Counterpart of `root_stops_with_stalled_when_every_candidate_is
+        // _infinite`: with rounds enabled an all-declined fold may just be
+        // a transient (a crashed cut vertex about to rejoin), so the Root
+        // stays engaged and lets the watchdog re-elect; `max_rounds`
+        // bounds the wait.
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let neighbors = world.neighbors_of(root);
+        let mut core = ElectionCore::new(root, true, config_rounds_on());
+        let _ = start(&mut core, &mut world);
+        let mut last = Vec::new();
+        for n in &neighbors {
+            last = deliver(
+                &mut core,
+                *n,
+                Msg::Ack {
+                    round: 0,
+                    iteration: 1,
+                    son: *n,
+                    shortest_distance: Distance::INFINITE,
+                    id_shortest: *n,
+                    ties: 0,
+                },
+                &mut world,
+            );
+        }
+        assert!(last.is_empty(), "no Stop: the stall may be transient");
+        assert_eq!(world.outcome(), None);
+        assert!(core.engaged(), "the Root waits for a skip or a rejoin");
+    }
+
+    #[test]
+    fn round_skip_past_max_rounds_stalls_cleanly() {
+        let mut world = tiny_world();
+        let root = world.root_block().unwrap();
+        let mut config = config_rounds_on();
+        config.rounds.max_rounds = 2;
+        let mut core = ElectionCore::new(root, true, config);
+        let _ = start(&mut core, &mut world);
+        let mut sink = ActionSink::new();
+        for _ in 0..3 {
+            core.skip_round(&mut world, &mut sink);
+        }
+        let actions: Vec<Action> = sink.drain().collect();
+        assert!(
+            actions.contains(&Action::Stop),
+            "the liveness valve must fire: {actions:?}"
+        );
+        assert_eq!(world.outcome(), Some(Outcome::Stalled));
+        assert_eq!(world.metrics().round_skips, 3);
     }
 }

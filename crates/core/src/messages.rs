@@ -100,10 +100,20 @@ impl Candidate {
 }
 
 /// Messages exchanged by block codes.
+///
+/// Every message carries, next to the paper's iteration number `IT`, a
+/// **round** number: the re-election attempt the sender was in when it
+/// emitted the message.  Rounds order re-elections of the *same*
+/// iteration after a crash or a round-skip deadline (see
+/// [`crate::election`] for the round state machine); with rounds
+/// disabled the field is constant zero and the wire behaviour is
+/// bit-for-bit the historical one.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Msg {
     /// Activation message of the diffusing computation (Root → leaves).
     Activate {
+        /// Re-election round the sender is in (0 with rounds disabled).
+        round: u32,
         /// Election (iteration) number `IT`.
         iteration: u32,
         /// Identifier of the sender (the prospective father).
@@ -118,6 +128,8 @@ pub enum Msg {
     /// Acknowledgment folding the minimum back towards the Root
     /// (leaves → Root).
     Ack {
+        /// Re-election round the sender is in (0 with rounds disabled).
+        round: u32,
         /// Election (iteration) number.
         iteration: u32,
         /// Identifier of the sender (the son).
@@ -140,6 +152,8 @@ pub enum Msg {
     /// Selection message routed from the Root down the father/son tree to
     /// the elected block.
     Select {
+        /// Re-election round the sender is in (0 with rounds disabled).
+        round: u32,
         /// Election (iteration) number.
         iteration: u32,
         /// The elected block.
@@ -149,6 +163,8 @@ pub enum Msg {
     /// up the father chain to the Root.  Carries the outcome of the hop so
     /// the Root can decide whether Algorithm 1 terminates.
     SelectAck {
+        /// Re-election round the sender is in (0 with rounds disabled).
+        round: u32,
         /// Election (iteration) number.
         iteration: u32,
         /// The elected block.
@@ -160,16 +176,40 @@ pub enum Msg {
         /// detect a stall instead of looping forever).
         moved: bool,
     },
+    /// Round-catchup notification (only sent with rounds enabled): the
+    /// reply to a *stale*-round `Activate`, telling its sender which round
+    /// the replying block has already reached so a rejoined (or otherwise
+    /// lagging) Root can jump forward instead of flooding rounds nobody
+    /// listens to any more.  Carries no iteration: the receiver re-enters
+    /// its own current iteration when it adopts the round.
+    RoundSync {
+        /// The replying block's current round.
+        round: u32,
+    },
 }
 
 impl Msg {
-    /// The iteration this message belongs to.
+    /// The iteration this message belongs to.  `RoundSync` carries none
+    /// and reports 0; its receiver only ever looks at the round.
     pub fn iteration(&self) -> u32 {
         match self {
             Msg::Activate { iteration, .. }
             | Msg::Ack { iteration, .. }
             | Msg::Select { iteration, .. }
             | Msg::SelectAck { iteration, .. } => *iteration,
+            Msg::RoundSync { .. } => 0,
+        }
+    }
+
+    /// The re-election round this message belongs to (0 with rounds
+    /// disabled).
+    pub fn round(&self) -> u32 {
+        match self {
+            Msg::Activate { round, .. }
+            | Msg::Ack { round, .. }
+            | Msg::Select { round, .. }
+            | Msg::SelectAck { round, .. }
+            | Msg::RoundSync { round } => *round,
         }
     }
 
@@ -180,11 +220,12 @@ impl Msg {
             Msg::Ack { .. } => MsgKind::Ack,
             Msg::Select { .. } => MsgKind::Select,
             Msg::SelectAck { .. } => MsgKind::SelectAck,
+            Msg::RoundSync { .. } => MsgKind::RoundSync,
         }
     }
 }
 
-/// The four message kinds (used as metric keys).
+/// The message kinds (used as metric keys).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MsgKind {
     /// `Activate` messages.
@@ -195,6 +236,8 @@ pub enum MsgKind {
     Select,
     /// `SelectAck` messages.
     SelectAck,
+    /// `RoundSync` messages (rounds enabled only).
+    RoundSync,
 }
 
 impl fmt::Display for MsgKind {
@@ -204,6 +247,7 @@ impl fmt::Display for MsgKind {
             MsgKind::Ack => "ack",
             MsgKind::Select => "select",
             MsgKind::SelectAck => "select-ack",
+            MsgKind::RoundSync => "round-sync",
         };
         f.write_str(name)
     }
@@ -253,8 +297,9 @@ mod tests {
     }
 
     #[test]
-    fn message_iteration_and_kind() {
+    fn message_iteration_round_and_kind() {
         let m = Msg::Activate {
+            round: 0,
             iteration: 4,
             father: BlockId(1),
             output: Pos::new(0, 5),
@@ -262,14 +307,17 @@ mod tests {
             id_shortest: BlockId(1),
         };
         assert_eq!(m.iteration(), 4);
+        assert_eq!(m.round(), 0);
         assert_eq!(m.kind(), MsgKind::Activate);
         let m = Msg::SelectAck {
+            round: 3,
             iteration: 2,
             elected: BlockId(3),
             reached_output: false,
             moved: true,
         };
         assert_eq!(m.iteration(), 2);
+        assert_eq!(m.round(), 3);
         assert_eq!(m.kind(), MsgKind::SelectAck);
         assert_eq!(MsgKind::SelectAck.to_string(), "select-ack");
     }

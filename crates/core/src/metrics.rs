@@ -73,12 +73,36 @@ pub struct Metrics {
     /// instead of rebuilding.  Together with `connectivity_rebuilds`
     /// this accounts for every synchronised epoch.
     pub connectivity_incremental_updates: u64,
+    /// Number of rounds in which a Root started (or restarted) an
+    /// election — 1 on an undisturbed rounds-enabled run, higher when a
+    /// crash or a round-skip deadline forced re-elections.  Zero with
+    /// rounds disabled.
+    pub rounds_started: u64,
+    /// Number of round-skip deadlines that expired on a block whose
+    /// election had made no progress, abandoning the stalled round.
+    pub round_skips: u64,
+    /// Number of future-round messages evicted from a block's bounded
+    /// out-of-order cache (the cache was full; the oldest entry degraded
+    /// to a counted drop instead of unbounded memory).
+    pub round_cache_evictions: u64,
+    /// Number of `RoundSync` catch-up messages sent (replies to
+    /// stale-round `Activate`s; zero with rounds disabled).
+    pub round_sync_msgs: u64,
+    /// Number of module crashes injected by a fault plan during the run.
+    pub crashes_injected: u64,
+    /// Number of crashed modules that rejoined (fresh election state,
+    /// re-entered the protocol) during the run.
+    pub rejoins: u64,
 }
 
 impl Metrics {
     /// Total number of messages of all kinds.
     pub fn total_messages(&self) -> u64 {
-        self.activate_msgs + self.ack_msgs + self.select_msgs + self.select_ack_msgs
+        self.activate_msgs
+            + self.ack_msgs
+            + self.select_msgs
+            + self.select_ack_msgs
+            + self.round_sync_msgs
     }
 
     /// Records one sent message of the given kind.
@@ -88,6 +112,7 @@ impl Metrics {
             MsgKind::Ack => self.ack_msgs += 1,
             MsgKind::Select => self.select_msgs += 1,
             MsgKind::SelectAck => self.select_ack_msgs += 1,
+            MsgKind::RoundSync => self.round_sync_msgs += 1,
         }
     }
 
@@ -111,6 +136,12 @@ impl Metrics {
         self.connectivity_rebuilds += other.connectivity_rebuilds;
         self.connectivity_fallback_probes += other.connectivity_fallback_probes;
         self.connectivity_incremental_updates += other.connectivity_incremental_updates;
+        self.rounds_started += other.rounds_started;
+        self.round_skips += other.round_skips;
+        self.round_cache_evictions += other.round_cache_evictions;
+        self.round_sync_msgs += other.round_sync_msgs;
+        self.crashes_injected += other.crashes_injected;
+        self.rejoins += other.rejoins;
     }
 }
 
@@ -161,6 +192,24 @@ impl fmt::Display for Metrics {
                 " connectivity-incremental-updates={}",
                 self.connectivity_incremental_updates
             )?;
+        }
+        if self.rounds_started > 0 {
+            write!(f, " rounds-started={}", self.rounds_started)?;
+        }
+        if self.round_skips > 0 {
+            write!(f, " round-skips={}", self.round_skips)?;
+        }
+        if self.round_cache_evictions > 0 {
+            write!(f, " round-cache-evictions={}", self.round_cache_evictions)?;
+        }
+        if self.round_sync_msgs > 0 {
+            write!(f, " round-sync-msgs={}", self.round_sync_msgs)?;
+        }
+        if self.crashes_injected > 0 {
+            write!(f, " crashes-injected={}", self.crashes_injected)?;
+        }
+        if self.rejoins > 0 {
+            write!(f, " rejoins={}", self.rejoins)?;
         }
         Ok(())
     }

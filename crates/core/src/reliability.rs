@@ -190,6 +190,18 @@ impl ReliabilityState {
         self.recv_links.clear();
     }
 
+    /// Abandons every unacknowledged in-flight transmission while keeping
+    /// the per-link sequence counters and receive windows.  Used on a
+    /// crash/rejoin: the crashed module's pending sends died with it, but
+    /// the link *history* must survive — resetting `next_seq` would make
+    /// peers' anti-replay windows discard the fresh session's payloads as
+    /// duplicates.
+    pub fn abandon_inflight(&mut self) {
+        for link in &mut self.send_links {
+            link.inflight.clear();
+        }
+    }
+
     /// Registers one outgoing payload on the link to `peer` and returns
     /// the assigned sequence number plus the (jittered) delay before the
     /// first retransmission timer.
@@ -325,6 +337,7 @@ mod tests {
 
     fn probe_msg() -> Msg {
         Msg::Select {
+            round: 0,
             iteration: 1,
             elected: BlockId(2),
         }

@@ -29,6 +29,44 @@
 //! The harness implements both `sb_desim::BlockCode` and
 //! `sb_actor::Actor`, so the two build functions register the *same*
 //! type; any future runtime only needs a `Transport` shim.
+//!
+//! ## Crash/rejoin fault model and the round-skip watchdog
+//!
+//! Faults are injected at the harness level so the *same* lifecycle runs
+//! on both runtimes: a [`FaultSchedule`] arms two control timers at
+//! start-up.  When the crash timer fires the harness goes **dead** — it
+//! snapshots `(round, iteration)` (the analogue of the paper's
+//! persistent block memory, Fig. 8), ignores every delivery and every
+//! non-control timer, and sends nothing.  When the optional rejoin timer
+//! fires the harness revives with a fresh election state
+//! ([`ElectionCore::rejoin_at`]): a Root re-announces by re-flooding at
+//! `snapshot.round + 1` (its own round may have been the one that died
+//! with it), a non-Root resumes at `snapshot.round` and waits for a
+//! `RoundSync` or the next round's activation flood to pull it forward.
+//! Link-level reliability sequencing survives
+//! the crash (it lives in the same persistent memory), so a rejoined
+//! module's payloads are not mistaken for replays by its peers.  On the
+//! DES the [`sb_desim::FaultPlan`] additionally drops in-flight
+//! `Message` events addressed to a dead module inside the kernel, so
+//! dead time is visible in [`sb_desim::SimStats`].
+//!
+//! Control timers occupy a reserved tag namespace (bit 63 set —
+//! reliability tags are `(peer << 32) | seq` and never reach it):
+//! [`TAG_CRASH`], [`TAG_REJOIN`] and [`TAG_ROUND_SKIP`].  The round-skip
+//! watchdog keeps **one** outstanding deadline while the block
+//! participates in an election: on expiry it compares
+//! [`ElectionCore::progress`] against the value snapshotted when the
+//! deadline was armed — progress means the election is alive (re-arm),
+//! stagnation means the round stalled.  Only the *Root* reacts to a
+//! stalled deadline by advancing the round
+//! ([`ElectionCore::skip_round`]); a quiet non-Root lets its watchdog
+//! lapse until the next delivered message re-arms it.  Round chronology
+//! is single-writer by design: blocks that skip on private deadlines
+//! drift permanently ahead of the Root and turn every re-flood stale.
+//! With rounds enabled, retry-budget exhaustion no longer stalls the
+//! run: the reliability layer gives the message up (still counted in
+//! `delivery_failures`) and re-election recovers; with rounds disabled
+//! the historical stall-and-stop behaviour is bit-for-bit unchanged.
 
 use crate::election::{Action, ActionSink, AlgorithmConfig, ElectionCore};
 use crate::messages::Msg;
@@ -40,6 +78,73 @@ use sb_actor::{Actor, ActorContext, ActorId, ActorSystem};
 use sb_desim::{BlockCode, Context, Duration as SimDuration, ModuleId, NetworkModel, Simulator};
 
 pub use sb_desim::Color;
+
+/// Marks the control-timer tag namespace (crash, rejoin, round skip).
+/// Reliability retransmission tags are `(peer << 32) | seq` with `peer`
+/// a module index, so bit 63 is never set on them.
+const CONTROL_BIT: u64 = 1 << 63;
+
+/// Timer tag of the round-skip watchdog deadline.
+pub const TAG_ROUND_SKIP: u64 = CONTROL_BIT | 1;
+
+/// Timer tag of a scheduled module crash.
+pub const TAG_CRASH: u64 = CONTROL_BIT | 2;
+
+/// Timer tag of a scheduled module rejoin.
+pub const TAG_REJOIN: u64 = CONTROL_BIT | 3;
+
+/// When (in runtime time — simulated on the DES, wall-clock on the actor
+/// runtime) a module crashes, and optionally when it rejoins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Microseconds after start-up at which the module dies.
+    pub crash_at_us: u64,
+    /// Microseconds after start-up at which it revives (`None` = the
+    /// crash is permanent).
+    pub rejoin_at_us: Option<u64>,
+}
+
+/// Which module a [`FaultInjection`] kills.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultVictim {
+    /// The Root block (leader death / handover scenario).
+    Root,
+    /// A deterministically seeded non-Root block (relay death); the pick
+    /// is a splitmix64 function of the simulation seed so a sweep cell
+    /// is byte-identical across worker counts.
+    SeededRelay,
+}
+
+/// A single-victim crash/rejoin scenario, resolved against a concrete
+/// world at build time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// The module to kill.
+    pub victim: FaultVictim,
+    /// Its crash/rejoin schedule.
+    pub schedule: FaultSchedule,
+}
+
+impl FaultInjection {
+    /// Resolves the victim to a module index given the module order and
+    /// the Root's position in it.
+    fn victim_index(&self, module_count: usize, root_index: usize, sim_seed: u64) -> usize {
+        match self.victim {
+            FaultVictim::Root => root_index,
+            FaultVictim::SeededRelay => {
+                debug_assert!(module_count > 1, "a relay needs a non-Root module");
+                let pick = sb_desim::network::splitmix64(sim_seed ^ 0xFA01_7BA5) as usize;
+                let slot = pick % (module_count - 1);
+                // Skip over the Root: the relay is the slot-th non-Root.
+                if slot >= root_index {
+                    slot + 1
+                } else {
+                    slot
+                }
+            }
+        }
+    }
+}
 
 /// The capability surface a runtime hands to the [`BlockHarness`] while
 /// it processes one event.
@@ -75,6 +180,20 @@ pub struct BlockHarness {
     core: ElectionCore,
     sink: ActionSink,
     reliability: ReliabilityState,
+    /// Scheduled crash/rejoin, armed as control timers at start-up.
+    fault: Option<FaultSchedule>,
+    /// Whether the module is currently crashed (ignores everything but
+    /// its rejoin timer).
+    dead: bool,
+    /// Whether a round-skip watchdog deadline is outstanding (at most
+    /// one at a time).
+    watchdog_armed: bool,
+    /// The core's progress counter when the outstanding deadline was
+    /// armed; unchanged on expiry means the round stalled.
+    progress_at_arm: u64,
+    /// `(round, iteration)` snapshotted at crash time — the persistent
+    /// block memory a rejoin restores from.
+    crash_snapshot: (u32, u32),
 }
 
 impl BlockHarness {
@@ -91,7 +210,19 @@ impl BlockHarness {
             core,
             sink: ActionSink::new(),
             reliability: ReliabilityState::new(reliability),
+            fault: None,
+            dead: false,
+            watchdog_armed: false,
+            progress_at_arm: 0,
+            crash_snapshot: (0, 1),
         }
+    }
+
+    /// Schedules a crash (and optional rejoin) for this module; the
+    /// timers are armed when the harness starts.
+    pub fn with_fault(mut self, fault: FaultSchedule) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// The wrapped state machine.
@@ -108,16 +239,39 @@ impl BlockHarness {
         self.core.reset_state();
         self.sink.clear();
         self.reliability.reset();
+        self.dead = false;
+        self.watchdog_armed = false;
+        self.progress_at_arm = 0;
+        self.crash_snapshot = (0, 1);
     }
 
-    /// Start-up: colour the Root and run the core's start handler.
+    /// Start-up: colour the Root, arm the scheduled fault timers and the
+    /// round-skip watchdog (rounds enabled only), and run the core's
+    /// start handler.
     pub fn start<T: Transport>(&mut self, transport: &mut T) {
         if self.core.is_root() {
             transport.set_visual_state(Color::RED);
         }
+        if let Some(fault) = self.fault {
+            transport.set_timer(fault.crash_at_us, TAG_CRASH);
+            if let Some(rejoin_at_us) = fault.rejoin_at_us {
+                transport.set_timer(rejoin_at_us, TAG_REJOIN);
+            }
+        }
+        if self.core.rounds().enabled {
+            self.arm_watchdog(transport);
+        }
         let BlockHarness { core, sink, .. } = self;
         transport.with_world(|world| core.on_start(world, sink));
         self.dispatch(transport);
+    }
+
+    /// Arms (or re-arms) the single outstanding round-skip deadline,
+    /// snapshotting the progress counter it will be compared against.
+    fn arm_watchdog<T: Transport>(&mut self, transport: &mut T) {
+        self.watchdog_armed = true;
+        self.progress_at_arm = self.core.progress();
+        transport.set_timer(self.core.rounds().skip_timeout_us, TAG_ROUND_SKIP);
     }
 
     /// Delivers one envelope from the module at index `from` and executes
@@ -129,6 +283,12 @@ impl BlockHarness {
     /// re-ack — its original ack may have been lost), then delivered or
     /// suppressed by the link's receive window.
     pub fn deliver<T: Transport>(&mut self, from: usize, envelope: Envelope, transport: &mut T) {
+        if self.dead {
+            // A crashed module hears nothing — not even to ack: silence is
+            // what lets its peers' failure detectors (retry exhaustion)
+            // conclude it is gone.
+            return;
+        }
         match envelope {
             Envelope::Raw(msg) => self.deliver_msg(from, msg, transport),
             Envelope::Data { seq, msg } => {
@@ -161,16 +321,32 @@ impl BlockHarness {
             core.on_message(from_block, msg, world, sink);
         });
         self.dispatch(transport);
+        if self.core.rounds().enabled && !self.watchdog_armed {
+            // A lapsed non-Root watchdog (quiet deadline, see
+            // `on_watchdog_timer`) revives on the next delivered message.
+            self.arm_watchdog(transport);
+        }
     }
 
-    /// Timer path: drives retransmission of the in-flight message the
-    /// timer's tag refers to.  Timers for already-acknowledged sequences
-    /// are stale and ignored (they are never cancelled — cheap, and safe
-    /// on both runtimes).  A message that exhausts its retry budget is
-    /// counted as a `delivery_failure` and converts the run into a clean
-    /// `Stalled` outcome plus a stop request — never a silent hang.
+    /// Timer path.  Control tags (bit 63) drive the fault lifecycle and
+    /// the round-skip watchdog; every other tag names an in-flight
+    /// reliability sequence and drives its retransmission.  Timers for
+    /// already-acknowledged sequences are stale and ignored (they are
+    /// never cancelled — cheap, and safe on both runtimes).  A message
+    /// that exhausts its retry budget is counted as a `delivery_failure`;
+    /// with rounds disabled it converts the run into a clean `Stalled`
+    /// outcome plus a stop request (never a silent hang), with rounds
+    /// enabled it is the failure-detector verdict — the peer is presumed
+    /// crashed and the election folds on without it
+    /// ([`ElectionCore::on_peer_unreachable`]).
     pub fn timer<T: Transport>(&mut self, tag: u64, transport: &mut T) {
-        if !self.reliability.enabled() {
+        match tag {
+            TAG_CRASH => return self.on_crash_timer(transport),
+            TAG_REJOIN => return self.on_rejoin_timer(transport),
+            TAG_ROUND_SKIP => return self.on_watchdog_timer(transport),
+            _ => {}
+        }
+        if self.dead || !self.reliability.enabled() {
             return;
         }
         let (peer, seq) = split_tag(tag);
@@ -183,15 +359,107 @@ impl BlockHarness {
                 transport.set_timer(delay_us, tag);
             }
             TimerVerdict::Exhausted => {
-                transport.with_world(|world| {
-                    world.metrics_mut().delivery_failures += 1;
-                    if world.outcome().is_none() {
-                        world.set_outcome(Outcome::Stalled);
-                    }
-                });
-                transport.request_stop();
+                if self.core.rounds().enabled {
+                    let BlockHarness { core, sink, .. } = self;
+                    transport.with_world(|world| {
+                        world.metrics_mut().delivery_failures += 1;
+                        if let Some(peer_block) = world.block_of_module(peer) {
+                            core.on_peer_unreachable(peer_block, world, sink);
+                        }
+                    });
+                    self.dispatch(transport);
+                } else {
+                    transport.with_world(|world| {
+                        world.metrics_mut().delivery_failures += 1;
+                        if world.outcome().is_none() {
+                            world.set_outcome(Outcome::Stalled);
+                        }
+                    });
+                    transport.request_stop();
+                }
             }
         }
+    }
+
+    /// The scheduled crash fires: go dead, remembering `(round,
+    /// iteration)` — the persistent block memory a rejoin restores from.
+    fn on_crash_timer<T: Transport>(&mut self, transport: &mut T) {
+        if self.dead {
+            return;
+        }
+        self.dead = true;
+        self.watchdog_armed = false;
+        self.crash_snapshot = (self.core.round(), self.core.iteration().max(1));
+        transport.with_world(|world| world.metrics_mut().crashes_injected += 1);
+        transport.set_visual_state(Color::GREY);
+    }
+
+    /// The scheduled rejoin fires: revive with fresh election state at
+    /// the snapshotted iteration.  A Root resumes one round *past* its
+    /// snapshot (its own round may have been the one that died with it);
+    /// a non-Root resumes at the snapshot and lets `RoundSync` or the
+    /// next activation flood pull it forward.  In-flight reliability
+    /// sends are abandoned but link sequencing survives the crash, so
+    /// peers' anti-replay windows stay valid.
+    fn on_rejoin_timer<T: Transport>(&mut self, transport: &mut T) {
+        if !self.dead {
+            return;
+        }
+        self.dead = false;
+        let (round, iteration) = self.crash_snapshot;
+        let rejoin_round = if self.core.is_root() {
+            round.saturating_add(1)
+        } else {
+            round
+        };
+        self.reliability.abandon_inflight();
+        transport.with_world(|world| world.metrics_mut().rejoins += 1);
+        if self.core.is_root() {
+            transport.set_visual_state(Color::RED);
+        }
+        let BlockHarness { core, sink, .. } = self;
+        transport.with_world(|world| core.rejoin_at(rejoin_round, iteration, world, sink));
+        self.dispatch(transport);
+        if self.core.rounds().enabled {
+            self.arm_watchdog(transport);
+        }
+    }
+
+    /// The round-skip deadline fires: if the election made no progress
+    /// since the deadline was armed, the *Root* abandons the round
+    /// ([`ElectionCore::skip_round`]) — round chronology is the Root's
+    /// alone to advance.  Were every block to skip on its own deadline,
+    /// quiet survivors would run permanently ahead of the Root and each
+    /// re-flood would arrive one round stale, answered by a `RoundSync`
+    /// that the next unilateral skip immediately invalidates — a
+    /// lockstep that never converges.  A quiet non-Root instead lets its
+    /// watchdog lapse (the next delivered message re-arms it); liveness
+    /// at that block comes from the Root's skip or from its dead peer's
+    /// retry exhaustion, never from a private round counter.
+    fn on_watchdog_timer<T: Transport>(&mut self, transport: &mut T) {
+        if !self.core.rounds().enabled {
+            return;
+        }
+        self.watchdog_armed = false;
+        if self.dead {
+            return;
+        }
+        if transport.with_world(|world| world.outcome().is_some()) {
+            return;
+        }
+        if self.core.progress() == self.progress_at_arm {
+            if !self.core.is_root() {
+                return;
+            }
+            let BlockHarness { core, sink, .. } = self;
+            transport.with_world(|world| core.skip_round(world, sink));
+            self.dispatch(transport);
+            if transport.with_world(|world| world.outcome().is_some()) {
+                // The max-rounds valve concluded the run: stop re-arming.
+                return;
+            }
+        }
+        self.arm_watchdog(transport);
     }
 
     /// The single election-to-runtime dispatch loop: drains the sink,
@@ -331,23 +599,66 @@ impl Actor<Envelope, SurfaceWorld> for BlockHarness {
 /// to direct calls.  Tests that need to mix module types in one
 /// simulation can use [`build_des_simulation_boxed`] instead.
 pub fn build_des_simulation(
+    world: SurfaceWorld,
+    algorithm: AlgorithmConfig,
+    network: NetworkModel,
+    sim_seed: u64,
+    reliability: ReliabilityConfig,
+) -> Simulator<Envelope, SurfaceWorld, BlockHarness> {
+    build_des_simulation_with_faults(world, algorithm, network, sim_seed, reliability, None)
+}
+
+/// [`build_des_simulation`] plus an optional crash/rejoin injection: the
+/// victim is resolved against the concrete world (Root, or a
+/// seed-deterministic relay), its harness gets the [`FaultSchedule`] as
+/// control timers, and the kernel gets a matching
+/// [`sb_desim::FaultPlan`] so in-flight events addressed to the dead
+/// window are dropped (and counted) instead of delivered.
+pub fn build_des_simulation_with_faults(
     mut world: SurfaceWorld,
     algorithm: AlgorithmConfig,
     network: NetworkModel,
     sim_seed: u64,
     reliability: ReliabilityConfig,
+    faults: Option<FaultInjection>,
 ) -> Simulator<Envelope, SurfaceWorld, BlockHarness> {
     let order = world.grid().block_ids_sorted();
     world.set_module_mapping(order.clone());
     let root = world
         .root_block()
         .expect("Assumption 2: a Root block occupies the input cell");
+    let root_index = order
+        .iter()
+        .position(|&b| b == root)
+        .expect("the Root is in the module order");
+    let victim = faults.map(|f| {
+        (
+            f.victim_index(order.len(), root_index, sim_seed),
+            f.schedule,
+        )
+    });
     let mut sim = Simulator::new(world)
         .with_network(network)
         .with_seed(sim_seed);
-    for block in order {
+    if let Some((index, schedule)) = victim {
+        let plan = sb_desim::FaultPlan::new()
+            .with_control_tag_mask(CONTROL_BIT)
+            .with_window(
+                index,
+                sb_desim::SimTime(schedule.crash_at_us),
+                schedule.rejoin_at_us.map(sb_desim::SimTime),
+            );
+        sim = sim.with_fault_plan(plan);
+    }
+    for (i, block) in order.into_iter().enumerate() {
         let core = ElectionCore::new(block, block == root, algorithm);
-        sim.add(BlockHarness::with_reliability(core, reliability));
+        let mut harness = BlockHarness::with_reliability(core, reliability);
+        if let Some((index, schedule)) = victim {
+            if i == index {
+                harness = harness.with_fault(schedule);
+            }
+        }
+        sim.add(harness);
     }
     sim
 }
@@ -412,19 +723,50 @@ pub fn build_des_simulation_baseline(
 /// Builds a ready-to-run threaded actor system of the distributed
 /// algorithm (one OS thread per block).
 pub fn build_actor_system(
+    world: SurfaceWorld,
+    algorithm: AlgorithmConfig,
+    reliability: ReliabilityConfig,
+) -> ActorSystem<Envelope, SurfaceWorld> {
+    build_actor_system_with_faults(world, algorithm, reliability, 0, None)
+}
+
+/// [`build_actor_system`] plus an optional crash/rejoin injection.  The
+/// victim is resolved exactly as on the DES (`sim_seed` feeds the
+/// seeded-relay pick); the fault lifecycle runs entirely in the harness
+/// (wall-clock control timers), since the threaded runtime has no kernel
+/// to drop in-flight deliveries — the dead harness simply ignores them.
+pub fn build_actor_system_with_faults(
     mut world: SurfaceWorld,
     algorithm: AlgorithmConfig,
     reliability: ReliabilityConfig,
+    sim_seed: u64,
+    faults: Option<FaultInjection>,
 ) -> ActorSystem<Envelope, SurfaceWorld> {
     let order = world.grid().block_ids_sorted();
     world.set_module_mapping(order.clone());
     let root = world
         .root_block()
         .expect("Assumption 2: a Root block occupies the input cell");
+    let root_index = order
+        .iter()
+        .position(|&b| b == root)
+        .expect("the Root is in the module order");
+    let victim = faults.map(|f| {
+        (
+            f.victim_index(order.len(), root_index, sim_seed),
+            f.schedule,
+        )
+    });
     let mut system = ActorSystem::new(world);
-    for block in order {
+    for (i, block) in order.into_iter().enumerate() {
         let core = ElectionCore::new(block, block == root, algorithm);
-        system.add_actor(BlockHarness::with_reliability(core, reliability));
+        let mut harness = BlockHarness::with_reliability(core, reliability);
+        if let Some((index, schedule)) = victim {
+            if i == index {
+                harness = harness.with_fault(schedule);
+            }
+        }
+        system.add_actor(harness);
     }
     system
 }
@@ -695,6 +1037,7 @@ mod tests {
             msg: msg.clone(),
         };
         let msg = Msg::Ack {
+            round: 0,
             iteration: 1,
             son: order[peer_index],
             shortest_distance: crate::messages::Distance::finite(3),
@@ -800,6 +1143,148 @@ mod tests {
             sim.world().metrics().duplicates_suppressed,
             0,
             "nothing was ever delivered, let alone twice"
+        );
+    }
+
+    /// Rounds + reliability tuned so retry exhaustion (the failure
+    /// detector) resolves well inside one skip deadline.
+    fn recovery_algorithm() -> AlgorithmConfig {
+        AlgorithmConfig {
+            tie_break: TieBreak::LowestId,
+            rounds: crate::election::RoundsConfig::on(),
+            ..AlgorithmConfig::default()
+        }
+    }
+
+    fn fast_reliability() -> ReliabilityConfig {
+        ReliabilityConfig {
+            enabled: true,
+            base_rto_us: 500,
+            max_rto_us: 2_000,
+            retry_limit: 4,
+        }
+    }
+
+    /// Tentpole acceptance at unit scale: the Root dies mid-run and
+    /// rejoins; with rounds + reliability the election re-runs and the
+    /// reconfiguration still completes — measured, not hoped for, via the
+    /// crash/rejoin/round counters.
+    #[test]
+    fn root_crash_and_rejoin_still_completes_with_rounds_on() {
+        let world = SurfaceWorld::standard(small_config());
+        let faults = FaultInjection {
+            victim: FaultVictim::Root,
+            schedule: FaultSchedule {
+                crash_at_us: 100,
+                rejoin_at_us: Some(2_000),
+            },
+        };
+        let mut sim = build_des_simulation_with_faults(
+            world,
+            recovery_algorithm(),
+            NetworkModel::default(),
+            7,
+            fast_reliability(),
+            Some(faults),
+        );
+        sim.run_until_idle();
+        assert!(sim.is_stopped(), "the run terminates by itself");
+        assert_eq!(sim.world().outcome(), Some(Outcome::Completed));
+        assert!(sim.world().path_complete());
+        let metrics = *sim.world().metrics();
+        assert_eq!(metrics.crashes_injected, 1);
+        assert_eq!(metrics.rejoins, 1);
+        assert!(
+            metrics.rounds_started >= 2,
+            "the rejoined Root re-elected in a fresh round: {metrics}"
+        );
+    }
+
+    /// A permanent relay death cannot always preserve completion, but it
+    /// must never hang: the run concludes (and stops) via synthesised
+    /// declines, round skips, or at worst the max-rounds valve.
+    #[test]
+    fn permanent_relay_crash_terminates_cleanly() {
+        let world = SurfaceWorld::standard(small_config());
+        let faults = FaultInjection {
+            victim: FaultVictim::SeededRelay,
+            schedule: FaultSchedule {
+                crash_at_us: 100,
+                rejoin_at_us: None,
+            },
+        };
+        let mut sim = build_des_simulation_with_faults(
+            world,
+            recovery_algorithm(),
+            NetworkModel::default(),
+            7,
+            fast_reliability(),
+            Some(faults),
+        );
+        sim.run_until_idle();
+        assert!(sim.is_stopped(), "no silent hang");
+        assert!(sim.world().outcome().is_some(), "a clean conclusion");
+        assert_eq!(sim.world().metrics().crashes_injected, 1);
+        assert_eq!(sim.world().metrics().rejoins, 0);
+    }
+
+    /// Without rounds, the same root crash leaves the ensemble deadlocked
+    /// (reliability alone stalls it at best) — the contrast that motivates
+    /// the round layer.
+    #[test]
+    fn root_crash_without_rounds_does_not_complete() {
+        let world = SurfaceWorld::standard(small_config());
+        let faults = FaultInjection {
+            victim: FaultVictim::Root,
+            schedule: FaultSchedule {
+                crash_at_us: 100,
+                rejoin_at_us: Some(2_000),
+            },
+        };
+        let algorithm = AlgorithmConfig {
+            tie_break: TieBreak::LowestId,
+            ..AlgorithmConfig::default()
+        };
+        let mut sim = build_des_simulation_with_faults(
+            world,
+            algorithm,
+            NetworkModel::default(),
+            7,
+            fast_reliability(),
+            Some(faults),
+        );
+        sim.run_until_idle();
+        assert_ne!(
+            sim.world().outcome(),
+            Some(Outcome::Completed),
+            "a crashed Root without rounds must not finish the build"
+        );
+    }
+
+    /// The kernel-level fault plan makes dead time observable: in-flight
+    /// messages addressed to the dead window are dropped and counted.
+    #[test]
+    fn dead_window_drops_are_counted_in_sim_stats() {
+        let world = SurfaceWorld::standard(small_config());
+        let faults = FaultInjection {
+            victim: FaultVictim::Root,
+            schedule: FaultSchedule {
+                crash_at_us: 100,
+                rejoin_at_us: Some(2_000),
+            },
+        };
+        let mut sim = build_des_simulation_with_faults(
+            world,
+            recovery_algorithm(),
+            NetworkModel::default(),
+            7,
+            fast_reliability(),
+            Some(faults),
+        );
+        let stats = sim.run_until_idle();
+        assert!(
+            stats.messages_dropped_dead > 0,
+            "acks in flight to the crashed Root died with it: {stats}"
         );
     }
 }

@@ -64,6 +64,7 @@
 
 pub mod discrete_time;
 pub mod event;
+pub mod fault;
 pub mod latency;
 pub mod module;
 pub mod network;
@@ -75,6 +76,7 @@ pub mod trace;
 
 pub use discrete_time::{add_periodic_driver, PeriodicDriver, TickMessage};
 pub use event::EventKind;
+pub use fault::{FaultPlan, FaultWindow};
 pub use latency::LatencyModel;
 pub use module::{BlockCode, Color, ModuleId};
 pub use network::NetworkModel;

@@ -26,6 +26,7 @@
 //! heap traffic to O(n) appends.
 
 use crate::event::{Event, EventKind};
+use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::module::{BlockCode, Color, ModuleId};
 use crate::network::{NetworkModel, NetworkState};
@@ -55,6 +56,9 @@ struct Kernel<M, W> {
     stats: SimStats,
     trace: TraceBuffer,
     stop_requested: bool,
+    /// Scheduled per-module dead windows; `None` (the default) costs the
+    /// hot dispatch path a single branch.
+    faults: Option<FaultPlan>,
 }
 
 impl<M, W> Kernel<M, W> {
@@ -246,6 +250,7 @@ impl<M, W, C: BlockCode<M, W>> Simulator<M, W, C> {
                 stats: SimStats::default(),
                 trace: TraceBuffer::disabled(),
                 stop_requested: false,
+                faults: None,
             },
         }
     }
@@ -294,6 +299,15 @@ impl<M, W, C: BlockCode<M, W>> Simulator<M, W, C> {
     /// Enables the trace buffer with the given capacity (builder style).
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         self.kernel.trace = TraceBuffer::with_capacity(capacity);
+        self
+    }
+
+    /// Installs a crash-window plan (builder style): `Message` events to
+    /// a dead module and non-control `Timer` events on one are dropped at
+    /// dispatch time and counted in the run statistics (see
+    /// [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.kernel.faults = Some(plan);
         self
     }
 
@@ -460,6 +474,25 @@ impl<M, W, C: BlockCode<M, W>> Simulator<M, W, C> {
         self.kernel.stats.events_processed += 1;
         self.kernel.stats.sim_time_end = event.time;
         let target = event.kind.target();
+        // Fault windows: deliveries to a dead module die with it.  In-flight
+        // messages are dropped at their delivery instant, pending timers
+        // unless their tag is control-exempt (the module's own
+        // crash/rejoin/watchdog machinery must run while it is dead).
+        if let Some(plan) = &self.kernel.faults {
+            match &event.kind {
+                EventKind::Message { to, .. } if plan.dead_at(to.index(), event.time) => {
+                    self.kernel.stats.messages_dropped_dead += 1;
+                    return true;
+                }
+                EventKind::Timer { module, tag }
+                    if !plan.exempt(*tag) && plan.dead_at(module.index(), event.time) =>
+                {
+                    self.kernel.stats.timers_dropped_dead += 1;
+                    return true;
+                }
+                _ => {}
+            }
+        }
         // Messages addressed to unknown modules are dropped silently; this
         // cannot happen through the public API but keeps the kernel total.
         let Some(code) = self.modules.get_mut(target.index()) else {

@@ -19,6 +19,13 @@ pub struct SimStats {
     pub messages_dropped: u64,
     /// Duplicate deliveries injected by a fault-injecting network model.
     pub messages_duplicated: u64,
+    /// Messages dropped because their target module was inside a
+    /// [`FaultPlan`](crate::fault::FaultPlan) dead window at delivery
+    /// time.
+    pub messages_dropped_dead: u64,
+    /// Timer events dropped because their module was dead at expiry (a
+    /// control-exempt tag is never dropped).
+    pub timers_dropped_dead: u64,
     /// Timers armed by block codes.
     pub timers_set: u64,
     /// Largest number of events simultaneously pending in the queue.

@@ -1,21 +1,34 @@
 //! Fault-recovery gate: proves the reliable delivery layer repairs the
-//! assumption-violation probes, and fails the build if it does not.
+//! assumption-violation probes and the round-structured re-election
+//! recovers from module crashes — and fails the build if either does
+//! not.
 //!
-//! [`sb_bench::sweep::SweepPlan::fault_probes`] sweeps every workload
-//! family at small sizes across jitter bursts, i.i.d. drop at 1% and
-//! 10%, 1% i.i.d. duplication and the combined heavy-tail+drop+dup
-//! regime — each with reliability off (the measured damage) and on (the
-//! measured recovery).  This example runs the plan, prints both sides,
-//! writes the machine-readable `BENCH_fault_recovery.json` (sweep schema
-//! v5) and then **gates**: every reliability-on group must match the
-//! completion rate of its own benign reference (the jitter-bursts group
-//! of the same family and size, which respects Assumption 3).  For every
-//! group whose reference completes, that means `completed_rate == 1.0`
-//! on `drop_1pct` and `dup_1pct` — and on the harsher probes too;
-//! families that stall structurally at these sizes (zero-spare
-//! `minimal`, the thin `sparse_wide`/`high_aspect` shapes) stall under
-//! the benign reference as well, and the gate pins that the stall stays
-//! structural rather than becoming a loss-induced timeout.
+//! Two plans run back to back and merge into one record:
+//!
+//! * [`sb_bench::sweep::SweepPlan::fault_probes`] sweeps every workload
+//!   family at small sizes across jitter bursts, i.i.d. drop at 1% and
+//!   10%, 1% i.i.d. duplication and the combined heavy-tail+drop+dup
+//!   regime — each with reliability off (the measured damage) and on
+//!   (the measured recovery).
+//! * [`sb_bench::sweep::SweepPlan::fault_probes_crash`] sweeps the same
+//!   families across three crash scenarios — Root crash/rejoin (leader
+//!   handover), relay crash/rejoin, and permanent relay crash — under
+//!   fast failure detection and round-structured re-election, on a
+//!   benign and a 10%-drop transport.
+//!
+//! The example prints both sides, writes the machine-readable
+//! `BENCH_fault_recovery.json` (one merged sweep record — the plans
+//! share a seed) and then **gates**:
+//!
+//! * every reliability-on probe group must match the completion rate of
+//!   its own benign reference (the jitter-bursts group of the same
+//!   family and size, which respects Assumption 3) and never time out;
+//! * every crash scenario whose victim *rejoins* must restore that same
+//!   benign completion rate — a crash plus recovery ends where the
+//!   fault-free run ends;
+//! * every crash scenario, including the permanent one, must reach a
+//!   reported outcome (`timeout_rate == 0`): the round-skip valve turns
+//!   even an unsolvable instance into a clean stall, never a hang.
 //!
 //! ```text
 //! cargo run --release --example fault_recovery
@@ -25,11 +38,12 @@ use sb_bench::sweep::{Family, GroupSummary, SweepEngine, SweepPlan};
 
 fn print_groups(report: &sb_bench::sweep::SweepReport) {
     println!(
-        "\n{:>11} {:>4} {:>17} {:>5} {:>9} {:>6} {:>8} {:>13} {:>13}",
+        "\n{:>11} {:>4} {:>13} {:>7} {:>18} {:>9} {:>6} {:>8} {:>13} {:>13}",
         "family",
         "N",
         "network",
         "rel",
+        "fault",
         "complete",
         "stall",
         "timeout",
@@ -38,11 +52,12 @@ fn print_groups(report: &sb_bench::sweep::SweepReport) {
     );
     for g in &report.groups {
         println!(
-            "{:>11} {:>4} {:>17} {:>5} {:>8.0}% {:>5.0}% {:>7.0}% {:>13.0} {:>13.0}",
+            "{:>11} {:>4} {:>13} {:>7} {:>18} {:>8.0}% {:>5.0}% {:>7.0}% {:>13.0} {:>13.0}",
             g.family.name(),
             g.blocks,
             g.network,
             g.reliability,
+            g.fault,
             g.completed_rate * 100.0,
             g.stall_rate * 100.0,
             g.timeout_rate * 100.0,
@@ -53,15 +68,23 @@ fn print_groups(report: &sb_bench::sweep::SweepReport) {
 }
 
 fn main() {
-    let plan = SweepPlan::fault_probes();
+    let probe_plan = SweepPlan::fault_probes();
+    let crash_plan = SweepPlan::fault_probes_crash();
     let engine = SweepEngine::with_available_parallelism();
     println!(
-        "fault-recovery gate: {} cells across {} workers…",
-        plan.cells().len(),
+        "fault-recovery gate: {} probe + {} crash cells across {} workers…",
+        probe_plan.cells().len(),
+        crash_plan.cells().len(),
         engine.workers()
     );
-    let report = engine.run(&plan);
+    let mut report = engine.run(&probe_plan);
+    let crashes = engine.run(&crash_plan);
     print_groups(&report);
+    print_groups(&crashes);
+    // The plans share plan seed and seeds-per-cell, so the two runs
+    // concatenate into a single well-formed sweep record.
+    report.groups.extend(crashes.groups);
+    report.cells.extend(crashes.cells);
 
     let json = report.to_json();
     match std::fs::write("BENCH_fault_recovery.json", &json) {
@@ -75,7 +98,7 @@ fn main() {
 
     // The benign reference per (family, N): jitter bursts respect
     // Assumption 3, so this group's completion rate is what the instance
-    // does when no message is ever lost or duplicated.
+    // does when no message is ever lost and no module ever crashes.
     let reference = |family: Family, blocks: usize| -> &GroupSummary {
         report
             .groups
@@ -85,6 +108,7 @@ fn main() {
                     && g.blocks == blocks
                     && g.network == "jitter_bursts"
                     && g.reliability == "on"
+                    && g.fault == "none"
             })
             .expect("the fault-probe plan sweeps a benign reference group")
     };
@@ -92,41 +116,51 @@ fn main() {
     let mut failures = 0usize;
     let mut completing_references = 0usize;
     for g in &report.groups {
-        if g.reliability != "on" || g.network == "jitter_bursts" {
+        if g.reliability == "off" || (g.network == "jitter_bursts" && g.fault == "none") {
             continue;
         }
         let expected = reference(g.family, g.blocks).completed_rate;
         completing_references += usize::from(expected == 1.0);
-        if g.completed_rate != expected {
+        // A permanent crash may legitimately lower the completion rate
+        // (losing a path block can make the instance unsolvable); every
+        // other group — loss probes and rejoining crashes alike — must
+        // restore the benign rate exactly.
+        if g.fault != "relay_crash" && g.completed_rate != expected {
             failures += 1;
             eprintln!(
-                "GATE FAILURE: {} N={} {} (reliability on): completed_rate {:.3}, \
+                "GATE FAILURE: {} N={} {} fault={} ({}): completed_rate {:.3}, \
                  benign reference {:.3}",
                 g.family.name(),
                 g.blocks,
                 g.network,
+                g.fault,
+                g.reliability,
                 g.completed_rate,
                 expected
             );
         }
         // Reliability-on runs must always reach a reported outcome — a
-        // timeout here would mean a message was silently lost for good,
-        // the exact hang the layer exists to eliminate.
+        // timeout would mean a message was silently lost for good (the
+        // hang the delivery layer exists to eliminate) or an election
+        // hung on a dead peer (the hang the round valve eliminates).
         if g.timeout_rate != 0.0 {
             failures += 1;
             eprintln!(
-                "GATE FAILURE: {} N={} {} (reliability on): timeout_rate {:.3} != 0",
+                "GATE FAILURE: {} N={} {} fault={} ({}): timeout_rate {:.3} != 0",
                 g.family.name(),
                 g.blocks,
                 g.network,
+                g.fault,
+                g.reliability,
                 g.timeout_rate
             );
         }
     }
-    // The gate must not pass vacuously: the plan has to contain groups
+    // The gate must not pass vacuously: the plans have to contain groups
     // whose benign reference completes (the column and serpentine
     // families do at these sizes), so `completed_rate == 1.0` is really
-    // being demanded of the drop/dup probes somewhere.
+    // being demanded of the drop/dup probes and the crash/rejoin
+    // scenarios somewhere.
     if completing_references == 0 {
         failures += 1;
         eprintln!("GATE FAILURE: no probe group has a completing benign reference");
@@ -136,5 +170,8 @@ fn main() {
         eprintln!("\nfault-recovery gate: {failures} group(s) failed");
         std::process::exit(1);
     }
-    println!("\nfault-recovery gate: every reliability-on probe group recovered");
+    println!(
+        "\nfault-recovery gate: every probe group recovered, every crash scenario \
+         reached an outcome"
+    );
 }

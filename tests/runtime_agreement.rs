@@ -5,7 +5,7 @@
 //! outcome) under the deterministic discrete-event scheduler, under heavy
 //! random message jitter, and under true thread-level asynchrony.
 
-use sb_bench::sweep::Family;
+use sb_bench::sweep::{Family, FaultSpec, ReliabilitySpec};
 use smart_surface::core::election::AlgorithmConfig;
 use smart_surface::core::workloads::{column_instance, fig10_instance};
 use smart_surface::core::{ReconfigurationDriver, ReliabilityConfig, Termination, TieBreak};
@@ -197,6 +197,42 @@ fn runtimes_agree_with_the_reliable_delivery_layer_enabled() {
     for report in [&des, &actors] {
         assert!(report.metrics.delivery_acks > 0, "{report}");
         assert_eq!(report.metrics.delivery_failures, 0, "{report}");
+    }
+}
+
+#[test]
+fn runtimes_agree_on_recovery_from_a_root_crash() {
+    // The full fault lifecycle on both runtimes: the Root crashes at
+    // 800 µs, rejoins at 3.8 ms, re-announces one round past its
+    // crash-time snapshot, and the round-structured re-election carries
+    // the reconfiguration to completion.  On the DES the crash window is
+    // simulated time; on the actor runtime the same control timers fire
+    // on the wall clock, so thread interleaving differs wildly — which
+    // is the point.  Outcomes must agree; move counts need not (a crash
+    // discards timing-dependent partial progress, so the hop sequence is
+    // no longer determined by the LowestId tie-break alone).
+    let spec = FaultSpec::root_crash_rejoin();
+    let algo = AlgorithmConfig {
+        tie_break: TieBreak::LowestId,
+        rounds: spec.rounds,
+        ..Default::default()
+    };
+    let driver = ReconfigurationDriver::new(column_instance(8, 0))
+        .with_algorithm(algo)
+        .with_reliability(ReliabilitySpec::on_fast().config)
+        .with_faults(spec.injection);
+    let des = driver.run_des();
+    let actors = driver.run_actors(Duration::from_secs(120));
+    assert!(des.completed, "{des}");
+    assert!(
+        actors.stopped && !actors.timed_out,
+        "the actor run must terminate by itself: {actors}"
+    );
+    assert!(actors.completed, "{actors}");
+    for report in [&des, &actors] {
+        assert_eq!(report.metrics.crashes_injected, 1, "{report}");
+        assert_eq!(report.metrics.rejoins, 1, "{report}");
+        assert!(report.path_complete, "{report}");
     }
 }
 
